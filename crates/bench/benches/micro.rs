@@ -1,0 +1,131 @@
+//! Criterion micro-benchmarks of the substrate layers: the per-component
+//! costs behind the figure-level results (crypto throughput, XDR codec,
+//! GTLS record protection, end-to-end RPC round trips per stack).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sgfs_crypto::cbc::{cbc_decrypt, cbc_encrypt};
+use sgfs_crypto::{hmac_sha1, Aes, Digest, Rc4, Sha1, Sha256};
+use sgfs_gtls::record::{HalfConn, CT_DATA};
+use sgfs_gtls::CipherSuite;
+use sgfs_nfs3::{Fattr3, FType3, NfsTime3};
+use sgfs_xdr::{XdrDecode, XdrEncode};
+
+const BLOCK: usize = 32 * 1024;
+
+fn bench_hashes(c: &mut Criterion) {
+    let data = vec![0xabu8; BLOCK];
+    let mut g = c.benchmark_group("hash");
+    g.throughput(Throughput::Bytes(BLOCK as u64));
+    g.bench_function("sha1_32k", |b| b.iter(|| Sha1::digest(&data)));
+    g.bench_function("sha256_32k", |b| b.iter(|| Sha256::digest(&data)));
+    g.bench_function("hmac_sha1_32k", |b| b.iter(|| hmac_sha1(b"key material 123", &data)));
+    g.finish();
+}
+
+fn bench_ciphers(c: &mut Criterion) {
+    let data = vec![0xcdu8; BLOCK];
+    let mut g = c.benchmark_group("cipher");
+    g.throughput(Throughput::Bytes(BLOCK as u64));
+    let aes = Aes::new(&[7u8; 32]);
+    let iv = [0u8; 16];
+    g.bench_function("aes256_cbc_encrypt_32k", |b| b.iter(|| cbc_encrypt(&aes, &iv, &data)));
+    let ct = cbc_encrypt(&aes, &iv, &data);
+    g.bench_function("aes256_cbc_decrypt_32k", |b| {
+        b.iter(|| cbc_decrypt(&aes, &iv, &ct).expect("valid"))
+    });
+    g.bench_function("rc4_32k", |b| {
+        b.iter(|| {
+            let mut rc4 = Rc4::new(&[7u8; 16]);
+            let mut d = data.clone();
+            rc4.process(&mut d);
+            d
+        })
+    });
+    g.finish();
+}
+
+fn bench_gtls_records(c: &mut Criterion) {
+    let payload = vec![0xefu8; BLOCK];
+    let mut g = c.benchmark_group("gtls_record");
+    g.throughput(Throughput::Bytes(BLOCK as u64));
+    for suite in [CipherSuite::NullSha1, CipherSuite::Rc4_128Sha1, CipherSuite::Aes256CbcSha1] {
+        g.bench_with_input(
+            BenchmarkId::new("seal_open", format!("{suite:?}")),
+            &suite,
+            |b, &suite| {
+                let key = vec![9u8; suite.key_len()];
+                let mac = vec![7u8; 20];
+                let mut rng = rand::thread_rng();
+                b.iter_batched(
+                    || (HalfConn::new(suite, &key, &mac), HalfConn::new(suite, &key, &mac)),
+                    |(mut tx, mut rx)| {
+                        let wire = tx.seal(CT_DATA, &payload, &mut rng);
+                        rx.open(CT_DATA, wire).expect("valid record")
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_xdr(c: &mut Criterion) {
+    let attr = Fattr3 {
+        ftype: FType3::Reg,
+        mode: 0o644,
+        nlink: 1,
+        uid: 1000,
+        gid: 1000,
+        size: 123456,
+        used: 123456,
+        fsid: 1,
+        fileid: 42,
+        atime: NfsTime3::from_nanos(1_000_000_001),
+        mtime: NfsTime3::from_nanos(2_000_000_002),
+        ctime: NfsTime3::from_nanos(3_000_000_003),
+    };
+    let bytes = attr.to_xdr_bytes();
+    let mut g = c.benchmark_group("xdr");
+    g.bench_function("fattr3_encode", |b| b.iter(|| attr.to_xdr_bytes()));
+    g.bench_function("fattr3_decode", |b| {
+        b.iter(|| Fattr3::from_xdr_bytes(&bytes).expect("valid"))
+    });
+    g.finish();
+}
+
+fn bench_rpc_roundtrip(c: &mut Criterion) {
+    use sgfs::config::SecurityLevel;
+    use sgfs::session::{GridWorld, Session, SessionParams, SetupKind};
+
+    let world = GridWorld::new();
+    let mut g = c.benchmark_group("stack_access_roundtrip");
+    g.sample_size(20);
+    for kind in [
+        SetupKind::NfsV3,
+        SetupKind::Gfs,
+        SetupKind::Sgfs(SecurityLevel::StrongCipher),
+    ] {
+        let mut params = SessionParams::lan(kind);
+        // Pure software-path cost: no emulated latency or hop charges.
+        params.rtt = std::time::Duration::ZERO;
+        params.hop_cost = sgfs::config::HopCost::free();
+        let mut session = Session::build(&world, &params).expect("setup");
+        session.mount.write_file("/bench.txt", b"x").expect("prep");
+        g.bench_function(kind.label(), |b| {
+            b.iter(|| session.mount.access("/bench.txt", 0x3f).expect("access rpc"))
+        });
+        session.finish().expect("teardown");
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hashes,
+    bench_ciphers,
+    bench_gtls_records,
+    bench_xdr,
+    bench_rpc_roundtrip
+);
+criterion_main!(benches);

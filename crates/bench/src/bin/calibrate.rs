@@ -1,0 +1,47 @@
+//! Quick calibration of primitive throughput (not a paper figure).
+use sgfs_crypto::cbc::cbc_encrypt;
+use sgfs_crypto::{Aes, Rc4, hmac_sha1};
+use std::time::Instant;
+
+fn main() {
+    let data = vec![7u8; 32 * 1024];
+    let aes = Aes::new(&[1u8; 32]);
+    let iv = [0u8; 16];
+    let n = 512; // 16 MB
+    let t = Instant::now();
+    for _ in 0..n {
+        std::hint::black_box(cbc_encrypt(&aes, &iv, &data));
+    }
+    let dt = t.elapsed();
+    println!("AES-256-CBC: {:.1} MB/s", (n * data.len()) as f64 / 1e6 / dt.as_secs_f64());
+
+    let t = Instant::now();
+    for _ in 0..n {
+        let mut rc4 = Rc4::new(&[1u8; 16]);
+        let mut d = data.clone();
+        rc4.process(&mut d);
+        std::hint::black_box(d);
+    }
+    let dt = t.elapsed();
+    println!("RC4: {:.1} MB/s", (n * data.len()) as f64 / 1e6 / dt.as_secs_f64());
+
+    let t = Instant::now();
+    for _ in 0..n {
+        std::hint::black_box(hmac_sha1(&[1u8; 20], &data));
+    }
+    let dt = t.elapsed();
+    println!("HMAC-SHA1: {:.1} MB/s", (n * data.len()) as f64 / 1e6 / dt.as_secs_f64());
+
+    // decrypt throughput
+    let ct = cbc_encrypt(&aes, &iv, &data);
+    let t = Instant::now();
+    for _ in 0..n {
+        std::hint::black_box(sgfs_crypto::cbc::cbc_decrypt(&aes, &iv, &ct).unwrap());
+    }
+    let dt = t.elapsed();
+    println!("AES-256-CBC decrypt: {:.1} MB/s", (n * data.len()) as f64 / 1e6 / dt.as_secs_f64());
+
+    let t = Instant::now();
+    std::hint::black_box(sgfs_workloads::cpu_burn(1_000_000));
+    println!("cpu_burn: {:.0} units/ms", 1_000_000.0 / t.elapsed().as_millis() as f64);
+}

@@ -1,0 +1,88 @@
+//! Figure 7: PostMark per-phase runtime on five DFS setups in the LAN.
+//!
+//! Paper shape: creation and deletion phases are close across every
+//! secure setup (gfs-ssh marginally worst); in the metadata-heavy
+//! transaction phase sgfs(aes) stays close to nfs-v3 and beats sfs by
+//! ~17% and gfs-ssh by ~14%.
+
+use sgfs::config::SecurityLevel;
+use sgfs::session::{GridWorld, SetupKind};
+use sgfs_bench::{lan_session, mean_std, print_table, s, save_json, Row, RunOpts};
+use sgfs_workloads::postmark::{self, PostmarkConfig};
+
+fn main() {
+    let opts = RunOpts::parse();
+    let world = GridWorld::new();
+    let cfg = if opts.quick {
+        PostmarkConfig { dirs: 10, files: 50, transactions: 100, ..Default::default() }
+    } else {
+        PostmarkConfig::default() // the paper's parameters
+    };
+    println!(
+        "PostMark: {} dirs, {} files, {} transactions, sizes {}–{} B, {} run(s)",
+        cfg.dirs, cfg.files, cfg.transactions, cfg.min_size, cfg.max_size, opts.runs
+    );
+
+    let setups = vec![
+        SetupKind::NfsV3,
+        SetupKind::NfsV4,
+        SetupKind::Sfs,
+        SetupKind::Sgfs(SecurityLevel::StrongCipher),
+        SetupKind::GfsSsh,
+    ];
+
+    let mut rows = Vec::new();
+    for kind in setups {
+        let (mut creations, mut transactions, mut deletions) = (vec![], vec![], vec![]);
+        for _ in 0..opts.runs {
+            let mut session = lan_session(&world, kind, opts.mem_cache());
+            let clock = session.clock().clone();
+            let res = postmark::run(&mut session.mount, &clock, &cfg)
+                .unwrap_or_else(|e| panic!("{}: {e}", kind.label()));
+            creations.push(s(res.creation));
+            transactions.push(s(res.transaction));
+            deletions.push(s(res.deletion));
+            session.finish().expect("teardown");
+        }
+        let (cm, cs) = mean_std(&creations);
+        let (tm, ts) = mean_std(&transactions);
+        let (dm, ds) = mean_std(&deletions);
+        rows.push(Row {
+            label: kind.label().to_string(),
+            cells: vec![
+                ("creation".into(), cm, cs),
+                ("transaction".into(), tm, ts),
+                ("deletion".into(), dm, ds),
+                ("total".into(), cm + tm + dm, 0.0),
+            ],
+        });
+        eprintln!("  {} done: total {:.2}s", kind.label(), cm + tm + dm);
+    }
+
+    print_table(
+        "Figure 7 — PostMark per-phase runtime (LAN), seconds",
+        &["creation", "transaction", "deletion", "total"],
+        &rows,
+    );
+    save_json("fig7_postmark_lan", &rows);
+
+    let get = |label: &str| {
+        rows.iter()
+            .find(|r| r.label == label)
+            .map(|r| r.cells[1].1)
+            .unwrap_or(f64::NAN)
+    };
+    println!("\nshape checks (transaction phase, paper expectation):");
+    println!(
+        "  sgfs-aes vs sfs:    {:+.0}% (paper: sgfs ~17% faster)",
+        (get("sgfs-aes") / get("sfs") - 1.0) * 100.0
+    );
+    println!(
+        "  sgfs-aes vs gfs-ssh:{:+.0}% (paper: sgfs ~14% faster)",
+        (get("sgfs-aes") / get("gfs-ssh") - 1.0) * 100.0
+    );
+    println!(
+        "  sgfs-aes vs nfs-v3: {:.2}x (paper: close to NFS v3)",
+        get("sgfs-aes") / get("nfs-v3")
+    );
+}

@@ -1,0 +1,77 @@
+//! Figure 8: PostMark total runtime vs network RTT — nfs-v3 vs sgfs.
+//!
+//! The paper sweeps the emulated RTT over {5, 10, 20, 40, 80} ms. Native
+//! NFS degrades roughly linearly with RTT (every RPC pays a round trip);
+//! SGFS with disk caching decays only slightly and is about 2× faster at
+//! 80 ms.
+
+use sgfs::config::SecurityLevel;
+use sgfs::session::{GridWorld, SetupKind};
+use sgfs_bench::{mean_std, print_table, s, save_json, wan_session, Row, RunOpts};
+use sgfs_workloads::postmark::{self, PostmarkConfig};
+use std::time::Duration;
+
+fn main() {
+    let opts = RunOpts::parse();
+    let world = GridWorld::new();
+    let cfg = if opts.quick {
+        PostmarkConfig { dirs: 10, files: 50, transactions: 100, ..Default::default() }
+    } else {
+        PostmarkConfig::default()
+    };
+    let rtts = [5u64, 10, 20, 40, 80];
+    println!(
+        "PostMark over emulated WAN: RTT sweep {:?} ms, {} run(s) per point",
+        rtts, opts.runs
+    );
+
+    let mut rows = Vec::new();
+    for kind in [SetupKind::NfsV3, SetupKind::Sgfs(SecurityLevel::StrongCipher)] {
+        let mut cells = Vec::new();
+        for rtt_ms in rtts {
+            let mut totals = Vec::new();
+            for _ in 0..opts.runs {
+                let mut session = wan_session(
+                    &world,
+                    kind,
+                    Duration::from_millis(rtt_ms),
+                    opts.mem_cache(),
+                );
+                let clock = session.clock().clone();
+                let res = postmark::run(&mut session.mount, &clock, &cfg)
+                    .unwrap_or_else(|e| panic!("{} @ {rtt_ms}ms: {e}", kind.label()));
+                // The paper's Figure 8 reports the benchmark runtime; the
+                // final write-back happens after the run.
+                totals.push(s(res.total));
+                session.finish().expect("teardown");
+            }
+            let (m, sd) = mean_std(&totals);
+            cells.push((format!("{rtt_ms}ms"), m, sd));
+            eprintln!("  {} @ {rtt_ms}ms: {m:.1}s", kind.label());
+        }
+        rows.push(Row { label: kind.label().to_string(), cells });
+    }
+
+    print_table(
+        "Figure 8 — PostMark total runtime vs RTT, seconds",
+        &["5ms", "10ms", "20ms", "40ms", "80ms"],
+        &rows,
+    );
+    save_json("fig8_postmark_wan", &rows);
+
+    let nfs = &rows[0].cells;
+    let sgfs = &rows[1].cells;
+    println!("\nshape checks (paper expectation):");
+    println!(
+        "  nfs-v3 growth 5→80ms: {:.1}x (paper: ~linear in RTT, large)",
+        nfs[4].1 / nfs[0].1
+    );
+    println!(
+        "  sgfs growth 5→80ms:   {:.2}x (paper: very slow decrease in performance)",
+        sgfs[4].1 / sgfs[0].1
+    );
+    println!(
+        "  speedup at 80ms:      {:.1}x (paper: about two-fold)",
+        nfs[4].1 / sgfs[4].1
+    );
+}

@@ -1,0 +1,113 @@
+//! Figure 9: Modified Andrew Benchmark per-phase runtimes — nfs-v3 vs
+//! sgfs, in the LAN and in a 40 ms-RTT WAN.
+//!
+//! Paper shape (LAN): sgfs matches nfs-v3 on copy/stat/search and is ~14%
+//! slower on compile. WAN: sgfs's caching gives ~9×/5×/8× speedups on
+//! stat/search/compile and >4× overall; the end-of-run write-back took
+//! 51.2 s on the paper's testbed and is reported separately.
+
+use sgfs::config::SecurityLevel;
+use sgfs::session::{GridWorld, SetupKind};
+use sgfs_bench::{lan_session, mean_std, print_table, s, save_json, wan_session, Row, RunOpts};
+use sgfs_workloads::mab::{self, MabConfig};
+use std::time::Duration;
+
+fn main() {
+    let opts = RunOpts::parse();
+    let world = GridWorld::new();
+    let cfg = if opts.quick {
+        MabConfig { dirs: 5, files: 40, outputs: 15, mean_file_size: 2048, ..Default::default() }
+    } else if opts.full {
+        MabConfig::default()
+    } else {
+        // Scaled: same tree shape, smaller files & compile cost.
+        MabConfig {
+            mean_file_size: 6 * 1024,
+            compile_cpu_per_kb: 800,
+            ..Default::default()
+        }
+    };
+    println!(
+        "MAB: {} dirs, {} files, {} outputs, {} run(s); environments: LAN + WAN(40ms)",
+        cfg.dirs, cfg.files, cfg.outputs, opts.runs
+    );
+
+    let mut rows = Vec::new();
+    for (env, wan) in [("LAN", false), ("WAN", true)] {
+        for kind in [SetupKind::NfsV3, SetupKind::Sgfs(SecurityLevel::StrongCipher)] {
+            let mut phases: Vec<Vec<f64>> = vec![Vec::new(); 5];
+            let mut writebacks = Vec::new();
+            for _ in 0..opts.runs {
+                let mut session = if wan {
+                    wan_session(&world, kind, Duration::from_millis(40), opts.mem_cache())
+                } else {
+                    lan_session(&world, kind, opts.mem_cache())
+                };
+                mab::preload(session.server().vfs(), &cfg);
+                let clock = session.clock().clone();
+                let res = mab::run(&mut session.mount, &clock, &cfg)
+                    .unwrap_or_else(|e| panic!("{} {env}: {e}", kind.label()));
+                phases[0].push(s(res.copy));
+                phases[1].push(s(res.stat));
+                phases[2].push(s(res.search));
+                phases[3].push(s(res.compile));
+                phases[4].push(s(res.total));
+                let report = session.finish().expect("teardown");
+                writebacks.push(s(report.writeback_time));
+            }
+            let cells: Vec<(String, f64, f64)> = ["copy", "stat", "search", "compile", "total"]
+                .iter()
+                .zip(&phases)
+                .map(|(name, xs)| {
+                    let (m, sd) = mean_std(xs);
+                    (name.to_string(), m, sd)
+                })
+                .chain(std::iter::once({
+                    let (m, sd) = mean_std(&writebacks);
+                    ("writeback".to_string(), m, sd)
+                }))
+                .collect();
+            eprintln!("  {} {env} done: total {:.1}s", kind.label(), cells[4].1);
+            rows.push(Row { label: format!("{} {env}", kind.label()), cells });
+        }
+    }
+
+    print_table(
+        "Figure 9 — MAB per-phase runtime, seconds",
+        &["copy", "stat", "search", "compile", "total", "writeback"],
+        &rows,
+    );
+    save_json("fig9_mab", &rows);
+
+    let total = |label: &str| {
+        rows.iter().find(|r| r.label == label).map(|r| r.cells[4].1).unwrap_or(f64::NAN)
+    };
+    let phase = |label: &str, idx: usize| {
+        rows.iter().find(|r| r.label == label).map(|r| r.cells[idx].1).unwrap_or(f64::NAN)
+    };
+    println!("\nshape checks (paper expectation):");
+    println!(
+        "  LAN compile overhead sgfs vs nfs: {:+.0}% (paper ~ +14%)",
+        (phase("sgfs-aes LAN", 3) / phase("nfs-v3 LAN", 3) - 1.0) * 100.0
+    );
+    println!(
+        "  WAN total speedup sgfs vs nfs:    {:.1}x (paper > 4x)",
+        total("nfs-v3 WAN") / total("sgfs-aes WAN")
+    );
+    println!(
+        "  WAN stat speedup:                 {:.1}x (paper ~ 9x)",
+        phase("nfs-v3 WAN", 1) / phase("sgfs-aes WAN", 1)
+    );
+    println!(
+        "  WAN search speedup:               {:.1}x (paper ~ 5x)",
+        phase("nfs-v3 WAN", 2) / phase("sgfs-aes WAN", 2)
+    );
+    println!(
+        "  WAN compile speedup:              {:.1}x (paper ~ 8x)",
+        phase("nfs-v3 WAN", 3) / phase("sgfs-aes WAN", 3)
+    );
+    println!(
+        "  sgfs WAN slowdown vs sgfs LAN:    {:.1}x (paper ~ 2.5x)",
+        total("sgfs-aes WAN") / total("sgfs-aes LAN")
+    );
+}

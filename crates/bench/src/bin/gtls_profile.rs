@@ -1,0 +1,62 @@
+//! Transport-layer profiling helper: raw GTLS throughput per cipher
+//! suite over an in-memory pipe (a developer tool, not a paper figure).
+use sgfs_gtls::{CipherSuite, GtlsConfig, GtlsStream};
+use sgfs_pki::*;
+use sgfs_crypto::rsa::RsaKeyPair;
+use std::io::{Read, Write};
+use std::time::Instant;
+
+fn main() {
+    let mut rng = rand::thread_rng();
+    let dn = |s: &str| DistinguishedName::parse(s).unwrap();
+    let ca = CertificateAuthority::new(&dn("/O=G/CN=CA"), 512, &mut rng);
+    let mut trust = TrustStore::new();
+    trust.add_root(ca.certificate().clone());
+    let k1 = RsaKeyPair::generate(512, &mut rng);
+    let c1 = ca.issue(&dn("/O=G/CN=u"), &k1.public);
+    let k2 = RsaKeyPair::generate(512, &mut rng);
+    let c2 = ca.issue(&dn("/O=G/CN=s"), &k2.public);
+    let total = 64usize << 20;
+    let block = vec![0u8; 32 * 1024];
+
+    // Plain pipe baseline.
+    let (mut a, mut b) = sgfs_net::pipe_pair();
+    let n = total / block.len();
+    let h = std::thread::spawn(move || {
+        let mut buf = vec![0u8; 32 * 1024];
+        let mut got = 0usize;
+        while got < 64 << 20 {
+            let r = b.read(&mut buf).unwrap();
+            if r == 0 { break; }
+            got += r;
+        }
+    });
+    let t = Instant::now();
+    for _ in 0..n { a.write_all(&block).unwrap(); }
+    drop(a);
+    h.join().unwrap();
+    println!("plain pipe: {:.0} MB/s", total as f64 / 1e6 / t.elapsed().as_secs_f64());
+
+    for suite in [CipherSuite::NullSha1, CipherSuite::Rc4_128Sha1, CipherSuite::Aes256CbcSha1] {
+        let ccfg = GtlsConfig::new(Credential::new(c1.clone(), k1.clone()), trust.clone()).with_suite(suite);
+        let scfg = GtlsConfig::new(Credential::new(c2.clone(), k2.clone()), trust.clone());
+        let (a, b) = sgfs_net::pipe_pair();
+        let hs = std::thread::spawn(move || GtlsStream::server(Box::new(b), scfg).unwrap());
+        let mut tx = GtlsStream::client(Box::new(a), ccfg).unwrap();
+        let mut rx = hs.join().unwrap();
+        let h = std::thread::spawn(move || {
+            let mut buf = vec![0u8; 32 * 1024];
+            let mut got = 0usize;
+            while got < 64 << 20 {
+                let r = rx.read(&mut buf).unwrap();
+                if r == 0 { break; }
+                got += r;
+            }
+        });
+        let t = Instant::now();
+        for _ in 0..n { tx.write_all(&block).unwrap(); tx.flush().unwrap(); }
+        drop(tx);
+        h.join().unwrap();
+        println!("{suite:?}: {:.0} MB/s", total as f64 / 1e6 / t.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,317 @@
+//! AES (Rijndael, FIPS 197) block cipher with 128- and 256-bit keys.
+//!
+//! The paper's strongest configuration (`sgfs-aes`) encrypts RPC traffic
+//! with AES-256 in CBC mode; CBC chaining lives in [`crate::cbc`], this
+//! module implements the raw block transform and key schedule.
+
+/// Forward S-box.
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+];
+
+/// Inverse S-box (computed at startup from [`SBOX`]).
+fn inv_sbox() -> [u8; 256] {
+    let mut inv = [0u8; 256];
+    for (i, &s) in SBOX.iter().enumerate() {
+        inv[s as usize] = i as u8;
+    }
+    inv
+}
+
+/// Multiply in GF(2^8) with the AES reduction polynomial x^8+x^4+x^3+x+1.
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+    }
+    p
+}
+
+/// Multiplication tables for the inverse MixColumns coefficients,
+/// computed once per key schedule — table lookups instead of per-bit
+/// GF(2^8) multiplication make decryption as fast as encryption.
+#[derive(Clone)]
+struct InvTables {
+    m9: [u8; 256],
+    m11: [u8; 256],
+    m13: [u8; 256],
+    m14: [u8; 256],
+}
+
+impl InvTables {
+    fn new() -> Self {
+        let mut t = Self { m9: [0; 256], m11: [0; 256], m13: [0; 256], m14: [0; 256] };
+        for i in 0..256 {
+            t.m9[i] = gmul(i as u8, 9);
+            t.m11[i] = gmul(i as u8, 11);
+            t.m13[i] = gmul(i as u8, 13);
+            t.m14[i] = gmul(i as u8, 14);
+        }
+        t
+    }
+}
+
+/// An expanded AES key supporting block encryption and decryption.
+///
+/// Supports 16-byte (AES-128) and 32-byte (AES-256) keys — the two sizes
+/// the paper's cipher suites use.
+#[derive(Clone)]
+pub struct Aes {
+    /// Round keys, one 16-byte block per round (Nr+1 of them).
+    round_keys: Vec<[u8; 16]>,
+    inv_sbox: [u8; 256],
+    inv_tables: InvTables,
+}
+
+impl Aes {
+    /// Expand `key` (16 or 32 bytes). Panics on other lengths: key sizes
+    /// are fixed by the negotiated cipher suite, never attacker data.
+    pub fn new(key: &[u8]) -> Self {
+        let nk = match key.len() {
+            16 => 4,
+            32 => 8,
+            n => panic!("unsupported AES key length {n}"),
+        };
+        let nr = nk + 6; // 10 rounds for AES-128, 14 for AES-256
+        let nwords = 4 * (nr + 1);
+        let mut w = vec![[0u8; 4]; nwords];
+        for i in 0..nk {
+            w[i] = [key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]];
+        }
+        let mut rcon = 1u8;
+        for i in nk..nwords {
+            let mut temp = w[i - 1];
+            if i % nk == 0 {
+                temp.rotate_left(1);
+                for t in temp.iter_mut() {
+                    *t = SBOX[*t as usize];
+                }
+                temp[0] ^= rcon;
+                rcon = gmul(rcon, 2);
+            } else if nk > 6 && i % nk == 4 {
+                for t in temp.iter_mut() {
+                    *t = SBOX[*t as usize];
+                }
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - nk][j] ^ temp[j];
+            }
+        }
+        let round_keys = w
+            .chunks_exact(4)
+            .map(|c| {
+                let mut rk = [0u8; 16];
+                for (j, word) in c.iter().enumerate() {
+                    rk[4 * j..4 * j + 4].copy_from_slice(word);
+                }
+                rk
+            })
+            .collect();
+        Self { round_keys, inv_sbox: inv_sbox(), inv_tables: InvTables::new() }
+    }
+
+    /// Number of rounds (10 or 14).
+    fn rounds(&self) -> usize {
+        self.round_keys.len() - 1
+    }
+
+    /// Encrypt one 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        let nr = self.rounds();
+        xor_block(block, &self.round_keys[0]);
+        for round in 1..nr {
+            sub_bytes(block, &SBOX);
+            shift_rows(block);
+            mix_columns(block);
+            xor_block(block, &self.round_keys[round]);
+        }
+        sub_bytes(block, &SBOX);
+        shift_rows(block);
+        xor_block(block, &self.round_keys[nr]);
+    }
+
+    /// Decrypt one 16-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+        let nr = self.rounds();
+        xor_block(block, &self.round_keys[nr]);
+        inv_shift_rows(block);
+        sub_bytes(block, &self.inv_sbox);
+        for round in (1..nr).rev() {
+            xor_block(block, &self.round_keys[round]);
+            inv_mix_columns(block, &self.inv_tables);
+            inv_shift_rows(block);
+            sub_bytes(block, &self.inv_sbox);
+        }
+        xor_block(block, &self.round_keys[0]);
+    }
+}
+
+#[inline]
+fn xor_block(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for (s, k) in state.iter_mut().zip(rk) {
+        *s ^= k;
+    }
+}
+
+#[inline]
+fn sub_bytes(state: &mut [u8; 16], sbox: &[u8; 256]) {
+    for b in state.iter_mut() {
+        *b = sbox[*b as usize];
+    }
+}
+
+/// State is column-major: byte `r + 4c` is row r, column c.
+#[inline]
+fn shift_rows(s: &mut [u8; 16]) {
+    // row 1: left rotate by 1
+    let t = s[1];
+    s[1] = s[5];
+    s[5] = s[9];
+    s[9] = s[13];
+    s[13] = t;
+    // row 2: left rotate by 2
+    s.swap(2, 10);
+    s.swap(6, 14);
+    // row 3: left rotate by 3 (= right rotate by 1)
+    let t = s[15];
+    s[15] = s[11];
+    s[11] = s[7];
+    s[7] = s[3];
+    s[3] = t;
+}
+
+#[inline]
+fn inv_shift_rows(s: &mut [u8; 16]) {
+    // row 1: right rotate by 1
+    let t = s[13];
+    s[13] = s[9];
+    s[9] = s[5];
+    s[5] = s[1];
+    s[1] = t;
+    // row 2: rotate by 2 (self-inverse)
+    s.swap(2, 10);
+    s.swap(6, 14);
+    // row 3: left rotate by 1
+    let t = s[3];
+    s[3] = s[7];
+    s[7] = s[11];
+    s[11] = s[15];
+    s[15] = t;
+}
+
+#[inline]
+fn xtime(b: u8) -> u8 {
+    (b << 1) ^ (((b >> 7) & 1) * 0x1b)
+}
+
+#[inline]
+fn mix_columns(s: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [s[4 * c], s[4 * c + 1], s[4 * c + 2], s[4 * c + 3]];
+        let t = col[0] ^ col[1] ^ col[2] ^ col[3];
+        s[4 * c] = col[0] ^ t ^ xtime(col[0] ^ col[1]);
+        s[4 * c + 1] = col[1] ^ t ^ xtime(col[1] ^ col[2]);
+        s[4 * c + 2] = col[2] ^ t ^ xtime(col[2] ^ col[3]);
+        s[4 * c + 3] = col[3] ^ t ^ xtime(col[3] ^ col[0]);
+    }
+}
+
+#[inline]
+fn inv_mix_columns(s: &mut [u8; 16], t: &InvTables) {
+    for c in 0..4 {
+        let col = [s[4 * c] as usize, s[4 * c + 1] as usize, s[4 * c + 2] as usize, s[4 * c + 3] as usize];
+        s[4 * c] = t.m14[col[0]] ^ t.m11[col[1]] ^ t.m13[col[2]] ^ t.m9[col[3]];
+        s[4 * c + 1] = t.m9[col[0]] ^ t.m14[col[1]] ^ t.m11[col[2]] ^ t.m13[col[3]];
+        s[4 * c + 2] = t.m13[col[0]] ^ t.m9[col[1]] ^ t.m14[col[2]] ^ t.m11[col[3]];
+        s[4 * c + 3] = t.m11[col[0]] ^ t.m13[col[1]] ^ t.m9[col[2]] ^ t.m14[col[3]];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // FIPS-197 Appendix C.1: AES-128.
+    #[test]
+    fn fips197_aes128() {
+        let key = from_hex("000102030405060708090a0b0c0d0e0f");
+        let aes = Aes::new(&key);
+        let mut block = [0u8; 16];
+        block.copy_from_slice(&from_hex("00112233445566778899aabbccddeeff"));
+        aes.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), from_hex("69c4e0d86a7b0430d8cdb78070b4c55a"));
+        aes.decrypt_block(&mut block);
+        assert_eq!(block.to_vec(), from_hex("00112233445566778899aabbccddeeff"));
+    }
+
+    // FIPS-197 Appendix C.3: AES-256.
+    #[test]
+    fn fips197_aes256() {
+        let key = from_hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+        let aes = Aes::new(&key);
+        let mut block = [0u8; 16];
+        block.copy_from_slice(&from_hex("00112233445566778899aabbccddeeff"));
+        aes.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), from_hex("8ea2b7ca516745bfeafc49904b496089"));
+        aes.decrypt_block(&mut block);
+        assert_eq!(block.to_vec(), from_hex("00112233445566778899aabbccddeeff"));
+    }
+
+    #[test]
+    fn encrypt_decrypt_inverse_many() {
+        let aes = Aes::new(&[7u8; 32]);
+        for seed in 0..64u8 {
+            let mut block = [0u8; 16];
+            for (i, b) in block.iter_mut().enumerate() {
+                *b = seed.wrapping_mul(31).wrapping_add(i as u8);
+            }
+            let orig = block;
+            aes.encrypt_block(&mut block);
+            assert_ne!(block, orig, "encryption must change the block");
+            aes.decrypt_block(&mut block);
+            assert_eq!(block, orig);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported AES key length")]
+    fn bad_key_length_panics() {
+        let _ = Aes::new(&[0u8; 24 - 1]);
+    }
+
+    #[test]
+    fn gmul_known_values() {
+        assert_eq!(gmul(0x57, 0x83), 0xc1); // FIPS-197 §4.2 example
+        assert_eq!(gmul(0x57, 0x13), 0xfe);
+    }
+}

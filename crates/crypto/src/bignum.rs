@@ -1,0 +1,590 @@
+//! Arbitrary-precision unsigned integers for the public-key layer.
+//!
+//! Little-endian `u32` limbs with `u64` intermediate arithmetic; division
+//! is Knuth's Algorithm D. Sized and tuned for 512–2048-bit RSA — the only
+//! consumer — rather than general-purpose bignum work.
+
+use rand::Rng;
+use std::cmp::Ordering;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// Invariant: `limbs` has no trailing zero limbs; zero is the empty vector.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct BigUint {
+    limbs: Vec<u32>,
+}
+
+impl std::fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BigUint(0x{})", self.to_hex())
+    }
+}
+
+impl BigUint {
+    /// The value zero.
+    pub fn zero() -> Self {
+        Self { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        Self::from_u64(1)
+    }
+
+    /// Build from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        let mut n = Self { limbs: vec![v as u32, (v >> 32) as u32] };
+        n.normalize();
+        n
+    }
+
+    /// Build from big-endian bytes (the wire format used by certificates).
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 4 + 1);
+        let mut iter = bytes.rchunks(4);
+        for chunk in &mut iter {
+            let mut v = 0u32;
+            for &b in chunk {
+                v = (v << 8) | b as u32;
+            }
+            limbs.push(v);
+        }
+        let mut n = Self { limbs };
+        n.normalize();
+        n
+    }
+
+    /// Serialize to minimal big-endian bytes (empty for zero).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 4);
+        for limb in self.limbs.iter().rev() {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        let skip = out.iter().take_while(|&&b| b == 0).count();
+        out.drain(..skip);
+        out
+    }
+
+    /// Hex string (lowercase, no leading zeros; "0" for zero).
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".into();
+        }
+        let mut s = String::new();
+        for (i, limb) in self.limbs.iter().rev().enumerate() {
+            if i == 0 {
+                s.push_str(&format!("{limb:x}"));
+            } else {
+                s.push_str(&format!("{limb:08x}"));
+            }
+        }
+        s
+    }
+
+    /// Parse a hex string (no prefix).
+    pub fn from_hex(s: &str) -> Option<Self> {
+        let mut bytes = Vec::with_capacity(s.len() / 2 + 1);
+        let s = if s.len() % 2 == 1 { format!("0{s}") } else { s.to_string() };
+        for i in (0..s.len()).step_by(2) {
+            bytes.push(u8::from_str_radix(&s[i..i + 2], 16).ok()?);
+        }
+        Some(Self::from_bytes_be(&bytes))
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// True when the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True when the value is even (zero counts as even).
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => (self.limbs.len() - 1) * 32 + (32 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Value of bit `i` (little-endian bit numbering).
+    pub fn bit(&self, i: usize) -> bool {
+        let (limb, off) = (i / 32, i % 32);
+        self.limbs.get(limb).map_or(false, |l| (l >> off) & 1 == 1)
+    }
+
+    /// Interpret the low 64 bits as a `u64` (truncating).
+    pub fn low_u64(&self) -> u64 {
+        let lo = *self.limbs.first().unwrap_or(&0) as u64;
+        let hi = *self.limbs.get(1).unwrap_or(&0) as u64;
+        (hi << 32) | lo
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Self) -> Self {
+        let mut out = Vec::with_capacity(self.limbs.len().max(other.limbs.len()) + 1);
+        let mut carry = 0u64;
+        for i in 0..self.limbs.len().max(other.limbs.len()) {
+            let a = *self.limbs.get(i).unwrap_or(&0) as u64;
+            let b = *other.limbs.get(i).unwrap_or(&0) as u64;
+            let s = a + b + carry;
+            out.push(s as u32);
+            carry = s >> 32;
+        }
+        if carry != 0 {
+            out.push(carry as u32);
+        }
+        let mut n = Self { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// `self - other`. Panics if `other > self` (callers compare first).
+    pub fn sub(&self, other: &Self) -> Self {
+        assert!(self >= other, "BigUint subtraction underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i64;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i] as i64;
+            let b = *other.limbs.get(i).unwrap_or(&0) as i64;
+            let mut d = a - b - borrow;
+            if d < 0 {
+                d += 1 << 32;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            out.push(d as u32);
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut n = Self { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Schoolbook multiplication — quadratic, fine at RSA sizes.
+    pub fn mul(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        let mut out = vec![0u32; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let t = a as u64 * b as u64 + out[i + j] as u64 + carry;
+                out[i + j] = t as u32;
+                carry = t >> 32;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let t = out[k] as u64 + carry;
+                out[k] = t as u32;
+                carry = t >> 32;
+                k += 1;
+            }
+        }
+        let mut n = Self { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Left shift by `bits`.
+    pub fn shl(&self, bits: usize) -> Self {
+        if self.is_zero() {
+            return Self::zero();
+        }
+        let (limb_shift, bit_shift) = (bits / 32, bits % 32);
+        let mut out = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u32;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (32 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        let mut n = Self { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Right shift by `bits`.
+    pub fn shr(&self, bits: usize) -> Self {
+        let (limb_shift, bit_shift) = (bits / 32, bits % 32);
+        if limb_shift >= self.limbs.len() {
+            return Self::zero();
+        }
+        let mut out: Vec<u32> = self.limbs[limb_shift..].to_vec();
+        if bit_shift != 0 {
+            for i in 0..out.len() {
+                let hi = if i + 1 < out.len() { out[i + 1] } else { 0 };
+                out[i] = (out[i] >> bit_shift) | (hi << (32 - bit_shift));
+            }
+        }
+        let mut n = Self { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Quotient and remainder: `(self / divisor, self % divisor)`.
+    ///
+    /// Knuth TAOCP vol. 2 Algorithm D, with a single-limb fast path.
+    /// Panics on division by zero.
+    pub fn div_rem(&self, divisor: &Self) -> (Self, Self) {
+        assert!(!divisor.is_zero(), "BigUint division by zero");
+        match self.cmp(divisor) {
+            Ordering::Less => return (Self::zero(), self.clone()),
+            Ordering::Equal => return (Self::one(), Self::zero()),
+            Ordering::Greater => {}
+        }
+        if divisor.limbs.len() == 1 {
+            let d = divisor.limbs[0] as u64;
+            let mut q = vec![0u32; self.limbs.len()];
+            let mut rem = 0u64;
+            for i in (0..self.limbs.len()).rev() {
+                let cur = (rem << 32) | self.limbs[i] as u64;
+                q[i] = (cur / d) as u32;
+                rem = cur % d;
+            }
+            let mut qn = Self { limbs: q };
+            qn.normalize();
+            return (qn, Self::from_u64(rem));
+        }
+
+        // Normalize so the divisor's top limb has its high bit set.
+        let shift = divisor.limbs.last().unwrap().leading_zeros() as usize;
+        let u = self.shl(shift);
+        let v = divisor.shl(shift);
+        let n = v.limbs.len();
+        let m = u.limbs.len() - n;
+        let mut un = u.limbs.clone();
+        un.push(0); // extra high limb for the algorithm
+        let vn = &v.limbs;
+        let mut q = vec![0u32; m + 1];
+
+        for j in (0..=m).rev() {
+            // Estimate the quotient digit from the top two limbs.
+            let top = ((un[j + n] as u64) << 32) | un[j + n - 1] as u64;
+            let mut qhat = top / vn[n - 1] as u64;
+            let mut rhat = top % vn[n - 1] as u64;
+            while qhat >= 1 << 32
+                || qhat * vn[n - 2] as u64 > ((rhat << 32) | un[j + n - 2] as u64)
+            {
+                qhat -= 1;
+                rhat += vn[n - 1] as u64;
+                if rhat >= 1 << 32 {
+                    break;
+                }
+            }
+            // Multiply-subtract qhat * v from u[j..j+n+1].
+            let mut borrow = 0i64;
+            let mut carry = 0u64;
+            for i in 0..n {
+                let p = qhat * vn[i] as u64 + carry;
+                carry = p >> 32;
+                let t = un[i + j] as i64 - (p as u32) as i64 - borrow;
+                un[i + j] = t as u32;
+                borrow = if t < 0 { 1 } else { 0 };
+            }
+            let t = un[j + n] as i64 - carry as i64 - borrow;
+            un[j + n] = t as u32;
+
+            if t < 0 {
+                // qhat was one too large: add v back.
+                qhat -= 1;
+                let mut carry = 0u64;
+                for i in 0..n {
+                    let s = un[i + j] as u64 + vn[i] as u64 + carry;
+                    un[i + j] = s as u32;
+                    carry = s >> 32;
+                }
+                un[j + n] = (un[j + n] as u64).wrapping_add(carry) as u32;
+            }
+            q[j] = qhat as u32;
+        }
+
+        let mut quotient = Self { limbs: q };
+        quotient.normalize();
+        let mut rem = Self { limbs: un[..n].to_vec() };
+        rem.normalize();
+        (quotient, rem.shr(shift))
+    }
+
+    /// `self % modulus`.
+    pub fn rem(&self, modulus: &Self) -> Self {
+        self.div_rem(modulus).1
+    }
+
+    /// Modular exponentiation `self^exp mod modulus` (square-and-multiply).
+    pub fn modpow(&self, exp: &Self, modulus: &Self) -> Self {
+        assert!(!modulus.is_zero(), "modpow modulus is zero");
+        if modulus == &Self::one() {
+            return Self::zero();
+        }
+        let mut base = self.rem(modulus);
+        let mut result = Self::one();
+        for i in 0..exp.bit_len() {
+            if exp.bit(i) {
+                result = result.mul(&base).rem(modulus);
+            }
+            if i + 1 < exp.bit_len() {
+                base = base.mul(&base).rem(modulus);
+            }
+        }
+        result
+    }
+
+    /// Greatest common divisor (binary-free Euclid; division is fast here).
+    pub fn gcd(&self, other: &Self) -> Self {
+        let (mut a, mut b) = (self.clone(), other.clone());
+        while !b.is_zero() {
+            let r = a.rem(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Modular inverse `self^-1 mod modulus`, or `None` when not coprime.
+    ///
+    /// Iterative extended Euclid tracking signed Bézout coefficients.
+    pub fn modinv(&self, modulus: &Self) -> Option<Self> {
+        if modulus.is_zero() {
+            return None;
+        }
+        // (old_r, r) and signed (old_t, t) with explicit sign flags.
+        let mut old_r = self.rem(modulus);
+        let mut r = modulus.clone();
+        let mut old_t = (Self::one(), false); // (magnitude, negative?)
+        let mut t = (Self::zero(), false);
+        while !r.is_zero() {
+            let (q, rem) = old_r.div_rem(&r);
+            old_r = std::mem::replace(&mut r, rem);
+            // new_t = old_t - q * t  (signed arithmetic)
+            let qt = q.mul(&t.0);
+            let new_t = signed_sub(&old_t, &(qt, t.1));
+            old_t = std::mem::replace(&mut t, new_t);
+        }
+        if old_r != Self::one() {
+            return None;
+        }
+        let (mag, neg) = old_t;
+        Some(if neg { modulus.sub(&mag.rem(modulus)).rem(modulus) } else { mag.rem(modulus) })
+    }
+
+    /// Uniformly random integer with exactly `bits` bits (top bit set).
+    pub fn random_bits<R: Rng>(rng: &mut R, bits: usize) -> Self {
+        assert!(bits > 0);
+        let limbs_needed = bits.div_ceil(32);
+        let mut limbs: Vec<u32> = (0..limbs_needed).map(|_| rng.gen()).collect();
+        let top_bits = bits - (limbs_needed - 1) * 32;
+        let top = &mut limbs[limbs_needed - 1];
+        if top_bits < 32 {
+            *top &= (1u32 << top_bits) - 1;
+        }
+        *top |= 1 << (top_bits - 1); // force exact bit length
+        let mut n = Self { limbs };
+        n.normalize();
+        n
+    }
+
+    /// Uniformly random integer in `[0, bound)` by rejection sampling.
+    pub fn random_below<R: Rng>(rng: &mut R, bound: &Self) -> Self {
+        assert!(!bound.is_zero());
+        let bits = bound.bit_len();
+        loop {
+            let limbs_needed = bits.div_ceil(32);
+            let mut limbs: Vec<u32> = (0..limbs_needed).map(|_| rng.gen()).collect();
+            let top_bits = bits - (limbs_needed - 1) * 32;
+            if top_bits < 32 {
+                limbs[limbs_needed - 1] &= (1u32 << top_bits) - 1;
+            }
+            let mut n = Self { limbs };
+            n.normalize();
+            if &n < bound {
+                return n;
+            }
+        }
+    }
+}
+
+/// Signed subtraction on (magnitude, negative?) pairs: `a - b`.
+fn signed_sub(a: &(BigUint, bool), b: &(BigUint, bool)) -> (BigUint, bool) {
+    match (a.1, b.1) {
+        (false, true) => (a.0.add(&b.0), false),  // a - (-b) = a + b
+        (true, false) => (a.0.add(&b.0), true),   // -a - b = -(a + b)
+        (false, false) => {
+            if a.0 >= b.0 {
+                (a.0.sub(&b.0), false)
+            } else {
+                (b.0.sub(&a.0), true)
+            }
+        }
+        (true, true) => {
+            // -a - (-b) = b - a
+            if b.0 >= a.0 {
+                (b.0.sub(&a.0), false)
+            } else {
+                (a.0.sub(&b.0), true)
+            }
+        }
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    #[test]
+    fn basic_arithmetic() {
+        assert_eq!(n(2).add(&n(3)), n(5));
+        assert_eq!(n(1 << 40).sub(&n(1)), n((1 << 40) - 1));
+        assert_eq!(n(123456789).mul(&n(987654321)), BigUint::from_u64(123456789 * 987654321));
+        let (q, r) = n(1000).div_rem(&n(7));
+        assert_eq!((q, r), (n(142), n(6)));
+    }
+
+    #[test]
+    fn carry_propagation() {
+        let max = BigUint::from_u64(u64::MAX);
+        let sum = max.add(&BigUint::one());
+        assert_eq!(sum.bit_len(), 65);
+        assert_eq!(sum.sub(&BigUint::one()), max);
+    }
+
+    #[test]
+    fn multi_limb_mul_div_roundtrip() {
+        let a = BigUint::from_hex("fedcba9876543210fedcba9876543210").unwrap();
+        let b = BigUint::from_hex("123456789abcdef0fedcba").unwrap();
+        let prod = a.mul(&b);
+        let (q, r) = prod.div_rem(&b);
+        assert_eq!(q, a);
+        assert!(r.is_zero());
+        // with remainder
+        let prod1 = prod.add(&n(12345));
+        let (q2, r2) = prod1.div_rem(&b);
+        assert_eq!(q2, a);
+        assert_eq!(r2, n(12345));
+    }
+
+    #[test]
+    fn shifts() {
+        let a = BigUint::from_hex("1f").unwrap();
+        assert_eq!(a.shl(100).shr(100), a);
+        assert_eq!(a.shl(4), BigUint::from_hex("1f0").unwrap());
+        assert_eq!(a.shr(5), BigUint::zero());
+        assert_eq!(a.shr(4), BigUint::one());
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let a = BigUint::from_hex("0102030405060708090a0b0c0d0e0f").unwrap();
+        assert_eq!(BigUint::from_bytes_be(&a.to_bytes_be()), a);
+        assert_eq!(a.to_bytes_be().len(), 15);
+        assert!(BigUint::zero().to_bytes_be().is_empty());
+    }
+
+    #[test]
+    fn modpow_small_cases() {
+        // 4^13 mod 497 = 445 (classic textbook example)
+        assert_eq!(n(4).modpow(&n(13), &n(497)), n(445));
+        // Fermat: a^(p-1) mod p == 1
+        assert_eq!(n(7).modpow(&n(1008), &n(1009)), n(1));
+        assert_eq!(n(5).modpow(&BigUint::zero(), &n(11)), n(1));
+    }
+
+    #[test]
+    fn modpow_multi_limb() {
+        let p = BigUint::from_hex("ffffffffffffffffffffffffffffff61").unwrap(); // 128-bit prime
+        let a = BigUint::from_hex("123456789abcdef0123456789abcdef").unwrap();
+        // Fermat's little theorem
+        assert_eq!(a.modpow(&p.sub(&BigUint::one()), &p), BigUint::one());
+    }
+
+    #[test]
+    fn modinv_cases() {
+        assert_eq!(n(3).modinv(&n(11)), Some(n(4)));
+        assert_eq!(n(10).modinv(&n(17)), Some(n(12)));
+        assert_eq!(n(6).modinv(&n(9)), None); // not coprime
+        let m = BigUint::from_hex("ffffffffffffffffffffffffffffff61").unwrap();
+        let a = BigUint::from_hex("abcdef0123456789").unwrap();
+        let inv = a.modinv(&m).unwrap();
+        assert_eq!(a.mul(&inv).rem(&m), BigUint::one());
+    }
+
+    #[test]
+    fn gcd_cases() {
+        assert_eq!(n(48).gcd(&n(18)), n(6));
+        assert_eq!(n(17).gcd(&n(13)), n(1));
+        assert_eq!(n(0).gcd(&n(5)), n(5));
+    }
+
+    #[test]
+    fn random_bits_has_exact_length() {
+        let mut rng = rand::thread_rng();
+        for bits in [1usize, 31, 32, 33, 512] {
+            let r = BigUint::random_bits(&mut rng, bits);
+            assert_eq!(r.bit_len(), bits);
+        }
+    }
+
+    #[test]
+    fn random_below_in_range() {
+        let mut rng = rand::thread_rng();
+        let bound = BigUint::from_hex("10000000000000001").unwrap();
+        for _ in 0..50 {
+            assert!(BigUint::random_below(&mut rng, &bound) < bound);
+        }
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        for h in ["0", "1", "ff", "deadbeef", "123456789abcdef0123456789abcdef01"] {
+            let v = BigUint::from_hex(h).unwrap();
+            assert_eq!(v.to_hex(), h, "hex roundtrip for {h}");
+        }
+        // Leading zeros are normalized away.
+        assert_eq!(BigUint::from_hex("000ff").unwrap().to_hex(), "ff");
+    }
+}

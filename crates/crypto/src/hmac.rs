@@ -1,0 +1,151 @@
+//! HMAC (FIPS 198 / RFC 2104), generic over the underlying [`Digest`].
+
+use crate::Digest;
+
+/// Streaming HMAC computation.
+///
+/// ```
+/// use sgfs_crypto::{Hmac, Sha1};
+/// let mac = Hmac::<Sha1>::mac(b"key", b"message");
+/// assert_eq!(mac.len(), 20);
+/// ```
+#[derive(Clone)]
+pub struct Hmac<D: Digest> {
+    inner: D,
+    /// Outer-pad key block, retained until finalize.
+    opad: Vec<u8>,
+}
+
+impl<D: Digest> Hmac<D> {
+    /// Start a new HMAC with the given key (any length).
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = vec![0u8; D::BLOCK_LEN];
+        if key.len() > D::BLOCK_LEN {
+            let hashed = D::digest(key);
+            key_block[..hashed.len()].copy_from_slice(&hashed);
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+        let ipad: Vec<u8> = key_block.iter().map(|b| b ^ 0x36).collect();
+        let opad: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
+        let mut inner = D::new();
+        inner.update(&ipad);
+        Self { inner, opad }
+    }
+
+    /// Absorb more message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finish and return the MAC.
+    pub fn finalize(self) -> Vec<u8> {
+        let inner_hash = self.inner.finalize();
+        let mut outer = D::new();
+        outer.update(&self.opad);
+        outer.update(&inner_hash);
+        outer.finalize()
+    }
+
+    /// One-shot convenience.
+    pub fn mac(key: &[u8], data: &[u8]) -> Vec<u8> {
+        let mut h = Self::new(key);
+        h.update(data);
+        h.finalize()
+    }
+}
+
+/// One-shot HMAC-SHA1 (the record-layer integrity algorithm in the paper).
+pub fn hmac_sha1(key: &[u8], data: &[u8]) -> Vec<u8> {
+    Hmac::<crate::Sha1>::mac(key, data)
+}
+
+/// One-shot HMAC-SHA256 (used by the PRF and service-message signatures).
+pub fn hmac_sha256(key: &[u8], data: &[u8]) -> Vec<u8> {
+    Hmac::<crate::Sha256>::mac(key, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sha1, Sha256};
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 2202 HMAC-SHA1 test vectors.
+    #[test]
+    fn rfc2202_case1() {
+        let key = [0x0b; 20];
+        assert_eq!(
+            hex(&hmac_sha1(&key, b"Hi There")),
+            "b617318655057264e28bc0b6fb378c8ef146be00"
+        );
+    }
+
+    #[test]
+    fn rfc2202_case2() {
+        assert_eq!(
+            hex(&hmac_sha1(b"Jefe", b"what do ya want for nothing?")),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"
+        );
+    }
+
+    #[test]
+    fn rfc2202_case3() {
+        let key = [0xaa; 20];
+        let data = [0xdd; 50];
+        assert_eq!(
+            hex(&hmac_sha1(&key, &data)),
+            "125d7342b9ac11cd91a39af48aa17b4f63f175d3"
+        );
+    }
+
+    #[test]
+    fn rfc2202_long_key() {
+        // Case 6: 80-byte key, longer than the block size path is not hit,
+        // but exercises the zero-padded path; case with >64 key exercises
+        // the hashed-key path.
+        let key = [0xaa; 80];
+        assert_eq!(
+            hex(&hmac_sha1(&key, b"Test Using Larger Than Block-Size Key - Hash Key First")),
+            "aa4ae5e15272d00e95705637ce8a3b55ed402112"
+        );
+    }
+
+    // RFC 4231 HMAC-SHA256 test vectors.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0b; 20];
+        assert_eq!(
+            hex(&hmac_sha256(&key, b"Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2() {
+        assert_eq!(
+            hex(&hmac_sha256(b"Jefe", b"what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let key = b"0123456789abcdef";
+        let data: Vec<u8> = (0..300u32).map(|i| i as u8).collect();
+        let oneshot = Hmac::<Sha256>::mac(key, &data);
+        let mut h = Hmac::<Sha256>::new(key);
+        h.update(&data[..100]);
+        h.update(&data[100..]);
+        assert_eq!(h.finalize(), oneshot);
+        let s1 = Hmac::<Sha1>::mac(key, &data);
+        let mut h = Hmac::<Sha1>::new(key);
+        for chunk in data.chunks(7) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), s1);
+    }
+}

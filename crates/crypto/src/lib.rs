@@ -1,0 +1,92 @@
+//! Cryptographic primitives for SGFS, implemented from scratch.
+//!
+//! The paper's prototype links against OpenSSL; no such dependency is
+//! available here, so this crate provides the exact primitives the paper's
+//! evaluation exercises:
+//!
+//! * **Hashes** — SHA-1 (FIPS 180-1) and SHA-256 (FIPS 180-2), used for
+//!   HMAC record integrity and certificate signatures respectively.
+//! * **HMAC** (FIPS 198) — generic over the hash, giving the paper's
+//!   SHA1-HMAC record integrity.
+//! * **Symmetric ciphers** — AES-128/256 in CBC mode (the paper's
+//!   "strong" suite, Rijndael) and RC4/ARCFOUR (the "medium" suite).
+//! * **Public-key machinery** — arbitrary-precision unsigned integers,
+//!   Miller–Rabin primality, and RSA key generation / PKCS#1-style
+//!   signing and encryption used by the certificate and handshake layers.
+//! * **Key derivation** — a TLS-1.2-style PRF for turning the handshake
+//!   pre-master secret into record-layer keys.
+//!
+//! None of this is intended to be side-channel hardened production crypto;
+//! it is a faithful, tested reimplementation sufficient to reproduce the
+//! performance/security trade-offs the paper measures.
+
+pub mod aes;
+pub mod bignum;
+pub mod cbc;
+pub mod hmac;
+pub mod prf;
+pub mod prime;
+pub mod rc4;
+pub mod rsa;
+pub mod sha1;
+pub mod sha256;
+
+pub use aes::Aes;
+pub use bignum::BigUint;
+pub use hmac::{hmac_sha1, hmac_sha256, Hmac};
+pub use rc4::Rc4;
+pub use rsa::{RsaKeyPair, RsaPublicKey};
+pub use sha1::Sha1;
+pub use sha256::Sha256;
+
+/// A streaming cryptographic hash.
+///
+/// Implemented by [`Sha1`] and [`Sha256`]; [`Hmac`] is generic over it.
+pub trait Digest: Clone {
+    /// Internal block length in bytes (64 for both SHA-1 and SHA-256).
+    const BLOCK_LEN: usize;
+    /// Output length in bytes.
+    const OUTPUT_LEN: usize;
+
+    /// Fresh hash state.
+    fn new() -> Self;
+    /// Absorb more input.
+    fn update(&mut self, data: &[u8]);
+    /// Finish and return the digest.
+    fn finalize(self) -> Vec<u8>;
+
+    /// One-shot convenience.
+    fn digest(data: &[u8]) -> Vec<u8> {
+        let mut h = Self::new();
+        h.update(data);
+        h.finalize()
+    }
+}
+
+/// Constant-time byte-slice equality.
+///
+/// Used wherever MACs or verifier values are compared, so an attacker
+/// cannot learn a prefix match from timing.
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ct_eq_basic() {
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(b"abc", b"ab"));
+        assert!(ct_eq(b"", b""));
+    }
+}

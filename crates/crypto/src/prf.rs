@@ -1,0 +1,80 @@
+//! TLS-1.2-style pseudo-random function (P_SHA256) for key derivation.
+//!
+//! The GTLS handshake feeds the RSA-transported pre-master secret plus both
+//! hello randoms through this PRF to derive the record-layer key block —
+//! the same key-expansion economics as the paper's SSL sessions.
+
+use crate::{hmac_sha256, Sha256, Digest};
+
+/// TLS 1.2 `P_SHA256(secret, label || seed)` expanded to `out_len` bytes.
+///
+/// `A(0) = seed; A(i) = HMAC(secret, A(i-1));
+///  output = HMAC(secret, A(1) || seed) || HMAC(secret, A(2) || seed) ...`
+pub fn prf_sha256(secret: &[u8], label: &[u8], seed: &[u8], out_len: usize) -> Vec<u8> {
+    let mut label_seed = Vec::with_capacity(label.len() + seed.len());
+    label_seed.extend_from_slice(label);
+    label_seed.extend_from_slice(seed);
+
+    let mut out = Vec::with_capacity(out_len + Sha256::OUTPUT_LEN);
+    let mut a = hmac_sha256(secret, &label_seed);
+    while out.len() < out_len {
+        let mut block_input = a.clone();
+        block_input.extend_from_slice(&label_seed);
+        out.extend_from_slice(&hmac_sha256(secret, &block_input));
+        a = hmac_sha256(secret, &a);
+    }
+    out.truncate(out_len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // Published TLS 1.2 PRF (SHA-256) test vector (IETF TLS WG / Mavrogiannopoulos).
+    #[test]
+    fn tls12_prf_vector() {
+        let secret = [
+            0x9b, 0xbe, 0x43, 0x6b, 0xa9, 0x40, 0xf0, 0x17, 0xb1, 0x76, 0x52, 0x84, 0x9a, 0x71,
+            0xdb, 0x35,
+        ];
+        let seed = [
+            0xa0, 0xba, 0x9f, 0x93, 0x6c, 0xda, 0x31, 0x18, 0x27, 0xa6, 0xf7, 0x96, 0xff, 0xd5,
+            0x19, 0x8c,
+        ];
+        let label = b"test label";
+        let out = prf_sha256(&secret, label, &seed, 100);
+        assert_eq!(
+            hex(&out[..32]),
+            "e3f229ba727be17b8d122620557cd453c2aab21d07c3d495329b52d4e61edb5a"
+        );
+    }
+
+    #[test]
+    fn deterministic_and_length_exact() {
+        let a = prf_sha256(b"secret", b"lbl", b"seed", 77);
+        let b = prf_sha256(b"secret", b"lbl", b"seed", 77);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 77);
+    }
+
+    #[test]
+    fn different_inputs_diverge() {
+        let base = prf_sha256(b"secret", b"lbl", b"seed", 32);
+        assert_ne!(prf_sha256(b"secret2", b"lbl", b"seed", 32), base);
+        assert_ne!(prf_sha256(b"secret", b"lbl2", b"seed", 32), base);
+        assert_ne!(prf_sha256(b"secret", b"lbl", b"seed2", 32), base);
+    }
+
+    #[test]
+    fn prefix_property() {
+        // Shorter output is a prefix of longer output with same inputs.
+        let long = prf_sha256(b"s", b"l", b"x", 96);
+        let short = prf_sha256(b"s", b"l", b"x", 40);
+        assert_eq!(&long[..40], &short[..]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Prime generation: trial division plus Miller–Rabin, for RSA keygen.
+
+use crate::BigUint;
+use rand::Rng;
+
+/// Small primes used for cheap trial division before Miller–Rabin.
+const SMALL_PRIMES: [u32; 54] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
+];
+
+/// Miller–Rabin probabilistic primality test with `rounds` random bases.
+///
+/// With 32 rounds the error probability is below 2^-64, far beyond what a
+/// test/benchmark PKI needs.
+pub fn is_probably_prime<R: Rng>(n: &BigUint, rounds: usize, rng: &mut R) -> bool {
+    if n < &BigUint::from_u64(2) {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let pb = BigUint::from_u64(p as u64);
+        if n == &pb {
+            return true;
+        }
+        if n.rem(&pb).is_zero() {
+            return false;
+        }
+    }
+    // Write n-1 = d * 2^s with d odd.
+    let one = BigUint::one();
+    let n_minus_1 = n.sub(&one);
+    let mut d = n_minus_1.clone();
+    let mut s = 0usize;
+    while d.is_even() {
+        d = d.shr(1);
+        s += 1;
+    }
+    let two = BigUint::from_u64(2);
+    let n_minus_3 = n.sub(&BigUint::from_u64(3));
+    'witness: for _ in 0..rounds {
+        // a in [2, n-2]
+        let a = BigUint::random_below(rng, &n_minus_3).add(&two);
+        let mut x = a.modpow(&d, n);
+        if x == one || x == n_minus_1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = x.mul(&x).rem(n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generate a random prime with exactly `bits` bits.
+pub fn generate_prime<R: Rng>(bits: usize, rng: &mut R) -> BigUint {
+    assert!(bits >= 16, "prime size too small to be useful");
+    loop {
+        let mut candidate = BigUint::random_bits(rng, bits);
+        if candidate.is_even() {
+            candidate = candidate.add(&BigUint::one());
+        }
+        if is_probably_prime(&candidate, 24, rng) {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_primes_accepted() {
+        let mut rng = rand::thread_rng();
+        for p in [2u64, 3, 5, 104729, 32416190071] {
+            assert!(
+                is_probably_prime(&BigUint::from_u64(p), 16, &mut rng),
+                "{p} should be prime"
+            );
+        }
+        // 2^127 - 1, a Mersenne prime.
+        let m127 = BigUint::one().shl(127).sub(&BigUint::one());
+        assert!(is_probably_prime(&m127, 16, &mut rng));
+    }
+
+    #[test]
+    fn known_composites_rejected() {
+        let mut rng = rand::thread_rng();
+        for c in [0u64, 1, 4, 100, 104730, 561, 41041, 825265] {
+            // 561, 41041, 825265 are Carmichael numbers — MR must catch them.
+            assert!(
+                !is_probably_prime(&BigUint::from_u64(c), 16, &mut rng),
+                "{c} should be composite"
+            );
+        }
+    }
+
+    #[test]
+    fn generated_primes_have_requested_size() {
+        let mut rng = rand::thread_rng();
+        let p = generate_prime(128, &mut rng);
+        assert_eq!(p.bit_len(), 128);
+        assert!(!p.is_even());
+        assert!(is_probably_prime(&p, 16, &mut rng));
+    }
+
+    #[test]
+    fn generate_256_bit_prime() {
+        let mut rng = rand::thread_rng();
+        let p = generate_prime(256, &mut rng);
+        assert_eq!(p.bit_len(), 256);
+    }
+}

@@ -1,0 +1,129 @@
+//! RC4 ("ARCFOUR") stream cipher.
+//!
+//! The paper's medium-strength configuration (`sgfs-rc`) encrypts RPC
+//! traffic with 128-bit RC4; the SFS baseline uses a customized RC4 as
+//! well. RC4 is long obsolete for new designs, but it is exactly what the
+//! paper measures, and its much lower per-byte cost relative to AES-CBC is
+//! one of the performance trade-offs the evaluation demonstrates.
+
+/// RC4 keystream generator / cipher state.
+///
+/// Encryption and decryption are the same operation (XOR with keystream),
+/// so a single [`process`](Rc4::process) method serves both directions —
+/// but each direction of a connection must use its own independent state.
+#[derive(Clone)]
+pub struct Rc4 {
+    s: [u8; 256],
+    i: u8,
+    j: u8,
+}
+
+impl Rc4 {
+    /// Initialize from a key of 1–256 bytes (the KSA).
+    pub fn new(key: &[u8]) -> Self {
+        assert!(!key.is_empty() && key.len() <= 256, "RC4 key must be 1-256 bytes");
+        let mut s = [0u8; 256];
+        for (i, v) in s.iter_mut().enumerate() {
+            *v = i as u8;
+        }
+        let mut j = 0u8;
+        for i in 0..256 {
+            j = j
+                .wrapping_add(s[i])
+                .wrapping_add(key[i % key.len()]);
+            s.swap(i, j as usize);
+        }
+        Self { s, i: 0, j: 0 }
+    }
+
+    /// XOR the keystream into `data` in place (encrypts or decrypts).
+    pub fn process(&mut self, data: &mut [u8]) {
+        for b in data.iter_mut() {
+            self.i = self.i.wrapping_add(1);
+            self.j = self.j.wrapping_add(self.s[self.i as usize]);
+            self.s.swap(self.i as usize, self.j as usize);
+            let k = self.s
+                [(self.s[self.i as usize].wrapping_add(self.s[self.j as usize])) as usize];
+            *b ^= k;
+        }
+    }
+
+    /// Generate `n` raw keystream bytes (used by tests against RFC 6229).
+    pub fn keystream(&mut self, n: usize) -> Vec<u8> {
+        let mut out = vec![0u8; n];
+        self.process(&mut out);
+        out
+    }
+
+    /// Drop the first `n` keystream bytes (RC4-drop\[n\] strengthening, used
+    /// by the SFS-analog configuration).
+    pub fn drop_n(&mut self, n: usize) {
+        let mut sink = vec![0u8; n];
+        self.process(&mut sink);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 6229 test vectors: keystream for key lengths 40 and 128 bits.
+    #[test]
+    fn rfc6229_40bit() {
+        let mut rc4 = Rc4::new(&from_hex("0102030405"));
+        let ks = rc4.keystream(16);
+        assert_eq!(ks, from_hex("b2396305f03dc027ccc3524a0a1118a8"));
+    }
+
+    #[test]
+    fn rfc6229_128bit() {
+        let mut rc4 = Rc4::new(&from_hex("0102030405060708090a0b0c0d0e0f10"));
+        let ks = rc4.keystream(16);
+        assert_eq!(ks, from_hex("9ac7cc9a609d1ef7b2932899cde41b97"));
+    }
+
+    #[test]
+    fn drop_n_equals_discarding_keystream() {
+        let key = from_hex("0102030405060708090a0b0c0d0e0f10");
+        let mut a = Rc4::new(&key);
+        a.drop_n(240);
+        let mut b = Rc4::new(&key);
+        let _ = b.keystream(240);
+        assert_eq!(a.keystream(32), b.keystream(32));
+    }
+
+    #[test]
+    fn encrypt_decrypt_inverse() {
+        let key = b"session-key-0123";
+        let mut enc = Rc4::new(key);
+        let mut dec = Rc4::new(key);
+        let plain: Vec<u8> = (0..1000u32).map(|i| (i % 256) as u8).collect();
+        let mut data = plain.clone();
+        enc.process(&mut data);
+        assert_ne!(data, plain);
+        dec.process(&mut data);
+        assert_eq!(data, plain);
+    }
+
+    #[test]
+    fn stream_position_matters() {
+        let key = b"k";
+        let mut a = Rc4::new(key);
+        let mut b = Rc4::new(key);
+        let _ = a.keystream(10);
+        assert_ne!(a.keystream(10), b.keystream(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "RC4 key must be 1-256 bytes")]
+    fn empty_key_panics() {
+        let _ = Rc4::new(&[]);
+    }
+}

@@ -1,0 +1,334 @@
+//! RSA key generation, PKCS#1-v1.5-style signatures and encryption.
+//!
+//! This powers the certificate layer (`sgfs-pki`), the GTLS handshake
+//! (RSA key transport of the pre-master secret, client CertificateVerify)
+//! and the WS-Security-analog message signatures in `sgfs-services` —
+//! the same three roles OpenSSL's RSA plays in the paper's prototype.
+
+use crate::prime::generate_prime;
+use crate::{BigUint, Digest, Sha256};
+use rand::Rng;
+
+/// Errors from RSA operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RsaError {
+    /// Message too long for the modulus after padding.
+    MessageTooLong,
+    /// Ciphertext or signature does not decode to valid padding.
+    BadPadding,
+    /// Signature digest mismatch.
+    BadSignature,
+    /// Input is numerically out of range for the modulus.
+    OutOfRange,
+}
+
+impl std::fmt::Display for RsaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RsaError::MessageTooLong => write!(f, "RSA message too long for modulus"),
+            RsaError::BadPadding => write!(f, "RSA padding invalid"),
+            RsaError::BadSignature => write!(f, "RSA signature verification failed"),
+            RsaError::OutOfRange => write!(f, "RSA input out of range"),
+        }
+    }
+}
+
+impl std::error::Error for RsaError {}
+
+/// The public half of an RSA key: `(n, e)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RsaPublicKey {
+    /// Modulus.
+    pub n: BigUint,
+    /// Public exponent (65537 for generated keys).
+    pub e: BigUint,
+}
+
+/// A full RSA key pair.
+#[derive(Clone)]
+pub struct RsaKeyPair {
+    /// Public half.
+    pub public: RsaPublicKey,
+    /// Private exponent.
+    d: BigUint,
+}
+
+impl std::fmt::Debug for RsaKeyPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print the private exponent.
+        f.debug_struct("RsaKeyPair").field("public", &self.public).finish_non_exhaustive()
+    }
+}
+
+impl RsaPublicKey {
+    /// Modulus size in bytes, rounded up.
+    pub fn modulus_len(&self) -> usize {
+        self.n.bit_len().div_ceil(8)
+    }
+
+    /// Raw RSA public operation `m^e mod n`.
+    fn raw(&self, m: &BigUint) -> Result<BigUint, RsaError> {
+        if m >= &self.n {
+            return Err(RsaError::OutOfRange);
+        }
+        Ok(m.modpow(&self.e, &self.n))
+    }
+
+    /// Encrypt a short message with PKCS#1-v1.5 type-2 (random) padding.
+    ///
+    /// Used by the GTLS handshake to wrap the 48-byte pre-master secret.
+    pub fn encrypt<R: Rng>(&self, msg: &[u8], rng: &mut R) -> Result<Vec<u8>, RsaError> {
+        let k = self.modulus_len();
+        if msg.len() + 11 > k {
+            return Err(RsaError::MessageTooLong);
+        }
+        // 0x00 0x02 <nonzero random PS> 0x00 <msg>
+        let mut em = Vec::with_capacity(k);
+        em.push(0x00);
+        em.push(0x02);
+        for _ in 0..k - msg.len() - 3 {
+            loop {
+                let b: u8 = rng.gen();
+                if b != 0 {
+                    em.push(b);
+                    break;
+                }
+            }
+        }
+        em.push(0x00);
+        em.extend_from_slice(msg);
+        let c = self.raw(&BigUint::from_bytes_be(&em))?;
+        Ok(left_pad(&c.to_bytes_be(), k))
+    }
+
+    /// Verify a PKCS#1-v1.5-style RSA-SHA256 signature over `msg`.
+    pub fn verify(&self, msg: &[u8], signature: &[u8]) -> Result<(), RsaError> {
+        let k = self.modulus_len();
+        if signature.len() != k {
+            return Err(RsaError::BadSignature);
+        }
+        let s = BigUint::from_bytes_be(signature);
+        let em = left_pad(&self.raw(&s)?.to_bytes_be(), k);
+        // 0x00 0x01 <0xff PS> 0x00 <sha256 digest>
+        let digest = Sha256::digest(msg);
+        if em.len() < digest.len() + 11 || em[0] != 0x00 || em[1] != 0x01 {
+            return Err(RsaError::BadSignature);
+        }
+        let ps_end = em.len() - digest.len() - 1;
+        if em[2..ps_end].iter().any(|&b| b != 0xff) || em[ps_end] != 0x00 {
+            return Err(RsaError::BadSignature);
+        }
+        if !crate::ct_eq(&em[ps_end + 1..], &digest) {
+            return Err(RsaError::BadSignature);
+        }
+        Ok(())
+    }
+}
+
+impl RsaKeyPair {
+    /// Generate a fresh key pair with a modulus of about `bits` bits.
+    ///
+    /// 512-bit keys keep handshakes and the test suite fast while
+    /// exercising identical code paths to larger keys; the PKI layer
+    /// defaults to 768 for CA keys.
+    pub fn generate<R: Rng>(bits: usize, rng: &mut R) -> Self {
+        assert!(bits >= 256, "RSA modulus below 256 bits cannot pad a SHA-256 digest");
+        let e = BigUint::from_u64(65537);
+        loop {
+            let p = generate_prime(bits / 2, rng);
+            let q = generate_prime(bits - bits / 2, rng);
+            if p == q {
+                continue;
+            }
+            let n = p.mul(&q);
+            let one = BigUint::one();
+            let phi = p.sub(&one).mul(&q.sub(&one));
+            if let Some(d) = e.modinv(&phi) {
+                return Self { public: RsaPublicKey { n, e }, d };
+            }
+        }
+    }
+
+    /// Export the full key pair (n, e, d) for credential transfer.
+    ///
+    /// Grid middleware moves delegated proxy *private* keys between
+    /// services (MyProxy-style); this is the serialization it uses. The
+    /// output must only travel over authenticated, encrypted channels.
+    pub fn export(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for part in [&self.public.n, &self.public.e, &self.d] {
+            let bytes = part.to_bytes_be();
+            out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+            out.extend_from_slice(&bytes);
+        }
+        out
+    }
+
+    /// Reconstruct a key pair exported with [`export`](Self::export).
+    pub fn import(bytes: &[u8]) -> Option<Self> {
+        let mut parts = Vec::with_capacity(3);
+        let mut pos = 0;
+        for _ in 0..3 {
+            if bytes.len() < pos + 4 {
+                return None;
+            }
+            let len =
+                u32::from_be_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]])
+                    as usize;
+            pos += 4;
+            if bytes.len() < pos + len {
+                return None;
+            }
+            parts.push(BigUint::from_bytes_be(&bytes[pos..pos + len]));
+            pos += len;
+        }
+        if pos != bytes.len() {
+            return None;
+        }
+        let d = parts.pop()?;
+        let e = parts.pop()?;
+        let n = parts.pop()?;
+        Some(Self { public: RsaPublicKey { n, e }, d })
+    }
+
+    /// Raw RSA private operation `c^d mod n`.
+    fn raw(&self, c: &BigUint) -> Result<BigUint, RsaError> {
+        if c >= &self.public.n {
+            return Err(RsaError::OutOfRange);
+        }
+        Ok(c.modpow(&self.d, &self.public.n))
+    }
+
+    /// Decrypt a PKCS#1-v1.5 type-2 ciphertext.
+    pub fn decrypt(&self, ciphertext: &[u8]) -> Result<Vec<u8>, RsaError> {
+        let k = self.public.modulus_len();
+        if ciphertext.len() != k {
+            return Err(RsaError::BadPadding);
+        }
+        let m = self.raw(&BigUint::from_bytes_be(ciphertext))?;
+        let em = left_pad(&m.to_bytes_be(), k);
+        if em[0] != 0x00 || em[1] != 0x02 {
+            return Err(RsaError::BadPadding);
+        }
+        let sep = em[2..]
+            .iter()
+            .position(|&b| b == 0)
+            .ok_or(RsaError::BadPadding)?;
+        if sep < 8 {
+            return Err(RsaError::BadPadding); // PS must be at least 8 bytes
+        }
+        Ok(em[2 + sep + 1..].to_vec())
+    }
+
+    /// Produce a PKCS#1-v1.5-style RSA-SHA256 signature over `msg`.
+    pub fn sign(&self, msg: &[u8]) -> Vec<u8> {
+        let k = self.public.modulus_len();
+        let digest = Sha256::digest(msg);
+        let mut em = Vec::with_capacity(k);
+        em.push(0x00);
+        em.push(0x01);
+        em.extend(std::iter::repeat(0xffu8).take(k - digest.len() - 3));
+        em.push(0x00);
+        em.extend_from_slice(&digest);
+        let s = self.raw(&BigUint::from_bytes_be(&em)).expect("padded value < n");
+        left_pad(&s.to_bytes_be(), k)
+    }
+}
+
+/// Left-pad with zeros to exactly `len` bytes.
+fn left_pad(bytes: &[u8], len: usize) -> Vec<u8> {
+    assert!(bytes.len() <= len, "value longer than target width");
+    let mut out = vec![0u8; len - bytes.len()];
+    out.extend_from_slice(bytes);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_key() -> RsaKeyPair {
+        RsaKeyPair::generate(512, &mut rand::thread_rng())
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let key = test_key();
+        let msg = b"the grid user DN=/O=Grid/CN=alice";
+        let sig = key.sign(msg);
+        assert_eq!(sig.len(), key.public.modulus_len());
+        key.public.verify(msg, &sig).unwrap();
+    }
+
+    #[test]
+    fn verify_rejects_wrong_message() {
+        let key = test_key();
+        let sig = key.sign(b"message one");
+        assert_eq!(key.public.verify(b"message two", &sig), Err(RsaError::BadSignature));
+    }
+
+    #[test]
+    fn verify_rejects_tampered_signature() {
+        let key = test_key();
+        let mut sig = key.sign(b"msg");
+        sig[10] ^= 1;
+        assert_eq!(key.public.verify(b"msg", &sig), Err(RsaError::BadSignature));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_key() {
+        let key1 = test_key();
+        let key2 = test_key();
+        let sig = key1.sign(b"msg");
+        assert!(key2.public.verify(b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let key = test_key();
+        let mut rng = rand::thread_rng();
+        let secret = b"48-byte premaster secret 0123456789abcdef012345";
+        let ct = key.public.encrypt(secret, &mut rng).unwrap();
+        assert_eq!(ct.len(), key.public.modulus_len());
+        assert_eq!(key.decrypt(&ct).unwrap(), secret);
+    }
+
+    #[test]
+    fn encrypt_is_randomized() {
+        let key = test_key();
+        let mut rng = rand::thread_rng();
+        let c1 = key.public.encrypt(b"same", &mut rng).unwrap();
+        let c2 = key.public.encrypt(b"same", &mut rng).unwrap();
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn message_too_long_rejected() {
+        let key = test_key();
+        let big = vec![1u8; key.public.modulus_len()];
+        assert_eq!(
+            key.public.encrypt(&big, &mut rand::thread_rng()),
+            Err(RsaError::MessageTooLong)
+        );
+    }
+
+    #[test]
+    fn tampered_ciphertext_rejected() {
+        let key = test_key();
+        let mut ct = key.public.encrypt(b"secret", &mut rand::thread_rng()).unwrap();
+        ct[0] ^= 0x80;
+        // Either padding fails or the plaintext differs; both are failures
+        // to recover the secret.
+        match key.decrypt(&ct) {
+            Err(_) => {}
+            Ok(pt) => assert_ne!(pt, b"secret"),
+        }
+    }
+
+    #[test]
+    fn debug_does_not_leak_private_exponent() {
+        let key = test_key();
+        let dbg = format!("{key:?}");
+        assert!(!dbg.contains(&key.d.to_hex()));
+    }
+}

@@ -1,0 +1,155 @@
+//! SHA-1 (FIPS 180-1).
+//!
+//! Used by the GTLS record layer for SHA1-HMAC integrity, matching the
+//! paper's `sgfs-sha` / `sgfs-rc` / `sgfs-aes` configurations which all
+//! carry SHA1-HMAC.
+
+use crate::Digest;
+
+/// Streaming SHA-1 state.
+#[derive(Clone)]
+pub struct Sha1 {
+    h: [u32; 5],
+    /// Partial input block not yet compressed.
+    buf: [u8; 64],
+    buf_len: usize,
+    /// Total message length in bytes.
+    total: u64,
+}
+
+impl Sha1 {
+    /// Finish and return the 20-byte digest as a fixed array.
+    pub fn finalize_fixed(mut self) -> [u8; 20] {
+        let bit_len = self.total * 8;
+        // Append 0x80, pad with zeros to 56 mod 64, then the 64-bit length.
+        self.update_inner(&[0x80]);
+        while self.buf_len != 56 {
+            self.update_inner(&[0]);
+        }
+        self.update_inner(&bit_len.to_be_bytes());
+        debug_assert_eq!(self.buf_len, 0);
+        let mut out = [0u8; 20];
+        for (i, w) in self.h.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
+        }
+        out
+    }
+
+    fn update_inner(&mut self, mut data: &[u8]) {
+        while !data.is_empty() {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = self.h;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | (!b & d), 0x5a82_7999),
+                20..=39 => (b ^ c ^ d, 0x6ed9_eba1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8f1b_bcdc),
+                _ => (b ^ c ^ d, 0xca62_c1d6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        self.h[0] = self.h[0].wrapping_add(a);
+        self.h[1] = self.h[1].wrapping_add(b);
+        self.h[2] = self.h[2].wrapping_add(c);
+        self.h[3] = self.h[3].wrapping_add(d);
+        self.h[4] = self.h[4].wrapping_add(e);
+    }
+}
+
+impl Digest for Sha1 {
+    const BLOCK_LEN: usize = 64;
+    const OUTPUT_LEN: usize = 20;
+
+    fn new() -> Self {
+        Self {
+            h: [0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476, 0xc3d2_e1f0],
+            buf: [0; 64],
+            buf_len: 0,
+            total: 0,
+        }
+    }
+
+    fn update(&mut self, data: &[u8]) {
+        self.total += data.len() as u64;
+        self.update_inner(data);
+    }
+
+    fn finalize(self) -> Vec<u8> {
+        self.finalize_fixed().to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // FIPS 180-1 / RFC 3174 known-answer vectors.
+    #[test]
+    fn empty() {
+        assert_eq!(hex(&Sha1::digest(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    }
+
+    #[test]
+    fn abc() {
+        assert_eq!(hex(&Sha1::digest(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+    }
+
+    #[test]
+    fn two_block_message() {
+        assert_eq!(
+            hex(&Sha1::digest(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(hex(&Sha1::digest(&data)), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let oneshot = Sha1::digest(&data);
+        for split in [0, 1, 63, 64, 65, 500, 999, 1000] {
+            let mut h = Sha1::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), oneshot, "split at {split}");
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the crypto primitives: inverses, algebraic laws,
+//! and no-panic guarantees on arbitrary input.
+
+use proptest::prelude::*;
+use sgfs_crypto::bignum::BigUint;
+use sgfs_crypto::cbc::{cbc_decrypt, cbc_encrypt};
+use sgfs_crypto::{Aes, Rc4};
+
+fn big(bytes: &[u8]) -> BigUint {
+    BigUint::from_bytes_be(bytes)
+}
+
+proptest! {
+    #[test]
+    fn bignum_add_sub_inverse(a in proptest::collection::vec(any::<u8>(), 0..40),
+                              b in proptest::collection::vec(any::<u8>(), 0..40)) {
+        let (a, b) = (big(&a), big(&b));
+        let sum = a.add(&b);
+        prop_assert_eq!(sum.sub(&b), a.clone());
+        prop_assert_eq!(sum.sub(&a), b);
+    }
+
+    #[test]
+    fn bignum_mul_commutative(a in proptest::collection::vec(any::<u8>(), 0..32),
+                              b in proptest::collection::vec(any::<u8>(), 0..32)) {
+        let (a, b) = (big(&a), big(&b));
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+    }
+
+    #[test]
+    fn bignum_div_rem_identity(a in proptest::collection::vec(any::<u8>(), 0..48),
+                               b in proptest::collection::vec(any::<u8>(), 1..32)) {
+        let (a, b) = (big(&a), big(&b));
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b, "remainder below divisor");
+        prop_assert_eq!(q.mul(&b).add(&r), a, "a = q*b + r");
+    }
+
+    #[test]
+    fn bignum_bytes_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let v = big(&bytes);
+        prop_assert_eq!(big(&v.to_bytes_be()), v);
+    }
+
+    #[test]
+    fn bignum_shift_inverse(bytes in proptest::collection::vec(any::<u8>(), 0..32),
+                            shift in 0usize..100) {
+        let v = big(&bytes);
+        prop_assert_eq!(v.shl(shift).shr(shift), v);
+    }
+
+    #[test]
+    fn cbc_roundtrip(key in proptest::collection::vec(any::<u8>(), 32..=32),
+                     iv in proptest::collection::vec(any::<u8>(), 16..=16),
+                     pt in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let aes = Aes::new(&key);
+        let mut ivb = [0u8; 16];
+        ivb.copy_from_slice(&iv);
+        let ct = cbc_encrypt(&aes, &ivb, &pt);
+        prop_assert_eq!(cbc_decrypt(&aes, &ivb, &ct).unwrap(), pt);
+    }
+
+    #[test]
+    fn cbc_decrypt_garbage_never_panics(
+        key in proptest::collection::vec(any::<u8>(), 16..=16),
+        ct in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let aes = Aes::new(&key);
+        let _ = cbc_decrypt(&aes, &[0u8; 16], &ct);
+    }
+
+    #[test]
+    fn rc4_roundtrip(key in proptest::collection::vec(any::<u8>(), 1..64),
+                     pt in proptest::collection::vec(any::<u8>(), 0..1024)) {
+        let mut enc = Rc4::new(&key);
+        let mut dec = Rc4::new(&key);
+        let mut data = pt.clone();
+        enc.process(&mut data);
+        dec.process(&mut data);
+        prop_assert_eq!(data, pt);
+    }
+
+    #[test]
+    fn modpow_fermat_on_prime(base in 2u64..1_000_000) {
+        // 1009 is prime: base^1008 ≡ 1 (mod 1009) when gcd(base,1009)=1.
+        let p = BigUint::from_u64(1009);
+        let b = BigUint::from_u64(base);
+        prop_assume!(base % 1009 != 0);
+        prop_assert_eq!(b.modpow(&BigUint::from_u64(1008), &p), BigUint::one());
+    }
+}

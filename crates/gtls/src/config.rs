@@ -1,0 +1,58 @@
+//! Session security configuration — the paper's "security configuration
+//! structure" passed to `clnt_tli_ssl_create`/`svc_tli_ssl_create`.
+
+use crate::suite::CipherSuite;
+use sgfs_pki::{Credential, DistinguishedName, TrustStore};
+
+/// Everything one endpoint needs to run a GTLS handshake.
+///
+/// In the paper this content comes from the proxy's configuration file:
+/// the paths to the user/host certificate and key, the trusted CA
+/// certificates, and the chosen algorithms for authentication, encryption
+/// and MAC. Sessions can be reconfigured by swapping this structure and
+/// renegotiating (see [`crate::GtlsStream::renegotiate`]).
+#[derive(Clone)]
+pub struct GtlsConfig {
+    /// This endpoint's credential (certificate chain + private key).
+    pub credential: Credential,
+    /// Roots trusted to anchor the peer's chain.
+    pub trust: TrustStore,
+    /// Acceptable suites, most preferred first. The server picks the
+    /// client's first offer it also accepts.
+    pub suites: Vec<CipherSuite>,
+    /// When set, the peer's *effective* DN (after proxy-chain collapsing)
+    /// must equal this, or the handshake fails. Client proxies set this to
+    /// the expected file-server identity — the mutual-authentication
+    /// property SFS gets from self-certifying pathnames.
+    pub expected_peer: Option<DistinguishedName>,
+}
+
+impl GtlsConfig {
+    /// Configuration offering every suite (strongest preferred).
+    pub fn new(credential: Credential, trust: TrustStore) -> Self {
+        Self { credential, trust, suites: CipherSuite::all(), expected_peer: None }
+    }
+
+    /// Restrict to exactly one suite — how the benchmarks pin
+    /// `sgfs-sha` / `sgfs-rc` / `sgfs-aes` configurations.
+    pub fn with_suite(mut self, suite: CipherSuite) -> Self {
+        self.suites = vec![suite];
+        self
+    }
+
+    /// Require the peer to be this effective identity.
+    pub fn with_expected_peer(mut self, dn: DistinguishedName) -> Self {
+        self.expected_peer = Some(dn);
+        self
+    }
+}
+
+impl std::fmt::Debug for GtlsConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GtlsConfig")
+            .field("credential", &self.credential)
+            .field("suites", &self.suites)
+            .field("expected_peer", &self.expected_peer.as_ref().map(|d| d.to_string()))
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,344 @@
+//! The GTLS handshake: mutual certificate authentication, suite
+//! negotiation, RSA key transport, and key derivation.
+
+use crate::config::GtlsConfig;
+use crate::suite::CipherSuite;
+use crate::GtlsError;
+use rand::Rng;
+use sgfs_crypto::prf::prf_sha256;
+use sgfs_crypto::{ct_eq, Digest, Sha256};
+use sgfs_pki::{Certificate, ValidatedPeer, ValidationError};
+use sgfs_xdr::{XdrDecode, XdrDecoder, XdrEncode, XdrEncoder};
+
+/// Length of the Finished verify_data.
+const VERIFY_DATA_LEN: usize = 12;
+/// Pre-master secret length (as in TLS).
+const PREMASTER_LEN: usize = 48;
+/// Master secret length.
+const MASTER_LEN: usize = 48;
+
+/// A channel that carries whole handshake messages.
+///
+/// The initial handshake runs over raw frames on the underlying stream;
+/// renegotiation runs the same code over protected records — this trait is
+/// the seam between the two.
+pub trait HsChannel {
+    /// Send one handshake message.
+    fn hs_send(&mut self, msg: &[u8]) -> Result<(), GtlsError>;
+    /// Receive one handshake message.
+    fn hs_recv(&mut self) -> Result<Vec<u8>, GtlsError>;
+}
+
+/// Derived key material for one session (or one renegotiation epoch).
+pub struct SessionKeys {
+    /// The negotiated suite.
+    pub suite: CipherSuite,
+    /// Bulk key for client→server records.
+    pub client_write_key: Vec<u8>,
+    /// Bulk key for server→client records.
+    pub server_write_key: Vec<u8>,
+    /// MAC key for client→server records.
+    pub client_mac_key: Vec<u8>,
+    /// MAC key for server→client records.
+    pub server_mac_key: Vec<u8>,
+}
+
+// ---- handshake messages -------------------------------------------------
+
+struct ClientHello {
+    random: [u8; 32],
+    suites: Vec<u32>,
+}
+
+impl XdrEncode for ClientHello {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_fixed_opaque(&self.random);
+        sgfs_xdr::encode_array(&self.suites, enc);
+    }
+}
+
+impl XdrDecode for ClientHello {
+    fn decode(dec: &mut XdrDecoder<'_>) -> sgfs_xdr::XdrResult<Self> {
+        let mut random = [0u8; 32];
+        random.copy_from_slice(&dec.get_fixed_opaque(32)?);
+        Ok(Self { random, suites: sgfs_xdr::decode_array(dec, 16)? })
+    }
+}
+
+struct ServerHello {
+    random: [u8; 32],
+    suite: u32,
+    chain: Vec<Certificate>,
+}
+
+impl XdrEncode for ServerHello {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_fixed_opaque(&self.random);
+        enc.put_u32(self.suite);
+        sgfs_xdr::encode_array(&self.chain, enc);
+    }
+}
+
+impl XdrDecode for ServerHello {
+    fn decode(dec: &mut XdrDecoder<'_>) -> sgfs_xdr::XdrResult<Self> {
+        let mut random = [0u8; 32];
+        random.copy_from_slice(&dec.get_fixed_opaque(32)?);
+        Ok(Self {
+            random,
+            suite: dec.get_u32()?,
+            chain: sgfs_xdr::decode_array(dec, 8)?,
+        })
+    }
+}
+
+struct ClientKeyExchange {
+    encrypted_premaster: Vec<u8>,
+    chain: Vec<Certificate>,
+    /// Signature with the client key over the transcript so far,
+    /// proving possession (TLS CertificateVerify).
+    verify_sig: Vec<u8>,
+}
+
+impl XdrEncode for ClientKeyExchange {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_opaque(&self.encrypted_premaster);
+        sgfs_xdr::encode_array(&self.chain, enc);
+        enc.put_opaque(&self.verify_sig);
+    }
+}
+
+impl XdrDecode for ClientKeyExchange {
+    fn decode(dec: &mut XdrDecoder<'_>) -> sgfs_xdr::XdrResult<Self> {
+        Ok(Self {
+            encrypted_premaster: dec.get_opaque_max(1024)?,
+            chain: sgfs_xdr::decode_array(dec, 8)?,
+            verify_sig: dec.get_opaque_max(1024)?,
+        })
+    }
+}
+
+// ---- key derivation ------------------------------------------------------
+
+fn derive_master(premaster: &[u8], client_random: &[u8; 32], server_random: &[u8; 32]) -> Vec<u8> {
+    let mut seed = Vec::with_capacity(64);
+    seed.extend_from_slice(client_random);
+    seed.extend_from_slice(server_random);
+    prf_sha256(premaster, b"master secret", &seed, MASTER_LEN)
+}
+
+fn derive_keys(
+    suite: CipherSuite,
+    master: &[u8],
+    client_random: &[u8; 32],
+    server_random: &[u8; 32],
+) -> SessionKeys {
+    let mut seed = Vec::with_capacity(64);
+    seed.extend_from_slice(server_random);
+    seed.extend_from_slice(client_random);
+    let need = 2 * suite.mac_key_len() + 2 * suite.key_len();
+    let block = prf_sha256(master, b"key expansion", &seed, need);
+    let (mac_len, key_len) = (suite.mac_key_len(), suite.key_len());
+    SessionKeys {
+        suite,
+        client_mac_key: block[..mac_len].to_vec(),
+        server_mac_key: block[mac_len..2 * mac_len].to_vec(),
+        client_write_key: block[2 * mac_len..2 * mac_len + key_len].to_vec(),
+        server_write_key: block[2 * mac_len + key_len..].to_vec(),
+    }
+}
+
+fn finished_data(master: &[u8], label: &[u8], transcript: &[u8]) -> Vec<u8> {
+    let hash = Sha256::digest(transcript);
+    prf_sha256(master, label, &hash, VERIFY_DATA_LEN)
+}
+
+// ---- handshake drivers ----------------------------------------------------
+
+/// Run the client side of the handshake over `ch`.
+pub fn client_handshake<R: Rng>(
+    ch: &mut dyn HsChannel,
+    config: &GtlsConfig,
+    rng: &mut R,
+) -> Result<(SessionKeys, ValidatedPeer), GtlsError> {
+    let mut transcript = Vec::new();
+
+    // 1. ClientHello.
+    let mut client_random = [0u8; 32];
+    rng.fill_bytes(&mut client_random);
+    let hello = ClientHello {
+        random: client_random,
+        suites: config.suites.iter().map(|s| *s as u32).collect(),
+    };
+    let msg = hello.to_xdr_bytes();
+    transcript.extend_from_slice(&msg);
+    ch.hs_send(&msg)?;
+
+    // 2. ServerHello: validate server identity and the chosen suite.
+    let msg = ch.hs_recv()?;
+    transcript.extend_from_slice(&msg);
+    let sh = ServerHello::from_xdr_bytes(&msg)
+        .map_err(|e| GtlsError::Handshake(format!("bad ServerHello: {e}")))?;
+    let suite = CipherSuite::from_u32(sh.suite).ok_or(GtlsError::NoCommonSuite)?;
+    if !config.suites.contains(&suite) {
+        return Err(GtlsError::NoCommonSuite);
+    }
+    let peer = config.trust.validate_chain(&sh.chain, sgfs_pki::now())?;
+    if let Some(expected) = &config.expected_peer {
+        if &peer.effective_dn != expected {
+            return Err(GtlsError::Validation(ValidationError::WrongIdentity {
+                expected: expected.to_string(),
+                actual: peer.effective_dn.to_string(),
+            }));
+        }
+    }
+    let server_key = &sh.chain[0].body.public_key;
+
+    // 3. ClientKeyExchange: premaster + our chain + possession proof.
+    let mut premaster = vec![0u8; PREMASTER_LEN];
+    rng.fill_bytes(&mut premaster);
+    let encrypted_premaster = server_key
+        .encrypt(&premaster, rng)
+        .map_err(|e| GtlsError::Handshake(format!("premaster encryption: {e}")))?;
+    let verify_sig = config.credential.sign(&transcript);
+    let cke = ClientKeyExchange {
+        encrypted_premaster,
+        chain: config.credential.chain.clone(),
+        verify_sig,
+    };
+    let msg = cke.to_xdr_bytes();
+    transcript.extend_from_slice(&msg);
+    ch.hs_send(&msg)?;
+
+    // 4. Derive keys and exchange Finished.
+    let master = derive_master(&premaster, &client_random, &sh.random);
+    let client_fin = finished_data(&master, b"client finished", &transcript);
+    transcript.extend_from_slice(&client_fin);
+    ch.hs_send(&client_fin)?;
+
+    let server_fin = ch.hs_recv()?;
+    let expected = finished_data(&master, b"server finished", &transcript);
+    if !ct_eq(&server_fin, &expected) {
+        return Err(GtlsError::Handshake("server Finished mismatch".into()));
+    }
+
+    Ok((derive_keys(suite, &master, &client_random, &sh.random), peer))
+}
+
+/// Run the server side of the handshake over `ch`.
+pub fn server_handshake<R: Rng>(
+    ch: &mut dyn HsChannel,
+    config: &GtlsConfig,
+    rng: &mut R,
+) -> Result<(SessionKeys, ValidatedPeer), GtlsError> {
+    let mut transcript = Vec::new();
+
+    // 1. ClientHello: pick the client's first suite we also accept.
+    let msg = ch.hs_recv()?;
+    transcript.extend_from_slice(&msg);
+    let hello = ClientHello::from_xdr_bytes(&msg)
+        .map_err(|e| GtlsError::Handshake(format!("bad ClientHello: {e}")))?;
+    let suite = hello
+        .suites
+        .iter()
+        .filter_map(|v| CipherSuite::from_u32(*v))
+        .find(|s| config.suites.contains(s))
+        .ok_or(GtlsError::NoCommonSuite)?;
+
+    // 2. ServerHello with our chain.
+    let mut server_random = [0u8; 32];
+    rng.fill_bytes(&mut server_random);
+    let sh = ServerHello {
+        random: server_random,
+        suite: suite as u32,
+        chain: config.credential.chain.clone(),
+    };
+    let msg = sh.to_xdr_bytes();
+    transcript.extend_from_slice(&msg);
+    ch.hs_send(&msg)?;
+    let transcript_before_cke = transcript.clone();
+
+    // 3. ClientKeyExchange: authenticate the client and recover premaster.
+    let msg = ch.hs_recv()?;
+    transcript.extend_from_slice(&msg);
+    let cke = ClientKeyExchange::from_xdr_bytes(&msg)
+        .map_err(|e| GtlsError::Handshake(format!("bad ClientKeyExchange: {e}")))?;
+    let peer = config.trust.validate_chain(&cke.chain, sgfs_pki::now())?;
+    if let Some(expected) = &config.expected_peer {
+        if &peer.effective_dn != expected {
+            return Err(GtlsError::Validation(ValidationError::WrongIdentity {
+                expected: expected.to_string(),
+                actual: peer.effective_dn.to_string(),
+            }));
+        }
+    }
+    // Possession proof: signature over the transcript up to ServerHello.
+    cke.chain[0]
+        .body
+        .public_key
+        .verify(&transcript_before_cke, &cke.verify_sig)
+        .map_err(|_| GtlsError::Handshake("client CertificateVerify failed".into()))?;
+    let premaster = config
+        .credential
+        .key
+        .decrypt(&cke.encrypted_premaster)
+        .map_err(|e| GtlsError::Handshake(format!("premaster decryption: {e}")))?;
+    if premaster.len() != PREMASTER_LEN {
+        return Err(GtlsError::Handshake("premaster has wrong length".into()));
+    }
+
+    // 4. Verify client Finished, send ours.
+    let master = derive_master(&premaster, &hello.random, &server_random);
+    let client_fin = ch.hs_recv()?;
+    let expected = finished_data(&master, b"client finished", &transcript);
+    if !ct_eq(&client_fin, &expected) {
+        return Err(GtlsError::Handshake("client Finished mismatch".into()));
+    }
+    transcript.extend_from_slice(&client_fin);
+    let server_fin = finished_data(&master, b"server finished", &transcript);
+    ch.hs_send(&server_fin)?;
+
+    Ok((derive_keys(suite, &master, &hello.random, &server_random), peer))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_derivation_is_symmetric_and_suite_sized() {
+        let premaster = [7u8; PREMASTER_LEN];
+        let cr = [1u8; 32];
+        let sr = [2u8; 32];
+        let master = derive_master(&premaster, &cr, &sr);
+        assert_eq!(master.len(), MASTER_LEN);
+        for suite in CipherSuite::all() {
+            let k1 = derive_keys(suite, &master, &cr, &sr);
+            let k2 = derive_keys(suite, &master, &cr, &sr);
+            assert_eq!(k1.client_write_key, k2.client_write_key);
+            assert_eq!(k1.client_write_key.len(), suite.key_len());
+            assert_eq!(k1.client_mac_key.len(), 20);
+            if suite.encrypts() {
+                assert_ne!(k1.client_write_key, k1.server_write_key);
+            }
+            assert_ne!(k1.client_mac_key, k1.server_mac_key);
+        }
+    }
+
+    #[test]
+    fn master_depends_on_all_inputs() {
+        let base = derive_master(&[1; 48], &[2; 32], &[3; 32]);
+        assert_ne!(derive_master(&[9; 48], &[2; 32], &[3; 32]), base);
+        assert_ne!(derive_master(&[1; 48], &[9; 32], &[3; 32]), base);
+        assert_ne!(derive_master(&[1; 48], &[2; 32], &[9; 32]), base);
+    }
+
+    #[test]
+    fn finished_labels_differ() {
+        let master = [5u8; 48];
+        let t = b"transcript";
+        assert_ne!(
+            finished_data(&master, b"client finished", t),
+            finished_data(&master, b"server finished", t)
+        );
+    }
+}

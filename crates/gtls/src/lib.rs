@@ -1,0 +1,87 @@
+//! GTLS — the SSL/TLS-style secure transport protecting SGFS RPC traffic.
+//!
+//! The paper protects NFS RPC directly with SSL (OpenSSL), negotiated per
+//! session with mutual X.509/GSI authentication. GTLS reimplements that
+//! design point-for-point:
+//!
+//! * **Mutual authentication** with certificate chains validated against a
+//!   trust store, including GSI proxy-certificate chains (delegated
+//!   sessions authenticate as the delegating user).
+//! * **Cipher-suite negotiation** across the paper's three security
+//!   levels: integrity only (`NULL-SHA1`, the `sgfs-sha` configuration),
+//!   medium encryption (`RC4-128-SHA1`, `sgfs-rc`), and strong encryption
+//!   (`AES-256-CBC-SHA1`, `sgfs-aes`; `AES-128-CBC-SHA1` is also offered).
+//! * **RSA key transport** of a 48-byte pre-master secret, expanded with a
+//!   TLS-1.2-style PRF into per-direction cipher and MAC keys.
+//! * **A record layer** with sequence-numbered HMAC-SHA1 integrity
+//!   (anti-replay, anti-reorder) and per-record IVs for CBC suites.
+//! * **Renegotiation** — a live session can re-run the handshake to
+//!   refresh keys or pick up a reloaded certificate, driving the paper's
+//!   dynamic reconfiguration feature.
+//!
+//! The entry points are [`GtlsStream::client`] and [`GtlsStream::server`],
+//! both turning any [`sgfs_net::Stream`] into an authenticated, protected
+//! byte stream that itself implements `Read + Write`.
+
+pub mod config;
+pub mod handshake;
+pub mod record;
+pub mod stream;
+pub mod suite;
+
+pub use config::GtlsConfig;
+pub use stream::GtlsStream;
+pub use suite::CipherSuite;
+
+use sgfs_pki::ValidationError;
+use std::io;
+
+/// GTLS error type.
+#[derive(Debug)]
+pub enum GtlsError {
+    /// Transport I/O failure.
+    Io(io::Error),
+    /// Peer certificate chain failed validation.
+    Validation(ValidationError),
+    /// Handshake protocol violation (bad message, failed Finished, ...).
+    Handshake(String),
+    /// Record layer integrity failure (bad MAC, bad padding, replay).
+    RecordIntegrity(String),
+    /// No mutually acceptable cipher suite.
+    NoCommonSuite,
+}
+
+impl std::fmt::Display for GtlsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GtlsError::Io(e) => write!(f, "GTLS transport error: {e}"),
+            GtlsError::Validation(e) => write!(f, "GTLS peer validation failed: {e}"),
+            GtlsError::Handshake(s) => write!(f, "GTLS handshake failed: {s}"),
+            GtlsError::RecordIntegrity(s) => write!(f, "GTLS record integrity failure: {s}"),
+            GtlsError::NoCommonSuite => write!(f, "GTLS: no common cipher suite"),
+        }
+    }
+}
+
+impl std::error::Error for GtlsError {}
+
+impl From<io::Error> for GtlsError {
+    fn from(e: io::Error) -> Self {
+        GtlsError::Io(e)
+    }
+}
+
+impl From<ValidationError> for GtlsError {
+    fn from(e: ValidationError) -> Self {
+        GtlsError::Validation(e)
+    }
+}
+
+impl From<GtlsError> for io::Error {
+    fn from(e: GtlsError) -> Self {
+        match e {
+            GtlsError::Io(io) => io,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}

@@ -1,0 +1,473 @@
+//! [`GtlsStream`]: a protected byte stream over any transport.
+
+use crate::config::GtlsConfig;
+use crate::handshake::{client_handshake, server_handshake, HsChannel, SessionKeys};
+use crate::record::{read_frame, write_frame, HalfConn, CT_DATA, CT_HANDSHAKE, MAX_RECORD_PAYLOAD};
+use crate::GtlsError;
+use sgfs_net::BoxStream;
+use sgfs_pki::ValidatedPeer;
+use std::io::{self, Read, Write};
+
+/// A mutually authenticated, integrity-protected (and, per suite,
+/// encrypted) stream. Implements `Read`/`Write`, so the RPC layer runs
+/// over it unchanged — exactly how the paper slides SSL under TI-RPC.
+pub struct GtlsStream {
+    inner: BoxStream,
+    tx: HalfConn,
+    rx: HalfConn,
+    config: GtlsConfig,
+    peer: ValidatedPeer,
+    is_client: bool,
+    read_buf: Vec<u8>,
+    read_pos: usize,
+    /// Bytes accepted by `write` but not yet sealed into records; flushed
+    /// as whole records so each RPC message travels as one frame.
+    write_buf: Vec<u8>,
+    /// Records sent since the last (re)negotiation, for auto-rekey.
+    records_sent: u64,
+    /// When set, the writer transparently renegotiates after this many
+    /// records — the paper's periodic automatic session-key refresh.
+    pub auto_rekey_every: Option<u64>,
+    /// When set, record seal/open wall time is added here (nanoseconds) —
+    /// the proxies use this to attribute crypto work to their CPU
+    /// accounting without double-counting I/O waits.
+    pub busy_counter: Option<std::sync::Arc<std::sync::atomic::AtomicU64>>,
+    /// Completed handshakes (1 = initial; >1 means renegotiations ran).
+    handshakes: u64,
+}
+
+/// Raw (pre-keys) handshake channel: plaintext frames on the transport.
+struct RawChannel<'a>(&'a mut BoxStream);
+
+impl HsChannel for RawChannel<'_> {
+    fn hs_send(&mut self, msg: &[u8]) -> Result<(), GtlsError> {
+        write_frame(self.0, CT_HANDSHAKE, msg)?;
+        Ok(())
+    }
+    fn hs_recv(&mut self) -> Result<Vec<u8>, GtlsError> {
+        let (ct, body) = read_frame(self.0)?;
+        if ct != CT_HANDSHAKE {
+            return Err(GtlsError::Handshake("expected handshake frame".into()));
+        }
+        Ok(body)
+    }
+}
+
+/// Renegotiation channel: handshake messages protected by the *current*
+/// session keys (stronger than TLS, which renegotiates partly in the
+/// clear).
+struct RekeyChannel<'a> {
+    inner: &'a mut BoxStream,
+    tx: &'a mut HalfConn,
+    rx: &'a mut HalfConn,
+}
+
+impl HsChannel for RekeyChannel<'_> {
+    fn hs_send(&mut self, msg: &[u8]) -> Result<(), GtlsError> {
+        let wire = self.tx.seal(CT_HANDSHAKE, msg, &mut rand::thread_rng());
+        write_frame(self.inner, CT_HANDSHAKE, &wire)?;
+        Ok(())
+    }
+    fn hs_recv(&mut self) -> Result<Vec<u8>, GtlsError> {
+        let (ct, body) = read_frame(self.inner)?;
+        if ct != CT_HANDSHAKE {
+            return Err(GtlsError::Handshake("expected handshake record".into()));
+        }
+        self.rx.open(CT_HANDSHAKE, body)
+    }
+}
+
+impl GtlsStream {
+    /// Connect as the client (initiates the handshake).
+    pub fn client(mut inner: BoxStream, config: GtlsConfig) -> Result<Self, GtlsError> {
+        let mut ch = RawChannel(&mut inner);
+        let (keys, peer) = client_handshake(&mut ch, &config, &mut rand::thread_rng())?;
+        Ok(Self::from_keys(inner, config, keys, peer, true))
+    }
+
+    /// Accept as the server (responds to the handshake).
+    pub fn server(mut inner: BoxStream, config: GtlsConfig) -> Result<Self, GtlsError> {
+        let mut ch = RawChannel(&mut inner);
+        let (keys, peer) = server_handshake(&mut ch, &config, &mut rand::thread_rng())?;
+        Ok(Self::from_keys(inner, config, keys, peer, false))
+    }
+
+    fn from_keys(
+        inner: BoxStream,
+        config: GtlsConfig,
+        keys: SessionKeys,
+        peer: ValidatedPeer,
+        is_client: bool,
+    ) -> Self {
+        let (tx, rx) = Self::split_keys(&keys, is_client);
+        Self {
+            inner,
+            tx,
+            rx,
+            config,
+            peer,
+            is_client,
+            read_buf: Vec::new(),
+            read_pos: 0,
+            write_buf: Vec::new(),
+            records_sent: 0,
+            auto_rekey_every: None,
+            busy_counter: None,
+            handshakes: 1,
+        }
+    }
+
+    fn split_keys(keys: &SessionKeys, is_client: bool) -> (HalfConn, HalfConn) {
+        let c2s = HalfConn::new(keys.suite, &keys.client_write_key, &keys.client_mac_key);
+        let s2c = HalfConn::new(keys.suite, &keys.server_write_key, &keys.server_mac_key);
+        if is_client {
+            (c2s, s2c)
+        } else {
+            (s2c, c2s)
+        }
+    }
+
+    /// The authenticated peer (leaf DN, effective grid DN, proxy flag).
+    pub fn peer(&self) -> &ValidatedPeer {
+        &self.peer
+    }
+
+    /// Number of completed handshakes on this connection.
+    pub fn handshake_count(&self) -> u64 {
+        self.handshakes
+    }
+
+    /// Replace the security configuration (reloaded certificates, new
+    /// suite preference). Takes effect at the next renegotiation — the
+    /// paper's "signal the proxy to reload its configuration file".
+    pub fn set_config(&mut self, config: GtlsConfig) {
+        self.config = config;
+    }
+
+    /// Client-side: re-run the handshake over the protected channel,
+    /// refreshing all key material (and picking up any config changes).
+    pub fn renegotiate(&mut self) -> Result<(), GtlsError> {
+        assert!(self.is_client, "renegotiation is client-initiated");
+        self.flush_pending()?;
+        let mut ch = RekeyChannel { inner: &mut self.inner, tx: &mut self.tx, rx: &mut self.rx };
+        let (keys, peer) = client_handshake(&mut ch, &self.config, &mut rand::thread_rng())?;
+        let (tx, rx) = Self::split_keys(&keys, true);
+        self.tx = tx;
+        self.rx = rx;
+        self.peer = peer;
+        self.records_sent = 0;
+        self.handshakes += 1;
+        Ok(())
+    }
+
+    /// Server-side: service a renegotiation initiated by the peer, whose
+    /// first handshake record (`first`) was already consumed by `read`.
+    fn serve_renegotiation(&mut self, first: Vec<u8>) -> Result<(), GtlsError> {
+        struct Replay<'a> {
+            pending: Option<Vec<u8>>,
+            ch: RekeyChannel<'a>,
+        }
+        impl HsChannel for Replay<'_> {
+            fn hs_send(&mut self, msg: &[u8]) -> Result<(), GtlsError> {
+                self.ch.hs_send(msg)
+            }
+            fn hs_recv(&mut self) -> Result<Vec<u8>, GtlsError> {
+                match self.pending.take() {
+                    Some(m) => Ok(m),
+                    None => self.ch.hs_recv(),
+                }
+            }
+        }
+        let mut ch = Replay {
+            pending: Some(first),
+            ch: RekeyChannel { inner: &mut self.inner, tx: &mut self.tx, rx: &mut self.rx },
+        };
+        let (keys, peer) = server_handshake(&mut ch, &self.config, &mut rand::thread_rng())?;
+        let (tx, rx) = Self::split_keys(&keys, false);
+        self.tx = tx;
+        self.rx = rx;
+        self.peer = peer;
+        self.records_sent = 0;
+        self.handshakes += 1;
+        Ok(())
+    }
+}
+
+impl Read for GtlsStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        while self.read_pos == self.read_buf.len() {
+            let (ct, body) = match read_frame(&mut self.inner) {
+                Ok(f) => f,
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(0),
+                Err(e) => return Err(e),
+            };
+            match ct {
+                CT_DATA => {
+                    let t0 = std::time::Instant::now();
+                    let payload = self.rx.open(CT_DATA, body).map_err(io::Error::from)?;
+                    if let Some(c) = &self.busy_counter {
+                        c.fetch_add(
+                            t0.elapsed().as_nanos() as u64,
+                            std::sync::atomic::Ordering::Relaxed,
+                        );
+                    }
+                    self.read_buf = payload;
+                    self.read_pos = 0;
+                }
+                CT_HANDSHAKE if !self.is_client => {
+                    // Peer-initiated rekey arriving between requests.
+                    let first = self.rx.open(CT_HANDSHAKE, body).map_err(io::Error::from)?;
+                    self.serve_renegotiation(first).map_err(io::Error::from)?;
+                }
+                _ => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected GTLS content type {ct}"),
+                    ))
+                }
+            }
+        }
+        let n = buf.len().min(self.read_buf.len() - self.read_pos);
+        buf[..n].copy_from_slice(&self.read_buf[self.read_pos..self.read_pos + n]);
+        self.read_pos += n;
+        Ok(n)
+    }
+}
+
+impl GtlsStream {
+    /// No-op retained for the renegotiation path's ordering guarantee:
+    /// writes are sealed eagerly (each caller write is one logical
+    /// message, already coalesced by the record-marking layer), so there
+    /// is never pending plaintext.
+    fn flush_pending(&mut self) -> Result<(), GtlsError> {
+        debug_assert!(self.write_buf.is_empty());
+        Ok(())
+    }
+}
+
+impl Write for GtlsStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if let Some(every) = self.auto_rekey_every {
+            if self.is_client && self.records_sent >= every {
+                self.renegotiate().map_err(io::Error::from)?;
+            }
+        }
+        // One caller write = one logical message: seal it immediately
+        // (chunked only when it exceeds the record size), so the whole
+        // message leaves in back-to-back frames with coherent arrival
+        // stamps on the emulated link.
+        for chunk in buf.chunks(MAX_RECORD_PAYLOAD) {
+            let t0 = std::time::Instant::now();
+            let wire = self.tx.seal(CT_DATA, chunk, &mut rand::thread_rng());
+            if let Some(c) = &self.busy_counter {
+                c.fetch_add(
+                    t0.elapsed().as_nanos() as u64,
+                    std::sync::atomic::Ordering::Relaxed,
+                );
+            }
+            write_frame(&mut self.inner, CT_DATA, &wire)?;
+            self.records_sent += 1;
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::CipherSuite;
+    use sgfs_pki::{CertificateAuthority, Credential, DistinguishedName, TrustStore};
+    use sgfs_crypto::rsa::RsaKeyPair;
+
+    fn dn(s: &str) -> DistinguishedName {
+        DistinguishedName::parse(s).unwrap()
+    }
+
+    struct World {
+        client_cfg: GtlsConfig,
+        server_cfg: GtlsConfig,
+    }
+
+    fn world() -> World {
+        let mut rng = rand::thread_rng();
+        let ca = CertificateAuthority::new(&dn("/O=Grid/CN=CA"), 512, &mut rng);
+        let mut trust = TrustStore::new();
+        trust.add_root(ca.certificate().clone());
+
+        let ckey = RsaKeyPair::generate(512, &mut rng);
+        let ccert = ca.issue(&dn("/O=Grid/CN=alice"), &ckey.public);
+        let client = Credential::new(ccert, ckey);
+
+        let skey = RsaKeyPair::generate(512, &mut rng);
+        let scert = ca.issue(&dn("/O=Grid/CN=fileserver"), &skey.public);
+        let server = Credential::new(scert, skey);
+
+        World {
+            client_cfg: GtlsConfig::new(client, trust.clone()),
+            server_cfg: GtlsConfig::new(server, trust),
+        }
+    }
+
+    fn connect(w: &World) -> (GtlsStream, GtlsStream) {
+        let (a, b) = sgfs_net::pipe_pair();
+        let server_cfg = w.server_cfg.clone();
+        let h = std::thread::spawn(move || GtlsStream::server(Box::new(b), server_cfg).unwrap());
+        let client = GtlsStream::client(Box::new(a), w.client_cfg.clone()).unwrap();
+        (client, h.join().unwrap())
+    }
+
+    #[test]
+    fn handshake_and_bidirectional_data() {
+        let w = world();
+        let (mut c, mut s) = connect(&w);
+        assert_eq!(c.peer().effective_dn.to_string(), "/O=Grid/CN=fileserver");
+        assert_eq!(s.peer().effective_dn.to_string(), "/O=Grid/CN=alice");
+
+        c.write_all(b"request").unwrap();
+        let mut buf = [0u8; 7];
+        s.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"request");
+        s.write_all(b"response!").unwrap();
+        let mut buf = [0u8; 9];
+        c.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"response!");
+    }
+
+    #[test]
+    fn suite_negotiation_picks_client_preference() {
+        let mut w = world();
+        w.client_cfg = w.client_cfg.with_suite(CipherSuite::Rc4_128Sha1);
+        let (c, _s) = connect(&w);
+        // Just verify a connection was made under the restricted offer.
+        assert_eq!(c.handshake_count(), 1);
+    }
+
+    #[test]
+    fn no_common_suite_fails() {
+        let mut w = world();
+        w.client_cfg = w.client_cfg.with_suite(CipherSuite::NullSha1);
+        w.server_cfg = w.server_cfg.with_suite(CipherSuite::Aes256CbcSha1);
+        let (a, b) = sgfs_net::pipe_pair();
+        let server_cfg = w.server_cfg.clone();
+        let h = std::thread::spawn(move || GtlsStream::server(Box::new(b), server_cfg));
+        let c = GtlsStream::client(Box::new(a), w.client_cfg.clone());
+        assert!(c.is_err());
+        assert!(h.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn expected_peer_mismatch_fails() {
+        let mut w = world();
+        w.client_cfg = w
+            .client_cfg
+            .with_expected_peer(dn("/O=Grid/CN=the-real-server"));
+        let (a, b) = sgfs_net::pipe_pair();
+        let server_cfg = w.server_cfg.clone();
+        let _h = std::thread::spawn(move || GtlsStream::server(Box::new(b), server_cfg));
+        match GtlsStream::client(Box::new(a), w.client_cfg.clone()) {
+            Err(GtlsError::Validation(sgfs_pki::ValidationError::WrongIdentity { .. })) => {}
+            other => panic!("expected WrongIdentity, got {:?}", other.err()),
+        }
+    }
+
+    #[test]
+    fn untrusted_client_rejected_by_server() {
+        let mut rng = rand::thread_rng();
+        let w = world();
+        // Client credential from a rogue CA the server does not trust.
+        let rogue = CertificateAuthority::new(&dn("/O=Evil/CN=CA"), 512, &mut rng);
+        let key = RsaKeyPair::generate(512, &mut rng);
+        let cert = rogue.issue(&dn("/O=Grid/CN=alice"), &key.public);
+        let mut rogue_trust = TrustStore::new();
+        rogue_trust.add_root(rogue.certificate().clone());
+        // Rogue client trusts the real CA (so the server passes *its*
+        // check) but presents an untrusted chain.
+        let mut client_cfg = GtlsConfig::new(Credential::new(cert, key), w.client_cfg.trust.clone());
+        client_cfg.suites = CipherSuite::all();
+
+        let (a, b) = sgfs_net::pipe_pair();
+        let server_cfg = w.server_cfg.clone();
+        let h = std::thread::spawn(move || GtlsStream::server(Box::new(b), server_cfg));
+        let _ = GtlsStream::client(Box::new(a), client_cfg);
+        match h.join().unwrap() {
+            Err(GtlsError::Validation(_)) => {}
+            other => panic!("server should reject untrusted client, got {:?}", other.err()),
+        }
+    }
+
+    #[test]
+    fn delegated_proxy_authenticates_as_user() {
+        let mut w = world();
+        let proxy_cred = w
+            .client_cfg
+            .credential
+            .issue_proxy(3600, 1, &mut rand::thread_rng());
+        w.client_cfg.credential = proxy_cred;
+        let (_c, s) = connect(&w);
+        assert_eq!(s.peer().effective_dn.to_string(), "/O=Grid/CN=alice");
+        assert!(s.peer().via_proxy);
+    }
+
+    #[test]
+    fn renegotiation_refreshes_keys_and_keeps_data_flowing() {
+        let w = world();
+        let (mut c, mut s) = connect(&w);
+        c.write_all(b"before").unwrap();
+        let mut buf = [0u8; 6];
+        s.read_exact(&mut buf).unwrap();
+
+        // Server must be blocked in read to service the rekey.
+        let h = std::thread::spawn(move || {
+            let mut buf = [0u8; 5];
+            s.read_exact(&mut buf).unwrap();
+            (s, buf)
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        c.renegotiate().unwrap();
+        c.write_all(b"after").unwrap();
+        let (s, buf) = h.join().unwrap();
+        assert_eq!(&buf, b"after");
+        assert_eq!(c.handshake_count(), 2);
+        assert_eq!(s.handshake_count(), 2);
+    }
+
+    #[test]
+    fn auto_rekey_triggers() {
+        let w = world();
+        let (mut c, mut s) = connect(&w);
+        c.auto_rekey_every = Some(5);
+        let h = std::thread::spawn(move || {
+            let mut total = vec![0u8; 20];
+            s.read_exact(&mut total).unwrap();
+            s
+        });
+        for _ in 0..20 {
+            c.write_all(b"x").unwrap();
+        }
+        let s = h.join().unwrap();
+        assert!(c.handshake_count() >= 3, "got {}", c.handshake_count());
+        assert_eq!(s.handshake_count(), c.handshake_count());
+    }
+
+    #[test]
+    fn large_transfer_all_suites() {
+        for suite in CipherSuite::all() {
+            let mut w = world();
+            w.client_cfg = w.client_cfg.with_suite(suite);
+            let (mut c, mut s) = connect(&w);
+            let data: Vec<u8> = (0..300_000).map(|i| (i % 251) as u8).collect();
+            let expected = data.clone();
+            let h = std::thread::spawn(move || {
+                let mut got = vec![0u8; expected.len()];
+                s.read_exact(&mut got).unwrap();
+                assert_eq!(got, expected);
+            });
+            c.write_all(&data).unwrap();
+            h.join().unwrap();
+        }
+    }
+}

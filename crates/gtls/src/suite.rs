@@ -1,0 +1,184 @@
+//! Cipher suites and per-direction cipher state.
+
+use sgfs_crypto::cbc::{cbc_decrypt, cbc_encrypt};
+use sgfs_crypto::{Aes, Rc4};
+use rand::RngCore;
+
+/// The negotiable cipher suites, mapping one-to-one onto the security
+/// configurations the paper benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum CipherSuite {
+    /// Integrity only (SHA1-HMAC), no encryption — `sgfs-sha`.
+    NullSha1 = 1,
+    /// RC4 with a 128-bit key + SHA1-HMAC — `sgfs-rc`.
+    Rc4_128Sha1 = 2,
+    /// AES-128-CBC + SHA1-HMAC.
+    Aes128CbcSha1 = 3,
+    /// AES-256-CBC + SHA1-HMAC — `sgfs-aes`, the strong configuration.
+    Aes256CbcSha1 = 4,
+}
+
+impl CipherSuite {
+    /// Decode from the wire discriminant.
+    pub fn from_u32(v: u32) -> Option<Self> {
+        Some(match v {
+            1 => CipherSuite::NullSha1,
+            2 => CipherSuite::Rc4_128Sha1,
+            3 => CipherSuite::Aes128CbcSha1,
+            4 => CipherSuite::Aes256CbcSha1,
+            _ => return None,
+        })
+    }
+
+    /// Symmetric key length in bytes (0 for the null cipher).
+    pub fn key_len(self) -> usize {
+        match self {
+            CipherSuite::NullSha1 => 0,
+            CipherSuite::Rc4_128Sha1 => 16,
+            CipherSuite::Aes128CbcSha1 => 16,
+            CipherSuite::Aes256CbcSha1 => 32,
+        }
+    }
+
+    /// MAC key length in bytes (SHA-1 HMAC for every suite).
+    pub fn mac_key_len(self) -> usize {
+        20
+    }
+
+    /// Whether this suite encrypts (false = integrity only).
+    pub fn encrypts(self) -> bool {
+        !matches!(self, CipherSuite::NullSha1)
+    }
+
+    /// Construct the per-direction cipher state from its key material.
+    pub fn new_state(self, key: &[u8]) -> CipherState {
+        debug_assert_eq!(key.len(), self.key_len());
+        match self {
+            CipherSuite::NullSha1 => CipherState::Null,
+            CipherSuite::Rc4_128Sha1 => CipherState::Rc4(Box::new(Rc4::new(key))),
+            CipherSuite::Aes128CbcSha1 | CipherSuite::Aes256CbcSha1 => {
+                CipherState::AesCbc(Box::new(Aes::new(key)))
+            }
+        }
+    }
+
+    /// All suites, strongest first — the default offer list.
+    pub fn all() -> Vec<CipherSuite> {
+        vec![
+            CipherSuite::Aes256CbcSha1,
+            CipherSuite::Aes128CbcSha1,
+            CipherSuite::Rc4_128Sha1,
+            CipherSuite::NullSha1,
+        ]
+    }
+}
+
+/// Per-direction bulk cipher state.
+///
+/// RC4 is stateful (a keystream position); AES-CBC state is just the key
+/// schedule since each record carries an explicit IV.
+pub enum CipherState {
+    /// No encryption.
+    Null,
+    /// RC4 keystream.
+    Rc4(Box<Rc4>),
+    /// AES key schedule for CBC with explicit per-record IVs.
+    AesCbc(Box<Aes>),
+}
+
+impl CipherState {
+    /// Encrypt `plain` (already carrying its MAC) into the wire form.
+    pub fn seal<R: RngCore>(&mut self, plain: Vec<u8>, rng: &mut R) -> Vec<u8> {
+        match self {
+            CipherState::Null => plain,
+            CipherState::Rc4(rc4) => {
+                let mut data = plain;
+                rc4.process(&mut data);
+                data
+            }
+            CipherState::AesCbc(aes) => {
+                let mut iv = [0u8; 16];
+                rng.fill_bytes(&mut iv);
+                let mut out = iv.to_vec();
+                out.extend_from_slice(&cbc_encrypt(aes, &iv, &plain));
+                out
+            }
+        }
+    }
+
+    /// Decrypt a wire payload back to plaintext-plus-MAC.
+    pub fn open(&mut self, wire: Vec<u8>) -> Result<Vec<u8>, String> {
+        match self {
+            CipherState::Null => Ok(wire),
+            CipherState::Rc4(rc4) => {
+                let mut data = wire;
+                rc4.process(&mut data);
+                Ok(data)
+            }
+            CipherState::AesCbc(aes) => {
+                if wire.len() < 16 {
+                    return Err("CBC record shorter than IV".into());
+                }
+                let mut iv = [0u8; 16];
+                iv.copy_from_slice(&wire[..16]);
+                cbc_decrypt(aes, &iv, &wire[16..]).map_err(|e| e.to_string())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_discriminants_roundtrip() {
+        for s in CipherSuite::all() {
+            assert_eq!(CipherSuite::from_u32(s as u32), Some(s));
+        }
+        assert_eq!(CipherSuite::from_u32(0), None);
+        assert_eq!(CipherSuite::from_u32(99), None);
+    }
+
+    #[test]
+    fn seal_open_roundtrip_all_suites() {
+        let mut rng = rand::thread_rng();
+        for suite in CipherSuite::all() {
+            let key = vec![0x42u8; suite.key_len()];
+            let mut tx = suite.new_state(&key);
+            let mut rx = suite.new_state(&key);
+            for len in [0usize, 1, 20, 100, 32 * 1024] {
+                let plain: Vec<u8> = (0..len).map(|i| (i % 256) as u8).collect();
+                let wire = tx.seal(plain.clone(), &mut rng);
+                let back = rx.open(wire).unwrap();
+                assert_eq!(back, plain, "suite {suite:?} len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn null_suite_does_not_hide_plaintext() {
+        let mut st = CipherSuite::NullSha1.new_state(&[]);
+        let wire = st.seal(b"visible".to_vec(), &mut rand::thread_rng());
+        assert_eq!(wire, b"visible");
+    }
+
+    #[test]
+    fn encrypting_suites_hide_plaintext() {
+        let mut rng = rand::thread_rng();
+        for suite in [CipherSuite::Rc4_128Sha1, CipherSuite::Aes256CbcSha1] {
+            let key = vec![7u8; suite.key_len()];
+            let mut st = suite.new_state(&key);
+            let plain = b"secret grid data secret grid data".to_vec();
+            let wire = st.seal(plain.clone(), &mut rng);
+            assert!(!wire.windows(8).any(|w| w == &plain[..8]), "{suite:?} leaked plaintext");
+        }
+    }
+
+    #[test]
+    fn short_cbc_record_rejected() {
+        let mut st = CipherSuite::Aes256CbcSha1.new_state(&[0u8; 32]);
+        assert!(st.open(vec![1, 2, 3]).is_err());
+    }
+}

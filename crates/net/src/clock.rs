@@ -1,0 +1,167 @@
+//! The hybrid real+virtual clock used to time all experiments.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How [`SimClock::advance`] realizes delays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockMode {
+    /// Add the delay to a virtual offset — experiments finish fast while
+    /// reporting wide-area timings. The default for benchmarks.
+    Virtual,
+    /// Actually sleep — used by integration tests that verify the emulated
+    /// link produces real wall-clock delays.
+    RealSleep,
+}
+
+/// A monotonically increasing clock shared by every component of one
+/// emulated testbed (client host, server host, and the WAN link).
+///
+/// `now()` is real elapsed time since construction *plus* all virtual time
+/// added by the link emulation, so a benchmark's `clock.now()` difference
+/// is exactly what a wall clock would have read on the paper's physical
+/// testbed (CPU costs real, network latency emulated).
+pub struct SimClock {
+    origin: Instant,
+    virtual_ns: AtomicU64,
+    mode: ClockMode,
+}
+
+impl SimClock {
+    /// New clock in [`ClockMode::Virtual`].
+    pub fn new() -> Arc<Self> {
+        Self::with_mode(ClockMode::Virtual)
+    }
+
+    /// New clock with an explicit mode.
+    pub fn with_mode(mode: ClockMode) -> Arc<Self> {
+        Arc::new(Self { origin: Instant::now(), virtual_ns: AtomicU64::new(0), mode })
+    }
+
+    /// Current simulated time since construction.
+    pub fn now(&self) -> Duration {
+        self.origin.elapsed() + Duration::from_nanos(self.virtual_ns.load(Ordering::Acquire))
+    }
+
+    /// Total virtual (network-emulated) time accumulated so far.
+    pub fn virtual_time(&self) -> Duration {
+        Duration::from_nanos(self.virtual_ns.load(Ordering::Acquire))
+    }
+
+    /// Advance the clock by `d` — the link emulation calls this for pure
+    /// delays that cannot overlap with anything (e.g. sender-side charging
+    /// over real TCP where no arrival stamp can ride the socket).
+    pub fn advance(&self, d: Duration) {
+        match self.mode {
+            ClockMode::Virtual => {
+                self.virtual_ns.fetch_add(d.as_nanos() as u64, Ordering::AcqRel);
+            }
+            ClockMode::RealSleep => std::thread::sleep(d),
+        }
+    }
+
+    /// Block (or fast-forward) until `now() >= t`.
+    ///
+    /// This is the receiver-side arrival gate: messages are stamped with an
+    /// arrival time at send; the receiver calls this before consuming them.
+    /// Stamping-then-gating (rather than charging the sender) means
+    /// back-to-back messages overlap their latencies exactly as they would
+    /// on a real pipelined link.
+    pub fn wait_until(&self, t: Duration) {
+        match self.mode {
+            ClockMode::Virtual => loop {
+                let now = self.now();
+                if now >= t {
+                    return;
+                }
+                let need = (t - now).as_nanos() as u64;
+                // Racing threads may each add; use CAS so total never
+                // overshoots beyond what the latest observation required.
+                let cur = self.virtual_ns.load(Ordering::Acquire);
+                if self
+                    .virtual_ns
+                    .compare_exchange(cur, cur + need, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    return;
+                }
+            },
+            ClockMode::RealSleep => {
+                let now = self.now();
+                if t > now {
+                    std::thread::sleep(t - now);
+                }
+            }
+        }
+    }
+
+    /// The mode this clock was built with.
+    pub fn mode(&self) -> ClockMode {
+        self.mode
+    }
+}
+
+impl std::fmt::Debug for SimClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimClock")
+            .field("now", &self.now())
+            .field("virtual", &self.virtual_time())
+            .field("mode", &self.mode)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_advance_is_instant() {
+        let clock = SimClock::new();
+        let wall = Instant::now();
+        clock.advance(Duration::from_secs(100));
+        assert!(wall.elapsed() < Duration::from_secs(1));
+        assert!(clock.now() >= Duration::from_secs(100));
+        assert_eq!(clock.virtual_time(), Duration::from_secs(100));
+    }
+
+    #[test]
+    fn wait_until_fast_forwards() {
+        let clock = SimClock::new();
+        clock.wait_until(Duration::from_millis(500));
+        assert!(clock.now() >= Duration::from_millis(500));
+        // Waiting for a past time is a no-op.
+        let v = clock.virtual_time();
+        clock.wait_until(Duration::from_millis(1));
+        assert_eq!(clock.virtual_time(), v);
+    }
+
+    #[test]
+    fn real_sleep_mode_sleeps() {
+        let clock = SimClock::with_mode(ClockMode::RealSleep);
+        let wall = Instant::now();
+        clock.advance(Duration::from_millis(30));
+        assert!(wall.elapsed() >= Duration::from_millis(30));
+        assert_eq!(clock.virtual_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn concurrent_wait_until_converges() {
+        let clock = SimClock::new();
+        let c2 = clock.clone();
+        let t = std::thread::spawn(move || {
+            for i in 1..=100 {
+                c2.wait_until(Duration::from_millis(i * 10));
+            }
+        });
+        for i in 1..=100 {
+            clock.wait_until(Duration::from_millis(i * 10));
+        }
+        t.join().unwrap();
+        // Both threads waited for the same targets; virtual time should be
+        // close to the max target (1s), not the sum (2s+).
+        assert!(clock.virtual_time() <= Duration::from_millis(1100));
+        assert!(clock.now() >= Duration::from_secs(1));
+    }
+}

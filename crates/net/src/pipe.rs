@@ -1,0 +1,365 @@
+//! In-memory duplex byte streams, optionally routed over an emulated link.
+
+use crate::clock::SimClock;
+use crate::link::Link;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A chunk in flight, stamped with its emulated arrival time.
+struct Msg {
+    arrive_at: Duration,
+    data: Vec<u8>,
+}
+
+/// One direction of the pipe: a bounded-by-courtesy queue plus EOF flag.
+struct Channel {
+    state: Mutex<ChannelState>,
+    cond: Condvar,
+}
+
+#[derive(Default)]
+struct ChannelState {
+    queue: VecDeque<Msg>,
+    closed: bool,
+}
+
+impl Channel {
+    fn new() -> Arc<Self> {
+        Arc::new(Self { state: Mutex::new(ChannelState::default()), cond: Condvar::new() })
+    }
+
+    fn push(&self, msg: Msg) -> io::Result<()> {
+        let mut st = self.state.lock();
+        if st.closed {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "pipe closed"));
+        }
+        st.queue.push_back(msg);
+        self.cond.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop; `None` at EOF.
+    fn pop(&self) -> Option<Msg> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(m) = st.queue.pop_front() {
+                return Some(m);
+            }
+            if st.closed {
+                return None;
+            }
+            self.cond.wait(&mut st);
+        }
+    }
+
+    fn close(&self) {
+        let mut st = self.state.lock();
+        st.closed = true;
+        self.cond.notify_all();
+    }
+}
+
+/// One endpoint of an in-memory duplex pipe.
+///
+/// Implements `Read`/`Write`; reads block until data or EOF. When built
+/// over a [`Link`], each written chunk is stamped with its arrival time and
+/// the reader fast-forwards (or sleeps, in real-sleep mode) the shared
+/// clock to that time before consuming it.
+pub struct PipeEnd {
+    incoming: Arc<Channel>,
+    outgoing: Arc<Channel>,
+    /// Link this endpoint transmits over, with its direction index.
+    link: Option<(Arc<Link>, usize)>,
+    clock: Option<Arc<SimClock>>,
+    /// Partially consumed incoming message.
+    readbuf: Vec<u8>,
+    readpos: usize,
+}
+
+/// Create a connected pair of pipe endpoints with no link emulation
+/// (an ideal local transport, e.g. proxy ↔ kernel server on one host).
+pub fn pipe_pair() -> (PipeEnd, PipeEnd) {
+    build_pair(None)
+}
+
+/// Create a connected pair routed across an emulated WAN link.
+///
+/// The first endpoint is the "client host" side (transmits in direction 0),
+/// the second the "server host" side (direction 1).
+pub fn pipe_pair_over_link(link: Arc<Link>) -> (PipeEnd, PipeEnd) {
+    build_pair(Some(link))
+}
+
+fn build_pair(link: Option<Arc<Link>>) -> (PipeEnd, PipeEnd) {
+    let a_to_b = Channel::new();
+    let b_to_a = Channel::new();
+    let clock = link.as_ref().map(|l| l.clock().clone());
+    let a = PipeEnd {
+        incoming: b_to_a.clone(),
+        outgoing: a_to_b.clone(),
+        link: link.as_ref().map(|l| (l.clone(), 0)),
+        clock: clock.clone(),
+        readbuf: Vec::new(),
+        readpos: 0,
+    };
+    let b = PipeEnd {
+        incoming: a_to_b,
+        outgoing: b_to_a,
+        link: link.map(|l| (l, 1)),
+        clock,
+        readbuf: Vec::new(),
+        readpos: 0,
+    };
+    (a, b)
+}
+
+/// The read half of a split [`PipeEnd`].
+pub struct PipeReader {
+    incoming: Arc<Channel>,
+    clock: Option<Arc<SimClock>>,
+    readbuf: Vec<u8>,
+    readpos: usize,
+}
+
+/// The write half of a split [`PipeEnd`].
+pub struct PipeWriter {
+    outgoing: Arc<Channel>,
+    link: Option<(Arc<Link>, usize)>,
+}
+
+impl PipeEnd {
+    /// Split into independently owned read and write halves, so one
+    /// thread can block reading while another writes (the tunnel
+    /// forwarders need this).
+    pub fn split(self) -> (PipeReader, PipeWriter) {
+        let this = std::mem::ManuallyDrop::new(self);
+        // Safety: `this` is never dropped; each field is moved out
+        // exactly once.
+        unsafe {
+            let incoming = std::ptr::read(&this.incoming);
+            let outgoing = std::ptr::read(&this.outgoing);
+            let link = std::ptr::read(&this.link);
+            let clock = std::ptr::read(&this.clock);
+            let readbuf = std::ptr::read(&this.readbuf);
+            let readpos = this.readpos;
+            (
+                PipeReader { incoming, clock, readbuf, readpos },
+                PipeWriter { outgoing, link },
+            )
+        }
+    }
+}
+
+impl Read for PipeReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        while self.readpos == self.readbuf.len() {
+            match self.incoming.pop() {
+                Some(msg) => {
+                    if let Some(clock) = &self.clock {
+                        clock.wait_until(msg.arrive_at);
+                    }
+                    self.readbuf = msg.data;
+                    self.readpos = 0;
+                }
+                None => return Ok(0),
+            }
+        }
+        let n = buf.len().min(self.readbuf.len() - self.readpos);
+        buf[..n].copy_from_slice(&self.readbuf[self.readpos..self.readpos + n]);
+        self.readpos += n;
+        Ok(n)
+    }
+}
+
+impl Write for PipeWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let arrive_at = match &self.link {
+            Some((link, dir)) => link.stamp_send(*dir, buf.len()),
+            None => Duration::ZERO,
+        };
+        self.outgoing.push(Msg { arrive_at, data: buf.to_vec() })?;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Drop for PipeReader {
+    fn drop(&mut self) {
+        self.incoming.close();
+    }
+}
+
+impl Drop for PipeWriter {
+    fn drop(&mut self) {
+        self.outgoing.close();
+    }
+}
+
+impl Read for PipeEnd {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        while self.readpos == self.readbuf.len() {
+            match self.incoming.pop() {
+                Some(msg) => {
+                    if let Some(clock) = &self.clock {
+                        clock.wait_until(msg.arrive_at);
+                    }
+                    self.readbuf = msg.data;
+                    self.readpos = 0;
+                }
+                None => return Ok(0), // EOF
+            }
+        }
+        let n = buf.len().min(self.readbuf.len() - self.readpos);
+        buf[..n].copy_from_slice(&self.readbuf[self.readpos..self.readpos + n]);
+        self.readpos += n;
+        Ok(n)
+    }
+}
+
+impl Write for PipeEnd {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let arrive_at = match &self.link {
+            Some((link, dir)) => link.stamp_send(*dir, buf.len()),
+            None => Duration::ZERO,
+        };
+        self.outgoing.push(Msg { arrive_at, data: buf.to_vec() })?;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Drop for PipeEnd {
+    fn drop(&mut self) {
+        self.outgoing.close();
+        // Also wake any reader blocked on our incoming side so a dropped
+        // peer is observed promptly.
+        self.incoming.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkSpec;
+    use std::io::{Read, Write};
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let (mut a, mut b) = pipe_pair();
+        a.write_all(b"hello world").unwrap();
+        let mut buf = [0u8; 11];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hello world");
+    }
+
+    #[test]
+    fn reads_can_split_messages() {
+        let (mut a, mut b) = pipe_pair();
+        a.write_all(&[1, 2, 3, 4, 5, 6]).unwrap();
+        let mut buf = [0u8; 4];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 3, 4]);
+        let mut buf2 = [0u8; 2];
+        b.read_exact(&mut buf2).unwrap();
+        assert_eq!(buf2, [5, 6]);
+    }
+
+    #[test]
+    fn reads_can_join_messages() {
+        let (mut a, mut b) = pipe_pair();
+        a.write_all(&[1, 2]).unwrap();
+        a.write_all(&[3, 4]).unwrap();
+        let mut buf = [0u8; 4];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn eof_on_peer_drop() {
+        let (a, mut b) = pipe_pair();
+        drop(a);
+        let mut buf = [0u8; 8];
+        assert_eq!(b.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn write_to_closed_pipe_fails() {
+        let (mut a, b) = pipe_pair();
+        drop(b);
+        assert!(a.write_all(b"x").is_err());
+    }
+
+    #[test]
+    fn blocking_read_across_threads() {
+        let (mut a, mut b) = pipe_pair();
+        let t = std::thread::spawn(move || {
+            let mut buf = [0u8; 5];
+            b.read_exact(&mut buf).unwrap();
+            buf
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        a.write_all(b"async").unwrap();
+        assert_eq!(&t.join().unwrap(), b"async");
+    }
+
+    #[test]
+    fn link_charges_virtual_latency() {
+        let clock = SimClock::new();
+        let link = Link::new(LinkSpec::wan_rtt(Duration::from_millis(40)), clock.clone());
+        let (mut a, mut b) = pipe_pair_over_link(link);
+        a.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        b.read_exact(&mut buf).unwrap();
+        // One-way latency charged to the shared virtual clock.
+        assert!(clock.now() >= Duration::from_millis(20));
+        b.write_all(b"pong").unwrap();
+        a.read_exact(&mut buf).unwrap();
+        assert!(clock.now() >= Duration::from_millis(40), "full RTT after reply");
+    }
+
+    #[test]
+    fn round_trips_accumulate_rtt() {
+        let clock = SimClock::new();
+        let link = Link::new(LinkSpec::wan_rtt(Duration::from_millis(10)), clock.clone());
+        let (mut a, mut b) = pipe_pair_over_link(link);
+        let server = std::thread::spawn(move || {
+            let mut buf = [0u8; 1];
+            for _ in 0..50 {
+                b.read_exact(&mut buf).unwrap();
+                b.write_all(&buf).unwrap();
+            }
+        });
+        let mut buf = [0u8; 1];
+        for i in 0..50u8 {
+            a.write_all(&[i]).unwrap();
+            a.read_exact(&mut buf).unwrap();
+            assert_eq!(buf[0], i);
+        }
+        server.join().unwrap();
+        // 50 sequential round trips at 10ms RTT = 500ms of simulated time
+        // (real CPU time substitutes for part of the virtual offset).
+        assert!(clock.now() >= Duration::from_millis(500));
+        assert!(clock.now() < Duration::from_millis(600));
+    }
+}

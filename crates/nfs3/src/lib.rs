@@ -1,0 +1,21 @@
+//! NFS version 3 protocol (RFC 1813): types, XDR codecs, and client stubs.
+//!
+//! This crate is the shared protocol vocabulary of the whole stack: the
+//! user-level NFS server (`sgfs-nfsd`), the kernel-client stand-in
+//! (`sgfs-nfsclient`), and the SGFS proxies (which decode, inspect,
+//! rewrite, and re-encode these messages in flight) all speak it.
+//!
+//! All 21 NFSv3 procedures are covered. [`client::Nfs3Client`] provides a
+//! typed stub per procedure over any [`sgfs_oncrpc::RpcClient`] transport.
+
+pub mod client;
+pub mod proc;
+pub mod types;
+
+pub use client::{Nfs3Client, Nfs3Error};
+pub use types::*;
+
+/// The NFS program number.
+pub const NFS_PROGRAM: u32 = 100003;
+/// The protocol version this crate implements.
+pub const NFS_VERSION: u32 = 3;

@@ -1,0 +1,573 @@
+//! NFSv3 wire types and their XDR codecs.
+
+use sgfs_vfs::{FileAttr, FileKind, VfsError};
+use sgfs_xdr::{XdrDecode, XdrDecoder, XdrEncode, XdrEncoder, XdrError, XdrResult};
+
+/// Maximum file handle size (RFC 1813 NFS3_FHSIZE).
+pub const FHSIZE: u32 = 64;
+
+/// NFSv3 status codes (subset the stack produces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum NfsStat3 {
+    /// Success.
+    Ok = 0,
+    /// Not owner.
+    Perm = 1,
+    /// No such file or directory.
+    NoEnt = 2,
+    /// I/O error.
+    Io = 5,
+    /// Permission denied.
+    Acces = 13,
+    /// File exists.
+    Exist = 17,
+    /// No such device.
+    NoDev = 19,
+    /// Not a directory.
+    NotDir = 20,
+    /// Is a directory.
+    IsDir = 21,
+    /// Invalid argument.
+    Inval = 22,
+    /// File too large.
+    FBig = 27,
+    /// No space left.
+    NoSpc = 28,
+    /// Read-only filesystem.
+    Rofs = 30,
+    /// Name too long.
+    NameTooLong = 63,
+    /// Directory not empty.
+    NotEmpty = 66,
+    /// Stale file handle.
+    Stale = 70,
+    /// Operation not supported.
+    NotSupp = 10004,
+    /// Server fault.
+    ServerFault = 10006,
+}
+
+impl NfsStat3 {
+    /// Decode from the wire.
+    pub fn from_u32(v: u32) -> XdrResult<Self> {
+        Ok(match v {
+            0 => NfsStat3::Ok,
+            1 => NfsStat3::Perm,
+            2 => NfsStat3::NoEnt,
+            5 => NfsStat3::Io,
+            13 => NfsStat3::Acces,
+            17 => NfsStat3::Exist,
+            19 => NfsStat3::NoDev,
+            20 => NfsStat3::NotDir,
+            21 => NfsStat3::IsDir,
+            22 => NfsStat3::Inval,
+            27 => NfsStat3::FBig,
+            28 => NfsStat3::NoSpc,
+            30 => NfsStat3::Rofs,
+            63 => NfsStat3::NameTooLong,
+            66 => NfsStat3::NotEmpty,
+            70 => NfsStat3::Stale,
+            10004 => NfsStat3::NotSupp,
+            10006 => NfsStat3::ServerFault,
+            other => return Err(XdrError::InvalidEnum { what: "nfsstat3", value: other }),
+        })
+    }
+}
+
+impl From<VfsError> for NfsStat3 {
+    fn from(e: VfsError) -> Self {
+        match e {
+            VfsError::NotFound => NfsStat3::NoEnt,
+            VfsError::NotDir => NfsStat3::NotDir,
+            VfsError::IsDir => NfsStat3::IsDir,
+            VfsError::Exists => NfsStat3::Exist,
+            VfsError::NotEmpty => NfsStat3::NotEmpty,
+            VfsError::Access => NfsStat3::Acces,
+            VfsError::Stale => NfsStat3::Stale,
+            VfsError::Inval => NfsStat3::Inval,
+            VfsError::NameTooLong => NfsStat3::NameTooLong,
+            VfsError::NotSupp => NfsStat3::NotSupp,
+        }
+    }
+}
+
+impl XdrEncode for NfsStat3 {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_u32(*self as u32);
+    }
+}
+
+impl XdrDecode for NfsStat3 {
+    fn decode(dec: &mut XdrDecoder<'_>) -> XdrResult<Self> {
+        NfsStat3::from_u32(dec.get_u32()?)
+    }
+}
+
+/// An opaque file handle.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fh3(pub Vec<u8>);
+
+impl Fh3 {
+    /// Build a handle from an inode number and filesystem id.
+    pub fn from_ino(fsid: u64, ino: u64) -> Self {
+        let mut v = Vec::with_capacity(16);
+        v.extend_from_slice(&fsid.to_be_bytes());
+        v.extend_from_slice(&ino.to_be_bytes());
+        Fh3(v)
+    }
+
+    /// Recover `(fsid, ino)` from a handle built by [`from_ino`](Self::from_ino).
+    pub fn to_ino(&self) -> Option<(u64, u64)> {
+        if self.0.len() != 16 {
+            return None;
+        }
+        let fsid = u64::from_be_bytes(self.0[..8].try_into().ok()?);
+        let ino = u64::from_be_bytes(self.0[8..].try_into().ok()?);
+        Some((fsid, ino))
+    }
+}
+
+impl XdrEncode for Fh3 {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_opaque(&self.0);
+    }
+}
+
+impl XdrDecode for Fh3 {
+    fn decode(dec: &mut XdrDecoder<'_>) -> XdrResult<Self> {
+        Ok(Fh3(dec.get_opaque_max(FHSIZE)?))
+    }
+}
+
+/// NFS time: seconds + nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, PartialOrd, Ord)]
+pub struct NfsTime3 {
+    /// Seconds.
+    pub seconds: u32,
+    /// Nanoseconds.
+    pub nseconds: u32,
+}
+
+impl NfsTime3 {
+    /// From a nanosecond counter.
+    pub fn from_nanos(nanos: u64) -> Self {
+        Self { seconds: (nanos / 1_000_000_000) as u32, nseconds: (nanos % 1_000_000_000) as u32 }
+    }
+
+    /// Back to nanoseconds.
+    pub fn as_nanos(&self) -> u64 {
+        self.seconds as u64 * 1_000_000_000 + self.nseconds as u64
+    }
+}
+
+impl XdrEncode for NfsTime3 {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_u32(self.seconds);
+        enc.put_u32(self.nseconds);
+    }
+}
+
+impl XdrDecode for NfsTime3 {
+    fn decode(dec: &mut XdrDecoder<'_>) -> XdrResult<Self> {
+        Ok(Self { seconds: dec.get_u32()?, nseconds: dec.get_u32()? })
+    }
+}
+
+/// File type (ftype3). Device/socket/fifo types exist on the wire but the
+/// stack never creates them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum FType3 {
+    /// Regular file.
+    Reg = 1,
+    /// Directory.
+    Dir = 2,
+    /// Symbolic link.
+    Lnk = 5,
+}
+
+impl From<FileKind> for FType3 {
+    fn from(k: FileKind) -> Self {
+        match k {
+            FileKind::Regular => FType3::Reg,
+            FileKind::Directory => FType3::Dir,
+            FileKind::Symlink => FType3::Lnk,
+        }
+    }
+}
+
+impl FType3 {
+    /// Back to the VFS kind.
+    pub fn to_kind(self) -> FileKind {
+        match self {
+            FType3::Reg => FileKind::Regular,
+            FType3::Dir => FileKind::Directory,
+            FType3::Lnk => FileKind::Symlink,
+        }
+    }
+}
+
+/// File attributes (fattr3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fattr3 {
+    /// File type.
+    pub ftype: FType3,
+    /// Permission bits.
+    pub mode: u32,
+    /// Hard link count.
+    pub nlink: u32,
+    /// Owner uid.
+    pub uid: u32,
+    /// Owner gid.
+    pub gid: u32,
+    /// Size in bytes.
+    pub size: u64,
+    /// Bytes actually used.
+    pub used: u64,
+    /// Filesystem id.
+    pub fsid: u64,
+    /// File id (inode number).
+    pub fileid: u64,
+    /// Access time.
+    pub atime: NfsTime3,
+    /// Modification time.
+    pub mtime: NfsTime3,
+    /// Change time.
+    pub ctime: NfsTime3,
+}
+
+impl Fattr3 {
+    /// Convert from a VFS attribute record.
+    pub fn from_vfs(a: &FileAttr, fsid: u64) -> Self {
+        Self {
+            ftype: a.kind.into(),
+            mode: a.mode,
+            nlink: a.nlink,
+            uid: a.uid,
+            gid: a.gid,
+            size: a.size,
+            used: a.size,
+            fsid,
+            fileid: a.ino,
+            atime: NfsTime3::from_nanos(a.atime),
+            mtime: NfsTime3::from_nanos(a.mtime),
+            ctime: NfsTime3::from_nanos(a.ctime),
+        }
+    }
+}
+
+impl XdrEncode for Fattr3 {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_u32(self.ftype as u32);
+        enc.put_u32(self.mode);
+        enc.put_u32(self.nlink);
+        enc.put_u32(self.uid);
+        enc.put_u32(self.gid);
+        enc.put_u64(self.size);
+        enc.put_u64(self.used);
+        enc.put_u64(0); // rdev (specdata3: two u32s)
+        enc.put_u64(self.fsid);
+        enc.put_u64(self.fileid);
+        self.atime.encode(enc);
+        self.mtime.encode(enc);
+        self.ctime.encode(enc);
+    }
+}
+
+impl XdrDecode for Fattr3 {
+    fn decode(dec: &mut XdrDecoder<'_>) -> XdrResult<Self> {
+        let ftype = match dec.get_u32()? {
+            1 => FType3::Reg,
+            2 => FType3::Dir,
+            5 => FType3::Lnk,
+            other => return Err(XdrError::InvalidEnum { what: "ftype3", value: other }),
+        };
+        let mode = dec.get_u32()?;
+        let nlink = dec.get_u32()?;
+        let uid = dec.get_u32()?;
+        let gid = dec.get_u32()?;
+        let size = dec.get_u64()?;
+        let used = dec.get_u64()?;
+        let _rdev = dec.get_u64()?;
+        let fsid = dec.get_u64()?;
+        let fileid = dec.get_u64()?;
+        Ok(Self {
+            ftype,
+            mode,
+            nlink,
+            uid,
+            gid,
+            size,
+            used,
+            fsid,
+            fileid,
+            atime: NfsTime3::decode(dec)?,
+            mtime: NfsTime3::decode(dec)?,
+            ctime: NfsTime3::decode(dec)?,
+        })
+    }
+}
+
+/// Optional post-operation attributes.
+pub type PostOpAttr = Option<Fattr3>;
+
+/// Pre-operation attributes (wcc_attr).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WccAttr {
+    /// Size before the operation.
+    pub size: u64,
+    /// mtime before the operation.
+    pub mtime: NfsTime3,
+    /// ctime before the operation.
+    pub ctime: NfsTime3,
+}
+
+impl XdrEncode for WccAttr {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_u64(self.size);
+        self.mtime.encode(enc);
+        self.ctime.encode(enc);
+    }
+}
+
+impl XdrDecode for WccAttr {
+    fn decode(dec: &mut XdrDecoder<'_>) -> XdrResult<Self> {
+        Ok(Self {
+            size: dec.get_u64()?,
+            mtime: NfsTime3::decode(dec)?,
+            ctime: NfsTime3::decode(dec)?,
+        })
+    }
+}
+
+/// Weak cache-consistency data.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WccData {
+    /// Attributes before.
+    pub before: Option<WccAttr>,
+    /// Attributes after.
+    pub after: PostOpAttr,
+}
+
+impl XdrEncode for WccData {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        self.before.encode(enc);
+        self.after.encode(enc);
+    }
+}
+
+impl XdrDecode for WccData {
+    fn decode(dec: &mut XdrDecoder<'_>) -> XdrResult<Self> {
+        Ok(Self { before: Option::decode(dec)?, after: Option::decode(dec)? })
+    }
+}
+
+/// Settable attributes (sattr3).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Sattr3 {
+    /// New mode.
+    pub mode: Option<u32>,
+    /// New uid.
+    pub uid: Option<u32>,
+    /// New gid.
+    pub gid: Option<u32>,
+    /// New size (truncate/extend).
+    pub size: Option<u64>,
+    /// New atime.
+    pub atime: Option<NfsTime3>,
+    /// New mtime.
+    pub mtime: Option<NfsTime3>,
+}
+
+impl Sattr3 {
+    /// Convert to the VFS setattr request.
+    pub fn to_vfs(&self) -> sgfs_vfs::SetAttrs {
+        sgfs_vfs::SetAttrs {
+            mode: self.mode,
+            uid: self.uid,
+            gid: self.gid,
+            size: self.size,
+            atime: self.atime.map(|t| t.as_nanos()),
+            mtime: self.mtime.map(|t| t.as_nanos()),
+        }
+    }
+}
+
+impl XdrEncode for Sattr3 {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        self.mode.encode(enc);
+        self.uid.encode(enc);
+        self.gid.encode(enc);
+        self.size.encode(enc);
+        self.atime.encode(enc);
+        self.mtime.encode(enc);
+    }
+}
+
+impl XdrDecode for Sattr3 {
+    fn decode(dec: &mut XdrDecoder<'_>) -> XdrResult<Self> {
+        Ok(Self {
+            mode: Option::decode(dec)?,
+            uid: Option::decode(dec)?,
+            gid: Option::decode(dec)?,
+            size: Option::decode(dec)?,
+            atime: Option::decode(dec)?,
+            mtime: Option::decode(dec)?,
+        })
+    }
+}
+
+/// Directory operation argument: parent handle + name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirOpArgs3 {
+    /// Parent directory handle.
+    pub dir: Fh3,
+    /// Entry name.
+    pub name: String,
+}
+
+impl XdrEncode for DirOpArgs3 {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        self.dir.encode(enc);
+        enc.put_string(&self.name);
+    }
+}
+
+impl XdrDecode for DirOpArgs3 {
+    fn decode(dec: &mut XdrDecoder<'_>) -> XdrResult<Self> {
+        Ok(Self { dir: Fh3::decode(dec)?, name: dec.get_string_max(255)? })
+    }
+}
+
+/// WRITE stability levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum StableHow {
+    /// May be cached by the server (needs COMMIT).
+    Unstable = 0,
+    /// Data must be durable before replying.
+    DataSync = 1,
+    /// Data and metadata durable before replying.
+    FileSync = 2,
+}
+
+impl XdrEncode for StableHow {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_u32(*self as u32);
+    }
+}
+
+impl XdrDecode for StableHow {
+    fn decode(dec: &mut XdrDecoder<'_>) -> XdrResult<Self> {
+        Ok(match dec.get_u32()? {
+            0 => StableHow::Unstable,
+            1 => StableHow::DataSync,
+            2 => StableHow::FileSync,
+            other => return Err(XdrError::InvalidEnum { what: "stable_how", value: other }),
+        })
+    }
+}
+
+/// One READDIR entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry3 {
+    /// File id.
+    pub fileid: u64,
+    /// Name.
+    pub name: String,
+    /// Resume cookie.
+    pub cookie: u64,
+}
+
+/// One READDIRPLUS entry (entry + attributes + handle).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntryPlus3 {
+    /// File id.
+    pub fileid: u64,
+    /// Name.
+    pub name: String,
+    /// Resume cookie.
+    pub cookie: u64,
+    /// Attributes, when the server supplies them.
+    pub attr: PostOpAttr,
+    /// Handle, when the server supplies it.
+    pub handle: Option<Fh3>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fh_roundtrip() {
+        let fh = Fh3::from_ino(7, 42);
+        assert_eq!(fh.to_ino(), Some((7, 42)));
+        let back = Fh3::from_xdr_bytes(&fh.to_xdr_bytes()).unwrap();
+        assert_eq!(back, fh);
+    }
+
+    #[test]
+    fn fh_size_limit() {
+        let mut enc = XdrEncoder::new();
+        enc.put_opaque(&vec![0u8; 65]);
+        assert!(Fh3::from_xdr_bytes(&enc.into_bytes()).is_err());
+    }
+
+    #[test]
+    fn fattr_roundtrip() {
+        let a = Fattr3 {
+            ftype: FType3::Reg,
+            mode: 0o644,
+            nlink: 2,
+            uid: 1000,
+            gid: 100,
+            size: 12345,
+            used: 12345,
+            fsid: 1,
+            fileid: 99,
+            atime: NfsTime3::from_nanos(1_500_000_001),
+            mtime: NfsTime3::from_nanos(2_500_000_002),
+            ctime: NfsTime3::from_nanos(3_500_000_003),
+        };
+        assert_eq!(Fattr3::from_xdr_bytes(&a.to_xdr_bytes()).unwrap(), a);
+    }
+
+    #[test]
+    fn time_conversion() {
+        let t = NfsTime3::from_nanos(5_123_456_789);
+        assert_eq!(t.seconds, 5);
+        assert_eq!(t.nseconds, 123_456_789);
+        assert_eq!(t.as_nanos(), 5_123_456_789);
+    }
+
+    #[test]
+    fn sattr_roundtrip() {
+        let s = Sattr3 {
+            mode: Some(0o600),
+            uid: None,
+            gid: Some(5),
+            size: Some(0),
+            atime: None,
+            mtime: Some(NfsTime3 { seconds: 9, nseconds: 1 }),
+        };
+        assert_eq!(Sattr3::from_xdr_bytes(&s.to_xdr_bytes()).unwrap(), s);
+    }
+
+    #[test]
+    fn wcc_roundtrip() {
+        let w = WccData {
+            before: Some(WccAttr { size: 5, mtime: NfsTime3::default(), ctime: NfsTime3::default() }),
+            after: None,
+        };
+        assert_eq!(WccData::from_xdr_bytes(&w.to_xdr_bytes()).unwrap(), w);
+    }
+
+    #[test]
+    fn stat_mapping_from_vfs() {
+        assert_eq!(NfsStat3::from(VfsError::NotFound), NfsStat3::NoEnt);
+        assert_eq!(NfsStat3::from(VfsError::Access), NfsStat3::Acces);
+        assert_eq!(NfsStat3::from(VfsError::Stale), NfsStat3::Stale);
+        assert_eq!(NfsStat3::from(VfsError::NotEmpty), NfsStat3::NotEmpty);
+    }
+}

@@ -1,0 +1,56 @@
+//! A user-level NFSv3 client with kernel-client caching semantics.
+//!
+//! This is the testbed's stand-in for the Linux kernel NFS client: it
+//! exposes a POSIX-style file API (`open`/`read`/`write`/`close`/`stat`/
+//! `readdir`/...) to the workloads, and underneath drives NFSv3 RPCs with
+//! the caching behaviour the paper's baselines exhibit:
+//!
+//! * a bounded **memory buffer cache** with LRU replacement ("kernel NFS
+//!   implementations use only memory for caching" — the IOzone experiment
+//!   sizes the file at 2× this cache so sequential rereads miss);
+//! * an **attribute cache** with adaptive min/max timeouts and
+//!   revalidation ("revalidate the cached data when the file is reopened
+//!   or its attributes have timed out");
+//! * **close-to-open consistency**: GETATTR on open, flush + COMMIT on
+//!   close;
+//! * **write-back** of dirty pages (32 KB wsize, UNSTABLE writes followed
+//!   by COMMIT).
+//!
+//! The same client is used in every experimental setup; what changes
+//! between `nfs-v3`, `gfs`, `sgfs-*` and `gfs-ssh` is the transport stack
+//! beneath it.
+
+mod cache;
+mod mount;
+
+pub use cache::{AttrCache, PageCache};
+pub use mount::{Fd, MountOptions, NfsMount, OpenFlags};
+
+/// Errors surfaced by the client API.
+#[derive(Debug)]
+pub enum FsError {
+    /// NFS-level failure.
+    Nfs(sgfs_nfs3::Nfs3Error),
+    /// Local misuse (bad fd, bad path, read on write-only fd, ...).
+    Usage(String),
+}
+
+impl std::fmt::Display for FsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsError::Nfs(e) => write!(f, "{e}"),
+            FsError::Usage(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+impl From<sgfs_nfs3::Nfs3Error> for FsError {
+    fn from(e: sgfs_nfs3::Nfs3Error) -> Self {
+        FsError::Nfs(e)
+    }
+}
+
+/// Result alias for the client API.
+pub type FsResult<T> = Result<T, FsError>;

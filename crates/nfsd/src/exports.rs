@@ -1,0 +1,148 @@
+//! The exports table — the kernel `/etc/exports` analog.
+//!
+//! Per the paper's deployment model (§5), the host-wide exports file needs
+//! only one entry: the grid-accessible tree (e.g. `/GFS`), exported to
+//! localhost so that only the server-side proxy can reach the kernel
+//! server directly.
+
+/// One export: a path and the hosts allowed to mount it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExportEntry {
+    /// Exported directory path within the VFS.
+    pub path: String,
+    /// Host patterns allowed to mount (exact match or `"*"`).
+    pub hosts: Vec<String>,
+    /// Whether root (uid 0) credentials are squashed to nobody.
+    pub root_squash: bool,
+    /// Read-only export.
+    pub read_only: bool,
+}
+
+impl ExportEntry {
+    /// Export `path` to exactly `host`, squashing root, read-write.
+    pub fn to_host(path: &str, host: &str) -> Self {
+        Self { path: path.into(), hosts: vec![host.into()], root_squash: true, read_only: false }
+    }
+
+    /// Export `path` to localhost only — the paper's deployment.
+    pub fn localhost(path: &str) -> Self {
+        Self::to_host(path, "localhost")
+    }
+
+    fn allows(&self, host: &str) -> bool {
+        self.hosts.iter().any(|h| h == "*" || h == host)
+    }
+}
+
+/// The set of exports a server offers.
+#[derive(Debug, Clone, Default)]
+pub struct Exports {
+    entries: Vec<ExportEntry>,
+}
+
+impl Exports {
+    /// Empty table (nothing mountable).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an export.
+    pub fn add(&mut self, entry: ExportEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Find the export covering `path` for `host`, if any.
+    pub fn check(&self, path: &str, host: &str) -> Option<&ExportEntry> {
+        self.entries.iter().find(|e| e.path == path && e.allows(host))
+    }
+
+    /// Parse an `/etc/exports`-style file:
+    ///
+    /// ```text
+    /// /GFS localhost(rw,root_squash)
+    /// /pub *(ro)
+    /// ```
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut out = Self::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let path = parts
+                .next()
+                .ok_or_else(|| format!("line {}: missing path", lineno + 1))?;
+            let mut entry = ExportEntry {
+                path: path.to_string(),
+                hosts: Vec::new(),
+                root_squash: true,
+                read_only: false,
+            };
+            for spec in parts {
+                let (host, opts) = match spec.split_once('(') {
+                    Some((h, o)) => (h, o.strip_suffix(')').ok_or_else(|| {
+                        format!("line {}: unterminated options", lineno + 1)
+                    })?),
+                    None => (spec, ""),
+                };
+                entry.hosts.push(host.to_string());
+                for opt in opts.split(',').filter(|o| !o.is_empty()) {
+                    match opt {
+                        "rw" => entry.read_only = false,
+                        "ro" => entry.read_only = true,
+                        "root_squash" => entry.root_squash = true,
+                        "no_root_squash" => entry.root_squash = false,
+                        other => return Err(format!("line {}: unknown option {other}", lineno + 1)),
+                    }
+                }
+            }
+            if entry.hosts.is_empty() {
+                return Err(format!("line {}: no hosts", lineno + 1));
+            }
+            out.add(entry);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn localhost_only_export() {
+        let mut e = Exports::new();
+        e.add(ExportEntry::localhost("/GFS"));
+        assert!(e.check("/GFS", "localhost").is_some());
+        assert!(e.check("/GFS", "evilhost").is_none());
+        assert!(e.check("/other", "localhost").is_none());
+    }
+
+    #[test]
+    fn wildcard_host() {
+        let mut e = Exports::new();
+        e.add(ExportEntry { path: "/pub".into(), hosts: vec!["*".into()], root_squash: true, read_only: true });
+        assert!(e.check("/pub", "anyone").is_some());
+    }
+
+    #[test]
+    fn parse_exports_file() {
+        let e = Exports::parse(
+            "# exports\n/GFS localhost(rw,no_root_squash)\n/pub *(ro)\n",
+        )
+        .unwrap();
+        let gfs = e.check("/GFS", "localhost").unwrap();
+        assert!(!gfs.root_squash);
+        assert!(!gfs.read_only);
+        let pub_ = e.check("/pub", "x").unwrap();
+        assert!(pub_.read_only);
+    }
+
+    #[test]
+    fn parse_rejects_bad_options() {
+        assert!(Exports::parse("/GFS localhost(bogus)").is_err());
+        assert!(Exports::parse("/GFS localhost(rw").is_err());
+        assert!(Exports::parse("/GFS").is_err());
+    }
+}

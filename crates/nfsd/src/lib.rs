@@ -1,0 +1,14 @@
+//! A user-level NFSv3 server — the "kernel NFS server" of the testbed.
+//!
+//! In the paper, a stock kernel `nfsd` exports `/GFS` to localhost and the
+//! server-side SGFS proxy is the only party that talks to it. This crate
+//! is that terminal server: it implements all 21 NFSv3 procedures over the
+//! in-memory [`sgfs_vfs::Vfs`], enforces an exports table at mount time,
+//! honors `AUTH_SYS` credentials (with optional root squashing), and
+//! plugs into the ONC RPC dispatch loop as an [`RpcService`](sgfs_oncrpc::RpcService).
+
+mod exports;
+mod server;
+
+pub use exports::{ExportEntry, Exports};
+pub use server::NfsServer;

@@ -1,0 +1,54 @@
+//! RPC-layer errors.
+
+use crate::msg::{AcceptStat, AuthStat};
+use sgfs_xdr::XdrError;
+use std::io;
+
+/// Errors surfaced by the RPC client and server loops.
+#[derive(Debug)]
+pub enum RpcError {
+    /// Transport failure (connection reset, EOF mid-message, ...).
+    Io(io::Error),
+    /// Malformed message on the wire.
+    Xdr(XdrError),
+    /// The reply's transaction id did not match the call.
+    XidMismatch { sent: u32, received: u32 },
+    /// The server accepted the call but reported a failure.
+    Accepted(AcceptStat),
+    /// The server rejected the call outright.
+    Denied(AuthStat),
+    /// A record exceeded the maximum permitted size.
+    RecordTooLarge(usize),
+    /// The reply was not a REPLY message at all.
+    NotAReply,
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpcError::Io(e) => write!(f, "RPC transport error: {e}"),
+            RpcError::Xdr(e) => write!(f, "RPC message malformed: {e}"),
+            RpcError::XidMismatch { sent, received } => {
+                write!(f, "RPC xid mismatch: sent {sent}, received {received}")
+            }
+            RpcError::Accepted(s) => write!(f, "RPC call failed: {s:?}"),
+            RpcError::Denied(s) => write!(f, "RPC call denied: {s:?}"),
+            RpcError::RecordTooLarge(n) => write!(f, "RPC record of {n} bytes too large"),
+            RpcError::NotAReply => write!(f, "expected RPC reply message"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+impl From<io::Error> for RpcError {
+    fn from(e: io::Error) -> Self {
+        RpcError::Io(e)
+    }
+}
+
+impl From<XdrError> for RpcError {
+    fn from(e: XdrError) -> Self {
+        RpcError::Xdr(e)
+    }
+}

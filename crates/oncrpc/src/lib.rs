@@ -1,0 +1,32 @@
+//! ONC RPC v2 (RFC 5531) — the remote procedure call layer under NFS.
+//!
+//! This is the Rust equivalent of the paper's TI-RPC: transport-independent
+//! call/reply messaging with pluggable authentication flavors, written
+//! against the [`sgfs_net::Stream`] abstraction so the same client and
+//! server code runs over in-memory pipes, emulated WAN links, GTLS secure
+//! channels, or real TCP sockets.
+//!
+//! Layout:
+//! * [`msg`] — call/reply message headers, `AUTH_NONE` / `AUTH_SYS`
+//!   credentials, accept/reject status codes.
+//! * [`record`] — RFC 5531 §11 record marking for stream transports.
+//! * [`client`] — a blocking RPC client (`call` = one round trip).
+//! * [`server`] — a per-connection dispatch loop over an [`RpcService`].
+//!
+//! The SGFS proxies additionally use the header types directly to inspect
+//! and rewrite credentials in-flight, which is the core of the paper's
+//! user-level virtualization technique.
+
+pub mod client;
+pub mod error;
+pub mod msg;
+pub mod record;
+pub mod server;
+
+pub use client::RpcClient;
+pub use error::RpcError;
+pub use msg::{AcceptStat, AuthFlavor, AuthSysParams, CallHeader, OpaqueAuth, ReplyHeader};
+pub use server::{serve_connection, spawn_connection, RpcService};
+
+/// The fixed RPC protocol version this crate speaks.
+pub const RPC_VERSION: u32 = 2;

@@ -1,0 +1,396 @@
+//! ONC RPC message structures (RFC 5531 §9).
+
+use sgfs_xdr::{XdrDecode, XdrDecoder, XdrEncode, XdrEncoder, XdrError, XdrResult};
+
+/// Message direction discriminant.
+pub const MSG_CALL: u32 = 0;
+/// Message direction discriminant.
+pub const MSG_REPLY: u32 = 1;
+
+/// Authentication flavors carried in credentials/verifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum AuthFlavor {
+    /// No authentication.
+    None = 0,
+    /// Traditional UNIX uid/gid credentials (`AUTH_SYS`).
+    Sys = 1,
+}
+
+impl AuthFlavor {
+    fn from_u32(v: u32) -> XdrResult<Self> {
+        match v {
+            0 => Ok(AuthFlavor::None),
+            1 => Ok(AuthFlavor::Sys),
+            other => Err(XdrError::InvalidEnum { what: "AuthFlavor", value: other }),
+        }
+    }
+}
+
+/// An authentication blob: flavor plus opaque body (max 400 bytes per spec).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpaqueAuth {
+    /// Which flavor the body encodes.
+    pub flavor: AuthFlavor,
+    /// Flavor-specific payload.
+    pub body: Vec<u8>,
+}
+
+impl OpaqueAuth {
+    /// The `AUTH_NONE` credential/verifier.
+    pub fn none() -> Self {
+        Self { flavor: AuthFlavor::None, body: Vec::new() }
+    }
+
+    /// An `AUTH_SYS` credential wrapping the given parameters.
+    pub fn sys(params: &AuthSysParams) -> Self {
+        Self { flavor: AuthFlavor::Sys, body: params.to_xdr_bytes() }
+    }
+
+    /// Parse the body as `AUTH_SYS` parameters, if that is the flavor.
+    pub fn as_sys(&self) -> Option<AuthSysParams> {
+        if self.flavor != AuthFlavor::Sys {
+            return None;
+        }
+        AuthSysParams::from_xdr_bytes(&self.body).ok()
+    }
+}
+
+impl XdrEncode for OpaqueAuth {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_u32(self.flavor as u32);
+        enc.put_opaque(&self.body);
+    }
+}
+
+impl XdrDecode for OpaqueAuth {
+    fn decode(dec: &mut XdrDecoder<'_>) -> XdrResult<Self> {
+        let flavor = AuthFlavor::from_u32(dec.get_u32()?);
+        let body = dec.get_opaque_max(400)?;
+        Ok(Self { flavor: flavor?, body })
+    }
+}
+
+/// `AUTH_SYS` credential body (RFC 5531 appendix A).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuthSysParams {
+    /// Arbitrary client-chosen stamp.
+    pub stamp: u32,
+    /// Client machine name.
+    pub machine_name: String,
+    /// Effective user id.
+    pub uid: u32,
+    /// Effective group id.
+    pub gid: u32,
+    /// Supplementary groups (max 16).
+    pub gids: Vec<u32>,
+}
+
+impl AuthSysParams {
+    /// Convenience constructor for a simple uid/gid credential.
+    pub fn new(machine_name: &str, uid: u32, gid: u32) -> Self {
+        Self { stamp: 0, machine_name: machine_name.into(), uid, gid, gids: vec![gid] }
+    }
+}
+
+impl XdrEncode for AuthSysParams {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_u32(self.stamp);
+        enc.put_string(&self.machine_name);
+        enc.put_u32(self.uid);
+        enc.put_u32(self.gid);
+        sgfs_xdr::encode_array(&self.gids, enc);
+    }
+}
+
+impl XdrDecode for AuthSysParams {
+    fn decode(dec: &mut XdrDecoder<'_>) -> XdrResult<Self> {
+        Ok(Self {
+            stamp: dec.get_u32()?,
+            machine_name: dec.get_string_max(255)?,
+            uid: dec.get_u32()?,
+            gid: dec.get_u32()?,
+            gids: sgfs_xdr::decode_array(dec, 16)?,
+        })
+    }
+}
+
+/// The header of a CALL message; procedure arguments follow it on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallHeader {
+    /// Transaction id.
+    pub xid: u32,
+    /// Remote program number (e.g. 100003 for NFS).
+    pub prog: u32,
+    /// Program version (e.g. 3 for NFSv3).
+    pub vers: u32,
+    /// Procedure number within the program.
+    pub proc: u32,
+    /// Caller credentials.
+    pub cred: OpaqueAuth,
+    /// Caller verifier.
+    pub verf: OpaqueAuth,
+}
+
+impl XdrEncode for CallHeader {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_u32(self.xid);
+        enc.put_u32(MSG_CALL);
+        enc.put_u32(crate::RPC_VERSION);
+        enc.put_u32(self.prog);
+        enc.put_u32(self.vers);
+        enc.put_u32(self.proc);
+        self.cred.encode(enc);
+        self.verf.encode(enc);
+    }
+}
+
+impl XdrDecode for CallHeader {
+    fn decode(dec: &mut XdrDecoder<'_>) -> XdrResult<Self> {
+        let xid = dec.get_u32()?;
+        let mtype = dec.get_u32()?;
+        if mtype != MSG_CALL {
+            return Err(XdrError::InvalidEnum { what: "msg_type(CALL)", value: mtype });
+        }
+        let rpcvers = dec.get_u32()?;
+        if rpcvers != crate::RPC_VERSION {
+            return Err(XdrError::InvalidEnum { what: "rpc_version", value: rpcvers });
+        }
+        Ok(Self {
+            xid,
+            prog: dec.get_u32()?,
+            vers: dec.get_u32()?,
+            proc: dec.get_u32()?,
+            cred: OpaqueAuth::decode(dec)?,
+            verf: OpaqueAuth::decode(dec)?,
+        })
+    }
+}
+
+/// Why an accepted call nonetheless failed (RFC 5531 `accept_stat`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum AcceptStat {
+    /// Procedure executed; results follow.
+    Success = 0,
+    /// Program not exported on this server.
+    ProgUnavail = 1,
+    /// Program version out of range.
+    ProgMismatch = 2,
+    /// No such procedure.
+    ProcUnavail = 3,
+    /// Arguments undecodable.
+    GarbageArgs = 4,
+    /// Internal server error.
+    SystemErr = 5,
+}
+
+impl AcceptStat {
+    fn from_u32(v: u32) -> XdrResult<Self> {
+        Ok(match v {
+            0 => AcceptStat::Success,
+            1 => AcceptStat::ProgUnavail,
+            2 => AcceptStat::ProgMismatch,
+            3 => AcceptStat::ProcUnavail,
+            4 => AcceptStat::GarbageArgs,
+            5 => AcceptStat::SystemErr,
+            other => return Err(XdrError::InvalidEnum { what: "accept_stat", value: other }),
+        })
+    }
+}
+
+/// Why a call was rejected at the RPC layer (`auth_stat`, abbreviated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum AuthStat {
+    /// Unspecified failure.
+    Failed = 0,
+    /// Bad credential (seal broken or unparsable).
+    BadCred = 1,
+    /// Credential rejected by policy — the status the SGFS server-side
+    /// proxy returns for unauthorized grid users.
+    TooWeak = 5,
+}
+
+impl AuthStat {
+    fn from_u32(v: u32) -> Self {
+        match v {
+            1 => AuthStat::BadCred,
+            5 => AuthStat::TooWeak,
+            _ => AuthStat::Failed,
+        }
+    }
+}
+
+/// The header of a REPLY message; on success, results follow it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplyHeader {
+    /// Call was accepted; per-call status inside.
+    Accepted {
+        /// Matching transaction id.
+        xid: u32,
+        /// Server verifier.
+        verf: OpaqueAuth,
+        /// Outcome of executing the procedure.
+        stat: AcceptStat,
+    },
+    /// Call was rejected (authentication failure).
+    Denied {
+        /// Matching transaction id.
+        xid: u32,
+        /// Why.
+        stat: AuthStat,
+    },
+}
+
+/// `reply_stat` discriminants.
+const REPLY_ACCEPTED: u32 = 0;
+const REPLY_DENIED: u32 = 1;
+/// `reject_stat`: we only emit AUTH_ERROR(1); RPC_MISMATCH(0) unused.
+const REJECT_AUTH_ERROR: u32 = 1;
+
+impl ReplyHeader {
+    /// The xid this reply matches.
+    pub fn xid(&self) -> u32 {
+        match self {
+            ReplyHeader::Accepted { xid, .. } | ReplyHeader::Denied { xid, .. } => *xid,
+        }
+    }
+
+    /// A successful-accept header.
+    pub fn success(xid: u32) -> Self {
+        ReplyHeader::Accepted { xid, verf: OpaqueAuth::none(), stat: AcceptStat::Success }
+    }
+}
+
+impl XdrEncode for ReplyHeader {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        match self {
+            ReplyHeader::Accepted { xid, verf, stat } => {
+                enc.put_u32(*xid);
+                enc.put_u32(MSG_REPLY);
+                enc.put_u32(REPLY_ACCEPTED);
+                verf.encode(enc);
+                enc.put_u32(*stat as u32);
+                if *stat == AcceptStat::ProgMismatch {
+                    // low/high supported versions; we only speak one.
+                    enc.put_u32(0);
+                    enc.put_u32(0);
+                }
+            }
+            ReplyHeader::Denied { xid, stat } => {
+                enc.put_u32(*xid);
+                enc.put_u32(MSG_REPLY);
+                enc.put_u32(REPLY_DENIED);
+                enc.put_u32(REJECT_AUTH_ERROR);
+                enc.put_u32(*stat as u32);
+            }
+        }
+    }
+}
+
+impl XdrDecode for ReplyHeader {
+    fn decode(dec: &mut XdrDecoder<'_>) -> XdrResult<Self> {
+        let xid = dec.get_u32()?;
+        let mtype = dec.get_u32()?;
+        if mtype != MSG_REPLY {
+            return Err(XdrError::InvalidEnum { what: "msg_type(REPLY)", value: mtype });
+        }
+        match dec.get_u32()? {
+            REPLY_ACCEPTED => {
+                let verf = OpaqueAuth::decode(dec)?;
+                let stat = AcceptStat::from_u32(dec.get_u32()?)?;
+                if stat == AcceptStat::ProgMismatch {
+                    let _ = dec.get_u32()?;
+                    let _ = dec.get_u32()?;
+                }
+                Ok(ReplyHeader::Accepted { xid, verf, stat })
+            }
+            REPLY_DENIED => {
+                let _reject_stat = dec.get_u32()?;
+                let stat = AuthStat::from_u32(dec.get_u32()?);
+                Ok(ReplyHeader::Denied { xid, stat })
+            }
+            other => Err(XdrError::InvalidEnum { what: "reply_stat", value: other }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_header_roundtrip() {
+        let hdr = CallHeader {
+            xid: 99,
+            prog: 100003,
+            vers: 3,
+            proc: 6,
+            cred: OpaqueAuth::sys(&AuthSysParams::new("client1", 500, 500)),
+            verf: OpaqueAuth::none(),
+        };
+        let bytes = hdr.to_xdr_bytes();
+        assert_eq!(CallHeader::from_xdr_bytes(&bytes).unwrap(), hdr);
+    }
+
+    #[test]
+    fn auth_sys_roundtrip() {
+        let p = AuthSysParams {
+            stamp: 7,
+            machine_name: "compute-42".into(),
+            uid: 1001,
+            gid: 100,
+            gids: vec![100, 4, 27],
+        };
+        let back = AuthSysParams::from_xdr_bytes(&p.to_xdr_bytes()).unwrap();
+        assert_eq!(back, p);
+        let auth = OpaqueAuth::sys(&p);
+        assert_eq!(auth.as_sys().unwrap(), p);
+        assert!(OpaqueAuth::none().as_sys().is_none());
+    }
+
+    #[test]
+    fn reply_roundtrips() {
+        for hdr in [
+            ReplyHeader::success(1),
+            ReplyHeader::Accepted {
+                xid: 2,
+                verf: OpaqueAuth::none(),
+                stat: AcceptStat::ProcUnavail,
+            },
+            ReplyHeader::Accepted {
+                xid: 5,
+                verf: OpaqueAuth::none(),
+                stat: AcceptStat::ProgMismatch,
+            },
+            ReplyHeader::Denied { xid: 3, stat: AuthStat::TooWeak },
+        ] {
+            let bytes = hdr.to_xdr_bytes();
+            assert_eq!(ReplyHeader::from_xdr_bytes(&bytes).unwrap(), hdr);
+        }
+    }
+
+    #[test]
+    fn call_rejects_wrong_rpc_version() {
+        let hdr = CallHeader {
+            xid: 1,
+            prog: 1,
+            vers: 1,
+            proc: 0,
+            cred: OpaqueAuth::none(),
+            verf: OpaqueAuth::none(),
+        };
+        let mut bytes = hdr.to_xdr_bytes();
+        bytes[11] = 3; // rpcvers = 3
+        assert!(CallHeader::from_xdr_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn oversized_auth_body_rejected() {
+        let mut enc = sgfs_xdr::XdrEncoder::new();
+        enc.put_u32(1); // AUTH_SYS
+        enc.put_opaque(&vec![0u8; 401]);
+        assert!(OpaqueAuth::from_xdr_bytes(&enc.into_bytes()).is_err());
+    }
+}

@@ -1,0 +1,267 @@
+//! Certificates: bodies, signatures, and certificate authorities.
+
+use crate::dn::DistinguishedName;
+use crate::UnixTime;
+use rand::Rng;
+use sgfs_crypto::rsa::{RsaKeyPair, RsaPublicKey};
+use sgfs_crypto::BigUint;
+use sgfs_xdr::{XdrDecode, XdrDecoder, XdrEncode, XdrEncoder, XdrError, XdrResult};
+
+/// The signed portion of a certificate.
+///
+/// Structurally equivalent to the X.509 TBSCertificate fields GSI relies
+/// on, plus the RFC 3820 proxy-certificate extension collapsed into
+/// [`proxy_depth`](Self::proxy_depth).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CertificateBody {
+    /// Issuer-unique serial number.
+    pub serial: u64,
+    /// Subject distinguished name.
+    pub subject: DistinguishedName,
+    /// Issuer distinguished name.
+    pub issuer: DistinguishedName,
+    /// Validity window start (inclusive).
+    pub not_before: UnixTime,
+    /// Validity window end (exclusive).
+    pub not_after: UnixTime,
+    /// Subject public key.
+    pub public_key: RsaPublicKey,
+    /// True for CA certificates (may sign other certificates).
+    pub is_ca: bool,
+    /// `Some(depth)` marks a GSI proxy certificate; `depth` is how many
+    /// further levels of proxy may be derived from it.
+    pub proxy_depth: Option<u32>,
+}
+
+impl XdrEncode for CertificateBody {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_u64(self.serial);
+        enc.put_string(&self.subject.to_string());
+        enc.put_string(&self.issuer.to_string());
+        enc.put_u64(self.not_before);
+        enc.put_u64(self.not_after);
+        enc.put_opaque(&self.public_key.n.to_bytes_be());
+        enc.put_opaque(&self.public_key.e.to_bytes_be());
+        enc.put_bool(self.is_ca);
+        match self.proxy_depth {
+            Some(d) => {
+                enc.put_bool(true);
+                enc.put_u32(d);
+            }
+            None => enc.put_bool(false),
+        }
+    }
+}
+
+impl XdrDecode for CertificateBody {
+    fn decode(dec: &mut XdrDecoder<'_>) -> XdrResult<Self> {
+        let serial = dec.get_u64()?;
+        let subject = DistinguishedName::parse(&dec.get_string_max(1024)?)
+            .ok_or(XdrError::InvalidEnum { what: "subject DN", value: 0 })?;
+        let issuer = DistinguishedName::parse(&dec.get_string_max(1024)?)
+            .ok_or(XdrError::InvalidEnum { what: "issuer DN", value: 0 })?;
+        let not_before = dec.get_u64()?;
+        let not_after = dec.get_u64()?;
+        let n = BigUint::from_bytes_be(&dec.get_opaque_max(1024)?);
+        let e = BigUint::from_bytes_be(&dec.get_opaque_max(64)?);
+        let is_ca = dec.get_bool()?;
+        let proxy_depth = if dec.get_bool()? { Some(dec.get_u32()?) } else { None };
+        Ok(Self {
+            serial,
+            subject,
+            issuer,
+            not_before,
+            not_after,
+            public_key: RsaPublicKey { n, e },
+            is_ca,
+            proxy_depth,
+        })
+    }
+}
+
+/// A certificate: a signed body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// The signed fields.
+    pub body: CertificateBody,
+    /// RSA-SHA256 signature over the XDR encoding of `body`, made with
+    /// the issuer's private key.
+    pub signature: Vec<u8>,
+}
+
+impl Certificate {
+    /// True when this certificate is a GSI proxy certificate.
+    pub fn is_proxy(&self) -> bool {
+        self.body.proxy_depth.is_some()
+    }
+
+    /// Verify this certificate's signature against the purported issuer
+    /// public key.
+    pub fn verify_signed_by(&self, issuer_key: &RsaPublicKey) -> bool {
+        issuer_key.verify(&self.body.to_xdr_bytes(), &self.signature).is_ok()
+    }
+
+    /// True when the validity window covers `now`.
+    pub fn valid_at(&self, now: UnixTime) -> bool {
+        self.body.not_before <= now && now < self.body.not_after
+    }
+}
+
+impl XdrEncode for Certificate {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        self.body.encode(enc);
+        enc.put_opaque(&self.signature);
+    }
+}
+
+impl XdrDecode for Certificate {
+    fn decode(dec: &mut XdrDecoder<'_>) -> XdrResult<Self> {
+        Ok(Self { body: CertificateBody::decode(dec)?, signature: dec.get_opaque_max(1024)? })
+    }
+}
+
+/// A certificate authority: a self-signed root that can issue end-entity
+/// and intermediate certificates.
+pub struct CertificateAuthority {
+    keypair: RsaKeyPair,
+    cert: Certificate,
+    next_serial: std::sync::atomic::AtomicU64,
+}
+
+/// Default validity of issued certificates: 30 days, far longer than any
+/// benchmark run; expiry paths are tested with explicit windows.
+const DEFAULT_VALIDITY_SECS: u64 = 30 * 24 * 3600;
+
+impl CertificateAuthority {
+    /// Create a new root CA with the given DN.
+    ///
+    /// `key_bits` of 512 keeps test suites fast; the code path is
+    /// identical for production-sized keys.
+    pub fn new<R: Rng>(dn: &DistinguishedName, key_bits: usize, rng: &mut R) -> Self {
+        let keypair = RsaKeyPair::generate(key_bits, rng);
+        let now = crate::now();
+        let body = CertificateBody {
+            serial: 1,
+            subject: dn.clone(),
+            issuer: dn.clone(),
+            not_before: now.saturating_sub(60),
+            not_after: now + DEFAULT_VALIDITY_SECS,
+            public_key: keypair.public.clone(),
+            is_ca: true,
+            proxy_depth: None,
+        };
+        let signature = keypair.sign(&body.to_xdr_bytes());
+        Self {
+            keypair,
+            cert: Certificate { body, signature },
+            next_serial: std::sync::atomic::AtomicU64::new(2),
+        }
+    }
+
+    /// The CA's own (self-signed) certificate, for trust stores.
+    pub fn certificate(&self) -> &Certificate {
+        &self.cert
+    }
+
+    /// Issue an end-entity (user or host) certificate for `subject`.
+    pub fn issue(&self, subject: &DistinguishedName, public_key: &RsaPublicKey) -> Certificate {
+        let now = crate::now();
+        self.issue_with_validity(subject, public_key, now.saturating_sub(60), now + DEFAULT_VALIDITY_SECS)
+    }
+
+    /// Issue with an explicit validity window (used by expiry tests and by
+    /// short-lived session certificates).
+    pub fn issue_with_validity(
+        &self,
+        subject: &DistinguishedName,
+        public_key: &RsaPublicKey,
+        not_before: UnixTime,
+        not_after: UnixTime,
+    ) -> Certificate {
+        let body = CertificateBody {
+            serial: self.next_serial.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            subject: subject.clone(),
+            issuer: self.cert.body.subject.clone(),
+            not_before,
+            not_after,
+            public_key: public_key.clone(),
+            is_ca: false,
+            proxy_depth: None,
+        };
+        let signature = self.keypair.sign(&body.to_xdr_bytes());
+        Certificate { body, signature }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dn(s: &str) -> DistinguishedName {
+        DistinguishedName::parse(s).unwrap()
+    }
+
+    fn ca() -> CertificateAuthority {
+        CertificateAuthority::new(&dn("/O=Grid/CN=TestCA"), 512, &mut rand::thread_rng())
+    }
+
+    #[test]
+    fn root_is_self_signed_and_valid() {
+        let ca = ca();
+        let cert = ca.certificate();
+        assert!(cert.verify_signed_by(&cert.body.public_key));
+        assert!(cert.valid_at(crate::now()));
+        assert!(cert.body.is_ca);
+        assert!(!cert.is_proxy());
+    }
+
+    #[test]
+    fn issued_cert_verifies_against_ca() {
+        let ca = ca();
+        let user_key = RsaKeyPair::generate(512, &mut rand::thread_rng());
+        let cert = ca.issue(&dn("/O=Grid/CN=alice"), &user_key.public);
+        assert!(cert.verify_signed_by(&ca.certificate().body.public_key));
+        assert!(!cert.verify_signed_by(&user_key.public));
+        assert!(!cert.body.is_ca);
+        assert_eq!(cert.body.issuer, dn("/O=Grid/CN=TestCA"));
+    }
+
+    #[test]
+    fn serials_are_unique() {
+        let ca = ca();
+        let key = RsaKeyPair::generate(512, &mut rand::thread_rng());
+        let a = ca.issue(&dn("/O=Grid/CN=a"), &key.public);
+        let b = ca.issue(&dn("/O=Grid/CN=b"), &key.public);
+        assert_ne!(a.body.serial, b.body.serial);
+    }
+
+    #[test]
+    fn certificate_xdr_roundtrip() {
+        let ca = ca();
+        let key = RsaKeyPair::generate(512, &mut rand::thread_rng());
+        let cert = ca.issue(&dn("/O=Grid/OU=ACIS/CN=alice"), &key.public);
+        let back = Certificate::from_xdr_bytes(&cert.to_xdr_bytes()).unwrap();
+        assert_eq!(back, cert);
+        assert!(back.verify_signed_by(&ca.certificate().body.public_key));
+    }
+
+    #[test]
+    fn tampered_body_fails_verification() {
+        let ca = ca();
+        let key = RsaKeyPair::generate(512, &mut rand::thread_rng());
+        let mut cert = ca.issue(&dn("/O=Grid/CN=mallory"), &key.public);
+        cert.body.subject = dn("/O=Grid/CN=admin"); // privilege escalation attempt
+        assert!(!cert.verify_signed_by(&ca.certificate().body.public_key));
+    }
+
+    #[test]
+    fn validity_window_enforced() {
+        let ca = ca();
+        let key = RsaKeyPair::generate(512, &mut rand::thread_rng());
+        let cert = ca.issue_with_validity(&dn("/O=Grid/CN=old"), &key.public, 1000, 2000);
+        assert!(!cert.valid_at(999));
+        assert!(cert.valid_at(1000));
+        assert!(cert.valid_at(1999));
+        assert!(!cert.valid_at(2000));
+    }
+}

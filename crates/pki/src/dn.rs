@@ -1,0 +1,127 @@
+//! Distinguished names in the OpenSSL one-line format GSI tooling uses.
+
+/// A distinguished name: an ordered sequence of `KEY=value` components.
+///
+/// Rendered as `/O=Grid/OU=ACIS/CN=alice`. Proxy certificates append a
+/// `CN=proxy` component to their issuer's DN, exactly as GSI does.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DistinguishedName {
+    components: Vec<(String, String)>,
+}
+
+impl DistinguishedName {
+    /// Parse from the slash-separated one-line form.
+    ///
+    /// Returns `None` for empty input or components without `=`.
+    pub fn parse(s: &str) -> Option<Self> {
+        let s = s.trim();
+        if !s.starts_with('/') {
+            return None;
+        }
+        let mut components = Vec::new();
+        for part in s[1..].split('/') {
+            if part.is_empty() {
+                return None;
+            }
+            let (k, v) = part.split_once('=')?;
+            if k.is_empty() {
+                return None;
+            }
+            components.push((k.to_string(), v.to_string()));
+        }
+        if components.is_empty() {
+            return None;
+        }
+        Some(Self { components })
+    }
+
+    /// Build a new DN from components.
+    pub fn from_components(components: Vec<(String, String)>) -> Self {
+        assert!(!components.is_empty());
+        Self { components }
+    }
+
+    /// The final CN component's value, if any.
+    pub fn common_name(&self) -> Option<&str> {
+        self.components
+            .iter()
+            .rev()
+            .find(|(k, _)| k == "CN")
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// A copy of this DN with `CN=<value>` appended (proxy issuance).
+    pub fn with_cn(&self, value: &str) -> Self {
+        let mut components = self.components.clone();
+        components.push(("CN".into(), value.into()));
+        Self { components }
+    }
+
+    /// True when `self` is `parent` plus exactly one extra component —
+    /// the structural requirement for a GSI proxy certificate's subject.
+    pub fn is_immediate_child_of(&self, parent: &Self) -> bool {
+        self.components.len() == parent.components.len() + 1
+            && self.components[..parent.components.len()] == parent.components[..]
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl std::fmt::Display for DistinguishedName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (k, v) in &self.components {
+            write!(f, "/{k}={v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let s = "/O=Grid/OU=ACIS/CN=alice";
+        let dn = DistinguishedName::parse(s).unwrap();
+        assert_eq!(dn.to_string(), s);
+        assert_eq!(dn.common_name(), Some("alice"));
+        assert_eq!(dn.len(), 3);
+    }
+
+    #[test]
+    fn invalid_forms_rejected() {
+        for bad in ["", "no-slash", "/", "/O=Grid/", "/O=Grid//CN=x", "/NOEQUALS", "/=v"] {
+            assert!(DistinguishedName::parse(bad).is_none(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn values_may_contain_equals_and_spaces() {
+        let dn = DistinguishedName::parse("/O=Grid Org/CN=Mad=Name").unwrap();
+        assert_eq!(dn.common_name(), Some("Mad=Name"));
+    }
+
+    #[test]
+    fn proxy_child_relation() {
+        let user = DistinguishedName::parse("/O=Grid/CN=alice").unwrap();
+        let proxy = user.with_cn("proxy");
+        assert_eq!(proxy.to_string(), "/O=Grid/CN=alice/CN=proxy");
+        assert!(proxy.is_immediate_child_of(&user));
+        assert!(!user.is_immediate_child_of(&proxy));
+        let grandproxy = proxy.with_cn("proxy");
+        assert!(grandproxy.is_immediate_child_of(&proxy));
+        assert!(!grandproxy.is_immediate_child_of(&user));
+        // Sibling with same length but different components.
+        let other = DistinguishedName::parse("/O=Grid/CN=bob/CN=proxy").unwrap();
+        assert!(!other.is_immediate_child_of(&user));
+    }
+}

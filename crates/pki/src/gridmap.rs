@@ -1,0 +1,202 @@
+//! The gridmap file: grid identity → local account mapping (§4.3).
+//!
+//! The paper's basic access-control mechanism: a per-session text file in
+//! the same format as GSI's `grid-mapfile`, each line mapping a quoted
+//! distinguished name to a local account name. An authenticated user whose
+//! DN appears in the map acts as the mapped local user; otherwise the
+//! session configuration decides between anonymous access and denial.
+
+use crate::dn::DistinguishedName;
+use std::collections::HashMap;
+
+/// What happens to an authenticated DN with no gridmap entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UnmappedPolicy {
+    /// Deny the session/request entirely (the secure default).
+    #[default]
+    Deny,
+    /// Map to the anonymous account (uid/gid of `nobody`).
+    Anonymous,
+}
+
+/// Where a gridmap lookup landed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapTarget {
+    /// Mapped to this local account name.
+    Account(String),
+    /// Admitted as anonymous.
+    Anonymous,
+    /// Refused.
+    Denied,
+}
+
+/// A parsed gridmap.
+#[derive(Debug, Clone, Default)]
+pub struct GridMap {
+    entries: HashMap<DistinguishedName, String>,
+    /// Policy for unmapped users.
+    pub unmapped: UnmappedPolicy,
+}
+
+impl GridMap {
+    /// Empty map with the deny-unmapped default.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parse the text format:
+    ///
+    /// ```text
+    /// # comment
+    /// "/O=Grid/CN=alice" alice
+    /// "/O=Grid/CN=bob scientist" blab
+    /// ```
+    ///
+    /// Returns `Err` with a line number on malformed input.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut map = Self::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let rest = line
+                .strip_prefix('"')
+                .ok_or_else(|| format!("line {}: DN must be quoted", lineno + 1))?;
+            let (dn_str, account) = rest
+                .split_once('"')
+                .ok_or_else(|| format!("line {}: unterminated DN quote", lineno + 1))?;
+            let dn = DistinguishedName::parse(dn_str)
+                .ok_or_else(|| format!("line {}: invalid DN {dn_str:?}", lineno + 1))?;
+            let account = account.trim();
+            if account.is_empty() || account.contains(char::is_whitespace) {
+                return Err(format!("line {}: invalid account name {account:?}", lineno + 1));
+            }
+            map.entries.insert(dn, account.to_string());
+        }
+        Ok(map)
+    }
+
+    /// Serialize back to the text format (sorted for determinism).
+    pub fn to_text(&self) -> String {
+        let mut lines: Vec<String> = self
+            .entries
+            .iter()
+            .map(|(dn, account)| format!("\"{dn}\" {account}"))
+            .collect();
+        lines.sort();
+        let mut out = lines.join("\n");
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Add or replace a mapping (the paper's "share with another user by
+    /// adding one line" workflow).
+    pub fn insert(&mut self, dn: DistinguishedName, account: &str) {
+        self.entries.insert(dn, account.to_string());
+    }
+
+    /// Remove a mapping; returns whether it existed.
+    pub fn remove(&mut self, dn: &DistinguishedName) -> bool {
+        self.entries.remove(dn).is_some()
+    }
+
+    /// Number of mappings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no mappings exist.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Resolve an authenticated DN to its access decision.
+    pub fn lookup(&self, dn: &DistinguishedName) -> MapTarget {
+        match self.entries.get(dn) {
+            Some(account) => MapTarget::Account(account.clone()),
+            None => match self.unmapped {
+                UnmappedPolicy::Deny => MapTarget::Denied,
+                UnmappedPolicy::Anonymous => MapTarget::Anonymous,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dn(s: &str) -> DistinguishedName {
+        DistinguishedName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn parse_basic_file() {
+        let text = r#"
+# SGFS session gridmap
+"/O=Grid/CN=alice" alice
+
+"/O=Grid/OU=HPC/CN=bob builder" bob
+"#;
+        let map = GridMap::parse(text).unwrap();
+        assert_eq!(map.len(), 2);
+        assert_eq!(
+            map.lookup(&dn("/O=Grid/CN=alice")),
+            MapTarget::Account("alice".into())
+        );
+        assert_eq!(
+            map.lookup(&dn("/O=Grid/OU=HPC/CN=bob builder")),
+            MapTarget::Account("bob".into())
+        );
+    }
+
+    #[test]
+    fn unmapped_policies() {
+        let mut map = GridMap::new();
+        map.insert(dn("/O=Grid/CN=alice"), "alice");
+        assert_eq!(map.lookup(&dn("/O=Grid/CN=eve")), MapTarget::Denied);
+        map.unmapped = UnmappedPolicy::Anonymous;
+        assert_eq!(map.lookup(&dn("/O=Grid/CN=eve")), MapTarget::Anonymous);
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let mut map = GridMap::new();
+        map.insert(dn("/O=Grid/CN=alice"), "alice");
+        map.insert(dn("/O=Grid/CN=bob"), "shared");
+        let reparsed = GridMap::parse(&map.to_text()).unwrap();
+        assert_eq!(reparsed.len(), 2);
+        assert_eq!(
+            reparsed.lookup(&dn("/O=Grid/CN=bob")),
+            MapTarget::Account("shared".into())
+        );
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        for bad in [
+            "/O=Grid/CN=x account",     // unquoted
+            "\"/O=Grid/CN=x account",   // unterminated quote
+            "\"notadn\" account",       // invalid DN
+            "\"/O=Grid/CN=x\"",         // missing account
+            "\"/O=Grid/CN=x\" a b",     // account with whitespace
+        ] {
+            assert!(GridMap::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn insert_replaces_and_remove_works() {
+        let mut map = GridMap::new();
+        map.insert(dn("/O=Grid/CN=alice"), "a1");
+        map.insert(dn("/O=Grid/CN=alice"), "a2");
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.lookup(&dn("/O=Grid/CN=alice")), MapTarget::Account("a2".into()));
+        assert!(map.remove(&dn("/O=Grid/CN=alice")));
+        assert!(!map.remove(&dn("/O=Grid/CN=alice")));
+        assert!(map.is_empty());
+    }
+}

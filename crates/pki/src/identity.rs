@@ -1,0 +1,204 @@
+//! Credentials: a subject's certificate chain plus private key, and GSI
+//! proxy-certificate delegation.
+
+use crate::cert::{Certificate, CertificateBody};
+use crate::dn::DistinguishedName;
+use crate::UnixTime;
+use rand::Rng;
+use sgfs_crypto::rsa::RsaKeyPair;
+use sgfs_xdr::XdrEncode;
+
+/// A credential a party can authenticate with: its certificate chain
+/// (leaf first, ending just below a trusted root) and the leaf's private
+/// key.
+///
+/// A plain grid user has a one-element chain (their identity certificate).
+/// After [`issue_proxy`](Credential::issue_proxy), the delegate holds a
+/// chain `[proxy, user]` — the GSI delegation model the paper's management
+/// services rely on to create sessions on a user's behalf.
+#[derive(Clone)]
+pub struct Credential {
+    /// Certificate chain, leaf (the key holder's cert) first.
+    pub chain: Vec<Certificate>,
+    /// Private key matching `chain[0].body.public_key`.
+    pub key: RsaKeyPair,
+}
+
+impl Credential {
+    /// Build a credential from a leaf certificate and its key.
+    pub fn new(cert: Certificate, key: RsaKeyPair) -> Self {
+        assert_eq!(cert.body.public_key, key.public, "certificate/key mismatch");
+        Self { chain: vec![cert], key }
+    }
+
+    /// The leaf certificate.
+    pub fn leaf(&self) -> &Certificate {
+        &self.chain[0]
+    }
+
+    /// The *effective* grid identity: the subject DN of the first
+    /// non-proxy certificate in the chain. Proxy certificates act as
+    /// their issuer for authorization purposes (GSI semantics).
+    pub fn effective_dn(&self) -> &DistinguishedName {
+        self.chain
+            .iter()
+            .find(|c| !c.is_proxy())
+            .map(|c| &c.body.subject)
+            .unwrap_or(&self.chain[self.chain.len() - 1].body.subject)
+    }
+
+    /// Sign `msg` with the leaf private key (RSA-SHA256).
+    pub fn sign(&self, msg: &[u8]) -> Vec<u8> {
+        self.key.sign(msg)
+    }
+
+    /// Issue a proxy credential: generate a fresh key pair, sign a proxy
+    /// certificate with *this* credential's key, and return the delegated
+    /// credential whose chain is `[proxy] ++ self.chain`.
+    ///
+    /// `lifetime_secs` bounds the delegation in time (GSI proxies are
+    /// typically short-lived); `depth` bounds further re-delegation.
+    pub fn issue_proxy<R: Rng>(
+        &self,
+        lifetime_secs: u64,
+        depth: u32,
+        rng: &mut R,
+    ) -> Credential {
+        let leaf = self.leaf();
+        if let Some(d) = leaf.body.proxy_depth {
+            assert!(d > 0, "proxy certificate has no remaining delegation depth");
+        }
+        let proxy_key = RsaKeyPair::generate(512, rng);
+        let now = crate::now();
+        let not_after = (now + lifetime_secs).min(leaf.body.not_after);
+        let body = CertificateBody {
+            serial: rng.gen(),
+            subject: leaf.body.subject.with_cn("proxy"),
+            issuer: leaf.body.subject.clone(),
+            not_before: now.saturating_sub(60),
+            not_after,
+            public_key: proxy_key.public.clone(),
+            is_ca: false,
+            proxy_depth: Some(depth),
+        };
+        let signature = self.key.sign(&body.to_xdr_bytes());
+        let mut chain = vec![Certificate { body, signature }];
+        chain.extend(self.chain.iter().cloned());
+        Credential { chain, key: proxy_key }
+    }
+
+    /// Whether the whole chain is within validity at `now`.
+    pub fn valid_at(&self, now: UnixTime) -> bool {
+        self.chain.iter().all(|c| c.valid_at(now))
+    }
+
+    /// Serialize the credential — chain plus private key — for transfer
+    /// between middleware services (delegated proxy credentials travel
+    /// this way; send only over authenticated, encrypted channels).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = sgfs_xdr::XdrEncoder::new();
+        sgfs_xdr::encode_array(&self.chain, &mut enc);
+        enc.put_opaque(&self.key.export());
+        enc.into_bytes()
+    }
+
+    /// Reconstruct a credential serialized with [`to_bytes`](Self::to_bytes).
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut dec = sgfs_xdr::XdrDecoder::new(bytes);
+        let chain: Vec<Certificate> = sgfs_xdr::decode_array(&mut dec, 8).ok()?;
+        let key = RsaKeyPair::import(&dec.get_opaque().ok()?)?;
+        if chain.is_empty() || chain[0].body.public_key != key.public {
+            return None;
+        }
+        Some(Self { chain, key })
+    }
+}
+
+impl std::fmt::Debug for Credential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Credential")
+            .field("leaf", &self.leaf().body.subject.to_string())
+            .field("effective", &self.effective_dn().to_string())
+            .field("chain_len", &self.chain.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cert::CertificateAuthority;
+
+    fn dn(s: &str) -> DistinguishedName {
+        DistinguishedName::parse(s).unwrap()
+    }
+
+    fn user_credential(name: &str, ca: &CertificateAuthority) -> Credential {
+        let mut rng = rand::thread_rng();
+        let key = RsaKeyPair::generate(512, &mut rng);
+        let cert = ca.issue(&dn(&format!("/O=Grid/CN={name}")), &key.public);
+        Credential::new(cert, key)
+    }
+
+    #[test]
+    fn effective_dn_of_plain_user() {
+        let ca = CertificateAuthority::new(&dn("/O=Grid/CN=CA"), 512, &mut rand::thread_rng());
+        let cred = user_credential("alice", &ca);
+        assert_eq!(cred.effective_dn().to_string(), "/O=Grid/CN=alice");
+    }
+
+    #[test]
+    fn proxy_keeps_effective_identity() {
+        let ca = CertificateAuthority::new(&dn("/O=Grid/CN=CA"), 512, &mut rand::thread_rng());
+        let cred = user_credential("alice", &ca);
+        let proxy = cred.issue_proxy(3600, 1, &mut rand::thread_rng());
+        assert_eq!(proxy.chain.len(), 2);
+        assert!(proxy.leaf().is_proxy());
+        assert_eq!(proxy.effective_dn().to_string(), "/O=Grid/CN=alice");
+        assert_eq!(proxy.leaf().body.subject.to_string(), "/O=Grid/CN=alice/CN=proxy");
+        // The proxy cert is signed by the user's key, not the CA's.
+        assert!(proxy.leaf().verify_signed_by(&cred.key.public));
+    }
+
+    #[test]
+    fn nested_delegation() {
+        let ca = CertificateAuthority::new(&dn("/O=Grid/CN=CA"), 512, &mut rand::thread_rng());
+        let cred = user_credential("bob", &ca);
+        let p1 = cred.issue_proxy(3600, 2, &mut rand::thread_rng());
+        let p2 = p1.issue_proxy(1800, 1, &mut rand::thread_rng());
+        assert_eq!(p2.chain.len(), 3);
+        assert_eq!(p2.effective_dn().to_string(), "/O=Grid/CN=bob");
+        assert_eq!(
+            p2.leaf().body.subject.to_string(),
+            "/O=Grid/CN=bob/CN=proxy/CN=proxy"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no remaining delegation depth")]
+    fn exhausted_depth_panics() {
+        let ca = CertificateAuthority::new(&dn("/O=Grid/CN=CA"), 512, &mut rand::thread_rng());
+        let cred = user_credential("carol", &ca);
+        let p1 = cred.issue_proxy(3600, 0, &mut rand::thread_rng());
+        let _ = p1.issue_proxy(3600, 0, &mut rand::thread_rng());
+    }
+
+    #[test]
+    fn proxy_lifetime_clamped_to_parent() {
+        let ca = CertificateAuthority::new(&dn("/O=Grid/CN=CA"), 512, &mut rand::thread_rng());
+        let cred = user_credential("dave", &ca);
+        let proxy = cred.issue_proxy(u64::MAX / 2, 1, &mut rand::thread_rng());
+        assert!(proxy.leaf().body.not_after <= cred.leaf().body.not_after);
+    }
+
+    #[test]
+    #[should_panic(expected = "certificate/key mismatch")]
+    fn mismatched_key_rejected() {
+        let ca = CertificateAuthority::new(&dn("/O=Grid/CN=CA"), 512, &mut rand::thread_rng());
+        let mut rng = rand::thread_rng();
+        let key1 = RsaKeyPair::generate(512, &mut rng);
+        let key2 = RsaKeyPair::generate(512, &mut rng);
+        let cert = ca.issue(&dn("/O=Grid/CN=eve"), &key1.public);
+        let _ = Credential::new(cert, key2);
+    }
+}

@@ -1,0 +1,45 @@
+//! GSI-style public key infrastructure for SGFS.
+//!
+//! The paper authenticates every SGFS session with X.509/GSI certificates:
+//! a grid user presents either their identity certificate or a *proxy
+//! certificate* they issued for delegation, the proxies mutually
+//! authenticate, and the server side maps the authenticated distinguished
+//! name to a local account via a *gridmap* file.
+//!
+//! This crate reimplements that machinery with its own certificate
+//! encoding (XDR-based rather than ASN.1/DER — the encoding is irrelevant
+//! to every claim in the paper; the structure and validation semantics are
+//! faithful):
+//!
+//! * [`dn`] — distinguished names (`/O=Grid/OU=ACIS/CN=alice`).
+//! * [`cert`] — certificate bodies, signing, and self-signed roots.
+//! * [`identity`] — a subject's credential (chain + private key) and GSI
+//!   proxy-certificate issuance for delegation.
+//! * [`validate`] — trust stores, chain validation, revocation, and the
+//!   GSI proxy rules (effective identity = the end-entity DN at the base
+//!   of the proxy chain).
+//! * [`gridmap`] — the gridmap access-control file mapping grid DNs to
+//!   local accounts, configurable per SGFS session.
+
+pub mod cert;
+pub mod dn;
+pub mod gridmap;
+pub mod identity;
+pub mod validate;
+
+pub use cert::{Certificate, CertificateAuthority, CertificateBody};
+pub use dn::DistinguishedName;
+pub use gridmap::{GridMap, MapTarget};
+pub use identity::Credential;
+pub use validate::{TrustStore, ValidatedPeer, ValidationError};
+
+/// Seconds-since-epoch timestamp type used for validity windows.
+pub type UnixTime = u64;
+
+/// Current wall-clock time as a [`UnixTime`].
+pub fn now() -> UnixTime {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("system clock before epoch")
+        .as_secs()
+}

@@ -1,0 +1,356 @@
+//! Trust stores and certificate-chain validation with GSI proxy rules.
+
+use crate::cert::Certificate;
+use crate::dn::DistinguishedName;
+use crate::UnixTime;
+use std::collections::HashSet;
+
+/// Why a chain failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// Chain was empty.
+    EmptyChain,
+    /// A certificate in the chain is outside its validity window.
+    Expired(String),
+    /// A signature did not verify.
+    BadSignature(String),
+    /// The chain does not terminate at a trusted root.
+    UntrustedRoot(String),
+    /// A non-CA certificate appears as an issuer of a non-proxy cert.
+    IssuerNotCa(String),
+    /// A proxy certificate violates the GSI naming rule
+    /// (subject must be issuer + one `CN` component).
+    BadProxyName(String),
+    /// A proxy was issued from a proxy whose depth was exhausted.
+    ProxyDepthExceeded(String),
+    /// A certificate's serial is on the revocation list.
+    Revoked(u64),
+    /// The peer's effective DN did not match what the caller required.
+    WrongIdentity { expected: String, actual: String },
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::EmptyChain => write!(f, "empty certificate chain"),
+            ValidationError::Expired(s) => write!(f, "certificate expired: {s}"),
+            ValidationError::BadSignature(s) => write!(f, "bad signature on: {s}"),
+            ValidationError::UntrustedRoot(s) => write!(f, "untrusted root for: {s}"),
+            ValidationError::IssuerNotCa(s) => write!(f, "issuer is not a CA: {s}"),
+            ValidationError::BadProxyName(s) => write!(f, "invalid proxy subject: {s}"),
+            ValidationError::ProxyDepthExceeded(s) => write!(f, "proxy depth exceeded at: {s}"),
+            ValidationError::Revoked(n) => write!(f, "certificate serial {n} revoked"),
+            ValidationError::WrongIdentity { expected, actual } => {
+                write!(f, "peer identity {actual} does not match expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// The result of validating a peer's chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidatedPeer {
+    /// The DN presented by the leaf certificate.
+    pub leaf_dn: DistinguishedName,
+    /// The effective grid identity (first non-proxy subject) used for
+    /// authorization decisions (gridmap lookups, ACL checks).
+    pub effective_dn: DistinguishedName,
+    /// Whether the leaf was a delegated proxy certificate.
+    pub via_proxy: bool,
+}
+
+/// A set of trusted root certificates plus a revocation list.
+///
+/// Equivalent to the paper's "trusted CA certificates" path in the proxy
+/// configuration file.
+#[derive(Default, Clone)]
+pub struct TrustStore {
+    roots: Vec<Certificate>,
+    revoked_serials: HashSet<u64>,
+}
+
+impl TrustStore {
+    /// Empty store (validates nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a trusted self-signed root.
+    pub fn add_root(&mut self, root: Certificate) {
+        self.roots.push(root);
+    }
+
+    /// Revoke a certificate by serial number (CRL-lite).
+    pub fn revoke(&mut self, serial: u64) {
+        self.revoked_serials.insert(serial);
+    }
+
+    /// Validate `chain` (leaf first) at time `now`.
+    ///
+    /// Walks the chain leaf→root applying: validity windows, revocation,
+    /// signature verification, GSI proxy structural rules, CA flags, and
+    /// finally trust anchoring (the last certificate must be signed by a
+    /// store root, or be a store root itself).
+    pub fn validate_chain(
+        &self,
+        chain: &[Certificate],
+        now: UnixTime,
+    ) -> Result<ValidatedPeer, ValidationError> {
+        let leaf = chain.first().ok_or(ValidationError::EmptyChain)?;
+
+        for cert in chain {
+            if !cert.valid_at(now) {
+                return Err(ValidationError::Expired(cert.body.subject.to_string()));
+            }
+            if self.revoked_serials.contains(&cert.body.serial) {
+                return Err(ValidationError::Revoked(cert.body.serial));
+            }
+        }
+
+        // Pairwise structural + signature checks.
+        for window in chain.windows(2) {
+            let (child, parent) = (&window[0], &window[1]);
+            if !child.verify_signed_by(&parent.body.public_key) {
+                return Err(ValidationError::BadSignature(child.body.subject.to_string()));
+            }
+            if child.body.issuer != parent.body.subject {
+                return Err(ValidationError::BadSignature(child.body.subject.to_string()));
+            }
+            if child.is_proxy() {
+                // GSI rules: subject = issuer + one CN component, and the
+                // parent must be an end-entity (user or proxy), not a CA.
+                if !child.body.subject.is_immediate_child_of(&parent.body.subject) {
+                    return Err(ValidationError::BadProxyName(child.body.subject.to_string()));
+                }
+                if parent.body.is_ca {
+                    return Err(ValidationError::BadProxyName(child.body.subject.to_string()));
+                }
+                if let Some(parent_depth) = parent.body.proxy_depth {
+                    if parent_depth == 0 {
+                        return Err(ValidationError::ProxyDepthExceeded(
+                            parent.body.subject.to_string(),
+                        ));
+                    }
+                }
+            } else {
+                // A non-proxy certificate must be issued by a CA.
+                if !parent.body.is_ca {
+                    return Err(ValidationError::IssuerNotCa(parent.body.subject.to_string()));
+                }
+            }
+        }
+
+        // Proxies may not appear above a non-proxy (chain must be
+        // proxy*, end-entity, CA*).
+        let first_non_proxy = chain.iter().position(|c| !c.is_proxy()).unwrap_or(chain.len());
+        if chain[first_non_proxy..].iter().any(|c| c.is_proxy()) {
+            return Err(ValidationError::BadProxyName(leaf.body.subject.to_string()));
+        }
+
+        // Anchor the top of the chain in the trust store.
+        let top = chain.last().unwrap();
+        let anchored = self.roots.iter().any(|root| {
+            (root == top && root.verify_signed_by(&root.body.public_key))
+                || (top.body.issuer == root.body.subject
+                    && root.body.is_ca
+                    && root.valid_at(now)
+                    && top.verify_signed_by(&root.body.public_key))
+        });
+        if !anchored {
+            return Err(ValidationError::UntrustedRoot(top.body.subject.to_string()));
+        }
+
+        let effective = chain
+            .iter()
+            .find(|c| !c.is_proxy())
+            .map(|c| c.body.subject.clone())
+            .unwrap_or_else(|| leaf.body.subject.clone());
+        Ok(ValidatedPeer {
+            leaf_dn: leaf.body.subject.clone(),
+            effective_dn: effective,
+            via_proxy: leaf.is_proxy(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cert::CertificateAuthority;
+    use crate::identity::Credential;
+    use sgfs_crypto::rsa::RsaKeyPair;
+
+    fn dn(s: &str) -> DistinguishedName {
+        DistinguishedName::parse(s).unwrap()
+    }
+
+    struct Fixture {
+        ca: CertificateAuthority,
+        store: TrustStore,
+        alice: Credential,
+    }
+
+    fn fixture() -> Fixture {
+        let mut rng = rand::thread_rng();
+        let ca = CertificateAuthority::new(&dn("/O=Grid/CN=CA"), 512, &mut rng);
+        let mut store = TrustStore::new();
+        store.add_root(ca.certificate().clone());
+        let key = RsaKeyPair::generate(512, &mut rng);
+        let cert = ca.issue(&dn("/O=Grid/CN=alice"), &key.public);
+        Fixture { ca, store, alice: Credential::new(cert, key) }
+    }
+
+    #[test]
+    fn direct_user_chain_validates() {
+        let f = fixture();
+        let peer = f.store.validate_chain(&f.alice.chain, crate::now()).unwrap();
+        assert_eq!(peer.effective_dn.to_string(), "/O=Grid/CN=alice");
+        assert!(!peer.via_proxy);
+    }
+
+    #[test]
+    fn proxy_chain_validates_with_effective_identity() {
+        let f = fixture();
+        let proxy = f.alice.issue_proxy(3600, 1, &mut rand::thread_rng());
+        let peer = f.store.validate_chain(&proxy.chain, crate::now()).unwrap();
+        assert_eq!(peer.effective_dn.to_string(), "/O=Grid/CN=alice");
+        assert_eq!(peer.leaf_dn.to_string(), "/O=Grid/CN=alice/CN=proxy");
+        assert!(peer.via_proxy);
+    }
+
+    #[test]
+    fn nested_proxy_validates() {
+        let f = fixture();
+        let p2 = f
+            .alice
+            .issue_proxy(3600, 2, &mut rand::thread_rng())
+            .issue_proxy(1800, 1, &mut rand::thread_rng());
+        let peer = f.store.validate_chain(&p2.chain, crate::now()).unwrap();
+        assert_eq!(peer.effective_dn.to_string(), "/O=Grid/CN=alice");
+    }
+
+    #[test]
+    fn empty_chain_rejected() {
+        let f = fixture();
+        assert_eq!(
+            f.store.validate_chain(&[], crate::now()),
+            Err(ValidationError::EmptyChain)
+        );
+    }
+
+    #[test]
+    fn untrusted_ca_rejected() {
+        let f = fixture();
+        let mut rng = rand::thread_rng();
+        let rogue_ca = CertificateAuthority::new(&dn("/O=Evil/CN=CA"), 512, &mut rng);
+        let key = RsaKeyPair::generate(512, &mut rng);
+        let cert = rogue_ca.issue(&dn("/O=Grid/CN=alice"), &key.public);
+        let err = f.store.validate_chain(&[cert], crate::now()).unwrap_err();
+        assert!(matches!(err, ValidationError::UntrustedRoot(_)));
+    }
+
+    #[test]
+    fn expired_certificate_rejected() {
+        let f = fixture();
+        let mut rng = rand::thread_rng();
+        let key = RsaKeyPair::generate(512, &mut rng);
+        let now = crate::now();
+        let cert =
+            f.ca.issue_with_validity(&dn("/O=Grid/CN=late"), &key.public, now - 100, now - 10);
+        let err = f.store.validate_chain(&[cert], now).unwrap_err();
+        assert!(matches!(err, ValidationError::Expired(_)));
+    }
+
+    #[test]
+    fn revoked_certificate_rejected() {
+        let mut f = fixture();
+        let serial = f.alice.leaf().body.serial;
+        f.store.revoke(serial);
+        assert_eq!(
+            f.store.validate_chain(&f.alice.chain, crate::now()),
+            Err(ValidationError::Revoked(serial))
+        );
+    }
+
+    #[test]
+    fn tampered_leaf_rejected() {
+        let f = fixture();
+        let mut chain = f.alice.chain.clone();
+        chain[0].body.subject = dn("/O=Grid/CN=root");
+        let err = f.store.validate_chain(&chain, crate::now()).unwrap_err();
+        assert!(matches!(err, ValidationError::UntrustedRoot(_) | ValidationError::BadSignature(_)));
+    }
+
+    #[test]
+    fn forged_proxy_name_rejected() {
+        // A proxy whose subject is NOT issuer+/CN=... (identity spoofing).
+        let f = fixture();
+        let mut rng = rand::thread_rng();
+        let proxy_key = RsaKeyPair::generate(512, &mut rng);
+        let now = crate::now();
+        let body = crate::cert::CertificateBody {
+            serial: 999,
+            subject: dn("/O=Grid/CN=admin/CN=proxy"), // claims to be admin!
+            issuer: dn("/O=Grid/CN=alice"),
+            not_before: now - 60,
+            not_after: now + 3600,
+            public_key: proxy_key.public.clone(),
+            is_ca: false,
+            proxy_depth: Some(0),
+        };
+        let signature = f.alice.key.sign(&sgfs_xdr::XdrEncode::to_xdr_bytes(&body));
+        let chain = vec![Certificate { body, signature }, f.alice.leaf().clone()];
+        let err = f.store.validate_chain(&chain, now).unwrap_err();
+        assert!(matches!(err, ValidationError::BadProxyName(_)), "{err:?}");
+    }
+
+    #[test]
+    fn delegation_beyond_depth_rejected() {
+        // Manually construct p2 derived from a depth-0 proxy.
+        let f = fixture();
+        let mut rng = rand::thread_rng();
+        let p1 = f.alice.issue_proxy(3600, 0, &mut rng);
+        let p2_key = RsaKeyPair::generate(512, &mut rng);
+        let now = crate::now();
+        let body = crate::cert::CertificateBody {
+            serial: 1000,
+            subject: p1.leaf().body.subject.with_cn("proxy"),
+            issuer: p1.leaf().body.subject.clone(),
+            not_before: now - 60,
+            not_after: now + 600,
+            public_key: p2_key.public.clone(),
+            is_ca: false,
+            proxy_depth: Some(0),
+        };
+        let signature = p1.key.sign(&sgfs_xdr::XdrEncode::to_xdr_bytes(&body));
+        let mut chain = vec![Certificate { body, signature }];
+        chain.extend(p1.chain.clone());
+        let err = f.store.validate_chain(&chain, now).unwrap_err();
+        assert!(matches!(err, ValidationError::ProxyDepthExceeded(_)), "{err:?}");
+    }
+
+    #[test]
+    fn end_entity_cannot_issue_end_entity() {
+        // alice (not a CA) signs a certificate for mallory — must fail.
+        let f = fixture();
+        let mut rng = rand::thread_rng();
+        let m_key = RsaKeyPair::generate(512, &mut rng);
+        let now = crate::now();
+        let body = crate::cert::CertificateBody {
+            serial: 7777,
+            subject: dn("/O=Grid/CN=mallory"),
+            issuer: dn("/O=Grid/CN=alice"),
+            not_before: now - 60,
+            not_after: now + 600,
+            public_key: m_key.public.clone(),
+            is_ca: false,
+            proxy_depth: None, // not a proxy: a full identity cert
+        };
+        let signature = f.alice.key.sign(&sgfs_xdr::XdrEncode::to_xdr_bytes(&body));
+        let chain = vec![Certificate { body, signature }, f.alice.leaf().clone()];
+        let err = f.store.validate_chain(&chain, now).unwrap_err();
+        assert!(matches!(err, ValidationError::IssuerNotCa(_)), "{err:?}");
+    }
+}

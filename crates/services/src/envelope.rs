@@ -1,0 +1,261 @@
+//! Signed message envelopes — the WS-Security analog.
+
+use sgfs_pki::{Certificate, Credential, TrustStore, ValidatedPeer};
+use sgfs_xdr::{XdrDecode, XdrEncode};
+use serde::{de::DeserializeOwned, Serialize};
+use std::collections::HashSet;
+
+/// How far a message timestamp may deviate from the verifier's clock.
+const MAX_SKEW_SECS: u64 = 300;
+
+/// A signed service message.
+///
+/// The signature covers `timestamp || nonce || body`, where `body` is the
+/// canonical JSON serialization of the request/response (serde_json's
+/// default map is ordered, so serialization is canonical for a given
+/// value). The sender's certificate chain rides along, exactly like a
+/// WS-Security `BinarySecurityToken`.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Envelope {
+    /// Seconds since the epoch at signing.
+    pub timestamp: u64,
+    /// Random anti-replay nonce.
+    pub nonce: u64,
+    /// Canonical JSON body.
+    pub body: String,
+    /// Sender certificate chain (XDR-encoded certificates, hex).
+    pub cert_chain: Vec<String>,
+    /// RSA-SHA256 signature (hex).
+    pub signature: String,
+}
+
+/// Envelope verification failures.
+#[derive(Debug, PartialEq, Eq)]
+pub enum EnvelopeError {
+    /// Malformed envelope or body.
+    Malformed(String),
+    /// Signature did not verify.
+    BadSignature,
+    /// Certificate chain rejected.
+    Untrusted(String),
+    /// Timestamp outside the accepted window.
+    Expired,
+    /// Nonce already seen.
+    Replayed,
+}
+
+impl std::fmt::Display for EnvelopeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnvelopeError::Malformed(s) => write!(f, "malformed envelope: {s}"),
+            EnvelopeError::BadSignature => write!(f, "envelope signature invalid"),
+            EnvelopeError::Untrusted(s) => write!(f, "envelope signer untrusted: {s}"),
+            EnvelopeError::Expired => write!(f, "envelope timestamp outside window"),
+            EnvelopeError::Replayed => write!(f, "envelope nonce replayed"),
+        }
+    }
+}
+
+impl std::error::Error for EnvelopeError {}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn unhex(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).ok())
+        .collect()
+}
+
+fn signed_payload(timestamp: u64, nonce: u64, body: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + body.len());
+    out.extend_from_slice(&timestamp.to_be_bytes());
+    out.extend_from_slice(&nonce.to_be_bytes());
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+impl Envelope {
+    /// Sign `value` with `cred`, producing a transport-ready envelope.
+    pub fn sign<T: Serialize>(cred: &Credential, value: &T) -> Result<Self, EnvelopeError> {
+        let body = serde_json::to_string(value)
+            .map_err(|e| EnvelopeError::Malformed(e.to_string()))?;
+        let timestamp = sgfs_pki::now();
+        let nonce: u64 = rand::random();
+        let signature = cred.sign(&signed_payload(timestamp, nonce, &body));
+        Ok(Self {
+            timestamp,
+            nonce,
+            body,
+            cert_chain: cred.chain.iter().map(|c| hex(&c.to_xdr_bytes())).collect(),
+            signature: hex(&signature),
+        })
+    }
+
+    /// Serialize for the wire.
+    pub fn to_wire(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("envelope is serializable")
+    }
+
+    /// Parse from the wire.
+    pub fn from_wire(bytes: &[u8]) -> Result<Self, EnvelopeError> {
+        serde_json::from_slice(bytes).map_err(|e| EnvelopeError::Malformed(e.to_string()))
+    }
+
+    /// Decode the certificate chain.
+    pub fn chain(&self) -> Result<Vec<Certificate>, EnvelopeError> {
+        self.cert_chain
+            .iter()
+            .map(|h| {
+                let bytes = unhex(h)
+                    .ok_or_else(|| EnvelopeError::Malformed("bad chain hex".into()))?;
+                Certificate::from_xdr_bytes(&bytes)
+                    .map_err(|e| EnvelopeError::Malformed(format!("bad certificate: {e}")))
+            })
+            .collect()
+    }
+}
+
+/// Verifier state: trust anchors plus the replay-protection nonce set.
+pub struct Verifier {
+    trust: TrustStore,
+    seen_nonces: HashSet<u64>,
+}
+
+impl Verifier {
+    /// New verifier over `trust`.
+    pub fn new(trust: TrustStore) -> Self {
+        Self { trust, seen_nonces: HashSet::new() }
+    }
+
+    /// Verify an envelope and deserialize its body as `T`.
+    ///
+    /// Checks, in order: timestamp window, nonce freshness, chain
+    /// validation against the trust store, and the signature by the leaf
+    /// key. Returns the authenticated peer and the parsed body.
+    pub fn verify<T: DeserializeOwned>(
+        &mut self,
+        env: &Envelope,
+    ) -> Result<(ValidatedPeer, T), EnvelopeError> {
+        let now = sgfs_pki::now();
+        if env.timestamp.abs_diff(now) > MAX_SKEW_SECS {
+            return Err(EnvelopeError::Expired);
+        }
+        if !self.seen_nonces.insert(env.nonce) {
+            return Err(EnvelopeError::Replayed);
+        }
+        let chain = env.chain()?;
+        let peer = self
+            .trust
+            .validate_chain(&chain, now)
+            .map_err(|e| EnvelopeError::Untrusted(e.to_string()))?;
+        let signature =
+            unhex(&env.signature).ok_or_else(|| EnvelopeError::Malformed("bad sig hex".into()))?;
+        chain[0]
+            .body
+            .public_key
+            .verify(&signed_payload(env.timestamp, env.nonce, &env.body), &signature)
+            .map_err(|_| EnvelopeError::BadSignature)?;
+        let value = serde_json::from_str(&env.body)
+            .map_err(|e| EnvelopeError::Malformed(e.to_string()))?;
+        Ok((peer, value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgfs_crypto::rsa::RsaKeyPair;
+    use sgfs_pki::{CertificateAuthority, DistinguishedName};
+
+    fn world() -> (Credential, TrustStore) {
+        let mut rng = rand::thread_rng();
+        let dn = DistinguishedName::parse("/O=Grid/CN=CA").unwrap();
+        let ca = CertificateAuthority::new(&dn, 512, &mut rng);
+        let key = RsaKeyPair::generate(512, &mut rng);
+        let cert =
+            ca.issue(&DistinguishedName::parse("/O=Grid/CN=alice").unwrap(), &key.public);
+        let mut trust = TrustStore::new();
+        trust.add_root(ca.certificate().clone());
+        (Credential::new(cert, key), trust)
+    }
+
+    #[derive(serde::Serialize, serde::Deserialize, PartialEq, Debug)]
+    struct Ping {
+        msg: String,
+        n: u32,
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let (cred, trust) = world();
+        let env = Envelope::sign(&cred, &Ping { msg: "hello".into(), n: 7 }).unwrap();
+        let wire = env.to_wire();
+        let env2 = Envelope::from_wire(&wire).unwrap();
+        let mut v = Verifier::new(trust);
+        let (peer, body): (_, Ping) = v.verify(&env2).unwrap();
+        assert_eq!(peer.effective_dn.to_string(), "/O=Grid/CN=alice");
+        assert_eq!(body, Ping { msg: "hello".into(), n: 7 });
+    }
+
+    #[test]
+    fn tampered_body_rejected() {
+        let (cred, trust) = world();
+        let mut env = Envelope::sign(&cred, &Ping { msg: "pay bob $1".into(), n: 1 }).unwrap();
+        env.body = env.body.replace("$1", "$9");
+        let mut v = Verifier::new(trust);
+        assert_eq!(
+            v.verify::<Ping>(&env).unwrap_err(),
+            EnvelopeError::BadSignature
+        );
+    }
+
+    #[test]
+    fn replay_rejected() {
+        let (cred, trust) = world();
+        let env = Envelope::sign(&cred, &Ping { msg: "once".into(), n: 1 }).unwrap();
+        let mut v = Verifier::new(trust);
+        assert!(v.verify::<Ping>(&env).is_ok());
+        assert_eq!(v.verify::<Ping>(&env).unwrap_err(), EnvelopeError::Replayed);
+    }
+
+    #[test]
+    fn stale_timestamp_rejected() {
+        let (cred, trust) = world();
+        let mut env = Envelope::sign(&cred, &Ping { msg: "old".into(), n: 1 }).unwrap();
+        env.timestamp -= 3600;
+        // Re-sign so only the timestamp check can fail... no: the point is
+        // the timestamp is covered by the signature, so moving it breaks
+        // the signature too. Either rejection is correct; check it fails.
+        let mut v = Verifier::new(trust);
+        assert!(v.verify::<Ping>(&env).is_err());
+    }
+
+    #[test]
+    fn untrusted_signer_rejected() {
+        let (cred, _trust) = world();
+        let (_other_cred, other_trust) = world(); // different CA
+        let env = Envelope::sign(&cred, &Ping { msg: "hi".into(), n: 1 }).unwrap();
+        let mut v = Verifier::new(other_trust);
+        assert!(matches!(
+            v.verify::<Ping>(&env).unwrap_err(),
+            EnvelopeError::Untrusted(_)
+        ));
+    }
+
+    #[test]
+    fn delegated_proxy_signs_as_user() {
+        let (cred, trust) = world();
+        let proxy = cred.issue_proxy(3600, 1, &mut rand::thread_rng());
+        let env = Envelope::sign(&proxy, &Ping { msg: "delegated".into(), n: 2 }).unwrap();
+        let mut v = Verifier::new(trust);
+        let (peer, _body): (_, Ping) = v.verify(&env).unwrap();
+        assert_eq!(peer.effective_dn.to_string(), "/O=Grid/CN=alice");
+        assert!(peer.via_proxy);
+    }
+}

@@ -1,0 +1,37 @@
+//! SGFS management services (§3.2, §4.4): FSS and DSS with
+//! message-level security.
+//!
+//! The paper manages sessions through WSRF services whose SOAP messages
+//! are signed per WS-Security with X.509 certificates. This crate is that
+//! management plane:
+//!
+//! * [`envelope`] — the WS-Security analog: canonical-JSON bodies signed
+//!   RSA-SHA256 with the sender's certificate chain embedded, verified
+//!   against a trust store, with timestamp + nonce replay protection.
+//!   (XML canonicalization is replaced by canonical JSON; the security
+//!   semantics — sign → verify → authorize, transport-agnostic — are
+//!   preserved.)
+//! * [`messages`] — the service request/response vocabulary.
+//! * [`dss`] — the Data Scheduler Service: authenticates grid users,
+//!   authorizes session creation, keeps the per-filesystem ACL database
+//!   from which per-session gridmap files are generated, tracks session
+//!   lifecycles, and drives the FSSs.
+//! * [`fss`] — the File System Service: one per host; executes the DSS's
+//!   signed instructions by configuring/starting/stopping the local
+//!   proxies (here: by assembling [`sgfs::Session`] stacks and applying
+//!   reconfigurations to live proxies).
+//!
+//! Message-level security is deliberately *not* on the data path: it
+//! secures only the infrequent control interactions, exactly as the paper
+//! argues ("the use of more expensive security mechanisms does not hurt an
+//! established SGFS session's I/O performance").
+
+pub mod dss;
+pub mod envelope;
+pub mod fss;
+pub mod messages;
+
+pub use dss::Dss;
+pub use envelope::{Envelope, EnvelopeError, Verifier};
+pub use fss::Fss;
+pub use messages::{DssRequest, DssResponse};

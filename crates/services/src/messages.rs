@@ -1,0 +1,151 @@
+//! The service request/response vocabulary (the WSDL analog).
+
+use serde::{Deserialize, Serialize};
+
+/// Security strengths a session request may ask for.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq, Eq)]
+pub enum SecurityChoice {
+    /// Integrity only (`sgfs-sha`).
+    IntegrityOnly,
+    /// RC4-128 (`sgfs-rc`).
+    Medium,
+    /// AES-256 (`sgfs-aes`).
+    Strong,
+}
+
+/// Requests a grid user (or a service acting for one) sends to the DSS.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum DssRequest {
+    /// Create a data session to `filesystem` with the given knobs.
+    CreateSession {
+        /// Exported filesystem name.
+        filesystem: String,
+        /// Requested security strength.
+        security: SecurityChoice,
+        /// Enable client-side disk caching.
+        disk_cache: bool,
+        /// Enable fine-grained per-file ACLs.
+        fine_grained_acl: bool,
+        /// Emulated RTT in microseconds (testbed parameter).
+        rtt_micros: u64,
+        /// Serialized delegated proxy credential (hex) the services use
+        /// to establish the session on the user's behalf.
+        delegated_credential: String,
+    },
+    /// Destroy a session, flushing its write-back cache.
+    DestroySession {
+        /// Id returned by `SessionCreated`.
+        session_id: u64,
+    },
+    /// Reconfigure a live session (rekey now).
+    RekeySession {
+        /// Id returned by `SessionCreated`.
+        session_id: u64,
+    },
+    /// Grant another grid user access to a filesystem (updates the DSS
+    /// ACL database from which session gridmaps are generated).
+    GrantAccess {
+        /// Exported filesystem name.
+        filesystem: String,
+        /// The grantee's distinguished name.
+        grantee_dn: String,
+        /// Local account the grantee maps to.
+        account: String,
+    },
+    /// Revoke a previously granted access.
+    RevokeAccess {
+        /// Exported filesystem name.
+        filesystem: String,
+        /// The DN to remove.
+        grantee_dn: String,
+    },
+    /// Set the per-file ACL of `name` inside a live session's export.
+    SetFileAcl {
+        /// Session whose server proxy applies the change.
+        session_id: u64,
+        /// Object name at the export root (None = the root ACL).
+        name: Option<String>,
+        /// ACL text (the `.name.acl` format).
+        acl_text: String,
+    },
+    /// List the caller's active sessions.
+    ListSessions,
+}
+
+/// DSS responses.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum DssResponse {
+    /// Session established.
+    SessionCreated {
+        /// Handle for later control calls.
+        session_id: u64,
+    },
+    /// Session destroyed.
+    SessionDestroyed {
+        /// Bytes written back at teardown.
+        writeback_bytes: u64,
+    },
+    /// Generic success.
+    Ok,
+    /// Session list.
+    Sessions(Vec<SessionInfo>),
+    /// Failure.
+    Error(String),
+}
+
+/// One session's public metadata.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct SessionInfo {
+    /// Id.
+    pub session_id: u64,
+    /// Owner DN.
+    pub owner: String,
+    /// Filesystem name.
+    pub filesystem: String,
+    /// Security label (paper's configuration name).
+    pub security: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_serialize_roundtrip() {
+        let reqs = vec![
+            DssRequest::CreateSession {
+                filesystem: "GFS".into(),
+                security: SecurityChoice::Strong,
+                disk_cache: true,
+                fine_grained_acl: false,
+                rtt_micros: 40_000,
+                delegated_credential: "abcd".into(),
+            },
+            DssRequest::DestroySession { session_id: 7 },
+            DssRequest::GrantAccess {
+                filesystem: "GFS".into(),
+                grantee_dn: "/O=Grid/CN=bob".into(),
+                account: "bob".into(),
+            },
+            DssRequest::ListSessions,
+        ];
+        for r in reqs {
+            let json = serde_json::to_string(&r).unwrap();
+            let back: DssRequest = serde_json::from_str(&json).unwrap();
+            assert_eq!(serde_json::to_string(&back).unwrap(), json);
+        }
+    }
+
+    #[test]
+    fn responses_serialize_roundtrip() {
+        let resp = DssResponse::Sessions(vec![SessionInfo {
+            session_id: 1,
+            owner: "/O=Grid/CN=alice".into(),
+            filesystem: "GFS".into(),
+            security: "sgfs-aes".into(),
+        }]);
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: DssResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+}

@@ -1,0 +1,169 @@
+//! Grid file access control lists (§4.3).
+//!
+//! Each file or directory may have an ACL file next to it, named
+//! `.<name>.acl`, listing grid distinguished names and the NFSv3 ACCESS
+//! bits they are granted. Objects without a dedicated ACL inherit their
+//! parent directory's; a user absent from the effective ACL gets zero
+//! permissions. ACL files themselves are shielded from remote access by
+//! the server-side proxy and are managed locally or through the
+//! authorized management services.
+
+use sgfs_pki::DistinguishedName;
+
+/// One parsed ACL.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Acl {
+    entries: Vec<(DistinguishedName, u32)>,
+}
+
+impl Acl {
+    /// Empty ACL (denies everyone).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parse the text format:
+    ///
+    /// ```text
+    /// # members of the seismic project
+    /// "/O=Grid/CN=alice" 0x3f
+    /// "/O=Grid/CN=bob" 0x03
+    /// ```
+    ///
+    /// Masks are hex (`0x..`) or decimal.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut acl = Self::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let rest = line
+                .strip_prefix('"')
+                .ok_or_else(|| format!("line {}: DN must be quoted", lineno + 1))?;
+            let (dn_str, mask_str) = rest
+                .split_once('"')
+                .ok_or_else(|| format!("line {}: unterminated quote", lineno + 1))?;
+            let dn = DistinguishedName::parse(dn_str)
+                .ok_or_else(|| format!("line {}: invalid DN", lineno + 1))?;
+            let mask_str = mask_str.trim();
+            let mask = if let Some(hex) = mask_str.strip_prefix("0x") {
+                u32::from_str_radix(hex, 16)
+            } else {
+                mask_str.parse()
+            }
+            .map_err(|_| format!("line {}: invalid mask {mask_str:?}", lineno + 1))?;
+            acl.grant(dn, mask);
+        }
+        Ok(acl)
+    }
+
+    /// Serialize back to the text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (dn, mask) in &self.entries {
+            out.push_str(&format!("\"{dn}\" 0x{mask:02x}\n"));
+        }
+        out
+    }
+
+    /// Grant (or replace) `mask` for `dn`.
+    pub fn grant(&mut self, dn: DistinguishedName, mask: u32) {
+        match self.entries.iter_mut().find(|(d, _)| *d == dn) {
+            Some((_, m)) => *m = mask,
+            None => self.entries.push((dn, mask)),
+        }
+    }
+
+    /// Remove `dn`'s entry; returns whether it existed.
+    pub fn deny(&mut self, dn: &DistinguishedName) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|(d, _)| d != dn);
+        self.entries.len() != before
+    }
+
+    /// The mask granted to `dn` (zero when absent — the paper's default).
+    pub fn mask_for(&self, dn: &DistinguishedName) -> u32 {
+        self.entries
+            .iter()
+            .find(|(d, _)| d == dn)
+            .map(|(_, m)| *m)
+            .unwrap_or(0)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The ACL file name for an object called `name` (`.name.acl`).
+pub fn acl_file_name(name: &str) -> String {
+    format!(".{name}.acl")
+}
+
+/// True when `name` looks like an ACL file — such names are shielded from
+/// remote access by the server-side proxy.
+pub fn is_acl_file_name(name: &str) -> bool {
+    name.starts_with('.') && name.ends_with(".acl") && name.len() > 5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dn(s: &str) -> DistinguishedName {
+        DistinguishedName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn parse_grant_lookup() {
+        let acl = Acl::parse("# team\n\"/O=Grid/CN=alice\" 0x3f\n\"/O=Grid/CN=bob\" 3\n").unwrap();
+        assert_eq!(acl.mask_for(&dn("/O=Grid/CN=alice")), 0x3f);
+        assert_eq!(acl.mask_for(&dn("/O=Grid/CN=bob")), 3);
+        assert_eq!(acl.mask_for(&dn("/O=Grid/CN=eve")), 0, "absent user denied");
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let mut acl = Acl::new();
+        acl.grant(dn("/O=Grid/CN=alice"), 0x3f);
+        acl.grant(dn("/O=Grid/OU=X/CN=bob"), 0x01);
+        let back = Acl::parse(&acl.to_text()).unwrap();
+        assert_eq!(back, acl);
+    }
+
+    #[test]
+    fn grant_replaces_and_deny_removes() {
+        let mut acl = Acl::new();
+        acl.grant(dn("/O=Grid/CN=a"), 1);
+        acl.grant(dn("/O=Grid/CN=a"), 2);
+        assert_eq!(acl.len(), 1);
+        assert_eq!(acl.mask_for(&dn("/O=Grid/CN=a")), 2);
+        assert!(acl.deny(&dn("/O=Grid/CN=a")));
+        assert!(!acl.deny(&dn("/O=Grid/CN=a")));
+        assert!(acl.is_empty());
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        for bad in ["/O=G/CN=x 1", "\"/O=G/CN=x\" banana", "\"notadn\" 1", "\"/O=G/CN=x\""] {
+            assert!(Acl::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn acl_file_naming() {
+        assert_eq!(acl_file_name("data.bin"), ".data.bin.acl");
+        assert!(is_acl_file_name(".data.bin.acl"));
+        assert!(is_acl_file_name(".x.acl"));
+        assert!(!is_acl_file_name("data.bin"));
+        assert!(!is_acl_file_name(".acl"));
+        assert!(!is_acl_file_name(".hidden"));
+    }
+}

@@ -1,0 +1,186 @@
+//! Per-session configuration — the proxy configuration file of §4.2.
+//!
+//! A SGFS session is created per user/application and customized through
+//! this structure: the security mechanisms and policies, the disk-caching
+//! parameters, and the access-control setup. Reloading a changed
+//! configuration into a live proxy (and renegotiating) is the paper's
+//! dynamic-reconfiguration feature.
+
+use sgfs_gtls::{CipherSuite, GtlsConfig};
+use sgfs_pki::{Credential, DistinguishedName, GridMap, TrustStore};
+
+/// The three security strengths the paper benchmarks, plus none (gfs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SecurityLevel {
+    /// No protection at all — the `gfs` baseline.
+    None,
+    /// SHA1-HMAC integrity only — `sgfs-sha`.
+    IntegrityOnly,
+    /// RC4-128 + SHA1-HMAC — `sgfs-rc`.
+    MediumCipher,
+    /// AES-256-CBC + SHA1-HMAC — `sgfs-aes`.
+    StrongCipher,
+}
+
+impl SecurityLevel {
+    /// The GTLS suite realizing this level (None ⇒ no GTLS at all).
+    pub fn suite(self) -> Option<CipherSuite> {
+        match self {
+            SecurityLevel::None => None,
+            SecurityLevel::IntegrityOnly => Some(CipherSuite::NullSha1),
+            SecurityLevel::MediumCipher => Some(CipherSuite::Rc4_128Sha1),
+            SecurityLevel::StrongCipher => Some(CipherSuite::Aes256CbcSha1),
+        }
+    }
+}
+
+/// Client-proxy caching configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheMode {
+    /// No proxy caching (the paper's LAN runs).
+    None,
+    /// Aggressive in-memory caching of attributes/access/lookups only —
+    /// the SFS-style daemon behaviour.
+    MemoryMeta,
+    /// Full disk caching of attributes, access rights and data blocks
+    /// with write-back — the paper's WAN configuration. The path is the
+    /// cache spool directory on the client host's local disk.
+    Disk {
+        /// Spool directory for cached blocks.
+        dir: std::path::PathBuf,
+    },
+}
+
+/// The calibrated cost of one user-level forwarding hop.
+///
+/// The paper's proxies pay two extra network-stack traversals and
+/// kernel↔user switches per message; in-process pipes pay neither, so
+/// each proxy (and each SSH-tunnel endpoint in `gfs-ssh`) charges this
+/// virtual cost per message it forwards, in each direction. The defaults
+/// are calibrated so that the `gfs`/`nfs-v3` IOzone ratio lands in the
+/// paper's >2× band (see DESIGN.md §3/§4 and EXPERIMENTS.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HopCost {
+    /// Fixed cost per forwarded message (syscalls + context switch).
+    pub per_msg: std::time::Duration,
+    /// Per-byte cost in nanoseconds (stack traversal + extra copies).
+    pub per_byte_ns: u64,
+}
+
+impl Default for HopCost {
+    fn default() -> Self {
+        Self { per_msg: std::time::Duration::from_micros(15), per_byte_ns: 12 }
+    }
+}
+
+impl HopCost {
+    /// No charging (pure in-process measurement).
+    pub fn free() -> Self {
+        Self { per_msg: std::time::Duration::ZERO, per_byte_ns: 0 }
+    }
+
+    /// The virtual time one `len`-byte message costs at this hop.
+    pub fn of(&self, len: usize) -> std::time::Duration {
+        self.per_msg + std::time::Duration::from_nanos(self.per_byte_ns * len as u64)
+    }
+}
+
+/// Everything needed to set up one side of a session.
+#[derive(Clone)]
+pub struct SessionConfig {
+    /// Security level for the inter-proxy channel.
+    pub security: SecurityLevel,
+    /// This endpoint's credential (user cert for the client proxy, host
+    /// cert for the server proxy). Unused when `security` is `None`.
+    pub credential: Option<Credential>,
+    /// Trusted CA roots.
+    pub trust: TrustStore,
+    /// Client side: the expected file-server identity (mutual auth).
+    pub expected_peer: Option<DistinguishedName>,
+    /// Server side: the session gridmap (DN → local account).
+    pub gridmap: GridMap,
+    /// Server side: account name → (uid, gid) for identity mapping.
+    pub accounts: std::collections::HashMap<String, (u32, u32)>,
+    /// Server side: enforce per-file `.name.acl` files on ACCESS.
+    pub fine_grained_acl: bool,
+    /// Client side: caching mode.
+    pub cache: CacheMode,
+    /// Client side: read-ahead depth in blocks (SFS-style pipelining);
+    /// 0 disables.
+    pub readahead: u32,
+    /// Renegotiate session keys after this many records (None = never) —
+    /// the automatic periodic rekey of §4.2.
+    pub rekey_every_records: Option<u64>,
+}
+
+impl SessionConfig {
+    /// A minimal configuration at the given security level.
+    pub fn new(security: SecurityLevel) -> Self {
+        Self {
+            security,
+            credential: None,
+            trust: TrustStore::new(),
+            expected_peer: None,
+            gridmap: GridMap::new(),
+            accounts: std::collections::HashMap::new(),
+            fine_grained_acl: false,
+            cache: CacheMode::None,
+            readahead: 0,
+            rekey_every_records: None,
+        }
+    }
+
+    /// The GTLS config for this endpoint, if security is enabled.
+    pub fn gtls(&self) -> Option<GtlsConfig> {
+        let suite = self.security.suite()?;
+        let cred = self.credential.clone().expect("secure session requires a credential");
+        let mut cfg = GtlsConfig::new(cred, self.trust.clone()).with_suite(suite);
+        if let Some(peer) = &self.expected_peer {
+            cfg = cfg.clone().with_expected_peer(peer.clone());
+        }
+        Some(cfg)
+    }
+
+    /// Resolve a gridmap account name to its uid/gid.
+    pub fn account_ids(&self, account: &str) -> Option<(u32, u32)> {
+        self.accounts.get(account).copied()
+    }
+}
+
+impl std::fmt::Debug for SessionConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionConfig")
+            .field("security", &self.security)
+            .field("cache", &self.cache)
+            .field("readahead", &self.readahead)
+            .field("fine_grained_acl", &self.fine_grained_acl)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_match_paper_configurations() {
+        assert_eq!(SecurityLevel::None.suite(), None);
+        assert_eq!(SecurityLevel::IntegrityOnly.suite(), Some(CipherSuite::NullSha1));
+        assert_eq!(SecurityLevel::MediumCipher.suite(), Some(CipherSuite::Rc4_128Sha1));
+        assert_eq!(SecurityLevel::StrongCipher.suite(), Some(CipherSuite::Aes256CbcSha1));
+    }
+
+    #[test]
+    fn gtls_absent_without_security() {
+        let cfg = SessionConfig::new(SecurityLevel::None);
+        assert!(cfg.gtls().is_none());
+    }
+
+    #[test]
+    fn account_lookup() {
+        let mut cfg = SessionConfig::new(SecurityLevel::None);
+        cfg.accounts.insert("alice".into(), (1000, 1000));
+        assert_eq!(cfg.account_ids("alice"), Some((1000, 1000)));
+        assert_eq!(cfg.account_ids("bob"), None);
+    }
+}

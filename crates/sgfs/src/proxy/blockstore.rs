@@ -1,0 +1,372 @@
+//! The client proxy's data-block cache backing stores.
+//!
+//! The paper's WAN configuration caches 32 KB data blocks on the client
+//! host's local disk; the SFS-style daemon keeps a bounded in-memory block
+//! cache instead. Both stores index blocks by `(file handle, offset)` and
+//! track a dirty bit for write-back.
+
+use sgfs_nfs3::Fh3;
+use std::collections::HashMap;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+
+/// Key of one cached block.
+pub type BlockKey = (Fh3, u64);
+
+/// Metadata for one resident block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockMeta {
+    /// Block payload length.
+    pub len: u32,
+    /// Dirty (written back on flush) vs clean.
+    pub dirty: bool,
+}
+
+/// A block store: where cached data blocks live.
+pub trait BlockStore: Send {
+    /// Fetch a block's bytes, if cached.
+    fn get(&mut self, key: &BlockKey) -> Option<Vec<u8>>;
+    /// Insert/overwrite a block.
+    fn put(&mut self, key: BlockKey, data: &[u8], dirty: bool);
+    /// Metadata without reading the payload.
+    fn meta(&self, key: &BlockKey) -> Option<BlockMeta>;
+    /// Set the dirty bit of a resident block.
+    fn set_clean(&mut self, key: &BlockKey);
+    /// All block offsets cached for `fh`, sorted.
+    fn blocks_of(&self, fh: &Fh3) -> Vec<u64>;
+    /// All dirty block offsets for `fh`, sorted.
+    fn dirty_blocks_of(&self, fh: &Fh3) -> Vec<u64>;
+    /// Every file handle with at least one dirty block.
+    fn dirty_files(&self) -> Vec<Fh3>;
+    /// Drop all blocks of `fh` (cached *and* dirty — deletion of a file
+    /// discards its unflushed data, the paper's temporary-file win).
+    fn drop_file(&mut self, fh: &Fh3);
+    /// Total bytes cached.
+    fn total_bytes(&self) -> u64;
+    /// Total dirty bytes.
+    fn dirty_bytes(&self) -> u64;
+}
+
+/// Disk-backed store: one spool file per cached file handle, written at
+/// block offsets (sparse), with an in-memory index. Real file I/O makes
+/// the disk-cache cost in the benchmarks genuine.
+pub struct DiskStore {
+    dir: PathBuf,
+    index: HashMap<BlockKey, BlockMeta>,
+    open: HashMap<Fh3, std::fs::File>,
+}
+
+impl DiskStore {
+    /// Create a store spooling under `dir` (created if missing, and
+    /// cleared — each session starts with a cold cache, per the paper's
+    /// methodology).
+    pub fn new(dir: PathBuf) -> std::io::Result<Self> {
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir)?;
+        }
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self { dir, index: HashMap::new(), open: HashMap::new() })
+    }
+
+    fn file_for(&mut self, fh: &Fh3) -> std::io::Result<&mut std::fs::File> {
+        if !self.open.contains_key(fh) {
+            let name: String = fh.0.iter().map(|b| format!("{b:02x}")).collect();
+            let path = self.dir.join(format!("{name}.spool"));
+            let f = std::fs::OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(false)
+                .open(path)?;
+            self.open.insert(fh.clone(), f);
+        }
+        Ok(self.open.get_mut(fh).expect("just inserted"))
+    }
+}
+
+impl BlockStore for DiskStore {
+    fn get(&mut self, key: &BlockKey) -> Option<Vec<u8>> {
+        let meta = *self.index.get(key)?;
+        let (fh, offset) = key;
+        let fh = fh.clone();
+        let offset = *offset;
+        let f = self.file_for(&fh).ok()?;
+        let mut buf = vec![0u8; meta.len as usize];
+        f.seek(SeekFrom::Start(offset)).ok()?;
+        f.read_exact(&mut buf).ok()?;
+        Some(buf)
+    }
+
+    fn put(&mut self, key: BlockKey, data: &[u8], dirty: bool) {
+        let (fh, offset) = &key;
+        let fh = fh.clone();
+        let offset = *offset;
+        if let Ok(f) = self.file_for(&fh) {
+            if f.seek(SeekFrom::Start(offset)).is_ok() && f.write_all(data).is_ok() {
+                self.index.insert(key, BlockMeta { len: data.len() as u32, dirty });
+            }
+        }
+    }
+
+    fn meta(&self, key: &BlockKey) -> Option<BlockMeta> {
+        self.index.get(key).copied()
+    }
+
+    fn set_clean(&mut self, key: &BlockKey) {
+        if let Some(m) = self.index.get_mut(key) {
+            m.dirty = false;
+        }
+    }
+
+    fn blocks_of(&self, fh: &Fh3) -> Vec<u64> {
+        let mut v: Vec<u64> =
+            self.index.keys().filter(|(f, _)| f == fh).map(|(_, o)| *o).collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn dirty_blocks_of(&self, fh: &Fh3) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .index
+            .iter()
+            .filter(|((f, _), m)| f == fh && m.dirty)
+            .map(|((_, o), _)| *o)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn dirty_files(&self) -> Vec<Fh3> {
+        let mut v: Vec<Fh3> = self
+            .index
+            .iter()
+            .filter(|(_, m)| m.dirty)
+            .map(|((f, _), _)| f.clone())
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    fn drop_file(&mut self, fh: &Fh3) {
+        self.index.retain(|(f, _), _| f != fh);
+        if self.open.remove(fh).is_some() {
+            let name: String = fh.0.iter().map(|b| format!("{b:02x}")).collect();
+            let _ = std::fs::remove_file(self.dir.join(format!("{name}.spool")));
+        }
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.index.values().map(|m| m.len as u64).sum()
+    }
+
+    fn dirty_bytes(&self) -> u64 {
+        self.index.values().filter(|m| m.dirty).map(|m| m.len as u64).sum()
+    }
+}
+
+impl Drop for DiskStore {
+    fn drop(&mut self) {
+        self.open.clear();
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// In-memory store (SFS-style daemon cache), bounded by FIFO eviction of
+/// clean blocks.
+pub struct MemStore {
+    blocks: HashMap<BlockKey, (Vec<u8>, bool)>,
+    order: std::collections::VecDeque<BlockKey>,
+    capacity: u64,
+    resident: u64,
+}
+
+impl MemStore {
+    /// Store capped at `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        Self {
+            blocks: HashMap::new(),
+            order: std::collections::VecDeque::new(),
+            capacity,
+            resident: 0,
+        }
+    }
+}
+
+impl BlockStore for MemStore {
+    fn get(&mut self, key: &BlockKey) -> Option<Vec<u8>> {
+        self.blocks.get(key).map(|(d, _)| d.clone())
+    }
+
+    fn put(&mut self, key: BlockKey, data: &[u8], dirty: bool) {
+        if let Some((old, _)) = self.blocks.insert(key.clone(), (data.to_vec(), dirty)) {
+            self.resident -= old.len() as u64;
+        } else {
+            self.order.push_back(key);
+        }
+        self.resident += data.len() as u64;
+        // Evict clean blocks FIFO while over budget.
+        let mut scanned = 0;
+        while self.resident > self.capacity && scanned < self.order.len() {
+            let victim = match self.order.pop_front() {
+                Some(v) => v,
+                None => break,
+            };
+            match self.blocks.get(&victim) {
+                Some((_, true)) => {
+                    self.order.push_back(victim); // dirty: keep
+                    scanned += 1;
+                }
+                Some((d, false)) => {
+                    self.resident -= d.len() as u64;
+                    self.blocks.remove(&victim);
+                }
+                None => {}
+            }
+        }
+    }
+
+    fn meta(&self, key: &BlockKey) -> Option<BlockMeta> {
+        self.blocks
+            .get(key)
+            .map(|(d, dirty)| BlockMeta { len: d.len() as u32, dirty: *dirty })
+    }
+
+    fn set_clean(&mut self, key: &BlockKey) {
+        if let Some((_, dirty)) = self.blocks.get_mut(key) {
+            *dirty = false;
+        }
+    }
+
+    fn blocks_of(&self, fh: &Fh3) -> Vec<u64> {
+        let mut v: Vec<u64> =
+            self.blocks.keys().filter(|(f, _)| f == fh).map(|(_, o)| *o).collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn dirty_blocks_of(&self, fh: &Fh3) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .blocks
+            .iter()
+            .filter(|((f, _), (_, dirty))| f == fh && *dirty)
+            .map(|((_, o), _)| *o)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn dirty_files(&self) -> Vec<Fh3> {
+        let mut v: Vec<Fh3> = self
+            .blocks
+            .iter()
+            .filter(|(_, (_, dirty))| *dirty)
+            .map(|((f, _), _)| f.clone())
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    fn drop_file(&mut self, fh: &Fh3) {
+        let dropped: Vec<BlockKey> =
+            self.blocks.keys().filter(|(f, _)| f == fh).cloned().collect();
+        for key in dropped {
+            if let Some((d, _)) = self.blocks.remove(&key) {
+                self.resident -= d.len() as u64;
+            }
+        }
+        self.order.retain(|(f, _)| f != fh);
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.resident
+    }
+
+    fn dirty_bytes(&self) -> u64 {
+        self.blocks
+            .values()
+            .filter(|(_, dirty)| *dirty)
+            .map(|(d, _)| d.len() as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fh(n: u64) -> Fh3 {
+        Fh3::from_ino(1, n)
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("sgfs-blockstore-test-{tag}-{}", std::process::id()))
+    }
+
+    fn exercise(store: &mut dyn BlockStore) {
+        store.put((fh(1), 0), &[1; 100], false);
+        store.put((fh(1), 32768), &[2; 100], true);
+        store.put((fh(2), 0), &[3; 50], true);
+
+        assert_eq!(store.get(&(fh(1), 0)).unwrap(), vec![1; 100]);
+        assert_eq!(store.get(&(fh(1), 32768)).unwrap(), vec![2; 100]);
+        assert!(store.get(&(fh(1), 999)).is_none());
+        assert_eq!(store.meta(&(fh(1), 32768)).unwrap().dirty, true);
+        assert_eq!(store.blocks_of(&fh(1)), vec![0, 32768]);
+        assert_eq!(store.dirty_blocks_of(&fh(1)), vec![32768]);
+        assert_eq!(store.dirty_files(), vec![fh(1), fh(2)]);
+        assert_eq!(store.total_bytes(), 250);
+        assert_eq!(store.dirty_bytes(), 150);
+
+        store.set_clean(&(fh(1), 32768));
+        assert_eq!(store.dirty_blocks_of(&fh(1)), Vec::<u64>::new());
+
+        store.drop_file(&fh(1));
+        assert!(store.get(&(fh(1), 0)).is_none());
+        assert_eq!(store.get(&(fh(2), 0)).unwrap(), vec![3; 50]);
+    }
+
+    #[test]
+    fn disk_store_semantics() {
+        let mut store = DiskStore::new(temp_dir("disk")).unwrap();
+        exercise(&mut store);
+    }
+
+    #[test]
+    fn mem_store_semantics() {
+        let mut store = MemStore::new(1 << 20);
+        exercise(&mut store);
+    }
+
+    #[test]
+    fn disk_store_overwrite_block() {
+        let mut store = DiskStore::new(temp_dir("ow")).unwrap();
+        store.put((fh(1), 0), &[1; 100], false);
+        store.put((fh(1), 0), &[9; 80], true);
+        assert_eq!(store.get(&(fh(1), 0)).unwrap(), vec![9; 80]);
+        assert!(store.meta(&(fh(1), 0)).unwrap().dirty);
+        assert_eq!(store.total_bytes(), 80);
+    }
+
+    #[test]
+    fn mem_store_evicts_clean_not_dirty() {
+        let mut store = MemStore::new(250);
+        store.put((fh(1), 0), &[1; 100], true); // dirty: protected
+        store.put((fh(1), 1), &[2; 100], false);
+        store.put((fh(1), 2), &[3; 100], false); // over budget
+        assert!(store.get(&(fh(1), 0)).is_some(), "dirty block survives");
+        assert!(store.total_bytes() <= 250);
+    }
+
+    #[test]
+    fn disk_store_cleans_up_spool_dir() {
+        let dir = temp_dir("cleanup");
+        {
+            let mut store = DiskStore::new(dir.clone()).unwrap();
+            store.put((fh(1), 0), &[1; 10], false);
+            assert!(dir.exists());
+        }
+        assert!(!dir.exists(), "spool removed on drop");
+    }
+}

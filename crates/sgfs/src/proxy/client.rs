@@ -1,0 +1,864 @@
+//! The client-side SGFS proxy.
+//!
+//! Exposes plain NFS RPC to the local kernel client and forwards it over
+//! the session's (optionally GTLS-protected) channel. Its distinguishing
+//! feature is the per-session cache (§6.1 "aggressive disk caching of
+//! attributes, access permissions and data"):
+//!
+//! * **attributes / access / lookup / readdir** results are cached in
+//!   memory for the session (the session is single-user, so no
+//!   cross-client coherence is needed — the paper defers shared-session
+//!   consistency to application-tailored protocols);
+//! * **data blocks** are cached in a [`BlockStore`] (on local disk for the
+//!   WAN configuration, in memory for the SFS-style daemon);
+//! * **writes are write-back**: WRITE is absorbed into the dirty cache
+//!   and acknowledged immediately; dirty blocks flush on COMMIT and at
+//!   session teardown, and blocks of files removed before flushing are
+//!   simply dropped — which is exactly how the paper's Seismic run avoids
+//!   shipping temporary files across the WAN;
+//! * optional **read-ahead** through a second pipelined upstream
+//!   connection reproduces SFS's asynchronous-RPC advantage.
+
+use crate::config::{CacheMode, HopCost, SessionConfig};
+use crate::proxy::blockstore::{BlockStore, DiskStore, MemStore};
+use crate::stats::ProxyStats;
+use parking_lot::Mutex;
+use sgfs_gtls::GtlsStream;
+use sgfs_nfs3::proc::{procnum, *};
+use sgfs_nfs3::types::*;
+use sgfs_nfs3::{NFS_PROGRAM, NFS_VERSION};
+use sgfs_oncrpc::record::{read_record, write_record};
+use sgfs_oncrpc::{AcceptStat, CallHeader, OpaqueAuth, ReplyHeader};
+use sgfs_net::BoxStream;
+use sgfs_xdr::{XdrDecode, XdrDecoder, XdrEncode, XdrEncoder};
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::Arc;
+
+/// The channel to the server-side proxy.
+pub enum Upstream {
+    /// Unprotected (the `gfs` baseline and the tunneled `gfs-ssh` path,
+    /// where protection lives in the tunnel).
+    Plain(BoxStream),
+    /// GTLS-protected (all `sgfs-*` configurations and the SFS analog).
+    Tls(Box<GtlsStream>),
+}
+
+impl Upstream {
+    fn stream(&mut self) -> &mut dyn sgfs_net::Stream {
+        match self {
+            Upstream::Plain(s) => s,
+            Upstream::Tls(t) => t.as_mut(),
+        }
+    }
+}
+
+/// Prefetched blocks shared with the read-ahead worker.
+type PrefetchMap = Arc<Mutex<HashMap<(Fh3, u64), Vec<u8>>>>;
+
+struct MetaCache {
+    attrs: HashMap<Fh3, Fattr3>,
+    access: HashMap<(Fh3, u32), u32>,
+    lookups: HashMap<(Fh3, String), (Fh3, Option<Fattr3>)>,
+    /// Raw READDIR/READDIRPLUS result bodies keyed (dir, cookie, plus?).
+    readdirs: HashMap<(Fh3, u64, bool), Vec<u8>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl MetaCache {
+    fn new() -> Self {
+        Self {
+            attrs: HashMap::new(),
+            access: HashMap::new(),
+            lookups: HashMap::new(),
+            readdirs: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn invalidate_dir(&mut self, dir: &Fh3) {
+        self.readdirs.retain(|(d, _, _), _| d != dir);
+        self.attrs.remove(dir);
+    }
+
+    fn invalidate_fh(&mut self, fh: &Fh3) {
+        self.attrs.remove(fh);
+        self.access.retain(|(f, _), _| f != fh);
+        self.lookups.retain(|_, (f, _)| f != fh);
+    }
+}
+
+/// The client-side proxy for one SGFS session.
+pub struct ClientProxy {
+    upstream: Upstream,
+    store: Option<Box<dyn BlockStore>>,
+    meta_enabled: bool,
+    meta: MetaCache,
+    stats: Arc<ProxyStats>,
+    next_xid: u32,
+    client_cred: OpaqueAuth,
+    /// Monotonic synthesized mtime for locally acknowledged writes.
+    synth_mtime: u64,
+    write_verf: u64,
+    readahead: u32,
+    prefetched: PrefetchMap,
+    prefetch_tx: Option<mpsc::Sender<PrefetchReq>>,
+    /// Set by a controller to request key renegotiation between requests.
+    rekey_requested: Arc<std::sync::atomic::AtomicBool>,
+    /// Virtual per-hop forwarding cost, charged to the testbed clock.
+    clock: Option<Arc<sgfs_net::SimClock>>,
+    hop: HopCost,
+    /// Upstream-forwarded call counts per procedure (diagnostics).
+    forwarded: HashMap<u32, u64>,
+}
+
+struct PrefetchReq {
+    fh: Fh3,
+    offset: u64,
+    count: u32,
+    cred: OpaqueAuth,
+}
+
+/// External handle for dynamic reconfiguration of a live proxy.
+#[derive(Clone)]
+pub struct ClientProxyController {
+    rekey_requested: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl ClientProxyController {
+    /// Request an SSL renegotiation before the next forwarded request —
+    /// the paper's "force a SSL-renegotiation and refresh the session key".
+    pub fn request_rekey(&self) {
+        self.rekey_requested.store(true, std::sync::atomic::Ordering::Release);
+    }
+}
+
+impl ClientProxy {
+    /// Build a proxy over an established upstream channel, configured per
+    /// the session's [`CacheMode`] and read-ahead depth.
+    pub fn new(upstream: Upstream, config: &SessionConfig) -> std::io::Result<Self> {
+        let (store, meta_enabled): (Option<Box<dyn BlockStore>>, bool) = match &config.cache {
+            CacheMode::None => (None, false),
+            CacheMode::MemoryMeta => {
+                // SFS-style: metadata aggressively cached; data blocks only
+                // via read-ahead, held in a bounded memory store.
+                (Some(Box::new(MemStore::new(64 * 1024 * 1024))), true)
+            }
+            CacheMode::Disk { dir } => (Some(Box::new(DiskStore::new(dir.clone())?)), true),
+        };
+        let mut upstream = upstream;
+        if let (Upstream::Tls(t), Some(n)) = (&mut upstream, config.rekey_every_records) {
+            t.auto_rekey_every = Some(n);
+        }
+        Ok(Self {
+            upstream,
+            store,
+            meta_enabled,
+            meta: MetaCache::new(),
+            stats: ProxyStats::new(),
+            next_xid: 0x7000_0000,
+            client_cred: OpaqueAuth::none(),
+            synth_mtime: 1,
+            write_verf: rand::random(),
+            readahead: config.readahead,
+            prefetched: Arc::new(Mutex::new(HashMap::new())),
+            prefetch_tx: None,
+            rekey_requested: Arc::new(std::sync::atomic::AtomicBool::new(false)),
+            clock: None,
+            hop: HopCost::free(),
+            forwarded: HashMap::new(),
+        })
+    }
+
+    /// Upstream-forwarded call counts per NFS procedure.
+    pub fn forwarded_by_proc(&self) -> &HashMap<u32, u64> {
+        &self.forwarded
+    }
+
+    /// Enable per-hop virtual cost accounting on `clock`.
+    pub fn set_hop_cost(&mut self, clock: Arc<sgfs_net::SimClock>, hop: HopCost) {
+        self.clock = Some(clock);
+        self.hop = hop;
+    }
+
+    /// Attribute the upstream channel's crypto time to this proxy's CPU
+    /// accounting (Figures 5/6 instrumentation).
+    pub fn hook_crypto_accounting(&mut self) {
+        if let Upstream::Tls(t) = &mut self.upstream {
+            t.busy_counter = Some(self.stats.busy_counter());
+        }
+    }
+
+    /// Instrumentation counters.
+    pub fn stats(&self) -> &Arc<ProxyStats> {
+        &self.stats
+    }
+
+    /// Metadata-cache hit/miss counters.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.meta.hits, self.meta.misses)
+    }
+
+    /// A controller for dynamic reconfiguration of the running proxy.
+    pub fn controller(&self) -> ClientProxyController {
+        ClientProxyController { rekey_requested: self.rekey_requested.clone() }
+    }
+
+    /// Number of completed handshakes on the secure channel (1 + rekeys).
+    pub fn handshake_count(&self) -> Option<u64> {
+        match &self.upstream {
+            Upstream::Tls(t) => Some(t.handshake_count()),
+            Upstream::Plain(_) => None,
+        }
+    }
+
+    /// Attach a read-ahead worker that fetches over `second_channel`.
+    ///
+    /// The worker runs until the proxy is dropped; fetched blocks land in
+    /// a shared map the main loop consults before going upstream.
+    pub fn start_readahead(&mut self, mut second_channel: Upstream) {
+        if self.readahead == 0 {
+            return;
+        }
+        let (tx, rx) = mpsc::channel::<PrefetchReq>();
+        let map = self.prefetched.clone();
+        std::thread::spawn(move || {
+            let mut xid = 0x7800_0000u32;
+            for req in rx {
+                if map.lock().contains_key(&(req.fh.clone(), req.offset)) {
+                    continue;
+                }
+                xid = xid.wrapping_add(1);
+                let args = ReadArgs { file: req.fh.clone(), offset: req.offset, count: req.count };
+                let res: Result<ReadRes, ()> =
+                    call_on(second_channel.stream(), xid, procnum::READ, &req.cred, &args);
+                if let Ok(res) = res {
+                    map.lock().insert((req.fh, req.offset), res.data);
+                }
+            }
+        });
+        self.prefetch_tx = Some(tx);
+    }
+
+    /// Serve one downstream connection until EOF, then return `self` so
+    /// the session can flush the write-back cache and read final stats.
+    pub fn run(mut self, mut downstream: BoxStream) -> (Self, std::io::Result<()>) {
+        loop {
+            let record = match read_record(&mut downstream) {
+                Ok(Some(r)) => r,
+                Ok(None) => return (self, Ok(())),
+                Err(e) => return (self, Err(e)),
+            };
+            if self.rekey_requested.swap(false, std::sync::atomic::Ordering::AcqRel) {
+                if let Upstream::Tls(t) = &mut self.upstream {
+                    if let Err(e) = t.renegotiate() {
+                        return (self, Err(std::io::Error::from(e)));
+                    }
+                }
+            }
+            let stats = self.stats.clone();
+            let reply = match stats.track(|| self.process(&record)) {
+                Ok(r) => r,
+                Err(e) => return (self, Err(e)),
+            };
+            // The kernel-client ↔ proxy loopback hop (request + reply).
+            if let Some(clock) = &self.clock {
+                clock.advance(self.hop.of(record.len()) + self.hop.of(reply.len()));
+            }
+            if let Err(e) = write_record(&mut downstream, &reply) {
+                return (self, Err(e));
+            }
+        }
+    }
+
+    fn process(&mut self, record: &[u8]) -> std::io::Result<Vec<u8>> {
+        let mut dec = XdrDecoder::new(record);
+        let header = match CallHeader::decode(&mut dec) {
+            Ok(h) => h,
+            Err(_) => return Ok(accept_error(0, AcceptStat::GarbageArgs)),
+        };
+        if header.prog != NFS_PROGRAM || header.vers != NFS_VERSION {
+            return Ok(accept_error(header.xid, AcceptStat::ProgUnavail));
+        }
+        self.client_cred = header.cred.clone();
+        let args = record[dec.position()..].to_vec();
+
+        if !self.meta_enabled {
+            return self.forward(record, header.proc, &args);
+        }
+
+        match header.proc {
+            procnum::GETATTR => {
+                if let Ok(fh) = Fh3::from_xdr_bytes(&args) {
+                    if let Some(a) = self.meta.attrs.get(&fh) {
+                        self.meta.hits += 1;
+                        let res = GetAttrRes { status: NfsStat3::Ok, attr: Some(a.clone()) };
+                        return Ok(encode_reply(header.xid, &res));
+                    }
+                    self.meta.misses += 1;
+                }
+                self.forward(record, header.proc, &args)
+            }
+            procnum::ACCESS => {
+                if let Ok(a) = AccessArgs::from_xdr_bytes(&args) {
+                    let uid = header.cred.as_sys().map(|s| s.uid).unwrap_or(u32::MAX);
+                    if let Some(&granted) = self.meta.access.get(&(a.object.clone(), uid)) {
+                        self.meta.hits += 1;
+                        let res = AccessRes {
+                            status: NfsStat3::Ok,
+                            obj_attr: self.meta.attrs.get(&a.object).cloned(),
+                            access: granted & a.access,
+                        };
+                        return Ok(encode_reply(header.xid, &res));
+                    }
+                    self.meta.misses += 1;
+                }
+                self.forward(record, header.proc, &args)
+            }
+            procnum::LOOKUP => {
+                if let Ok(a) = DirOpArgs3::from_xdr_bytes(&args) {
+                    let key = (a.dir.clone(), a.name.clone());
+                    if let Some((fh, attr)) = self.meta.lookups.get(&key) {
+                        self.meta.hits += 1;
+                        let res = LookupRes {
+                            status: NfsStat3::Ok,
+                            object: Some(fh.clone()),
+                            obj_attr: attr.clone(),
+                            dir_attr: None,
+                        };
+                        return Ok(encode_reply(header.xid, &res));
+                    }
+                    self.meta.misses += 1;
+                }
+                let reply = self.forward(record, header.proc, &args)?;
+                // A file with unflushed write-back data: the server's
+                // attributes are stale (it has not seen the data yet) —
+                // substitute the proxy's authoritative attributes.
+                if let Some(body) = success_body(&reply) {
+                    if let Ok(res) = LookupRes::from_xdr_bytes(body) {
+                        let fh = res.object.clone();
+                        if let Some(fh) = fh {
+                            let dirty = self
+                                .store
+                                .as_ref()
+                                .map(|s| !s.dirty_blocks_of(&fh).is_empty())
+                                .unwrap_or(false);
+                            if dirty {
+                                if let Some(ours) = self.meta.attrs.get(&fh).cloned() {
+                                    let patched =
+                                        LookupRes { obj_attr: Some(ours.clone()), ..res };
+                                    if let Ok(da) = DirOpArgs3::from_xdr_bytes(&args) {
+                                        self.meta.lookups.insert(
+                                            (da.dir, da.name),
+                                            (fh.clone(), Some(ours)),
+                                        );
+                                    }
+                                    return Ok(encode_reply(header.xid, &patched));
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok(reply)
+            }
+            procnum::READ => self.handle_read(header.xid, record, &args),
+            procnum::WRITE => self.handle_write(header.xid, record, &args),
+            procnum::COMMIT => {
+                // Write-back: the disk cache *is* the commit target; dirty
+                // blocks stay local until session teardown (or memory
+                // pressure), which is where the paper's end-of-run
+                // write-back time comes from. Only files we know nothing
+                // about fall through to the server.
+                if self.store.is_some() {
+                    if let Ok(a) = CommitArgs::from_xdr_bytes(&args) {
+                        if let Some(attr) = self.meta.attrs.get(&a.file) {
+                            let res = CommitRes {
+                                status: NfsStat3::Ok,
+                                wcc: WccData { before: None, after: Some(attr.clone()) },
+                                verf: self.write_verf,
+                            };
+                            return Ok(encode_reply(header.xid, &res));
+                        }
+                    }
+                }
+                self.forward(record, header.proc, &args)
+            }
+            procnum::SETATTR => {
+                if let Ok(a) = SetAttrArgs::from_xdr_bytes(&args) {
+                    // Truncation invalidates cached blocks; flush dirty
+                    // data first so nothing is lost.
+                    if a.new_attributes.size.is_some() {
+                        self.flush_file(&a.object)?;
+                        if let Some(store) = &mut self.store {
+                            store.drop_file(&a.object);
+                        }
+                    }
+                    self.meta.invalidate_fh(&a.object);
+                }
+                self.forward(record, header.proc, &args)
+            }
+            procnum::CREATE | procnum::MKDIR | procnum::SYMLINK => {
+                let dir = dir_of_create(header.proc, &args);
+                let reply = self.forward(record, header.proc, &args)?;
+                if let Some(dir) = dir {
+                    self.meta.invalidate_dir(&dir);
+                    // The reply's wcc data carries the directory's fresh
+                    // attributes — keep them cached so the kernel client's
+                    // next revalidation is served locally.
+                    if let Some(body) = success_body(&reply) {
+                        if let Ok(res) = CreateRes::from_xdr_bytes(body) {
+                            if let Some(a) = res.dir_wcc.after {
+                                self.meta.attrs.insert(dir, a);
+                            }
+                        }
+                    }
+                }
+                self.snoop_create(header.proc, &args, &reply);
+                Ok(reply)
+            }
+            procnum::REMOVE | procnum::RMDIR => {
+                if let Ok(a) = DirOpArgs3::from_xdr_bytes(&args) {
+                    // The paper's temporary-file optimization: dirty
+                    // blocks of a deleted file are dropped, never flushed.
+                    let target =
+                        self.meta.lookups.get(&(a.dir.clone(), a.name.clone())).map(|(f, _)| f.clone());
+                    if let Some(fh) = target {
+                        if let Some(store) = &mut self.store {
+                            store.drop_file(&fh);
+                        }
+                        self.meta.invalidate_fh(&fh);
+                        self.prefetched.lock().retain(|(f, _), _| f != &fh);
+                    }
+                    self.meta.lookups.remove(&(a.dir.clone(), a.name.clone()));
+                    self.meta.invalidate_dir(&a.dir);
+                    let reply = self.forward(record, header.proc, &args)?;
+                    if let Some(body) = success_body(&reply) {
+                        if let Ok(res) = WccRes::from_xdr_bytes(body) {
+                            if let Some(attr) = res.wcc.after {
+                                self.meta.attrs.insert(a.dir, attr);
+                            }
+                        }
+                    }
+                    return Ok(reply);
+                }
+                self.forward(record, header.proc, &args)
+            }
+            procnum::RENAME => {
+                if let Ok(a) = RenameArgs::from_xdr_bytes(&args) {
+                    self.meta.lookups.remove(&(a.from.dir.clone(), a.from.name.clone()));
+                    self.meta.lookups.remove(&(a.to.dir.clone(), a.to.name.clone()));
+                    self.meta.invalidate_dir(&a.from.dir);
+                    self.meta.invalidate_dir(&a.to.dir);
+                    let reply = self.forward(record, header.proc, &args)?;
+                    if let Some(body) = success_body(&reply) {
+                        if let Ok(res) = RenameRes::from_xdr_bytes(body) {
+                            if let Some(attr) = res.from_wcc.after {
+                                self.meta.attrs.insert(a.from.dir, attr);
+                            }
+                            if let Some(attr) = res.to_wcc.after {
+                                self.meta.attrs.insert(a.to.dir, attr);
+                            }
+                        }
+                    }
+                    return Ok(reply);
+                }
+                self.forward(record, header.proc, &args)
+            }
+            procnum::READDIR | procnum::READDIRPLUS => {
+                let plus = header.proc == procnum::READDIRPLUS;
+                let key = match readdir_key(header.proc, &args) {
+                    Some((dir, cookie)) => (dir, cookie, plus),
+                    None => return self.forward(record, header.proc, &args),
+                };
+                if let Some(body) = self.meta.readdirs.get(&key) {
+                    self.meta.hits += 1;
+                    let mut enc = XdrEncoder::with_capacity(body.len() + 32);
+                    ReplyHeader::success(header.xid).encode(&mut enc);
+                    let mut out = enc.into_bytes();
+                    out.extend_from_slice(body);
+                    return Ok(out);
+                }
+                self.meta.misses += 1;
+                let reply = self.forward(record, header.proc, &args)?;
+                if let Some(body) = success_body(&reply) {
+                    self.meta.readdirs.insert(key, body.to_vec());
+                    if plus {
+                        if let Ok(res) = ReaddirPlusRes::from_xdr_bytes(body) {
+                            for e in res.entries {
+                                if let (Some(fh), Some(attr)) = (e.handle, e.attr) {
+                                    self.meta.attrs.insert(fh, attr);
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok(reply)
+            }
+            _ => self.forward(record, header.proc, &args),
+        }
+    }
+
+    fn handle_read(&mut self, xid: u32, record: &[u8], args: &[u8]) -> std::io::Result<Vec<u8>> {
+        let a = match ReadArgs::from_xdr_bytes(args) {
+            Ok(a) => a,
+            Err(_) => return self.forward(record, procnum::READ, args),
+        };
+        // 1. Block cache.
+        if let Some(store) = &mut self.store {
+            let key = (a.file.clone(), a.offset);
+            if let Some(data) = store.get(&key) {
+                if let Some(attr) = self.meta.attrs.get(&a.file) {
+                    self.meta.hits += 1;
+                    let take = data.len().min(a.count as usize);
+                    let eof = a.offset + take as u64 >= attr.size;
+                    let res = ReadRes {
+                        status: NfsStat3::Ok,
+                        attr: Some(attr.clone()),
+                        count: take as u32,
+                        eof,
+                        data: data[..take].to_vec(),
+                    };
+                    self.maybe_prefetch(&a);
+                    return Ok(encode_reply(xid, &res));
+                }
+            }
+        }
+        // 2. Read-ahead landing zone.
+        let prefetched = self.prefetched.lock().remove(&(a.file.clone(), a.offset));
+        if let Some(data) = prefetched {
+            if let Some(attr) = self.meta.attrs.get(&a.file).cloned() {
+                self.meta.hits += 1;
+                if let Some(store) = &mut self.store {
+                    store.put((a.file.clone(), a.offset), &data, false);
+                }
+                let take = data.len().min(a.count as usize);
+                let eof = a.offset + take as u64 >= attr.size;
+                let res = ReadRes {
+                    status: NfsStat3::Ok,
+                    attr: Some(attr),
+                    count: take as u32,
+                    eof,
+                    data: data[..take].to_vec(),
+                };
+                self.maybe_prefetch(&a);
+                return Ok(encode_reply(xid, &res));
+            }
+        }
+        self.meta.misses += 1;
+        // 3. Upstream, after making dirty data visible.
+        let has_dirty = self
+            .store
+            .as_ref()
+            .map(|s| !s.dirty_blocks_of(&a.file).is_empty())
+            .unwrap_or(false);
+        if has_dirty {
+            self.flush_file(&a.file)?;
+        }
+        let reply = self.forward(record, procnum::READ, args)?;
+        if let Some(body) = success_body(&reply) {
+            if let Ok(res) = ReadRes::from_xdr_bytes(body) {
+                if let Some(attr) = &res.attr {
+                    self.meta.attrs.insert(a.file.clone(), attr.clone());
+                }
+                if let Some(store) = &mut self.store {
+                    store.put((a.file.clone(), a.offset), &res.data, false);
+                }
+            }
+        }
+        self.maybe_prefetch(&a);
+        Ok(reply)
+    }
+
+    fn maybe_prefetch(&mut self, a: &ReadArgs) {
+        if self.readahead == 0 {
+            return;
+        }
+        let Some(tx) = &self.prefetch_tx else { return };
+        for i in 1..=self.readahead as u64 {
+            let offset = a.offset + i * a.count as u64;
+            let cached = self
+                .store
+                .as_ref()
+                .map(|s| s.meta(&(a.file.clone(), offset)).is_some())
+                .unwrap_or(false);
+            if cached || self.prefetched.lock().contains_key(&(a.file.clone(), offset)) {
+                continue;
+            }
+            let _ = tx.send(PrefetchReq {
+                fh: a.file.clone(),
+                offset,
+                count: a.count,
+                cred: self.client_cred.clone(),
+            });
+        }
+    }
+
+    fn handle_write(&mut self, xid: u32, record: &[u8], args: &[u8]) -> std::io::Result<Vec<u8>> {
+        if self.store.is_none() {
+            return self.forward(record, procnum::WRITE, args);
+        }
+        let a = match WriteArgs::from_xdr_bytes(args) {
+            Ok(a) => a,
+            Err(_) => return self.forward(record, procnum::WRITE, args),
+        };
+        // Need attributes to fabricate a coherent reply.
+        if !self.meta.attrs.contains_key(&a.file) {
+            match self.call_upstream::<GetAttrRes>(procnum::GETATTR, &a.file) {
+                Ok(res) if res.status == NfsStat3::Ok => {
+                    self.meta.attrs.insert(a.file.clone(), res.attr.expect("OK has attrs"));
+                }
+                _ => return self.forward(record, procnum::WRITE, args),
+            }
+        }
+        let store = self.store.as_mut().expect("checked");
+        store.put((a.file.clone(), a.offset), &a.data, true);
+        self.synth_mtime += 1;
+        let attr = self.meta.attrs.get_mut(&a.file).expect("ensured above");
+        attr.size = attr.size.max(a.offset + a.data.len() as u64);
+        attr.mtime = NfsTime3::from_nanos(attr.mtime.as_nanos() + self.synth_mtime);
+        let res = WriteRes {
+            status: NfsStat3::Ok,
+            wcc: WccData { before: None, after: Some(attr.clone()) },
+            count: a.data.len() as u32,
+            committed: StableHow::FileSync,
+            verf: self.write_verf,
+        };
+        Ok(encode_reply(xid, &res))
+    }
+
+    /// Push all dirty blocks of `fh` upstream (WRITE + COMMIT).
+    pub fn flush_file(&mut self, fh: &Fh3) -> std::io::Result<()> {
+        let dirty = match &self.store {
+            Some(s) => s.dirty_blocks_of(fh),
+            None => return Ok(()),
+        };
+        if dirty.is_empty() {
+            return Ok(());
+        }
+        for offset in dirty {
+            let data = self
+                .store
+                .as_mut()
+                .and_then(|s| s.get(&(fh.clone(), offset)))
+                .unwrap_or_default();
+            let args = WriteArgs {
+                file: fh.clone(),
+                offset,
+                stable: StableHow::Unstable,
+                data,
+            };
+            let res: WriteRes = self
+                .call_upstream(procnum::WRITE, &args)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::Other, e))?;
+            if res.status != NfsStat3::Ok {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::Other,
+                    format!("write-back failed: {:?}", res.status),
+                ));
+            }
+            if let Some(store) = &mut self.store {
+                store.set_clean(&(fh.clone(), offset));
+            }
+        }
+        let commit = CommitArgs { file: fh.clone(), offset: 0, count: 0 };
+        let res: CommitRes = self
+            .call_upstream(procnum::COMMIT, &commit)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::Other, e))?;
+        if let Some(a) = res.wcc.after {
+            self.meta.attrs.insert(fh.clone(), a);
+        }
+        Ok(())
+    }
+
+    /// Write back everything still dirty — called at session teardown;
+    /// the harness times this as the paper's separate "write back at the
+    /// end of execution" figure. Returns the number of bytes flushed.
+    pub fn flush_all(&mut self) -> std::io::Result<u64> {
+        let files = match &self.store {
+            Some(s) => s.dirty_files(),
+            None => return Ok(0),
+        };
+        let before = self.store.as_ref().map(|s| s.dirty_bytes()).unwrap_or(0);
+        for fh in files {
+            self.flush_file(&fh)?;
+        }
+        Ok(before)
+    }
+
+    /// Bytes currently dirty in the write-back cache.
+    pub fn dirty_bytes(&self) -> u64 {
+        self.store.as_ref().map(|s| s.dirty_bytes()).unwrap_or(0)
+    }
+
+    fn snoop_create(&mut self, proc: u32, args: &[u8], reply: &[u8]) {
+        let Some(body) = success_body(reply) else { return };
+        let Ok(res) = CreateRes::from_xdr_bytes(body) else { return };
+        let where_ = match proc {
+            procnum::CREATE => CreateArgs::from_xdr_bytes(args).ok().map(|a| a.where_),
+            procnum::MKDIR => MkdirArgs::from_xdr_bytes(args).ok().map(|a| a.where_),
+            procnum::SYMLINK => SymlinkArgs::from_xdr_bytes(args).ok().map(|a| a.where_),
+            _ => None,
+        };
+        if let (Some(w), Some(fh)) = (where_, res.obj) {
+            if let Some(attr) = &res.obj_attr {
+                self.meta.attrs.insert(fh.clone(), attr.clone());
+            }
+            self.meta.lookups.insert((w.dir, w.name), (fh, res.obj_attr));
+        }
+    }
+
+    /// Forward a raw record upstream and return the raw reply, snooping
+    /// cacheable results.
+    fn forward(&mut self, record: &[u8], proc: u32, args: &[u8]) -> std::io::Result<Vec<u8>> {
+        *self.forwarded.entry(proc).or_insert(0) += 1;
+        self.stats.add_up(record.len());
+        // The upstream round trip is mostly *waiting*; exclude its wall
+        // time from the busy accounting (the GTLS layer re-adds the real
+        // crypto time through the shared busy counter).
+        let t_io = std::time::Instant::now();
+        let stream = self.upstream.stream();
+        write_record(stream, record)?;
+        let reply = read_record(stream)?.ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "upstream closed")
+        })?;
+        self.stats.exclude(t_io.elapsed());
+        self.stats.add_down(reply.len());
+        if self.meta_enabled {
+            self.snoop_meta(proc, args, &reply);
+        }
+        Ok(reply)
+    }
+
+    /// Whether we hold unflushed data for `fh` (server attrs are stale).
+    fn is_dirty(&self, fh: &Fh3) -> bool {
+        self.store
+            .as_ref()
+            .map(|s| !s.dirty_blocks_of(fh).is_empty())
+            .unwrap_or(false)
+    }
+
+    fn snoop_meta(&mut self, proc: u32, args: &[u8], reply: &[u8]) {
+        let Some(body) = success_body(reply) else { return };
+        match proc {
+            procnum::GETATTR => {
+                if let (Ok(fh), Ok(res)) =
+                    (Fh3::from_xdr_bytes(args), GetAttrRes::from_xdr_bytes(body))
+                {
+                    if let Some(a) = res.attr {
+                        if !self.is_dirty(&fh) {
+                            self.meta.attrs.insert(fh, a);
+                        }
+                    }
+                }
+            }
+            procnum::ACCESS => {
+                if let (Ok(a), Ok(res)) =
+                    (AccessArgs::from_xdr_bytes(args), AccessRes::from_xdr_bytes(body))
+                {
+                    let uid = self.client_cred.as_sys().map(|s| s.uid).unwrap_or(u32::MAX);
+                    self.meta.access.insert((a.object.clone(), uid), res.access);
+                    if let Some(attr) = res.obj_attr {
+                        self.meta.attrs.insert(a.object, attr);
+                    }
+                }
+            }
+            procnum::LOOKUP => {
+                if let (Ok(a), Ok(res)) =
+                    (DirOpArgs3::from_xdr_bytes(args), LookupRes::from_xdr_bytes(body))
+                {
+                    if let Some(fh) = res.object {
+                        if self.is_dirty(&fh) {
+                            // Keep our attrs; cache the mapping with them.
+                            let ours = self.meta.attrs.get(&fh).cloned();
+                            self.meta.lookups.insert((a.dir, a.name), (fh, ours));
+                        } else {
+                            if let Some(attr) = &res.obj_attr {
+                                self.meta.attrs.insert(fh.clone(), attr.clone());
+                            }
+                            self.meta.lookups.insert((a.dir, a.name), (fh, res.obj_attr));
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// A proxy-initiated upstream call (flushes, attr fetches).
+    fn call_upstream<T: XdrDecode>(
+        &mut self,
+        proc: u32,
+        args: &dyn XdrEncode,
+    ) -> Result<T, String> {
+        self.next_xid = self.next_xid.wrapping_add(1);
+        call_on(self.upstream.stream(), self.next_xid, proc, &self.client_cred, args)
+            .map_err(|_| format!("upstream call proc {proc} failed"))
+    }
+}
+
+/// Issue one call on a raw stream and decode the successful result.
+fn call_on<T: XdrDecode>(
+    stream: &mut dyn sgfs_net::Stream,
+    xid: u32,
+    proc: u32,
+    cred: &OpaqueAuth,
+    args: &dyn XdrEncode,
+) -> Result<T, ()> {
+    let header = CallHeader {
+        xid,
+        prog: NFS_PROGRAM,
+        vers: NFS_VERSION,
+        proc,
+        cred: cred.clone(),
+        verf: OpaqueAuth::none(),
+    };
+    let mut enc = XdrEncoder::with_capacity(128);
+    header.encode(&mut enc);
+    args.encode(&mut enc);
+    write_record(stream, enc.as_bytes()).map_err(|_| ())?;
+    let reply = read_record(stream).map_err(|_| ())?.ok_or(())?;
+    let body = success_body(&reply).ok_or(())?;
+    T::from_xdr_bytes(body).map_err(|_| ())
+}
+
+fn encode_reply<T: XdrEncode>(xid: u32, result: &T) -> Vec<u8> {
+    let mut enc = XdrEncoder::with_capacity(128);
+    ReplyHeader::success(xid).encode(&mut enc);
+    result.encode(&mut enc);
+    enc.into_bytes()
+}
+
+fn accept_error(xid: u32, stat: AcceptStat) -> Vec<u8> {
+    ReplyHeader::Accepted { xid, verf: OpaqueAuth::none(), stat }.to_xdr_bytes()
+}
+
+fn success_body(reply: &[u8]) -> Option<&[u8]> {
+    let mut dec = XdrDecoder::new(reply);
+    match ReplyHeader::decode(&mut dec) {
+        Ok(ReplyHeader::Accepted { stat: AcceptStat::Success, .. }) => {
+            Some(&reply[dec.position()..])
+        }
+        _ => None,
+    }
+}
+
+fn dir_of_create(proc: u32, args: &[u8]) -> Option<Fh3> {
+    match proc {
+        procnum::CREATE => CreateArgs::from_xdr_bytes(args).ok().map(|a| a.where_.dir),
+        procnum::MKDIR => MkdirArgs::from_xdr_bytes(args).ok().map(|a| a.where_.dir),
+        procnum::SYMLINK => SymlinkArgs::from_xdr_bytes(args).ok().map(|a| a.where_.dir),
+        _ => None,
+    }
+}
+
+fn readdir_key(proc: u32, args: &[u8]) -> Option<(Fh3, u64)> {
+    match proc {
+        procnum::READDIR => ReaddirArgs::from_xdr_bytes(args).ok().map(|a| (a.dir, a.cookie)),
+        procnum::READDIRPLUS => {
+            ReaddirPlusArgs::from_xdr_bytes(args).ok().map(|a| (a.dir, a.cookie))
+        }
+        _ => None,
+    }
+}

@@ -1,0 +1,37 @@
+//! The SGFS client- and server-side proxies.
+
+pub mod blockstore;
+pub mod client;
+pub mod server;
+
+pub use client::ClientProxy;
+pub use server::ServerProxy;
+
+/// Proxy-layer errors.
+#[derive(Debug)]
+pub enum ProxyError {
+    /// The authenticated grid user is not authorized by the gridmap.
+    Unauthorized(String),
+    /// Transport failure.
+    Io(std::io::Error),
+    /// Protocol violation.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ProxyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProxyError::Unauthorized(dn) => write!(f, "grid user {dn} not authorized"),
+            ProxyError::Io(e) => write!(f, "proxy transport error: {e}"),
+            ProxyError::Protocol(s) => write!(f, "proxy protocol error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ProxyError {}
+
+impl From<std::io::Error> for ProxyError {
+    fn from(e: std::io::Error) -> Self {
+        ProxyError::Io(e)
+    }
+}

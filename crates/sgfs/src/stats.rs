@@ -1,0 +1,146 @@
+//! Proxy instrumentation: busy-time accounting behind Figures 5 and 6.
+//!
+//! The paper samples the user CPU time of each proxy/daemon every five
+//! seconds during IOzone. Here each proxy wraps its per-message processing
+//! in [`ProxyStats::track`]; the harness reads cumulative busy time and
+//! derives utilization per interval of simulated time.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shared counters for one proxy.
+#[derive(Default)]
+pub struct ProxyStats {
+    /// Nanoseconds spent processing messages (real CPU time). Shared so
+    /// the GTLS layer can charge its crypto time into the same account.
+    busy_nanos: Arc<AtomicU64>,
+    /// Messages processed.
+    messages: AtomicU64,
+    /// Bytes forwarded upstream.
+    bytes_up: AtomicU64,
+    /// Bytes forwarded downstream.
+    bytes_down: AtomicU64,
+    /// (sample_time, cumulative_busy) pairs for utilization series.
+    samples: Mutex<Vec<(Duration, Duration)>>,
+}
+
+impl ProxyStats {
+    /// Fresh counters.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// The shared busy counter, for layers (GTLS records) that charge
+    /// their processing time into this proxy's account.
+    pub fn busy_counter(&self) -> Arc<AtomicU64> {
+        self.busy_nanos.clone()
+    }
+
+    /// Subtract blocked-I/O wall time that [`track`](Self::track)
+    /// over-counted (waits on upstream replies are not CPU time).
+    pub fn exclude(&self, d: Duration) {
+        let sub = d.as_nanos() as u64;
+        let _ = self
+            .busy_nanos
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                Some(cur.saturating_sub(sub))
+            });
+    }
+
+    /// Run `f`, charging its wall time as busy time.
+    pub fn track<T>(&self, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.busy_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        out
+    }
+
+    /// Add bytes forwarded toward the server.
+    pub fn add_up(&self, n: usize) {
+        self.bytes_up.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Add bytes forwarded toward the client.
+    pub fn add_down(&self, n: usize) {
+        self.bytes_down.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Cumulative busy time.
+    pub fn busy(&self) -> Duration {
+        Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Messages processed.
+    pub fn messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Bytes (up, down).
+    pub fn bytes(&self) -> (u64, u64) {
+        (self.bytes_up.load(Ordering::Relaxed), self.bytes_down.load(Ordering::Relaxed))
+    }
+
+    /// Record a utilization sample at simulated time `now`.
+    pub fn sample(&self, now: Duration) {
+        self.samples.lock().push((now, self.busy()));
+    }
+
+    /// Utilization percentage per sample interval:
+    /// `(t, 100 * Δbusy / Δt)` for each consecutive sample pair.
+    pub fn utilization_series(&self) -> Vec<(Duration, f64)> {
+        let samples = self.samples.lock();
+        samples
+            .windows(2)
+            .map(|w| {
+                let dt = w[1].0.saturating_sub(w[0].0);
+                let db = w[1].1.saturating_sub(w[0].1);
+                let pct = if dt.is_zero() {
+                    0.0
+                } else {
+                    100.0 * db.as_secs_f64() / dt.as_secs_f64()
+                };
+                (w[1].0, pct)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn track_accumulates_busy_time() {
+        let s = ProxyStats::new();
+        s.track(|| std::thread::sleep(Duration::from_millis(10)));
+        s.track(|| std::thread::sleep(Duration::from_millis(10)));
+        assert!(s.busy() >= Duration::from_millis(20));
+        assert_eq!(s.messages(), 2);
+    }
+
+    #[test]
+    fn utilization_series_from_samples() {
+        let s = ProxyStats::new();
+        s.sample(Duration::from_secs(0));
+        s.track(|| std::thread::sleep(Duration::from_millis(50)));
+        s.sample(Duration::from_secs(1));
+        s.sample(Duration::from_secs(2));
+        let series = s.utilization_series();
+        assert_eq!(series.len(), 2);
+        assert!(series[0].1 >= 4.0, "≈5% busy in first interval, got {}", series[0].1);
+        assert!(series[1].1 < 1.0, "idle second interval");
+    }
+
+    #[test]
+    fn byte_counters() {
+        let s = ProxyStats::new();
+        s.add_up(100);
+        s.add_up(50);
+        s.add_down(7);
+        assert_eq!(s.bytes(), (150, 7));
+    }
+}

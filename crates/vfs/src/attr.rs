@@ -1,0 +1,143 @@
+//! File attributes and setattr requests.
+
+use crate::Ino;
+
+/// Inode type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Regular file.
+    Regular,
+    /// Directory.
+    Directory,
+    /// Symbolic link.
+    Symlink,
+}
+
+/// The attribute set NFSv3 GETATTR returns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileAttr {
+    /// Inode number (doubles as the fileid).
+    pub ino: Ino,
+    /// Inode type.
+    pub kind: FileKind,
+    /// Permission bits (low 12 bits of st_mode).
+    pub mode: u32,
+    /// Owner uid.
+    pub uid: u32,
+    /// Owner gid.
+    pub gid: u32,
+    /// Size in bytes (directories report an entry-count-based size).
+    pub size: u64,
+    /// Hard link count.
+    pub nlink: u32,
+    /// Last access time, nanoseconds on the filesystem clock.
+    pub atime: u64,
+    /// Last modification time (data), nanoseconds.
+    pub mtime: u64,
+    /// Last change time (metadata), nanoseconds.
+    pub ctime: u64,
+}
+
+impl FileAttr {
+    /// Permission-bit helper: can `uid`/`gids` perform `rwx`-class `bit`
+    /// (4=read, 2=write, 1=execute)?
+    pub fn permits(&self, uid: u32, gids: &[u32], bit: u32) -> bool {
+        if uid == 0 {
+            // root: read/write always; execute needs any x bit on files.
+            if bit != 1 || self.kind == FileKind::Directory {
+                return true;
+            }
+            return self.mode & 0o111 != 0;
+        }
+        let shift = if uid == self.uid {
+            6
+        } else if gids.contains(&self.gid) {
+            3
+        } else {
+            0
+        };
+        (self.mode >> shift) & bit != 0
+    }
+}
+
+/// A SETATTR request: only the `Some` fields change.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SetAttrs {
+    /// New permission bits.
+    pub mode: Option<u32>,
+    /// New owner.
+    pub uid: Option<u32>,
+    /// New group.
+    pub gid: Option<u32>,
+    /// Truncate/extend to this size (regular files only).
+    pub size: Option<u64>,
+    /// Explicit access time.
+    pub atime: Option<u64>,
+    /// Explicit modification time.
+    pub mtime: Option<u64>,
+}
+
+impl SetAttrs {
+    /// True when nothing would change.
+    pub fn is_empty(&self) -> bool {
+        *self == SetAttrs::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attr(mode: u32, uid: u32, gid: u32) -> FileAttr {
+        FileAttr {
+            ino: 1,
+            kind: FileKind::Regular,
+            mode,
+            uid,
+            gid,
+            size: 0,
+            nlink: 1,
+            atime: 0,
+            mtime: 0,
+            ctime: 0,
+        }
+    }
+
+    #[test]
+    fn owner_group_other_classes() {
+        let a = attr(0o640, 100, 50);
+        // Owner: rw-
+        assert!(a.permits(100, &[99], 4));
+        assert!(a.permits(100, &[99], 2));
+        assert!(!a.permits(100, &[99], 1));
+        // Group: r--
+        assert!(a.permits(200, &[50], 4));
+        assert!(!a.permits(200, &[50], 2));
+        // Other: ---
+        assert!(!a.permits(200, &[99], 4));
+    }
+
+    #[test]
+    fn supplementary_groups_count() {
+        let a = attr(0o040, 1, 77);
+        assert!(a.permits(2, &[10, 77, 30], 4));
+        assert!(!a.permits(2, &[10, 30], 4));
+    }
+
+    #[test]
+    fn root_bypasses_rw_but_not_exec() {
+        let a = attr(0o000, 100, 100);
+        assert!(a.permits(0, &[0], 4));
+        assert!(a.permits(0, &[0], 2));
+        assert!(!a.permits(0, &[0], 1), "root exec still needs an x bit");
+        let x = attr(0o001, 100, 100);
+        assert!(x.permits(0, &[0], 1));
+    }
+
+    #[test]
+    fn owner_class_takes_priority_over_group() {
+        // Owner has fewer rights than group: owner class still applies.
+        let a = attr(0o060, 100, 50);
+        assert!(!a.permits(100, &[50], 4), "owner bits (0) win over group bits");
+    }
+}

@@ -1,0 +1,49 @@
+//! VFS errors, shaped to map one-to-one onto NFSv3 status codes.
+
+/// Result alias for VFS operations.
+pub type VfsResult<T> = Result<T, VfsError>;
+
+/// Filesystem operation failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VfsError {
+    /// No such file or directory (NFS3ERR_NOENT).
+    NotFound,
+    /// Not a directory (NFS3ERR_NOTDIR).
+    NotDir,
+    /// Is a directory (NFS3ERR_ISDIR).
+    IsDir,
+    /// Entry already exists (NFS3ERR_EXIST).
+    Exists,
+    /// Directory not empty (NFS3ERR_NOTEMPTY).
+    NotEmpty,
+    /// Permission denied (NFS3ERR_ACCES).
+    Access,
+    /// Stale file handle — inode no longer exists (NFS3ERR_STALE).
+    Stale,
+    /// Invalid argument (NFS3ERR_INVAL).
+    Inval,
+    /// Name too long (NFS3ERR_NAMETOOLONG).
+    NameTooLong,
+    /// Operation not supported on this type (NFS3ERR_NOTSUPP).
+    NotSupp,
+}
+
+impl std::fmt::Display for VfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            VfsError::NotFound => "no such file or directory",
+            VfsError::NotDir => "not a directory",
+            VfsError::IsDir => "is a directory",
+            VfsError::Exists => "file exists",
+            VfsError::NotEmpty => "directory not empty",
+            VfsError::Access => "permission denied",
+            VfsError::Stale => "stale file handle",
+            VfsError::Inval => "invalid argument",
+            VfsError::NameTooLong => "name too long",
+            VfsError::NotSupp => "operation not supported",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for VfsError {}

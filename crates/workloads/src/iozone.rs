@@ -1,0 +1,123 @@
+//! IOzone read/reread (§6.2.1).
+//!
+//! The paper executes IOzone in read/reread mode: a 512 MB file —
+//! deliberately 2× the client's 256 MB memory — is read sequentially
+//! twice. LRU replacement means the buffer cache never helps, so the
+//! client transfers the full 1 GB, exposing the worst-case per-byte cost
+//! of the user-level and crypto layers. The file is preloaded into the
+//! server's memory so no server disk I/O pollutes the measurement.
+
+use crate::Prng;
+use sgfs_net::SimClock;
+use sgfs_nfsclient::{FsResult, NfsMount, OpenFlags};
+use sgfs_vfs::{UserContext, Vfs};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// IOzone parameters.
+#[derive(Debug, Clone)]
+pub struct IozoneConfig {
+    /// File size in bytes (paper: 512 MB; scaled runs keep the 2×-cache
+    /// ratio).
+    pub file_size: usize,
+    /// Read call size (the paper's 32 KB block size).
+    pub block: usize,
+    /// Seed for the file contents.
+    pub seed: u64,
+}
+
+impl IozoneConfig {
+    /// A configuration sized relative to a client memory cache.
+    pub fn for_cache(mem_cache_bytes: usize) -> Self {
+        Self { file_size: mem_cache_bytes * 2, block: 32 * 1024, seed: 0x10_20_30 }
+    }
+}
+
+/// Per-phase results.
+#[derive(Debug, Clone)]
+pub struct IozoneResult {
+    /// First sequential read of the whole file.
+    pub read: Duration,
+    /// Second sequential read (reread).
+    pub reread: Duration,
+    /// Total runtime.
+    pub total: Duration,
+    /// Bytes transferred by the two passes together.
+    pub bytes_read: u64,
+}
+
+/// The benchmark file's path inside the export.
+pub const IOZONE_FILE: &str = "/iozone.tmp";
+
+/// Preload the benchmark file directly into the server's (in-memory)
+/// filesystem — the paper's "file is preloaded to the memory before each
+/// run" step, bypassing the network entirely.
+pub fn preload(server_vfs: &Vfs, cfg: &IozoneConfig) {
+    let root = UserContext::root();
+    let attr = server_vfs
+        .resolve("/GFS", &root)
+        .expect("export exists");
+    let f = server_vfs
+        .create(attr.ino, "iozone.tmp", 0o644, false, &root)
+        .expect("create benchmark file");
+    let mut rng = Prng::new(cfg.seed);
+    let chunk = 1 << 20;
+    let mut off = 0u64;
+    while (off as usize) < cfg.file_size {
+        let n = chunk.min(cfg.file_size - off as usize);
+        server_vfs.write(f.ino, off, &rng.bytes(n), &root).expect("preload write");
+        off += n as u64;
+    }
+}
+
+/// Run read/reread against the mounted filesystem.
+pub fn run(mount: &mut NfsMount, clock: &Arc<SimClock>, cfg: &IozoneConfig) -> FsResult<IozoneResult> {
+    let mut bytes_read = 0u64;
+    let pass = |mount: &mut NfsMount| -> FsResult<(Duration, u64)> {
+        let t0 = clock.now();
+        let fd = mount.open(IOZONE_FILE, OpenFlags::rdonly(), 0)?;
+        let mut total = 0u64;
+        loop {
+            let data = mount.read(fd, cfg.block)?;
+            if data.is_empty() {
+                break;
+            }
+            total += data.len() as u64;
+        }
+        mount.close(fd)?;
+        Ok((clock.now() - t0, total))
+    };
+    let (read, n1) = pass(mount)?;
+    bytes_read += n1;
+    let (reread, n2) = pass(mount)?;
+    bytes_read += n2;
+    assert_eq!(n1, cfg.file_size as u64, "first pass must read the whole file");
+    assert_eq!(n2, cfg.file_size as u64, "second pass must read the whole file");
+    Ok(IozoneResult { read, reread, total: read + reread, bytes_read })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgfs::session::{GridWorld, Session, SessionParams, SetupKind};
+
+    #[test]
+    fn iozone_reads_exactly_twice_the_file() {
+        let world = GridWorld::new();
+        let mut params = SessionParams::lan(SetupKind::NfsV3);
+        params.mem_cache_bytes = 256 * 1024; // tiny cache
+        let mut session = Session::build(&world, &params).unwrap();
+        let cfg = IozoneConfig { file_size: 512 * 1024, block: 32 * 1024, seed: 1 };
+        preload(session.server().vfs(), &cfg);
+        let clock = session.clock().clone();
+        let res = run(&mut session.mount, &clock, &cfg).unwrap();
+        assert_eq!(res.bytes_read, 2 * cfg.file_size as u64);
+        assert!(res.total > Duration::ZERO);
+        // 2x-cache file: the reread cannot be served from memory, so both
+        // passes issue roughly the same number of READ RPCs.
+        let stats = session.mount.stats().clone();
+        assert!(stats.read >= 2 * (cfg.file_size / cfg.block) as u64 - 2,
+            "reread must miss: {} reads", stats.read);
+        session.finish().unwrap();
+    }
+}

@@ -1,0 +1,129 @@
+//! The paper's benchmark workloads, §6.2–6.3.
+//!
+//! Four workloads drive the evaluation, each implemented here against the
+//! kernel-client API ([`sgfs_nfsclient::NfsMount`]) and timed on the
+//! testbed's [`sgfs_net::SimClock`]:
+//!
+//! * [`iozone`] — sequential read/reread of a file sized at 2× the client
+//!   memory cache (the worst-case user-level-overhead probe of §6.2.1);
+//! * [`postmark`] — the mail/news/web-commerce small-file workload
+//!   (creation / transactions / deletion phases, §6.2.2);
+//! * [`mab`] — the Modified Andrew Benchmark over an openssh-4.6p1-like
+//!   source tree (copy / stat / search / compile, §6.3.1);
+//! * [`seismic`] — the four-phase SPEC HPC96 Seismic pipeline
+//!   (generation / stacking / time migration / depth migration, §6.3.2).
+//!
+//! All workloads are deterministic under a seed, and return per-phase
+//! durations in *simulated* time.
+
+pub mod iozone;
+pub mod mab;
+pub mod postmark;
+pub mod seismic;
+
+use std::time::Duration;
+
+/// A tiny deterministic generator (xorshift64*) for workload data and
+/// decisions — deterministic across runs and platforms.
+#[derive(Debug, Clone)]
+pub struct Prng {
+    state: u64,
+}
+
+impl Prng {
+    /// Seeded generator (seed must be non-zero; 0 is mapped).
+    pub fn new(seed: u64) -> Self {
+        Self { state: if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed } }
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform in `[0, bound)`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0);
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform in `[lo, hi]`.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// A pseudorandom buffer of `len` bytes.
+    pub fn bytes(&mut self, len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        while out.len() < len {
+            out.extend_from_slice(&self.next_u64().to_le_bytes());
+        }
+        out.truncate(len);
+        out
+    }
+}
+
+/// Burn a deterministic amount of CPU (the "computation" of compile and
+/// migration phases): `units` rounds of SHA-256 over a scratch block.
+pub fn cpu_burn(units: u64) -> u64 {
+    use sgfs_crypto::{Digest, Sha256};
+    let mut block = [0u8; 256];
+    let mut acc = 0u64;
+    for i in 0..units {
+        block[0] = i as u8;
+        let d = Sha256::digest(&block);
+        acc = acc.wrapping_add(u64::from_le_bytes(d[..8].try_into().expect("8 bytes")));
+        block[1] = d[0];
+    }
+    acc
+}
+
+/// Pretty-print a duration as seconds with two decimals.
+pub fn secs(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prng_is_deterministic() {
+        let mut a = Prng::new(42);
+        let mut b = Prng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Prng::new(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn prng_range_bounds() {
+        let mut p = Prng::new(7);
+        for _ in 0..1000 {
+            let v = p.range(512, 16384);
+            assert!((512..=16384).contains(&v));
+        }
+    }
+
+    #[test]
+    fn prng_bytes_len_and_determinism() {
+        let mut a = Prng::new(9);
+        let mut b = Prng::new(9);
+        assert_eq!(a.bytes(1000), b.bytes(1000));
+        assert_eq!(a.bytes(0).len(), 0);
+        assert_eq!(a.bytes(7).len(), 7);
+    }
+
+    #[test]
+    fn cpu_burn_deterministic_value() {
+        assert_eq!(cpu_burn(100), cpu_burn(100));
+        assert_ne!(cpu_burn(100), cpu_burn(101));
+    }
+}

@@ -1,0 +1,214 @@
+//! The Modified Andrew Benchmark (§6.3.1).
+//!
+//! The paper replaces the original Andrew workload with the openssh-4.6p1
+//! source tree: 3 directory levels, 13 directories, 449 files, whose
+//! compilation produces 194 outputs. Four phases:
+//!
+//! 1. **copy** — duplicate the source tree within the filesystem;
+//! 2. **stat** — recursively examine every file's status;
+//! 3. **search** — read every file completely (keyword scan);
+//! 4. **compile** — read each source, burn CPU proportional to its size,
+//!    and write object files + final binaries.
+
+use crate::{cpu_burn, Prng};
+use sgfs_net::SimClock;
+use sgfs_nfsclient::{FsResult, NfsMount};
+use sgfs_vfs::{UserContext, Vfs};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Tree/workload parameters.
+#[derive(Debug, Clone)]
+pub struct MabConfig {
+    /// Number of directories (paper: 13).
+    pub dirs: usize,
+    /// Number of files (paper: 449).
+    pub files: usize,
+    /// Number of compile outputs (paper: 194).
+    pub outputs: usize,
+    /// Mean source file size in bytes (openssh sources average ~13 KB;
+    /// scaled runs shrink this).
+    pub mean_file_size: usize,
+    /// CPU units burned per KB of compiled source (the compile phase's
+    /// computation component).
+    pub compile_cpu_per_kb: u64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for MabConfig {
+    fn default() -> Self {
+        Self {
+            dirs: 13,
+            files: 449,
+            outputs: 194,
+            mean_file_size: 13 * 1024,
+            compile_cpu_per_kb: 2_000,
+            seed: 0x5510,
+        }
+    }
+}
+
+/// Per-phase runtimes.
+#[derive(Debug, Clone)]
+pub struct MabResult {
+    /// Copy phase.
+    pub copy: Duration,
+    /// Stat phase.
+    pub stat: Duration,
+    /// Search phase.
+    pub search: Duration,
+    /// Compile phase.
+    pub compile: Duration,
+    /// Total.
+    pub total: Duration,
+}
+
+/// Layout of the synthetic source tree (3 levels, as in openssh).
+fn dir_paths(cfg: &MabConfig) -> Vec<String> {
+    let mut dirs = vec!["/src".to_string()];
+    for d in 0..cfg.dirs.saturating_sub(1) {
+        if d < 6 {
+            dirs.push(format!("/src/sub{d}"));
+        } else {
+            dirs.push(format!("/src/sub{}/deep{}", d % 6, d));
+        }
+    }
+    dirs
+}
+
+fn file_paths(cfg: &MabConfig) -> Vec<String> {
+    let dirs = dir_paths(cfg);
+    (0..cfg.files)
+        .map(|i| format!("{}/file{:03}.c", dirs[i % dirs.len()], i))
+        .collect()
+}
+
+/// Preload the source tree directly on the server (the checked-out source
+/// lives on the grid filesystem before the benchmark starts).
+pub fn preload(server_vfs: &Vfs, cfg: &MabConfig) {
+    let root = UserContext::root();
+    let mut rng = Prng::new(cfg.seed);
+    for d in dir_paths(cfg) {
+        server_vfs.mkdir_p(&format!("/GFS{d}"), 0o755, &root).expect("mkdir tree");
+    }
+    for f in file_paths(cfg) {
+        let size = cfg.mean_file_size / 2 + rng.below(cfg.mean_file_size);
+        let (dir, name) = f.rsplit_once('/').expect("paths have parents");
+        let dattr = server_vfs.resolve(&format!("/GFS{dir}"), &root).expect("dir exists");
+        let fattr = server_vfs
+            .create(dattr.ino, name, 0o644, false, &root)
+            .expect("create source file");
+        server_vfs.write(fattr.ino, 0, &rng.bytes(size), &root).expect("write source");
+    }
+}
+
+/// Run the four MAB phases.
+pub fn run(mount: &mut NfsMount, clock: &Arc<SimClock>, cfg: &MabConfig) -> FsResult<MabResult> {
+    let dirs = dir_paths(cfg);
+    let files = file_paths(cfg);
+
+    // Phase 1: copy the tree to /build.
+    let t0 = clock.now();
+    mount.mkdir("/build", 0o755)?;
+    for d in &dirs {
+        if d != "/src" {
+            mount.mkdir(&format!("/build{}", &d[4..]), 0o755)?;
+        }
+    }
+    for f in &files {
+        let data = mount.read_file(f)?;
+        mount.write_file(&format!("/build{}", &f[4..]), &data)?;
+    }
+    let copy = clock.now() - t0;
+
+    // Phase 2: recursive stat of the copied tree.
+    let t0 = clock.now();
+    let mut stack = vec!["/build".to_string()];
+    let mut seen = 0usize;
+    while let Some(dir) = stack.pop() {
+        for name in mount.readdir(&dir)? {
+            let path = format!("{dir}/{name}");
+            let attr = mount.stat(&path)?;
+            seen += 1;
+            if attr.ftype == sgfs_nfs3::FType3::Dir {
+                stack.push(path);
+            }
+        }
+    }
+    debug_assert!(seen >= cfg.files);
+    let stat = clock.now() - t0;
+
+    // Phase 3: search — read every file fully.
+    let t0 = clock.now();
+    let mut matches = 0usize;
+    for f in &files {
+        let data = mount.read_file(&format!("/build{}", &f[4..]))?;
+        // The "keyword scan": count a byte pattern.
+        matches += data.windows(2).filter(|w| w == b"qz").count();
+    }
+    let search = clock.now() - t0;
+    std::hint::black_box(matches);
+
+    // Phase 4: compile — read sources, burn CPU, emit outputs.
+    let t0 = clock.now();
+    let mut rng = Prng::new(cfg.seed ^ 0xC0117);
+    for (i, f) in files.iter().enumerate().take(cfg.outputs) {
+        let src = mount.read_file(&format!("/build{}", &f[4..]))?;
+        let kb = (src.len() / 1024).max(1) as u64;
+        std::hint::black_box(cpu_burn(kb * cfg.compile_cpu_per_kb));
+        // The object file is smaller than the source, roughly half.
+        let obj = rng.bytes(src.len() / 2 + 64);
+        mount.write_file(&format!("/build/file{i:03}.o"), &obj)?;
+    }
+    // Link step: read the objects back and write two binaries.
+    for bin in ["/build/ssh", "/build/sshd"] {
+        let mut blob = Vec::new();
+        for i in 0..cfg.outputs.min(40) {
+            blob.extend_from_slice(&mount.read_file(&format!("/build/file{i:03}.o"))?);
+        }
+        std::hint::black_box(cpu_burn(blob.len() as u64 / 1024 * cfg.compile_cpu_per_kb / 4));
+        mount.write_file(bin, &blob)?;
+    }
+    let compile = clock.now() - t0;
+
+    Ok(MabResult { copy, stat, search, compile, total: copy + stat + search + compile })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgfs::session::{GridWorld, Session, SessionParams, SetupKind};
+
+    fn tiny() -> MabConfig {
+        MabConfig {
+            dirs: 5,
+            files: 25,
+            outputs: 10,
+            mean_file_size: 2048,
+            compile_cpu_per_kb: 50,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn mab_produces_outputs() {
+        let world = GridWorld::new();
+        let mut session =
+            Session::build(&world, &SessionParams::lan(SetupKind::NfsV3)).unwrap();
+        let cfg = tiny();
+        preload(session.server().vfs(), &cfg);
+        let clock = session.clock().clone();
+        let res = run(&mut session.mount, &clock, &cfg).unwrap();
+        assert!(res.compile > Duration::ZERO);
+        // Outputs and binaries exist.
+        assert!(session.mount.stat("/build/file000.o").is_ok());
+        assert!(session.mount.stat("/build/ssh").unwrap().size > 0);
+        // The copied tree mirrors the source tree.
+        assert_eq!(
+            session.mount.read_file("/src/file000.c").unwrap(),
+            session.mount.read_file("/build/file000.c").unwrap()
+        );
+        session.finish().unwrap();
+    }
+}

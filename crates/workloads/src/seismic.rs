@@ -1,0 +1,194 @@
+//! The Seismic pipeline (§6.3.2) — SPEC HPC96's oil-prospecting code,
+//! modeled as the paper describes its I/O structure.
+//!
+//! Four phases run in sequence; each reads its predecessor's output file
+//! and writes its own:
+//!
+//! 1. **data generation** — compute and write the large initial data file;
+//! 2. **data stacking** — read phase 1's file, light CPU, write stacked
+//!    output of similar size;
+//! 3. **time migration** — CPU-dominated; read phase 2, write a much
+//!    smaller result;
+//! 4. **depth migration** — read phase 3's result, moderate CPU, write the
+//!    final output.
+//!
+//! At the end the intermediates are removed and only the last two phases'
+//! results remain — the structure that lets SGFS's write-back cache skip
+//! shipping temporary data across the WAN entirely.
+
+use crate::{cpu_burn, Prng};
+use sgfs_net::SimClock;
+use sgfs_nfsclient::{FsResult, NfsMount, OpenFlags};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Seismic parameters.
+#[derive(Debug, Clone)]
+pub struct SeismicConfig {
+    /// Size of the phase-1 data file (paper-scale is hundreds of MB; the
+    /// default is scaled for bench runs).
+    pub data_size: usize,
+    /// I/O chunk size.
+    pub chunk: usize,
+    /// CPU units per MB for phase 1 (generation).
+    pub gen_cpu_per_mb: u64,
+    /// CPU units per MB for phase 3 (time migration — dominant).
+    pub tmig_cpu_per_mb: u64,
+    /// CPU units per MB for phase 4 (depth migration).
+    pub dmig_cpu_per_mb: u64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for SeismicConfig {
+    fn default() -> Self {
+        Self {
+            data_size: 16 * 1024 * 1024,
+            chunk: 32 * 1024,
+            gen_cpu_per_mb: 10_000,
+            tmig_cpu_per_mb: 400_000,
+            dmig_cpu_per_mb: 30_000,
+            seed: 0x5E15,
+        }
+    }
+}
+
+/// Per-phase runtimes.
+#[derive(Debug, Clone)]
+pub struct SeismicResult {
+    /// Phase 1: data generation.
+    pub phase1: Duration,
+    /// Phase 2: data stacking.
+    pub phase2: Duration,
+    /// Phase 3: time migration.
+    pub phase3: Duration,
+    /// Phase 4: depth migration.
+    pub phase4: Duration,
+    /// Total (including intermediate cleanup).
+    pub total: Duration,
+}
+
+/// Stream-copy `from` → `to` applying `f` per chunk; returns bytes moved.
+fn transform(
+    mount: &mut NfsMount,
+    from: &str,
+    to: &str,
+    chunk: usize,
+    mut per_chunk: impl FnMut(&[u8]) -> Vec<u8>,
+) -> FsResult<u64> {
+    let src = mount.open(from, OpenFlags::rdonly(), 0)?;
+    let dst = mount.open(to, OpenFlags::create_truncate(), 0o644)?;
+    let mut moved = 0u64;
+    loop {
+        let data = mount.read(src, chunk)?;
+        if data.is_empty() {
+            break;
+        }
+        moved += data.len() as u64;
+        let out = per_chunk(&data);
+        mount.write(dst, &out)?;
+    }
+    mount.close(src)?;
+    mount.close(dst)?;
+    Ok(moved)
+}
+
+/// Run the four-phase pipeline.
+pub fn run(
+    mount: &mut NfsMount,
+    clock: &Arc<SimClock>,
+    cfg: &SeismicConfig,
+) -> FsResult<SeismicResult> {
+    let mb = (cfg.data_size as u64 / (1024 * 1024)).max(1);
+
+    // Phase 1: generate the initial data file.
+    let t0 = clock.now();
+    let mut rng = Prng::new(cfg.seed);
+    let fd = mount.open("/seismic.gen", OpenFlags::create_truncate(), 0o644)?;
+    let mut written = 0usize;
+    while written < cfg.data_size {
+        let n = cfg.chunk.min(cfg.data_size - written);
+        std::hint::black_box(cpu_burn(cfg.gen_cpu_per_mb * n as u64 / (1024 * 1024)));
+        mount.write(fd, &rng.bytes(n))?;
+        written += n;
+    }
+    mount.close(fd)?;
+    let phase1 = clock.now() - t0;
+
+    // Phase 2: stacking — read everything, write a similar-sized file.
+    let t0 = clock.now();
+    transform(mount, "/seismic.gen", "/seismic.stack", cfg.chunk, |data| {
+        // Light per-chunk computation: fold adjacent samples.
+        let mut out = data.to_vec();
+        for i in 1..out.len() {
+            out[i] = out[i].wrapping_add(out[i - 1] >> 1);
+        }
+        out
+    })?;
+    let phase2 = clock.now() - t0;
+
+    // Phase 3: time migration — CPU dominated, output 1/8 the size.
+    let t0 = clock.now();
+    std::hint::black_box(cpu_burn(cfg.tmig_cpu_per_mb * mb));
+    transform(mount, "/seismic.stack", "/seismic.tmig", cfg.chunk, |data| {
+        data.chunks(8).map(|c| c.iter().fold(0u8, |a, b| a ^ b)).collect()
+    })?;
+    let phase3 = clock.now() - t0;
+
+    // Phase 4: depth migration over the (small) tmig output.
+    let t0 = clock.now();
+    std::hint::black_box(cpu_burn(cfg.dmig_cpu_per_mb * mb));
+    transform(mount, "/seismic.tmig", "/seismic.dmig", cfg.chunk, |data| data.to_vec())?;
+    let phase4 = clock.now() - t0;
+
+    // Cleanup: remove the intermediates; keep the last two results.
+    let t0 = clock.now();
+    mount.unlink("/seismic.gen")?;
+    mount.unlink("/seismic.stack")?;
+    let cleanup = clock.now() - t0;
+
+    Ok(SeismicResult {
+        phase1,
+        phase2,
+        phase3,
+        phase4,
+        total: phase1 + phase2 + phase3 + phase4 + cleanup,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgfs::session::{GridWorld, Session, SessionParams, SetupKind};
+
+    fn tiny() -> SeismicConfig {
+        SeismicConfig {
+            data_size: 256 * 1024,
+            chunk: 32 * 1024,
+            gen_cpu_per_mb: 100,
+            tmig_cpu_per_mb: 5_000,
+            dmig_cpu_per_mb: 500,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn seismic_pipeline_structure() {
+        let world = GridWorld::new();
+        let mut session =
+            Session::build(&world, &SessionParams::lan(SetupKind::NfsV3)).unwrap();
+        let clock = session.clock().clone();
+        let cfg = tiny();
+        let res = run(&mut session.mount, &clock, &cfg).unwrap();
+        // Intermediates removed, results kept.
+        assert!(session.mount.stat("/seismic.gen").is_err());
+        assert!(session.mount.stat("/seismic.stack").is_err());
+        let tmig = session.mount.stat("/seismic.tmig").unwrap();
+        let dmig = session.mount.stat("/seismic.dmig").unwrap();
+        assert!(tmig.size > 0 && tmig.size < cfg.data_size as u64 / 4);
+        assert_eq!(dmig.size, tmig.size);
+        // Phase 3 is the CPU-dominated one.
+        assert!(res.phase3 > res.phase4, "{res:?}");
+        session.finish().unwrap();
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type shared by the XDR encoder and decoder.
+
+use std::fmt;
+
+/// Result alias used throughout the XDR crate.
+pub type XdrResult<T> = Result<T, XdrError>;
+
+/// Failures that can occur while decoding an XDR stream.
+///
+/// Encoding is infallible (it only appends to a growable buffer), so this
+/// type only covers the decode direction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XdrError {
+    /// The stream ended before a complete item could be read.
+    UnexpectedEof {
+        /// Bytes required by the item being decoded.
+        needed: usize,
+        /// Bytes actually remaining in the stream.
+        remaining: usize,
+    },
+    /// A length prefix exceeded the caller-supplied bound.
+    LengthTooLarge {
+        /// The length found on the wire.
+        len: u32,
+        /// The maximum the caller allowed.
+        max: u32,
+    },
+    /// A boolean field held a value other than 0 or 1.
+    InvalidBool(u32),
+    /// A string field contained invalid UTF-8.
+    InvalidUtf8,
+    /// Padding bytes were non-zero (RFC 4506 requires residual bytes be 0).
+    NonZeroPadding,
+    /// An enum discriminant did not match any known variant.
+    InvalidEnum {
+        /// Name of the enum type being decoded.
+        what: &'static str,
+        /// The unrecognized discriminant.
+        value: u32,
+    },
+    /// The full-message decode left unconsumed bytes.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for XdrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XdrError::UnexpectedEof { needed, remaining } => {
+                write!(f, "unexpected end of XDR stream: need {needed} bytes, {remaining} left")
+            }
+            XdrError::LengthTooLarge { len, max } => {
+                write!(f, "XDR length {len} exceeds allowed maximum {max}")
+            }
+            XdrError::InvalidBool(v) => write!(f, "invalid XDR boolean value {v}"),
+            XdrError::InvalidUtf8 => write!(f, "XDR string is not valid UTF-8"),
+            XdrError::NonZeroPadding => write!(f, "XDR padding bytes are not zero"),
+            XdrError::InvalidEnum { what, value } => {
+                write!(f, "invalid discriminant {value} for XDR enum {what}")
+            }
+            XdrError::TrailingBytes(n) => write!(f, "{n} trailing bytes after XDR message"),
+        }
+    }
+}
+
+impl std::error::Error for XdrError {}

@@ -1,0 +1,206 @@
+//! External Data Representation (XDR, RFC 4506) encoding and decoding.
+//!
+//! XDR is the wire format underlying ONC RPC and NFS. Every quantity is
+//! encoded big-endian and padded to a 4-byte boundary. This crate provides
+//! a small, allocation-conscious encoder/decoder pair plus the [`XdrEncode`]
+//! and [`XdrDecode`] traits that the protocol crates implement for their
+//! message types.
+//!
+//! # Example
+//!
+//! ```
+//! use sgfs_xdr::{XdrEncoder, XdrDecoder, XdrEncode, XdrDecode};
+//!
+//! let mut enc = XdrEncoder::new();
+//! enc.put_u32(7);
+//! enc.put_string("grid");
+//! let buf = enc.into_bytes();
+//!
+//! let mut dec = XdrDecoder::new(&buf);
+//! assert_eq!(dec.get_u32().unwrap(), 7);
+//! assert_eq!(dec.get_string().unwrap(), "grid");
+//! ```
+
+mod decode;
+mod encode;
+mod error;
+
+pub use decode::XdrDecoder;
+pub use encode::XdrEncoder;
+pub use error::{XdrError, XdrResult};
+
+/// Types that can serialize themselves into an XDR stream.
+pub trait XdrEncode {
+    /// Append this value's XDR representation to `enc`.
+    fn encode(&self, enc: &mut XdrEncoder);
+
+    /// Convenience: encode into a fresh byte vector.
+    fn to_xdr_bytes(&self) -> Vec<u8> {
+        let mut enc = XdrEncoder::new();
+        self.encode(&mut enc);
+        enc.into_bytes()
+    }
+}
+
+/// Types that can deserialize themselves from an XDR stream.
+pub trait XdrDecode: Sized {
+    /// Consume this value's XDR representation from `dec`.
+    fn decode(dec: &mut XdrDecoder<'_>) -> XdrResult<Self>;
+
+    /// Convenience: decode from a complete byte slice, requiring that the
+    /// whole slice is consumed.
+    fn from_xdr_bytes(bytes: &[u8]) -> XdrResult<Self> {
+        let mut dec = XdrDecoder::new(bytes);
+        let v = Self::decode(&mut dec)?;
+        if dec.remaining() != 0 {
+            return Err(XdrError::TrailingBytes(dec.remaining()));
+        }
+        Ok(v)
+    }
+}
+
+impl XdrEncode for u32 {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_u32(*self);
+    }
+}
+
+impl XdrDecode for u32 {
+    fn decode(dec: &mut XdrDecoder<'_>) -> XdrResult<Self> {
+        dec.get_u32()
+    }
+}
+
+impl XdrEncode for u64 {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_u64(*self);
+    }
+}
+
+impl XdrDecode for u64 {
+    fn decode(dec: &mut XdrDecoder<'_>) -> XdrResult<Self> {
+        dec.get_u64()
+    }
+}
+
+impl XdrEncode for i32 {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_i32(*self);
+    }
+}
+
+impl XdrDecode for i32 {
+    fn decode(dec: &mut XdrDecoder<'_>) -> XdrResult<Self> {
+        dec.get_i32()
+    }
+}
+
+impl XdrEncode for bool {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_bool(*self);
+    }
+}
+
+impl XdrDecode for bool {
+    fn decode(dec: &mut XdrDecoder<'_>) -> XdrResult<Self> {
+        dec.get_bool()
+    }
+}
+
+impl XdrEncode for String {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_string(self);
+    }
+}
+
+impl XdrDecode for String {
+    fn decode(dec: &mut XdrDecoder<'_>) -> XdrResult<Self> {
+        dec.get_string()
+    }
+}
+
+impl XdrEncode for Vec<u8> {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_opaque(self);
+    }
+}
+
+impl XdrDecode for Vec<u8> {
+    fn decode(dec: &mut XdrDecoder<'_>) -> XdrResult<Self> {
+        dec.get_opaque()
+    }
+}
+
+impl<T: XdrEncode> XdrEncode for Option<T> {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        match self {
+            Some(v) => {
+                enc.put_bool(true);
+                v.encode(enc);
+            }
+            None => enc.put_bool(false),
+        }
+    }
+}
+
+impl<T: XdrDecode> XdrDecode for Option<T> {
+    fn decode(dec: &mut XdrDecoder<'_>) -> XdrResult<Self> {
+        if dec.get_bool()? {
+            Ok(Some(T::decode(dec)?))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+/// Encode a variable-length array (`u32` count prefix then each element).
+///
+/// A free function rather than a blanket `Vec<T>` impl because `Vec<u8>`
+/// must encode as opaque data, not as 4-byte-per-element array.
+pub fn encode_array<T: XdrEncode>(items: &[T], enc: &mut XdrEncoder) {
+    enc.put_u32(items.len() as u32);
+    for item in items {
+        item.encode(enc);
+    }
+}
+
+/// Decode a variable-length array written by [`encode_array`].
+///
+/// `max` bounds the element count so a malicious length prefix cannot force
+/// a huge allocation.
+pub fn decode_array<T: XdrDecode>(dec: &mut XdrDecoder<'_>, max: u32) -> XdrResult<Vec<T>> {
+    let n = dec.get_u32()?;
+    if n > max {
+        return Err(XdrError::LengthTooLarge { len: n, max });
+    }
+    let mut out = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        out.push(T::decode(dec)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_roundtrip() {
+        let some: Option<u32> = Some(42);
+        let none: Option<u32> = None;
+        assert_eq!(
+            Option::<u32>::from_xdr_bytes(&some.to_xdr_bytes()).unwrap(),
+            Some(42)
+        );
+        assert_eq!(Option::<u32>::from_xdr_bytes(&none.to_xdr_bytes()).unwrap(), None);
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut enc = XdrEncoder::new();
+        enc.put_u32(1);
+        enc.put_u32(2);
+        let err = u32::from_xdr_bytes(&enc.into_bytes()).unwrap_err();
+        assert!(matches!(err, XdrError::TrailingBytes(4)));
+    }
+}

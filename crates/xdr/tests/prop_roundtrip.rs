@@ -1,0 +1,69 @@
+//! Property tests: XDR decode is the inverse of encode for arbitrary data.
+
+use proptest::prelude::*;
+use sgfs_xdr::{XdrDecoder, XdrEncoder};
+
+proptest! {
+    #[test]
+    fn u32_roundtrip(v: u32) {
+        let mut enc = XdrEncoder::new();
+        enc.put_u32(v);
+        let b = enc.into_bytes();
+        prop_assert_eq!(XdrDecoder::new(&b).get_u32().unwrap(), v);
+    }
+
+    #[test]
+    fn i64_roundtrip(v: i64) {
+        let mut enc = XdrEncoder::new();
+        enc.put_i64(v);
+        let b = enc.into_bytes();
+        prop_assert_eq!(XdrDecoder::new(&b).get_i64().unwrap(), v);
+    }
+
+    #[test]
+    fn opaque_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let mut enc = XdrEncoder::new();
+        enc.put_opaque(&data);
+        let b = enc.into_bytes();
+        prop_assert_eq!(b.len() % 4, 0, "encoding always 4-byte aligned");
+        let mut dec = XdrDecoder::new(&b);
+        prop_assert_eq!(dec.get_opaque().unwrap(), data);
+        prop_assert_eq!(dec.remaining(), 0);
+    }
+
+    #[test]
+    fn string_roundtrip(s in "\\PC{0,256}") {
+        let mut enc = XdrEncoder::new();
+        enc.put_string(&s);
+        let b = enc.into_bytes();
+        prop_assert_eq!(XdrDecoder::new(&b).get_string().unwrap(), s);
+    }
+
+    #[test]
+    fn mixed_sequence_roundtrip(
+        a: u32, b: bool, c in proptest::collection::vec(any::<u8>(), 0..128), d: u64
+    ) {
+        let mut enc = XdrEncoder::new();
+        enc.put_u32(a);
+        enc.put_bool(b);
+        enc.put_opaque(&c);
+        enc.put_u64(d);
+        let bytes = enc.into_bytes();
+        let mut dec = XdrDecoder::new(&bytes);
+        prop_assert_eq!(dec.get_u32().unwrap(), a);
+        prop_assert_eq!(dec.get_bool().unwrap(), b);
+        prop_assert_eq!(dec.get_opaque().unwrap(), c);
+        prop_assert_eq!(dec.get_u64().unwrap(), d);
+    }
+
+    /// Decoding arbitrary garbage never panics — it either yields a value
+    /// or a structured error.
+    #[test]
+    fn decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut dec = XdrDecoder::new(&data);
+        let _ = dec.get_u32();
+        let _ = dec.get_opaque();
+        let _ = dec.get_string();
+        let _ = dec.get_bool();
+    }
+}
