@@ -31,13 +31,29 @@ impl std::error::Error for CbcError {}
 /// Output length is `plaintext.len()` rounded up to the next multiple of 16
 /// (a full padding block is added when already aligned).
 pub fn cbc_encrypt(aes: &Aes, iv: &[u8; 16], plaintext: &[u8]) -> Vec<u8> {
-    let pad = 16 - plaintext.len() % 16;
-    let mut data = Vec::with_capacity(plaintext.len() + pad);
+    let mut data = Vec::with_capacity(plaintext.len() + 16);
     data.extend_from_slice(plaintext);
-    data.extend(std::iter::repeat(pad as u8).take(pad));
+    cbc_encrypt_in_place(aes, iv, &mut data);
+    data
+}
+
+/// Encrypt `buf`'s contents with AES-CBC under `iv` in place, appending
+/// PKCS#7 padding. At steady state — a buffer whose capacity has grown to
+/// its working-set high-water mark — this performs no heap allocation.
+pub fn cbc_encrypt_in_place(aes: &Aes, iv: &[u8; 16], buf: &mut Vec<u8>) {
+    cbc_encrypt_in_place_from(aes, iv, buf, 0);
+}
+
+/// Like [`cbc_encrypt_in_place`] but only `buf[from..]` is plaintext to
+/// encrypt; `buf[..from]` (e.g. a frame header or explicit IV already in
+/// the buffer) is left untouched.
+pub fn cbc_encrypt_in_place_from(aes: &Aes, iv: &[u8; 16], buf: &mut Vec<u8>, from: usize) {
+    debug_assert!(from <= buf.len());
+    let pad = 16 - (buf.len() - from) % 16;
+    buf.resize(buf.len() + pad, pad as u8);
 
     let mut prev = *iv;
-    for chunk in data.chunks_exact_mut(16) {
+    for chunk in buf[from..].chunks_exact_mut(16) {
         let mut block = [0u8; 16];
         block.copy_from_slice(chunk);
         for (b, p) in block.iter_mut().zip(&prev) {
@@ -47,36 +63,54 @@ pub fn cbc_encrypt(aes: &Aes, iv: &[u8; 16], plaintext: &[u8]) -> Vec<u8> {
         chunk.copy_from_slice(&block);
         prev = block;
     }
-    data
 }
 
 /// Decrypt AES-CBC ciphertext under `iv` and strip PKCS#7 padding.
 pub fn cbc_decrypt(aes: &Aes, iv: &[u8; 16], ciphertext: &[u8]) -> Result<Vec<u8>, CbcError> {
-    if ciphertext.is_empty() || ciphertext.len() % 16 != 0 {
-        return Err(CbcError::BadLength(ciphertext.len()));
-    }
-    let mut out = Vec::with_capacity(ciphertext.len());
-    let mut prev = *iv;
-    for chunk in ciphertext.chunks_exact(16) {
-        let mut block = [0u8; 16];
-        block.copy_from_slice(chunk);
-        let saved = block;
-        aes.decrypt_block(&mut block);
-        for (b, p) in block.iter_mut().zip(&prev) {
-            *b ^= p;
-        }
-        out.extend_from_slice(&block);
-        prev = saved;
-    }
-    let pad = *out.last().unwrap() as usize;
-    if pad == 0 || pad > 16 || pad > out.len() {
-        return Err(CbcError::BadPadding);
-    }
-    if out[out.len() - pad..].iter().any(|&b| b as usize != pad) {
-        return Err(CbcError::BadPadding);
-    }
-    out.truncate(out.len() - pad);
+    let mut out = ciphertext.to_vec();
+    let len = cbc_decrypt_in_place(aes, iv, &mut out)?;
+    out.truncate(len);
     Ok(out)
+}
+
+/// Decrypt AES-CBC ciphertext under `iv` in place, validating PKCS#7
+/// padding. Returns the plaintext length; `buf[..len]` holds the
+/// plaintext. Performs no heap allocation.
+pub fn cbc_decrypt_in_place(aes: &Aes, iv: &[u8; 16], buf: &mut [u8]) -> Result<usize, CbcError> {
+    if buf.is_empty() || buf.len() % 16 != 0 {
+        return Err(CbcError::BadLength(buf.len()));
+    }
+    // Unlike encryption, CBC decryption has no cross-block dependency in
+    // the cipher itself — every block decrypts independently and only the
+    // chaining XOR consumes the *ciphertext* of its predecessor. Decrypt
+    // up to 64 blocks at a time through the interleaved bulk routine,
+    // keeping the ciphertext the XOR needs in a fixed stack scratch.
+    const CHUNK: usize = 64 * 16;
+    let mut prev = *iv;
+    let mut saved = [0u8; CHUNK];
+    let mut off = 0;
+    while off < buf.len() {
+        let n = CHUNK.min(buf.len() - off);
+        let chunk = &mut buf[off..off + n];
+        saved[..n].copy_from_slice(chunk);
+        aes.decrypt_blocks(chunk);
+        for (i, block) in chunk.chunks_exact_mut(16).enumerate() {
+            let x: &[u8] = if i == 0 { &prev } else { &saved[(i - 1) * 16..i * 16] };
+            for (b, p) in block.iter_mut().zip(x) {
+                *b ^= p;
+            }
+        }
+        prev.copy_from_slice(&saved[n - 16..n]);
+        off += n;
+    }
+    let pad = buf[buf.len() - 1] as usize;
+    if pad == 0 || pad > 16 || pad > buf.len() {
+        return Err(CbcError::BadPadding);
+    }
+    if buf[buf.len() - pad..].iter().any(|&b| b as usize != pad) {
+        return Err(CbcError::BadPadding);
+    }
+    Ok(buf.len() - pad)
 }
 
 #[cfg(test)]
@@ -136,6 +170,33 @@ mod tests {
         let iv = [0u8; 16];
         assert_eq!(cbc_decrypt(&aes, &iv, &[0u8; 15]), Err(CbcError::BadLength(15)));
         assert_eq!(cbc_decrypt(&aes, &iv, &[]), Err(CbcError::BadLength(0)));
+    }
+
+    #[test]
+    fn in_place_matches_allocating_api() {
+        let aes = Aes::new(&[8u8; 32]);
+        let iv = [4u8; 16];
+        let mut scratch = Vec::new();
+        for len in [0usize, 1, 15, 16, 17, 255, 4096] {
+            let pt: Vec<u8> = (0..len).map(|i| (i * 13 % 256) as u8).collect();
+            scratch.clear();
+            scratch.extend_from_slice(&pt);
+            cbc_encrypt_in_place(&aes, &iv, &mut scratch);
+            assert_eq!(scratch, cbc_encrypt(&aes, &iv, &pt), "len {len}");
+            let n = cbc_decrypt_in_place(&aes, &iv, &mut scratch).unwrap();
+            assert_eq!(&scratch[..n], &pt[..], "len {len}");
+        }
+    }
+
+    #[test]
+    fn in_place_decrypt_rejects_bad_padding() {
+        let aes = Aes::new(&[8u8; 16]);
+        let iv = [0u8; 16];
+        let mut buf = cbc_encrypt(&aes, &iv, b"hello world");
+        let last = buf.len() - 1;
+        buf[last] ^= 0x55;
+        assert_eq!(cbc_decrypt_in_place(&aes, &iv, &mut buf), Err(CbcError::BadPadding));
+        assert_eq!(cbc_decrypt_in_place(&aes, &iv, &mut [0u8; 9]), Err(CbcError::BadLength(9)));
     }
 
     #[test]

@@ -60,6 +60,71 @@ pub fn hmac_sha1(key: &[u8], data: &[u8]) -> Vec<u8> {
     Hmac::<crate::Sha1>::mac(key, data)
 }
 
+/// HMAC-SHA1 with a precomputed key block.
+///
+/// [`Hmac::new`] allocates and absorbs the padded key block on every MAC;
+/// on a record layer that is once per record. This form does that work
+/// once per key: `new` absorbs the inner and outer pads, and each
+/// [`begin`](Self::begin) clones ~100 bytes of digest state. Combined
+/// with [`HmacSha1::finalize_fixed`], a full MAC computation performs no
+/// heap allocation.
+#[derive(Clone)]
+pub struct HmacSha1Key {
+    inner: crate::Sha1,
+    outer: crate::Sha1,
+}
+
+impl HmacSha1Key {
+    /// Precompute the pad states for `key` (any length).
+    pub fn new(key: &[u8]) -> Self {
+        const BLOCK: usize = <crate::Sha1 as Digest>::BLOCK_LEN;
+        let mut key_block = [0u8; BLOCK];
+        if key.len() > BLOCK {
+            let hashed = crate::Sha1::digest(key);
+            key_block[..hashed.len()].copy_from_slice(&hashed);
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+        let mut inner = crate::Sha1::new();
+        let mut outer = crate::Sha1::new();
+        let mut pad = [0u8; BLOCK];
+        for (p, k) in pad.iter_mut().zip(&key_block) {
+            *p = k ^ 0x36;
+        }
+        inner.update(&pad);
+        for (p, k) in pad.iter_mut().zip(&key_block) {
+            *p = k ^ 0x5c;
+        }
+        outer.update(&pad);
+        Self { inner, outer }
+    }
+
+    /// Start a MAC computation under this key.
+    pub fn begin(&self) -> HmacSha1 {
+        HmacSha1 { inner: self.inner.clone(), outer: self.outer.clone() }
+    }
+}
+
+/// An in-flight HMAC-SHA1 computation started from an [`HmacSha1Key`].
+pub struct HmacSha1 {
+    inner: crate::Sha1,
+    outer: crate::Sha1,
+}
+
+impl HmacSha1 {
+    /// Absorb more message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finish, returning the MAC as a fixed array (no allocation).
+    pub fn finalize_fixed(mut self) -> [u8; 20] {
+        let inner_hash = self.inner.finalize_fixed();
+        self.outer.update(&inner_hash);
+        self.outer.finalize_fixed()
+    }
+}
+
 /// One-shot HMAC-SHA256 (used by the PRF and service-message signatures).
 pub fn hmac_sha256(key: &[u8], data: &[u8]) -> Vec<u8> {
     Hmac::<crate::Sha256>::mac(key, data)
@@ -130,6 +195,26 @@ mod tests {
             hex(&hmac_sha256(b"Jefe", b"what do ya want for nothing?")),
             "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
         );
+    }
+
+    #[test]
+    fn precomputed_key_matches_oneshot() {
+        for key_len in [0usize, 1, 20, 64, 80] {
+            let key: Vec<u8> = (0..key_len).map(|i| (i * 3 + 1) as u8).collect();
+            let pk = HmacSha1Key::new(&key);
+            for msg_len in [0usize, 1, 55, 64, 200] {
+                let msg: Vec<u8> = (0..msg_len).map(|i| (i * 7) as u8).collect();
+                let mut h = pk.begin();
+                for chunk in msg.chunks(13) {
+                    h.update(chunk);
+                }
+                assert_eq!(
+                    h.finalize_fixed().to_vec(),
+                    hmac_sha1(&key, &msg),
+                    "key_len {key_len} msg_len {msg_len}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod sha256;
 
 pub use aes::Aes;
 pub use bignum::BigUint;
-pub use hmac::{hmac_sha1, hmac_sha256, Hmac};
+pub use hmac::{hmac_sha1, hmac_sha256, Hmac, HmacSha1, HmacSha1Key};
 pub use rc4::Rc4;
 pub use rsa::{RsaKeyPair, RsaPublicKey};
 pub use sha1::Sha1;

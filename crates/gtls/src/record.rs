@@ -3,7 +3,7 @@
 use crate::suite::{CipherState, CipherSuite};
 use crate::GtlsError;
 use rand::RngCore;
-use sgfs_crypto::{ct_eq, Hmac, Sha1};
+use sgfs_crypto::{ct_eq, HmacSha1Key};
 use std::io::{Read, Write};
 
 /// Content type: handshake / renegotiation traffic.
@@ -20,65 +20,97 @@ pub const MAX_RECORD_PAYLOAD: usize = 64 * 1024;
 /// number that makes replayed or reordered records fail their MAC.
 pub struct HalfConn {
     cipher: CipherState,
-    mac_key: Vec<u8>,
+    /// Precomputed HMAC-SHA1 pad states; `None` for unprotected streams.
+    mac: Option<HmacSha1Key>,
     seq: u64,
 }
 
 impl HalfConn {
     /// Fresh direction state from negotiated key material.
     pub fn new(suite: CipherSuite, write_key: &[u8], mac_key: &[u8]) -> Self {
-        Self { cipher: suite.new_state(write_key), mac_key: mac_key.to_vec(), seq: 0 }
+        let mac = if mac_key.is_empty() { None } else { Some(HmacSha1Key::new(mac_key)) };
+        Self { cipher: suite.new_state(write_key), mac, seq: 0 }
     }
 
     /// An unprotected direction (used only before the first handshake).
     pub fn plaintext() -> Self {
-        Self { cipher: CipherState::Null, mac_key: Vec::new(), seq: 0 }
+        Self { cipher: CipherState::Null, mac: None, seq: 0 }
     }
 
-    fn mac(&self, content_type: u8, payload: &[u8]) -> Vec<u8> {
+    fn mac(&self, content_type: u8, payload: &[u8]) -> [u8; 20] {
         // Streamed to avoid copying the payload: seq || type || len || data.
-        let mut h = Hmac::<Sha1>::new(&self.mac_key);
+        let mut h = self.mac.as_ref().expect("mac-less HalfConn").begin();
         h.update(&self.seq.to_be_bytes());
         h.update(&[content_type]);
         h.update(&(payload.len() as u32).to_be_bytes());
         h.update(payload);
-        h.finalize()
+        h.finalize_fixed()
+    }
+
+    /// Protect `payload`, appending the wire body to `out`.
+    ///
+    /// `out[..out.len()]` on entry (e.g. a frame header) is preserved, so
+    /// a whole framed record can be assembled in one reused buffer. The
+    /// steady-state cost is zero heap allocations: the MAC runs on
+    /// precomputed pad states, encryption is in place, and `out` only
+    /// grows until it reaches the connection's record-size high-water
+    /// mark.
+    pub fn seal_into<R: RngCore>(
+        &mut self,
+        content_type: u8,
+        payload: &[u8],
+        rng: &mut R,
+        out: &mut Vec<u8>,
+    ) {
+        let start = out.len();
+        out.resize(start + self.cipher.explicit_iv_len(), 0);
+        out.extend_from_slice(payload);
+        if self.mac.is_some() {
+            let mac = self.mac(content_type, payload);
+            out.extend_from_slice(&mac);
+        }
+        self.seq = self.seq.wrapping_add(1);
+        self.cipher.seal_in_place(out, start, rng);
+    }
+
+    /// Unprotect a wire body in place, returning the `(offset, len)`
+    /// window of the payload within `wire`. No heap allocation.
+    pub fn open_in_place(
+        &mut self,
+        content_type: u8,
+        wire: &mut [u8],
+    ) -> Result<(usize, usize), GtlsError> {
+        let (off, mut len) = self
+            .cipher
+            .open_in_place(wire)
+            .map_err(GtlsError::RecordIntegrity)?;
+        if self.mac.is_some() {
+            if len < 20 {
+                return Err(GtlsError::RecordIntegrity("record shorter than MAC".into()));
+            }
+            len -= 20;
+            let expected = self.mac(content_type, &wire[off..off + len]);
+            if !ct_eq(&expected, &wire[off + len..off + len + 20]) {
+                return Err(GtlsError::RecordIntegrity("record MAC mismatch".into()));
+            }
+        }
+        self.seq = self.seq.wrapping_add(1);
+        Ok((off, len))
     }
 
     /// Protect `payload` into a wire body (MAC then encrypt).
     pub fn seal<R: RngCore>(&mut self, content_type: u8, payload: &[u8], rng: &mut R) -> Vec<u8> {
-        let has_mac = !self.mac_key.is_empty();
-        let mut plain = Vec::with_capacity(payload.len() + 20);
-        plain.extend_from_slice(payload);
-        if has_mac {
-            let mac = self.mac(content_type, payload);
-            plain.extend_from_slice(&mac);
-        }
-        self.seq = self.seq.wrapping_add(1);
-        self.cipher.seal(plain, rng)
+        let mut out = Vec::with_capacity(payload.len() + 56);
+        self.seal_into(content_type, payload, rng, &mut out);
+        out
     }
 
     /// Unprotect a wire body back into the payload (decrypt then verify).
-    pub fn open(&mut self, content_type: u8, wire: Vec<u8>) -> Result<Vec<u8>, GtlsError> {
-        let mut plain = self
-            .cipher
-            .open(wire)
-            .map_err(GtlsError::RecordIntegrity)?;
-        if self.mac_key.is_empty() {
-            self.seq = self.seq.wrapping_add(1);
-            return Ok(plain);
-        }
-        if plain.len() < 20 {
-            return Err(GtlsError::RecordIntegrity("record shorter than MAC".into()));
-        }
-        let mac_off = plain.len() - 20;
-        let expected = self.mac(content_type, &plain[..mac_off]);
-        if !ct_eq(&expected, &plain[mac_off..]) {
-            return Err(GtlsError::RecordIntegrity("record MAC mismatch".into()));
-        }
-        self.seq = self.seq.wrapping_add(1);
-        plain.truncate(mac_off);
-        Ok(plain)
+    pub fn open(&mut self, content_type: u8, mut wire: Vec<u8>) -> Result<Vec<u8>, GtlsError> {
+        let (off, len) = self.open_in_place(content_type, &mut wire)?;
+        wire.copy_within(off..off + len, 0);
+        wire.truncate(len);
+        Ok(wire)
     }
 }
 
@@ -88,18 +120,64 @@ pub fn write_frame<W: Write + ?Sized>(
     content_type: u8,
     body: &[u8],
 ) -> std::io::Result<()> {
-    // One write call per frame: the emulated transport stamps arrival
-    // times per write, and a frame is one logical message.
     let mut frame = Vec::with_capacity(5 + body.len());
-    frame.push(content_type);
-    frame.extend_from_slice(&(body.len() as u32).to_be_bytes());
-    frame.extend_from_slice(body);
-    w.write_all(&frame)?;
+    write_frame_with(w, content_type, body, &mut frame)
+}
+
+/// Like [`write_frame`] but assembles the frame in a caller-provided
+/// scratch buffer, so a connection's write path allocates nothing at
+/// steady state. One write call per frame either way: the emulated
+/// transport stamps arrival times per write, and a frame is one logical
+/// message.
+pub fn write_frame_with<W: Write + ?Sized>(
+    w: &mut W,
+    content_type: u8,
+    body: &[u8],
+    scratch: &mut Vec<u8>,
+) -> std::io::Result<()> {
+    scratch.clear();
+    scratch.push(content_type);
+    scratch.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    scratch.extend_from_slice(body);
+    w.write_all(scratch)?;
     w.flush()
+}
+
+/// Write a pre-assembled frame (`[content_type][len][body]` already laid
+/// out in `frame`, as produced by [`frame_header_into`] + sealing into
+/// the same buffer). One write call.
+pub fn write_assembled_frame<W: Write + ?Sized>(w: &mut W, frame: &[u8]) -> std::io::Result<()> {
+    debug_assert!(frame.len() >= 5);
+    w.write_all(frame)?;
+    w.flush()
+}
+
+/// Reset `frame` to a 5-byte frame header with a zero length word; after
+/// appending the body (e.g. via [`HalfConn::seal_into`]) call
+/// [`finish_frame_header`] to patch the length in.
+pub fn frame_header_into(frame: &mut Vec<u8>, content_type: u8) {
+    frame.clear();
+    frame.push(content_type);
+    frame.extend_from_slice(&[0u8; 4]);
+}
+
+/// Patch the length word of a frame started by [`frame_header_into`].
+pub fn finish_frame_header(frame: &mut [u8]) {
+    let body_len = (frame.len() - 5) as u32;
+    frame[1..5].copy_from_slice(&body_len.to_be_bytes());
 }
 
 /// Read one record, returning `(content_type, body)`.
 pub fn read_frame<R: Read + ?Sized>(r: &mut R) -> std::io::Result<(u8, Vec<u8>)> {
+    let mut body = Vec::new();
+    let ct = read_frame_into(r, &mut body)?;
+    Ok((ct, body))
+}
+
+/// Like [`read_frame`] but reads the body into a caller-provided buffer
+/// (cleared and resized), returning the content type. At steady state the
+/// buffer has reached its high-water capacity and no allocation occurs.
+pub fn read_frame_into<R: Read + ?Sized>(r: &mut R, body: &mut Vec<u8>) -> std::io::Result<u8> {
     let mut hdr = [0u8; 5];
     r.read_exact(&mut hdr)?;
     let len = u32::from_be_bytes([hdr[1], hdr[2], hdr[3], hdr[4]]) as usize;
@@ -109,9 +187,10 @@ pub fn read_frame<R: Read + ?Sized>(r: &mut R) -> std::io::Result<(u8, Vec<u8>)>
             format!("GTLS record of {len} bytes too large"),
         ));
     }
-    let mut body = vec![0u8; len];
-    r.read_exact(&mut body)?;
-    Ok((hdr[0], body))
+    body.clear();
+    body.resize(len, 0);
+    r.read_exact(body)?;
+    Ok(hdr[0])
 }
 
 #[cfg(test)]

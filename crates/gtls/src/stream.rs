@@ -2,7 +2,10 @@
 
 use crate::config::GtlsConfig;
 use crate::handshake::{client_handshake, server_handshake, HsChannel, SessionKeys};
-use crate::record::{read_frame, write_frame, HalfConn, CT_DATA, CT_HANDSHAKE, MAX_RECORD_PAYLOAD};
+use crate::record::{
+    finish_frame_header, frame_header_into, read_frame, read_frame_into, write_assembled_frame,
+    write_frame, HalfConn, CT_DATA, CT_HANDSHAKE, MAX_RECORD_PAYLOAD,
+};
 use crate::GtlsError;
 use sgfs_net::BoxStream;
 use sgfs_pki::ValidatedPeer;
@@ -18,10 +21,13 @@ pub struct GtlsStream {
     config: GtlsConfig,
     peer: ValidatedPeer,
     is_client: bool,
+    /// Reused receive buffer: holds the current record's wire body,
+    /// decrypted in place; `read_pos..read_end` is unconsumed plaintext.
     read_buf: Vec<u8>,
     read_pos: usize,
-    /// Bytes accepted by `write` but not yet sealed into records; flushed
-    /// as whole records so each RPC message travels as one frame.
+    read_end: usize,
+    /// Reused transmit buffer: each outgoing record is framed and sealed
+    /// here, then leaves in one write call.
     write_buf: Vec<u8>,
     /// Records sent since the last (re)negotiation, for auto-rekey.
     records_sent: u64,
@@ -109,6 +115,7 @@ impl GtlsStream {
             is_client,
             read_buf: Vec::new(),
             read_pos: 0,
+            read_end: 0,
             write_buf: Vec::new(),
             records_sent: 0,
             auto_rekey_every: None,
@@ -195,28 +202,36 @@ impl GtlsStream {
 
 impl Read for GtlsStream {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        while self.read_pos == self.read_buf.len() {
-            let (ct, body) = match read_frame(&mut self.inner) {
-                Ok(f) => f,
+        while self.read_pos == self.read_end {
+            let ct = match read_frame_into(&mut self.inner, &mut self.read_buf) {
+                Ok(ct) => ct,
                 Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(0),
                 Err(e) => return Err(e),
             };
             match ct {
                 CT_DATA => {
                     let t0 = std::time::Instant::now();
-                    let payload = self.rx.open(CT_DATA, body).map_err(io::Error::from)?;
+                    let (off, len) = self
+                        .rx
+                        .open_in_place(CT_DATA, &mut self.read_buf)
+                        .map_err(io::Error::from)?;
                     if let Some(c) = &self.busy_counter {
                         c.fetch_add(
                             t0.elapsed().as_nanos() as u64,
                             std::sync::atomic::Ordering::Relaxed,
                         );
                     }
-                    self.read_buf = payload;
-                    self.read_pos = 0;
+                    self.read_pos = off;
+                    self.read_end = off + len;
                 }
                 CT_HANDSHAKE if !self.is_client => {
-                    // Peer-initiated rekey arriving between requests.
-                    let first = self.rx.open(CT_HANDSHAKE, body).map_err(io::Error::from)?;
+                    // Peer-initiated rekey arriving between requests —
+                    // rare, so copying out of the receive buffer is fine.
+                    let (off, len) = self
+                        .rx
+                        .open_in_place(CT_HANDSHAKE, &mut self.read_buf)
+                        .map_err(io::Error::from)?;
+                    let first = self.read_buf[off..off + len].to_vec();
                     self.serve_renegotiation(first).map_err(io::Error::from)?;
                 }
                 _ => {
@@ -227,7 +242,7 @@ impl Read for GtlsStream {
                 }
             }
         }
-        let n = buf.len().min(self.read_buf.len() - self.read_pos);
+        let n = buf.len().min(self.read_end - self.read_pos);
         buf[..n].copy_from_slice(&self.read_buf[self.read_pos..self.read_pos + n]);
         self.read_pos += n;
         Ok(n)
@@ -240,7 +255,6 @@ impl GtlsStream {
     /// message, already coalesced by the record-marking layer), so there
     /// is never pending plaintext.
     fn flush_pending(&mut self) -> Result<(), GtlsError> {
-        debug_assert!(self.write_buf.is_empty());
         Ok(())
     }
 }
@@ -255,17 +269,22 @@ impl Write for GtlsStream {
         // One caller write = one logical message: seal it immediately
         // (chunked only when it exceeds the record size), so the whole
         // message leaves in back-to-back frames with coherent arrival
-        // stamps on the emulated link.
+        // stamps on the emulated link. The record is framed and sealed in
+        // the reused write buffer — no allocation at steady state — and
+        // departs in a single write call.
         for chunk in buf.chunks(MAX_RECORD_PAYLOAD) {
             let t0 = std::time::Instant::now();
-            let wire = self.tx.seal(CT_DATA, chunk, &mut rand::thread_rng());
+            frame_header_into(&mut self.write_buf, CT_DATA);
+            self.tx
+                .seal_into(CT_DATA, chunk, &mut rand::thread_rng(), &mut self.write_buf);
+            finish_frame_header(&mut self.write_buf);
             if let Some(c) = &self.busy_counter {
                 c.fetch_add(
                     t0.elapsed().as_nanos() as u64,
                     std::sync::atomic::Ordering::Relaxed,
                 );
             }
-            write_frame(&mut self.inner, CT_DATA, &wire)?;
+            write_assembled_frame(&mut self.inner, &self.write_buf)?;
             self.records_sent += 1;
         }
         Ok(buf.len())

@@ -1,6 +1,6 @@
 //! Cipher suites and per-direction cipher state.
 
-use sgfs_crypto::cbc::{cbc_decrypt, cbc_encrypt};
+use sgfs_crypto::cbc::{cbc_decrypt_in_place, cbc_encrypt_in_place_from};
 use sgfs_crypto::{Aes, Rc4};
 use rand::RngCore;
 
@@ -88,43 +88,71 @@ pub enum CipherState {
 }
 
 impl CipherState {
-    /// Encrypt `plain` (already carrying its MAC) into the wire form.
-    pub fn seal<R: RngCore>(&mut self, plain: Vec<u8>, rng: &mut R) -> Vec<u8> {
+    /// Bytes of per-record explicit header (the CBC IV) this cipher
+    /// prepends to the wire body.
+    pub fn explicit_iv_len(&self) -> usize {
         match self {
-            CipherState::Null => plain,
-            CipherState::Rc4(rc4) => {
-                let mut data = plain;
-                rc4.process(&mut data);
-                data
-            }
+            CipherState::AesCbc(_) => 16,
+            _ => 0,
+        }
+    }
+
+    /// Encrypt in place: `buf[from..from + explicit_iv_len()]` is an IV
+    /// slot this call fills, and everything after it is plaintext (plus
+    /// MAC) to encrypt. `buf[..from]` is left untouched, so callers can
+    /// seal directly into a framed buffer. No heap allocation beyond
+    /// `buf` growing for CBC padding.
+    pub fn seal_in_place<R: RngCore>(&mut self, buf: &mut Vec<u8>, from: usize, rng: &mut R) {
+        match self {
+            CipherState::Null => {}
+            CipherState::Rc4(rc4) => rc4.process(&mut buf[from..]),
             CipherState::AesCbc(aes) => {
                 let mut iv = [0u8; 16];
                 rng.fill_bytes(&mut iv);
-                let mut out = iv.to_vec();
-                out.extend_from_slice(&cbc_encrypt(aes, &iv, &plain));
-                out
+                buf[from..from + 16].copy_from_slice(&iv);
+                cbc_encrypt_in_place_from(aes, &iv, buf, from + 16);
             }
         }
     }
 
-    /// Decrypt a wire payload back to plaintext-plus-MAC.
-    pub fn open(&mut self, wire: Vec<u8>) -> Result<Vec<u8>, String> {
+    /// Decrypt a wire body in place, returning the `(offset, len)` window
+    /// of the recovered plaintext-plus-MAC within `buf`. No heap
+    /// allocation.
+    pub fn open_in_place(&mut self, buf: &mut [u8]) -> Result<(usize, usize), String> {
         match self {
-            CipherState::Null => Ok(wire),
+            CipherState::Null => Ok((0, buf.len())),
             CipherState::Rc4(rc4) => {
-                let mut data = wire;
-                rc4.process(&mut data);
-                Ok(data)
+                rc4.process(buf);
+                Ok((0, buf.len()))
             }
             CipherState::AesCbc(aes) => {
-                if wire.len() < 16 {
+                if buf.len() < 16 {
                     return Err("CBC record shorter than IV".into());
                 }
                 let mut iv = [0u8; 16];
-                iv.copy_from_slice(&wire[..16]);
-                cbc_decrypt(aes, &iv, &wire[16..]).map_err(|e| e.to_string())
+                iv.copy_from_slice(&buf[..16]);
+                let len = cbc_decrypt_in_place(aes, &iv, &mut buf[16..])
+                    .map_err(|e| e.to_string())?;
+                Ok((16, len))
             }
         }
+    }
+
+    /// Encrypt `plain` (already carrying its MAC) into the wire form.
+    pub fn seal<R: RngCore>(&mut self, plain: Vec<u8>, rng: &mut R) -> Vec<u8> {
+        let ivl = self.explicit_iv_len();
+        let mut out = vec![0u8; ivl];
+        out.extend_from_slice(&plain);
+        self.seal_in_place(&mut out, 0, rng);
+        out
+    }
+
+    /// Decrypt a wire payload back to plaintext-plus-MAC.
+    pub fn open(&mut self, mut wire: Vec<u8>) -> Result<Vec<u8>, String> {
+        let (off, len) = self.open_in_place(&mut wire)?;
+        wire.copy_within(off..off + len, 0);
+        wire.truncate(len);
+        Ok(wire)
     }
 }
 

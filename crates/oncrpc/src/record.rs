@@ -16,6 +16,18 @@ const WRITE_FRAGMENT: usize = MAX_RECORD;
 /// Write one complete record (as a single final fragment, or several when
 /// it exceeds the fragment size).
 pub fn write_record<W: Write + ?Sized>(w: &mut W, data: &[u8]) -> io::Result<()> {
+    let mut scratch = Vec::with_capacity(4 + data.len().min(WRITE_FRAGMENT));
+    write_record_with(w, data, &mut scratch)
+}
+
+/// Like [`write_record`] but assembles each fragment in a caller-provided
+/// scratch buffer, so a connection writing many records allocates nothing
+/// at steady state.
+pub fn write_record_with<W: Write + ?Sized>(
+    w: &mut W,
+    data: &[u8],
+    scratch: &mut Vec<u8>,
+) -> io::Result<()> {
     if data.is_empty() {
         // A record can be empty: single final fragment of length 0.
         w.write_all(&0x8000_0000u32.to_be_bytes())?;
@@ -31,10 +43,10 @@ pub fn write_record<W: Write + ?Sized>(w: &mut W, data: &[u8]) -> io::Result<()>
         if last {
             header |= 0x8000_0000;
         }
-        let mut frame = Vec::with_capacity(4 + chunk.len());
-        frame.extend_from_slice(&header.to_be_bytes());
-        frame.extend_from_slice(chunk);
-        w.write_all(&frame)?;
+        scratch.clear();
+        scratch.extend_from_slice(&header.to_be_bytes());
+        scratch.extend_from_slice(chunk);
+        w.write_all(scratch)?;
     }
     w.flush()
 }
@@ -44,10 +56,19 @@ pub fn write_record<W: Write + ?Sized>(w: &mut W, data: &[u8]) -> io::Result<()>
 /// Returns `Ok(None)` on clean EOF at a record boundary.
 pub fn read_record<R: Read + ?Sized>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
     let mut out = Vec::new();
+    Ok(read_record_into(r, &mut out)?.then_some(out))
+}
+
+/// Like [`read_record`] but reassembles into a caller-provided buffer
+/// (cleared first), returning `false` on clean EOF at a record boundary.
+/// At steady state the buffer is at its high-water capacity and no
+/// allocation occurs.
+pub fn read_record_into<R: Read + ?Sized>(r: &mut R, out: &mut Vec<u8>) -> io::Result<bool> {
+    out.clear();
     loop {
         let mut hdr = [0u8; 4];
         match read_exact_or_eof(r, &mut hdr)? {
-            false if out.is_empty() => return Ok(None),
+            false if out.is_empty() => return Ok(false),
             false => {
                 return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "EOF mid-record"))
             }
@@ -66,7 +87,7 @@ pub fn read_record<R: Read + ?Sized>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
         out.resize(start + len, 0);
         r.read_exact(&mut out[start..])?;
         if last {
-            return Ok(Some(out));
+            return Ok(true);
         }
     }
 }

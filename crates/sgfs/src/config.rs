@@ -111,6 +111,10 @@ pub struct SessionConfig {
     /// Renegotiate session keys after this many records (None = never) —
     /// the automatic periodic rekey of §4.2.
     pub rekey_every_records: Option<u64>,
+    /// Client side: upstream RPC pipelining window — how many calls may
+    /// be in flight before a reply is required. 1 degenerates to the
+    /// serial protocol.
+    pub window: u32,
 }
 
 impl SessionConfig {
@@ -127,6 +131,7 @@ impl SessionConfig {
             cache: CacheMode::None,
             readahead: 0,
             rekey_every_records: None,
+            window: crate::proxy::pipeline::DEFAULT_WINDOW,
         }
     }
 

@@ -16,11 +16,16 @@
 //!   session teardown, and blocks of files removed before flushing are
 //!   simply dropped — which is exactly how the paper's Seismic run avoids
 //!   shipping temporary files across the WAN;
-//! * optional **read-ahead** through a second pipelined upstream
-//!   connection reproduces SFS's asynchronous-RPC advantage.
+//! * the upstream channel is **pipelined**: a [`Pipeline`] owns the
+//!   connection and keeps up to a window of calls in flight, demultiplexing
+//!   replies by xid — the write-back flush submits every dirty block
+//!   before waiting, and the **read-ahead** worker shares the same
+//!   channel instead of a second connection (and second handshake),
+//!   reproducing SFS's asynchronous-RPC advantage.
 
 use crate::config::{CacheMode, HopCost, SessionConfig};
 use crate::proxy::blockstore::{BlockStore, DiskStore, MemStore};
+use crate::proxy::pipeline::Pipeline;
 use crate::stats::ProxyStats;
 use parking_lot::Mutex;
 use sgfs_gtls::GtlsStream;
@@ -45,7 +50,7 @@ pub enum Upstream {
 }
 
 impl Upstream {
-    fn stream(&mut self) -> &mut dyn sgfs_net::Stream {
+    pub(crate) fn stream(&mut self) -> &mut dyn sgfs_net::Stream {
         match self {
             Upstream::Plain(s) => s,
             Upstream::Tls(t) => t.as_mut(),
@@ -92,7 +97,8 @@ impl MetaCache {
 
 /// The client-side proxy for one SGFS session.
 pub struct ClientProxy {
-    upstream: Upstream,
+    /// The pipelined upstream channel (shared with the read-ahead worker).
+    pipeline: Pipeline,
     store: Option<Box<dyn BlockStore>>,
     meta_enabled: bool,
     meta: MetaCache,
@@ -149,15 +155,28 @@ impl ClientProxy {
             CacheMode::Disk { dir } => (Some(Box::new(DiskStore::new(dir.clone())?)), true),
         };
         let mut upstream = upstream;
-        if let (Upstream::Tls(t), Some(n)) = (&mut upstream, config.rekey_every_records) {
-            t.auto_rekey_every = Some(n);
+        let stats = ProxyStats::new();
+        if let Upstream::Tls(t) = &mut upstream {
+            // Attribute record crypto to this proxy's CPU account before
+            // the channel moves onto the pipeline's I/O thread. The
+            // stream's own auto-rekey stays off: a transparent mid-window
+            // renegotiation would interleave handshake records with
+            // in-flight DATA replies, so the pipeline tracks the
+            // rekey-every threshold itself and rekeys at quiesce points.
+            t.busy_counter = Some(stats.busy_counter());
         }
-        Ok(Self {
+        let pipeline = Pipeline::new(
             upstream,
+            config.window,
+            config.rekey_every_records,
+            stats.clone(),
+        );
+        Ok(Self {
+            pipeline,
             store,
             meta_enabled,
             meta: MetaCache::new(),
-            stats: ProxyStats::new(),
+            stats,
             next_xid: 0x7000_0000,
             client_cred: OpaqueAuth::none(),
             synth_mtime: 1,
@@ -183,14 +202,6 @@ impl ClientProxy {
         self.hop = hop;
     }
 
-    /// Attribute the upstream channel's crypto time to this proxy's CPU
-    /// accounting (Figures 5/6 instrumentation).
-    pub fn hook_crypto_accounting(&mut self) {
-        if let Upstream::Tls(t) = &mut self.upstream {
-            t.busy_counter = Some(self.stats.busy_counter());
-        }
-    }
-
     /// Instrumentation counters.
     pub fn stats(&self) -> &Arc<ProxyStats> {
         &self.stats
@@ -208,22 +219,27 @@ impl ClientProxy {
 
     /// Number of completed handshakes on the secure channel (1 + rekeys).
     pub fn handshake_count(&self) -> Option<u64> {
-        match &self.upstream {
-            Upstream::Tls(t) => Some(t.handshake_count()),
-            Upstream::Plain(_) => None,
-        }
+        self.pipeline.handshake_count()
     }
 
-    /// Attach a read-ahead worker that fetches over `second_channel`.
+    /// The pipelined upstream channel (e.g. for split-phase callers).
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
+    /// Attach a read-ahead worker that fetches through the shared
+    /// pipelined channel — its READs fill the in-flight window alongside
+    /// demand traffic, with no second connection (or second handshake).
     ///
     /// The worker runs until the proxy is dropped; fetched blocks land in
     /// a shared map the main loop consults before going upstream.
-    pub fn start_readahead(&mut self, mut second_channel: Upstream) {
+    pub fn start_readahead(&mut self) {
         if self.readahead == 0 {
             return;
         }
         let (tx, rx) = mpsc::channel::<PrefetchReq>();
         let map = self.prefetched.clone();
+        let pipeline = self.pipeline.clone();
         std::thread::spawn(move || {
             let mut xid = 0x7800_0000u32;
             for req in rx {
@@ -233,7 +249,7 @@ impl ClientProxy {
                 xid = xid.wrapping_add(1);
                 let args = ReadArgs { file: req.fh.clone(), offset: req.offset, count: req.count };
                 let res: Result<ReadRes, ()> =
-                    call_on(second_channel.stream(), xid, procnum::READ, &req.cred, &args);
+                    call_via(&pipeline, xid, procnum::READ, &req.cred, &args);
                 if let Ok(res) = res {
                     map.lock().insert((req.fh, req.offset), res.data);
                 }
@@ -252,10 +268,8 @@ impl ClientProxy {
                 Err(e) => return (self, Err(e)),
             };
             if self.rekey_requested.swap(false, std::sync::atomic::Ordering::AcqRel) {
-                if let Upstream::Tls(t) = &mut self.upstream {
-                    if let Err(e) = t.renegotiate() {
-                        return (self, Err(std::io::Error::from(e)));
-                    }
+                if let Err(e) = self.pipeline.rekey() {
+                    return (self, Err(e));
                 }
             }
             let stats = self.stats.clone();
@@ -530,6 +544,7 @@ impl ClientProxy {
         if let Some(data) = prefetched {
             if let Some(attr) = self.meta.attrs.get(&a.file).cloned() {
                 self.meta.hits += 1;
+                self.stats.add_prefetch_hit();
                 if let Some(store) = &mut self.store {
                     store.put((a.file.clone(), a.offset), &data, false);
                 }
@@ -629,6 +644,11 @@ impl ClientProxy {
     }
 
     /// Push all dirty blocks of `fh` upstream (WRITE + COMMIT).
+    ///
+    /// Split-phase: every dirty block's WRITE is submitted into the
+    /// pipelined window first, then all replies are awaited, and only
+    /// then does COMMIT go out — so COMMIT can never overtake data, and a
+    /// WAN flush overlaps up to a window of WRITE round trips.
     pub fn flush_file(&mut self, fh: &Fh3) -> std::io::Result<()> {
         let dirty = match &self.store {
             Some(s) => s.dirty_blocks_of(fh),
@@ -637,6 +657,8 @@ impl ClientProxy {
         if dirty.is_empty() {
             return Ok(());
         }
+        let mut records = Vec::with_capacity(dirty.len());
+        let mut offsets = Vec::with_capacity(dirty.len());
         for offset in dirty {
             let data = self
                 .store
@@ -649,9 +671,20 @@ impl ClientProxy {
                 stable: StableHow::Unstable,
                 data,
             };
-            let res: WriteRes = self
-                .call_upstream(procnum::WRITE, &args)
-                .map_err(|e| std::io::Error::new(std::io::ErrorKind::Other, e))?;
+            self.next_xid = self.next_xid.wrapping_add(1);
+            records.push(encode_call(self.next_xid, procnum::WRITE, &self.client_cred, &args));
+            offsets.push(offset);
+        }
+        // One atomic batch: up to a window of WRITEs goes out before the
+        // pipeline waits on any reply.
+        let pending = self.pipeline.submit_batch(records);
+        for (offset, reply) in offsets.into_iter().zip(pending) {
+            let reply = reply.wait()?;
+            let res = success_body(&reply)
+                .and_then(|b| WriteRes::from_xdr_bytes(b).ok())
+                .ok_or_else(|| {
+                    std::io::Error::new(std::io::ErrorKind::Other, "write-back reply malformed")
+                })?;
             if res.status != NfsStat3::Ok {
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::Other,
@@ -718,11 +751,7 @@ impl ClientProxy {
         // time from the busy accounting (the GTLS layer re-adds the real
         // crypto time through the shared busy counter).
         let t_io = std::time::Instant::now();
-        let stream = self.upstream.stream();
-        write_record(stream, record)?;
-        let reply = read_record(stream)?.ok_or_else(|| {
-            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "upstream closed")
-        })?;
+        let reply = self.pipeline.call(record.to_vec())?;
         self.stats.exclude(t_io.elapsed());
         self.stats.add_down(reply.len());
         if self.meta_enabled {
@@ -793,19 +822,13 @@ impl ClientProxy {
         args: &dyn XdrEncode,
     ) -> Result<T, String> {
         self.next_xid = self.next_xid.wrapping_add(1);
-        call_on(self.upstream.stream(), self.next_xid, proc, &self.client_cred, args)
+        call_via(&self.pipeline, self.next_xid, proc, &self.client_cred, args)
             .map_err(|_| format!("upstream call proc {proc} failed"))
     }
 }
 
-/// Issue one call on a raw stream and decode the successful result.
-fn call_on<T: XdrDecode>(
-    stream: &mut dyn sgfs_net::Stream,
-    xid: u32,
-    proc: u32,
-    cred: &OpaqueAuth,
-    args: &dyn XdrEncode,
-) -> Result<T, ()> {
+/// Encode one complete call record (header + arguments).
+fn encode_call(xid: u32, proc: u32, cred: &OpaqueAuth, args: &dyn XdrEncode) -> Vec<u8> {
     let header = CallHeader {
         xid,
         prog: NFS_PROGRAM,
@@ -817,8 +840,19 @@ fn call_on<T: XdrDecode>(
     let mut enc = XdrEncoder::with_capacity(128);
     header.encode(&mut enc);
     args.encode(&mut enc);
-    write_record(stream, enc.as_bytes()).map_err(|_| ())?;
-    let reply = read_record(stream).map_err(|_| ())?.ok_or(())?;
+    enc.into_bytes()
+}
+
+/// Issue one call through the pipeline and decode the successful result.
+fn call_via<T: XdrDecode>(
+    pipeline: &Pipeline,
+    xid: u32,
+    proc: u32,
+    cred: &OpaqueAuth,
+    args: &dyn XdrEncode,
+) -> Result<T, ()> {
+    let record = encode_call(xid, proc, cred, args);
+    let reply = pipeline.call(record).map_err(|_| ())?;
     let body = success_body(&reply).ok_or(())?;
     T::from_xdr_bytes(body).map_err(|_| ())
 }

@@ -2,9 +2,11 @@
 
 pub mod blockstore;
 pub mod client;
+pub mod pipeline;
 pub mod server;
 
 pub use client::ClientProxy;
+pub use pipeline::Pipeline;
 pub use server::ServerProxy;
 
 /// Proxy-layer errors.

@@ -1,0 +1,527 @@
+//! Xid-demultiplexed RPC pipelining over the upstream channel.
+//!
+//! The client proxy used to issue upstream calls strictly serially: write
+//! one record, block for its reply, repeat. Over a WAN that bounds
+//! throughput at one call per round trip. A [`Pipeline`] instead owns the
+//! upstream channel on a dedicated I/O thread and admits up to `window`
+//! calls before requiring a reply, matching replies back to callers by
+//! RPC xid — the transaction id that is the first word of every ONC RPC
+//! call *and* reply record (RFC 5531 §9).
+//!
+//! Because several independent callers (the proxy's request loop, the
+//! split-phase write-back, the read-ahead worker) share one channel, their
+//! original xids could collide. The pipeline therefore rewrites the xid of
+//! each admitted call to a private monotonically increasing wire xid,
+//! remembers the mapping, and rewrites the reply's xid back before
+//! completing the caller — callers observe byte-identical replies to the
+//! serial protocol.
+//!
+//! Renegotiation (rekey) must not interleave with data records: the GTLS
+//! rekey runs over the protected channel and expects only handshake
+//! records, so in-flight DATA replies would break it. The pipeline
+//! *quiesces* first — stops admitting, drains every outstanding reply —
+//! and only then renegotiates. The periodic `rekey_every` threshold is
+//! tracked here (not by `GtlsStream::auto_rekey_every`, which would fire
+//! mid-window) for the same reason.
+//!
+//! Single-thread alternation: the emulated transport's `Stream` objects
+//! are not splittable into read/write halves, so one thread alternates
+//! between admitting writes and blocking on the next reply. The server
+//! proxy answers every request it receives, so a blocked read always
+//! terminates and queued commands wait at most one reply time for
+//! admission.
+
+use crate::proxy::client::Upstream;
+use crate::stats::ProxyStats;
+use sgfs_oncrpc::record::{read_record_into, write_record_with};
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+
+/// Default in-flight window (calls admitted before a reply is required).
+pub const DEFAULT_WINDOW: u32 = 8;
+
+/// Commands from pipeline handles to the I/O thread.
+enum Cmd {
+    /// Forward one raw call record; the reply (original xid restored)
+    /// goes back through `reply_tx`.
+    Call {
+        record: Vec<u8>,
+        reply_tx: mpsc::Sender<io::Result<Vec<u8>>>,
+    },
+    /// Several calls submitted atomically: they reach the I/O thread as a
+    /// unit, so up to a window of them is guaranteed to be admitted
+    /// before the thread blocks on a reply. Individual `submit` calls
+    /// race against admission — a batch of N ≤ window never leaves a
+    /// member stranded behind a blocking read.
+    Batch(Vec<(Vec<u8>, mpsc::Sender<io::Result<Vec<u8>>>)>),
+    /// Quiesce the window and renegotiate the session keys.
+    Rekey { done_tx: mpsc::Sender<io::Result<()>> },
+}
+
+/// State shared between handles and the I/O thread.
+struct Shared {
+    /// Mirror of the upstream's completed-handshake count.
+    handshakes: AtomicU64,
+    /// Whether the upstream is GTLS-protected (rekey is meaningful).
+    is_tls: bool,
+}
+
+/// A cloneable handle to the pipelined upstream channel.
+///
+/// Dropping every handle shuts the I/O thread down and closes the
+/// upstream connection.
+#[derive(Clone)]
+pub struct Pipeline {
+    cmd_tx: mpsc::Sender<Cmd>,
+    shared: Arc<Shared>,
+}
+
+/// A submitted call whose reply has not been collected yet.
+pub struct PendingReply {
+    rx: mpsc::Receiver<io::Result<Vec<u8>>>,
+}
+
+impl PendingReply {
+    /// Block until the reply arrives (original xid restored).
+    pub fn wait(self) -> io::Result<Vec<u8>> {
+        match self.rx.recv() {
+            Ok(r) => r,
+            Err(_) => Err(broken("upstream pipeline terminated")),
+        }
+    }
+}
+
+impl Pipeline {
+    /// Take ownership of `upstream` and start the I/O thread.
+    ///
+    /// `window` is clamped to at least 1 (a window of 1 degenerates to
+    /// the serial protocol); `rekey_every` renegotiates after that many
+    /// calls, at a quiesce point.
+    pub fn new(
+        upstream: Upstream,
+        window: u32,
+        rekey_every: Option<u64>,
+        stats: Arc<ProxyStats>,
+    ) -> Self {
+        let (cmd_tx, cmd_rx) = mpsc::channel();
+        let (is_tls, handshakes) = match &upstream {
+            Upstream::Tls(t) => (true, t.handshake_count()),
+            Upstream::Plain(_) => (false, 0),
+        };
+        let shared = Arc::new(Shared { handshakes: AtomicU64::new(handshakes), is_tls });
+        let thread_shared = shared.clone();
+        std::thread::spawn(move || {
+            io_loop(upstream, cmd_rx, window.max(1), rekey_every, stats, thread_shared)
+        });
+        Self { cmd_tx, shared }
+    }
+
+    /// Submit a raw call record without waiting for its reply — the
+    /// split-phase half of pipelined write-back.
+    pub fn submit(&self, record: Vec<u8>) -> PendingReply {
+        let (reply_tx, rx) = mpsc::channel();
+        // A send failure means the I/O thread is gone; wait() observes
+        // the dropped sender and reports it.
+        let _ = self.cmd_tx.send(Cmd::Call { record, reply_tx });
+        PendingReply { rx }
+    }
+
+    /// Submit a group of call records atomically. Up to a window of them
+    /// is admitted before the I/O thread waits on any reply, so a
+    /// split-phase flush overlaps its round trips deterministically.
+    pub fn submit_batch(&self, records: Vec<Vec<u8>>) -> Vec<PendingReply> {
+        let mut waiters = Vec::with_capacity(records.len());
+        let mut batch = Vec::with_capacity(records.len());
+        for record in records {
+            let (reply_tx, rx) = mpsc::channel();
+            batch.push((record, reply_tx));
+            waiters.push(PendingReply { rx });
+        }
+        let _ = self.cmd_tx.send(Cmd::Batch(batch));
+        waiters
+    }
+
+    /// Forward one call record and block for its reply.
+    pub fn call(&self, record: Vec<u8>) -> io::Result<Vec<u8>> {
+        self.submit(record).wait()
+    }
+
+    /// Quiesce the window and renegotiate the session keys, blocking
+    /// until the new keys are in effect. No-op on a plaintext upstream.
+    pub fn rekey(&self) -> io::Result<()> {
+        let (done_tx, rx) = mpsc::channel();
+        self.cmd_tx
+            .send(Cmd::Rekey { done_tx })
+            .map_err(|_| broken("upstream pipeline terminated"))?;
+        rx.recv().map_err(|_| broken("upstream pipeline terminated"))?
+    }
+
+    /// Completed handshakes on the secure channel (`None` when plain).
+    pub fn handshake_count(&self) -> Option<u64> {
+        self.shared
+            .is_tls
+            .then(|| self.shared.handshakes.load(Ordering::Acquire))
+    }
+}
+
+/// One admitted call awaiting its reply.
+struct InFlight {
+    orig_xid: [u8; 4],
+    reply_tx: mpsc::Sender<io::Result<Vec<u8>>>,
+}
+
+fn io_loop(
+    mut upstream: Upstream,
+    cmd_rx: mpsc::Receiver<Cmd>,
+    window: u32,
+    rekey_every: Option<u64>,
+    stats: Arc<ProxyStats>,
+    shared: Arc<Shared>,
+) {
+    // Commands accepted but not yet admitted (window full or rekeying).
+    let mut queue: VecDeque<Cmd> = VecDeque::new();
+    let mut in_flight: HashMap<u32, InFlight> = HashMap::new();
+    let mut rekey_waiters: Vec<mpsc::Sender<io::Result<()>>> = Vec::new();
+    let mut rekey_due = false;
+    // Wire xids live only between the two proxies; any monotonic counter
+    // works as long as at most `window` are outstanding at once.
+    let mut wire_xid: u32 = 0x9000_0000;
+    let mut calls_since_rekey: u64 = 0;
+    // Reused record buffers; capacity growth is the per-record allocation
+    // figure the stats expose.
+    let mut reply_buf: Vec<u8> = Vec::new();
+    let mut write_scratch: Vec<u8> = Vec::new();
+
+    loop {
+        // Admission: fill the window from queued commands, unless a rekey
+        // is pending (which quiesces the channel first).
+        while !rekey_due && (in_flight.len() as u32) < window {
+            let cmd = match queue.pop_front() {
+                Some(c) => c,
+                None => match cmd_rx.try_recv() {
+                    Ok(c) => c,
+                    Err(_) => break,
+                },
+            };
+            match cmd {
+                Cmd::Call { mut record, reply_tx } => {
+                    if record.len() < 4 {
+                        let _ = reply_tx.send(Err(io::Error::new(
+                            io::ErrorKind::InvalidInput,
+                            "RPC record shorter than an xid",
+                        )));
+                        continue;
+                    }
+                    wire_xid = wire_xid.wrapping_add(1);
+                    let orig_xid = [record[0], record[1], record[2], record[3]];
+                    record[0..4].copy_from_slice(&wire_xid.to_be_bytes());
+                    let cap = write_scratch.capacity();
+                    if let Err(e) =
+                        write_record_with(upstream.stream(), &record, &mut write_scratch)
+                    {
+                        let _ = reply_tx.send(Err(e));
+                        fail_channel(&mut in_flight, &mut queue, &mut rekey_waiters, &stats);
+                        return;
+                    }
+                    stats.add_record_alloc((write_scratch.capacity() - cap) as u64);
+                    in_flight.insert(wire_xid, InFlight { orig_xid, reply_tx });
+                    stats.pipeline_admitted(in_flight.len() as u64);
+                    calls_since_rekey += 1;
+                    if rekey_every.is_some_and(|n| calls_since_rekey >= n) {
+                        rekey_due = true;
+                    }
+                }
+                Cmd::Batch(calls) => {
+                    // Expand at the head of the queue, preserving batch
+                    // order; the admission loop re-pops them immediately
+                    // and parks any overflow beyond the window.
+                    for (record, reply_tx) in calls.into_iter().rev() {
+                        queue.push_front(Cmd::Call { record, reply_tx });
+                    }
+                }
+                Cmd::Rekey { done_tx } => {
+                    rekey_due = true;
+                    rekey_waiters.push(done_tx);
+                }
+            }
+        }
+
+        if in_flight.is_empty() {
+            if rekey_due {
+                // Quiesced: safe to renegotiate over the shared channel.
+                let res = renegotiate(&mut upstream, &shared);
+                calls_since_rekey = 0;
+                rekey_due = false;
+                let failed = res.is_err();
+                for w in rekey_waiters.drain(..) {
+                    let _ = w.send(res.as_ref().map(|_| ()).map_err(clone_err));
+                }
+                if failed {
+                    fail_channel(&mut in_flight, &mut queue, &mut rekey_waiters, &stats);
+                    return;
+                }
+                continue;
+            }
+            // Idle: block for the next command (or shut down once every
+            // handle is dropped).
+            match cmd_rx.recv() {
+                Ok(cmd) => {
+                    queue.push_back(cmd);
+                    continue;
+                }
+                Err(_) => return,
+            }
+        }
+
+        // Collect exactly one reply and complete its waiter.
+        let cap = reply_buf.capacity();
+        match read_record_into(upstream.stream(), &mut reply_buf) {
+            Ok(true) => {
+                stats.add_record_alloc((reply_buf.capacity() - cap) as u64);
+                if reply_buf.len() < 4 {
+                    fail_channel(&mut in_flight, &mut queue, &mut rekey_waiters, &stats);
+                    return;
+                }
+                let xid =
+                    u32::from_be_bytes([reply_buf[0], reply_buf[1], reply_buf[2], reply_buf[3]]);
+                match in_flight.remove(&xid) {
+                    Some(call) => {
+                        let mut reply = reply_buf.clone();
+                        reply[0..4].copy_from_slice(&call.orig_xid);
+                        stats.pipeline_completed(in_flight.len() as u64);
+                        // The caller may have given up on the reply;
+                        // channel teardown handles the rest.
+                        let _ = call.reply_tx.send(Ok(reply));
+                    }
+                    None => {
+                        // A reply to nothing we sent: protocol violation,
+                        // the channel can no longer be trusted.
+                        fail_channel(&mut in_flight, &mut queue, &mut rekey_waiters, &stats);
+                        return;
+                    }
+                }
+            }
+            Ok(false) | Err(_) => {
+                // EOF or transport error with calls outstanding.
+                fail_channel(&mut in_flight, &mut queue, &mut rekey_waiters, &stats);
+                return;
+            }
+        }
+    }
+}
+
+/// Complete every outstanding waiter with an error; the upstream is dead.
+fn fail_channel(
+    in_flight: &mut HashMap<u32, InFlight>,
+    queue: &mut VecDeque<Cmd>,
+    rekey_waiters: &mut Vec<mpsc::Sender<io::Result<()>>>,
+    stats: &ProxyStats,
+) {
+    for (_, call) in in_flight.drain() {
+        let _ = call.reply_tx.send(Err(broken("upstream channel failed")));
+    }
+    stats.pipeline_completed(0);
+    for cmd in queue.drain(..) {
+        match cmd {
+            Cmd::Call { reply_tx, .. } => {
+                let _ = reply_tx.send(Err(broken("upstream channel failed")));
+            }
+            Cmd::Batch(calls) => {
+                for (_, reply_tx) in calls {
+                    let _ = reply_tx.send(Err(broken("upstream channel failed")));
+                }
+            }
+            Cmd::Rekey { done_tx } => {
+                let _ = done_tx.send(Err(broken("upstream channel failed")));
+            }
+        }
+    }
+    for w in rekey_waiters.drain(..) {
+        let _ = w.send(Err(broken("upstream channel failed")));
+    }
+}
+
+fn renegotiate(upstream: &mut Upstream, shared: &Shared) -> io::Result<()> {
+    match upstream {
+        Upstream::Tls(t) => {
+            t.renegotiate().map_err(io::Error::from)?;
+            shared.handshakes.store(t.handshake_count(), Ordering::Release);
+            Ok(())
+        }
+        // Nothing to rekey on a plaintext channel (gfs / tunneled).
+        Upstream::Plain(_) => Ok(()),
+    }
+}
+
+fn broken(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::BrokenPipe, msg.to_string())
+}
+
+fn clone_err(e: &io::Error) -> io::Error {
+    io::Error::new(e.kind(), e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgfs_net::pipe_pair;
+    use sgfs_oncrpc::record::{read_record, write_record};
+
+    /// An echo server that reads `n` records and replies with each
+    /// record's xid followed by a payload derived from the request —
+    /// optionally delaying replies to force deep windows.
+    fn echo_server(
+        mut end: sgfs_net::PipeEnd,
+        batch: usize,
+    ) -> std::thread::JoinHandle<()> {
+        std::thread::spawn(move || loop {
+            let mut held = Vec::new();
+            for _ in 0..batch {
+                match read_record(&mut end) {
+                    Ok(Some(r)) => held.push(r),
+                    _ => return,
+                }
+            }
+            // Reply in reverse order: exercises the demux.
+            for r in held.into_iter().rev() {
+                let mut reply = r[0..4].to_vec();
+                reply.extend_from_slice(b"echo:");
+                reply.extend_from_slice(&r[4..]);
+                if write_record(&mut end, &reply).is_err() {
+                    return;
+                }
+            }
+        })
+    }
+
+    fn call_record(xid: u32, body: &[u8]) -> Vec<u8> {
+        let mut r = xid.to_be_bytes().to_vec();
+        r.extend_from_slice(body);
+        r
+    }
+
+    #[test]
+    fn replies_match_calls_across_reordering() {
+        let (client_end, server_end) = pipe_pair();
+        let _server = echo_server(server_end, 4);
+        let stats = ProxyStats::new();
+        let p = Pipeline::new(Upstream::Plain(Box::new(client_end)), 4, None, stats.clone());
+
+        let pending: Vec<(u32, PendingReply)> = (0..4u32)
+            .map(|i| {
+                let record = call_record(0x1000 + i, format!("payload-{i}").as_bytes());
+                (0x1000 + i, p.submit(record))
+            })
+            .collect();
+        for (xid, reply) in pending {
+            let reply = reply.wait().unwrap();
+            assert_eq!(&reply[0..4], &xid.to_be_bytes(), "xid restored");
+            let i = xid - 0x1000;
+            assert_eq!(&reply[4..], format!("echo:payload-{i}").as_bytes());
+        }
+        assert_eq!(stats.pipeline_peak(), 4);
+        assert_eq!(stats.pipeline_depth(), 0);
+    }
+
+    #[test]
+    fn window_of_one_is_serial() {
+        let (client_end, server_end) = pipe_pair();
+        let _server = echo_server(server_end, 1);
+        let p = Pipeline::new(Upstream::Plain(Box::new(client_end)), 1, None, ProxyStats::new());
+        for i in 0..20u32 {
+            let reply = p.call(call_record(i, b"x")).unwrap();
+            assert_eq!(&reply[0..4], &i.to_be_bytes());
+        }
+    }
+
+    #[test]
+    fn colliding_caller_xids_are_disambiguated() {
+        let (client_end, server_end) = pipe_pair();
+        let _server = echo_server(server_end, 2);
+        let p = Pipeline::new(Upstream::Plain(Box::new(client_end)), 2, None, ProxyStats::new());
+        // Two concurrent calls with the SAME caller xid: the wire rewrite
+        // must keep them apart.
+        let a = p.submit(call_record(7, b"first"));
+        let b = p.submit(call_record(7, b"second"));
+        let ra = a.wait().unwrap();
+        let rb = b.wait().unwrap();
+        assert_eq!(&ra[4..], b"echo:first");
+        assert_eq!(&rb[4..], b"echo:second");
+    }
+
+    #[test]
+    fn batch_admits_a_full_window_before_reading() {
+        let (client_end, server_end) = pipe_pair();
+        // The server releases nothing until 4 records have arrived: only
+        // an atomic batch admission can satisfy it.
+        let _server = echo_server(server_end, 4);
+        let stats = ProxyStats::new();
+        let p = Pipeline::new(Upstream::Plain(Box::new(client_end)), 4, None, stats.clone());
+        let records = (0..4u32).map(|i| call_record(i, b"batched")).collect();
+        let pending = p.submit_batch(records);
+        for (i, reply) in pending.into_iter().enumerate() {
+            let reply = reply.wait().unwrap();
+            assert_eq!(&reply[0..4], &(i as u32).to_be_bytes());
+        }
+        assert_eq!(stats.pipeline_peak(), 4);
+    }
+
+    #[test]
+    fn batch_overflow_parks_behind_the_window() {
+        let (client_end, server_end) = pipe_pair();
+        let _server = echo_server(server_end, 1);
+        let p = Pipeline::new(Upstream::Plain(Box::new(client_end)), 2, None, ProxyStats::new());
+        // 10 calls through a window of 2: overflow tops up as replies
+        // complete, in submission order.
+        let records = (0..10u32).map(|i| call_record(i, b"over")).collect();
+        let pending = p.submit_batch(records);
+        for (i, reply) in pending.into_iter().enumerate() {
+            let reply = reply.wait().unwrap();
+            assert_eq!(&reply[0..4], &(i as u32).to_be_bytes());
+        }
+    }
+
+    #[test]
+    fn upstream_eof_fails_outstanding_calls() {
+        let (client_end, server_end) = pipe_pair();
+        let p = Pipeline::new(Upstream::Plain(Box::new(client_end)), 4, None, ProxyStats::new());
+        let pending = p.submit(call_record(1, b"doomed"));
+        drop(server_end);
+        assert!(pending.wait().is_err());
+        // Subsequent calls fail fast rather than hanging.
+        assert!(p.call(call_record(2, b"late")).is_err());
+    }
+
+    #[test]
+    fn plain_rekey_is_noop() {
+        let (client_end, server_end) = pipe_pair();
+        let _server = echo_server(server_end, 1);
+        let p = Pipeline::new(Upstream::Plain(Box::new(client_end)), 4, None, ProxyStats::new());
+        assert!(p.rekey().is_ok());
+        assert_eq!(p.handshake_count(), None);
+        assert_eq!(&p.call(call_record(9, b"after")).unwrap()[0..4], &9u32.to_be_bytes());
+    }
+
+    #[test]
+    fn record_alloc_settles_at_steady_state() {
+        let (client_end, server_end) = pipe_pair();
+        let _server = echo_server(server_end, 1);
+        let stats = ProxyStats::new();
+        let p = Pipeline::new(Upstream::Plain(Box::new(client_end)), 4, None, stats.clone());
+        let payload = vec![0xabu8; 4096];
+        for i in 0..32u32 {
+            p.call(call_record(i, &payload)).unwrap();
+        }
+        let settled = stats.record_alloc_bytes();
+        for i in 32..96u32 {
+            p.call(call_record(i, &payload)).unwrap();
+        }
+        assert_eq!(
+            stats.record_alloc_bytes(),
+            settled,
+            "record scratch buffers must stop growing at steady state"
+        );
+    }
+}

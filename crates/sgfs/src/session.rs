@@ -513,34 +513,12 @@ impl Session {
         };
         server_proxy.clone().spawn(server_downstream);
 
-        // Client proxy (+ optional read-ahead second channel).
+        // Client proxy. Its upstream is pipelined (xid-demultiplexed), so
+        // the read-ahead worker rides the same channel — no second
+        // connection, no second handshake.
         let mut client_proxy = ClientProxy::new(client_upstream, &client_cfg)?;
         client_proxy.set_hop_cost(clock.clone(), params.hop_cost);
-        client_proxy.hook_crypto_accounting();
-        if client_cfg.readahead > 0 {
-            // Second secure channel + second server-proxy serve loop.
-            let (wc2, ws2) = pipe_pair_over_link(link.clone());
-            let sp2 = server_proxy.clone();
-            match client_cfg.gtls() {
-                Some(ccfg2) => {
-                    let scfg2 = SessionConfig::new(SecurityLevel::MediumCipher);
-                    let mut scfg2 = scfg2;
-                    scfg2.credential = Some(world.server.clone());
-                    scfg2.trust = world.trust.clone();
-                    let sc = scfg2.gtls().expect("suite set");
-                    let handshake =
-                        std::thread::spawn(move || GtlsStream::server(Box::new(ws2), sc));
-                    let ctls = GtlsStream::client(Box::new(wc2), ccfg2)?;
-                    let stls = handshake.join().expect("handshake thread")?;
-                    sp2.spawn(Box::new(stls));
-                    client_proxy.start_readahead(Upstream::Tls(Box::new(ctls)));
-                }
-                None => {
-                    sp2.spawn(Box::new(ws2));
-                    client_proxy.start_readahead(Upstream::Plain(Box::new(wc2)));
-                }
-            }
-        }
+        client_proxy.start_readahead();
 
         session.controller = Some(client_proxy.controller());
         session.client_stats = Some(client_proxy.stats().clone());

@@ -22,6 +22,16 @@ pub struct ProxyStats {
     bytes_up: AtomicU64,
     /// Bytes forwarded downstream.
     bytes_down: AtomicU64,
+    /// Upstream calls currently in the pipelined window.
+    pipeline_depth: AtomicU64,
+    /// High-water mark of the pipelined window.
+    pipeline_peak: AtomicU64,
+    /// READs served from the pipelined read-ahead landing zone.
+    prefetch_hits: AtomicU64,
+    /// Heap capacity growth (bytes) of the upstream record scratch
+    /// buffers — zero at steady state once they reach their high-water
+    /// size.
+    record_alloc_bytes: AtomicU64,
     /// (sample_time, cumulative_busy) pairs for utilization series.
     samples: Mutex<Vec<(Duration, Duration)>>,
 }
@@ -67,6 +77,52 @@ impl ProxyStats {
     /// Add bytes forwarded toward the client.
     pub fn add_down(&self, n: usize) {
         self.bytes_down.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// One call entered the pipelined upstream window (the new depth is
+    /// passed so the peak gauge needs no read-modify cycle on the depth).
+    pub fn pipeline_admitted(&self, depth: u64) {
+        self.pipeline_depth.store(depth, Ordering::Relaxed);
+        self.pipeline_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// One call left the pipelined upstream window.
+    pub fn pipeline_completed(&self, depth: u64) {
+        self.pipeline_depth.store(depth, Ordering::Relaxed);
+    }
+
+    /// Calls currently in flight upstream.
+    pub fn pipeline_depth(&self) -> u64 {
+        self.pipeline_depth.load(Ordering::Relaxed)
+    }
+
+    /// Deepest the in-flight window has been.
+    pub fn pipeline_peak(&self) -> u64 {
+        self.pipeline_peak.load(Ordering::Relaxed)
+    }
+
+    /// A READ was served from the pipelined read-ahead landing zone.
+    pub fn add_prefetch_hit(&self) {
+        self.prefetch_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// READs served from prefetched blocks.
+    pub fn prefetch_hits(&self) -> u64 {
+        self.prefetch_hits.load(Ordering::Relaxed)
+    }
+
+    /// Record scratch buffers grew by `n` bytes of heap capacity.
+    pub fn add_record_alloc(&self, n: u64) {
+        if n > 0 {
+            self.record_alloc_bytes.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Total heap capacity growth of the upstream record buffers; divide
+    /// by [`messages`](Self::messages) for the per-record figure, which
+    /// converges to zero at steady state.
+    pub fn record_alloc_bytes(&self) -> u64 {
+        self.record_alloc_bytes.load(Ordering::Relaxed)
     }
 
     /// Cumulative busy time.
@@ -133,6 +189,21 @@ mod tests {
         assert_eq!(series.len(), 2);
         assert!(series[0].1 >= 4.0, "≈5% busy in first interval, got {}", series[0].1);
         assert!(series[1].1 < 1.0, "idle second interval");
+    }
+
+    #[test]
+    fn pipeline_gauges() {
+        let s = ProxyStats::new();
+        s.pipeline_admitted(1);
+        s.pipeline_admitted(2);
+        s.pipeline_completed(1);
+        assert_eq!(s.pipeline_depth(), 1);
+        assert_eq!(s.pipeline_peak(), 2);
+        s.add_prefetch_hit();
+        assert_eq!(s.prefetch_hits(), 1);
+        s.add_record_alloc(128);
+        s.add_record_alloc(0);
+        assert_eq!(s.record_alloc_bytes(), 128);
     }
 
     #[test]

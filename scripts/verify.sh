@@ -1,0 +1,8 @@
+#!/bin/sh
+# Tier-1 verification: build, full test suite, and benchmark binaries
+# compile. Run from the repository root.
+set -eux
+
+cargo build --release
+cargo test -q
+cargo bench --no-run

@@ -1,0 +1,282 @@
+//! Minimal stand-in for `criterion`.
+//!
+//! Implements the API subset used by this workspace's benches:
+//! `criterion_group!`/`criterion_main!`, benchmark groups with
+//! `throughput`/`sample_size`/`bench_function`/`bench_with_input`, and
+//! `Bencher::iter`/`iter_batched`. Measurement is simple wall-clock
+//! timing — warm up briefly, then run timed batches and report the mean
+//! ns/iteration plus derived throughput. No statistics machinery, HTML
+//! reports, or baseline comparisons; results print to stdout.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a group: bytes or elements per iteration.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortizes setup cost. The stand-in runs every
+/// batch size the same way; the variants exist for API compatibility.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` display form.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self { label: format!("{function_name}/{parameter}") }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { label: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// Minimum measured wall-clock per benchmark.
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { measurement_time: Duration::from_millis(300) }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n-- group: {name} --");
+        BenchmarkGroup { criterion: self, name, throughput: None }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_bench(id, None, self.measurement_time, &mut f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Annotate per-iteration throughput for MB/s reporting.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in sizes by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measurement_time = t;
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_bench(&label, self.throughput, self.criterion.measurement_time, &mut f);
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        let mut g = |b: &mut Bencher| f(b, input);
+        run_bench(&label, self.throughput, self.criterion.measurement_time, &mut g);
+        self
+    }
+
+    /// Finish the group (no-op; exists for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to benchmark closures; runs the measured routine.
+pub struct Bencher {
+    /// Total measured time across all iterations.
+    elapsed: Duration,
+    /// Number of measured iterations.
+    iters: u64,
+    /// Iterations the driver asks for in this measurement pass.
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Measure a routine until the time budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: find an iteration count lasting ≥ ~1ms per batch.
+        let mut batch: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(1) || batch >= 1 << 20 {
+                self.elapsed += dt;
+                self.iters += batch;
+                break;
+            }
+            batch *= 4;
+        }
+        while self.elapsed < self.budget {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.elapsed += t0.elapsed();
+            self.iters += batch;
+        }
+    }
+
+    /// Measure a routine whose input is rebuilt outside the timing loop.
+    pub fn iter_batched<S, O, FS: FnMut() -> S, FR: FnMut(S) -> O>(
+        &mut self,
+        mut setup: FS,
+        mut routine: FR,
+        _size: BatchSize,
+    ) {
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+            if self.elapsed >= self.budget && self.iters >= 10 {
+                break;
+            }
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    label: &str,
+    throughput: Option<Throughput>,
+    budget: Duration,
+    f: &mut F,
+) {
+    let mut b = Bencher { elapsed: Duration::ZERO, iters: 0, budget };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{label:<48} (no iterations)");
+        return;
+    }
+    let ns_per_iter = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let mbps = n as f64 / ns_per_iter * 1e9 / (1024.0 * 1024.0);
+            format!("  {mbps:>10.1} MiB/s")
+        }
+        Some(Throughput::Elements(n)) => {
+            let eps = n as f64 / ns_per_iter * 1e9;
+            format!("  {eps:>10.0} elem/s")
+        }
+        None => String::new(),
+    };
+    println!("{label:<48} {ns_per_iter:>12.1} ns/iter{rate}");
+}
+
+/// Declare a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_criterion() -> Criterion {
+        Criterion { measurement_time: Duration::from_millis(5) }
+    }
+
+    #[test]
+    fn bench_function_runs() {
+        let mut c = fast_criterion();
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = fast_criterion();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(1024));
+        g.sample_size(10);
+        g.bench_function("work", |b| b.iter(|| black_box(2u64.pow(10))));
+        g.bench_with_input(BenchmarkId::new("param", 3), &3u32, |b, &n| {
+            b.iter_batched(|| vec![0u8; n as usize], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,563 @@
+//! Minimal stand-in for `proptest`.
+//!
+//! Offline build environments cannot fetch the real crate, so this
+//! vendored subset keeps the same *source-level* API the workspace's
+//! property tests use — `proptest! { fn f(x: u32, v in strategy) }`,
+//! `any::<T>()`, ranges, tuples, `Just`, `prop_oneof!`,
+//! `collection::vec`, `option::of`, string regex-lite patterns, and
+//! `.prop_map` — while the engine underneath is plain deterministic
+//! random sampling (no shrinking). Each test function derives its RNG
+//! seed from its own name, so failures reproduce run-over-run.
+
+/// Deterministic test RNG (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from a test name so every test gets a stable, distinct stream.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        Self { state: h }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw below `bound` (> 0).
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "below(0)");
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// Test-runner configuration (subset of `ProptestConfig`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per test function.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The produced type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform produced values (`proptest`'s `prop_map`).
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { strat: self, f }
+    }
+
+    /// Box the strategy for heterogeneous collections.
+    fn boxed(self) -> Box<dyn Strategy<Value = Self::Value>>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// Boxed strategy alias mirroring proptest's.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// `prop_map` combinator.
+pub struct Map<S, F> {
+    strat: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.strat.sample(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed alternative strategies (`prop_oneof!`).
+pub struct OneOf<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.0.len());
+        self.0[idx].sample(rng)
+    }
+}
+
+/// Helper used by `prop_oneof!` to erase arm types.
+pub fn boxed_strategy<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+    Box::new(s)
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as u128).wrapping_add(off) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u128) - (lo as u128) + 1;
+                let off = (rng.next_u64() as u128) % span;
+                ((lo as u128) + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The `any::<T>()` strategy.
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Unconstrained values of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident . $idx:tt),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_tuple! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+    (A.0, B.1, C.2, D.3, E.4, F.5);
+}
+
+// ---- regex-lite string strategies ---------------------------------------
+
+/// String patterns: a tiny subset of proptest's regex strategies —
+/// sequences of `[class]`, `\PC` (any printable), or literal characters,
+/// each optionally followed by `{n}` / `{m,n}`.
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        sample_pattern(self, rng)
+    }
+}
+
+fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let (atom, next) = parse_atom(&chars, i);
+        i = next;
+        let (lo, hi, next) = parse_quantifier(&chars, i);
+        i = next;
+        let count = if lo == hi { lo } else { lo + rng.below(hi - lo + 1) };
+        for _ in 0..count {
+            out.push(atom.sample_char(rng));
+        }
+    }
+    out
+}
+
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+    Printable,
+}
+
+impl Atom {
+    fn sample_char(&self, rng: &mut TestRng) -> char {
+        match self {
+            Atom::Literal(c) => *c,
+            Atom::Printable => {
+                // Mostly ASCII printable, occasionally multibyte to keep
+                // UTF-8 handling honest.
+                if rng.below(16) == 0 {
+                    ['☃', 'é', '✓', '樹'][rng.below(4)]
+                } else {
+                    (0x20u8 + rng.below(0x5f) as u8) as char
+                }
+            }
+            Atom::Class(ranges) => {
+                let (lo, hi) = ranges[rng.below(ranges.len())];
+                let span = hi as u32 - lo as u32 + 1;
+                char::from_u32(lo as u32 + (rng.below(span as usize) as u32)).unwrap_or(lo)
+            }
+        }
+    }
+}
+
+fn parse_atom(chars: &[char], mut i: usize) -> (Atom, usize) {
+    match chars[i] {
+        '\\' if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') => {
+            (Atom::Printable, i + 3)
+        }
+        '\\' if i + 1 < chars.len() => (Atom::Literal(chars[i + 1]), i + 2),
+        '[' => {
+            i += 1;
+            let mut ranges = Vec::new();
+            while i < chars.len() && chars[i] != ']' {
+                let lo = chars[i];
+                if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).map_or(false, |&c| c != ']') {
+                    ranges.push((lo, chars[i + 2]));
+                    i += 3;
+                } else {
+                    ranges.push((lo, lo));
+                    i += 1;
+                }
+            }
+            (Atom::Class(ranges), i + 1)
+        }
+        c => (Atom::Literal(c), i + 1),
+    }
+}
+
+fn parse_quantifier(chars: &[char], i: usize) -> (usize, usize, usize) {
+    if chars.get(i) != Some(&'{') {
+        return (1, 1, i);
+    }
+    let close = chars[i..].iter().position(|&c| c == '}').map(|p| i + p).unwrap_or(i);
+    let body: String = chars[i + 1..close].iter().collect();
+    let (lo, hi) = match body.split_once(',') {
+        Some((a, b)) => (a.trim().parse().unwrap_or(0), b.trim().parse().unwrap_or(0)),
+        None => {
+            let n = body.trim().parse().unwrap_or(1);
+            (n, n)
+        }
+    };
+    (lo, hi.max(lo), close + 1)
+}
+
+// ---- collections ---------------------------------------------------------
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Inclusive size bounds for collection strategies.
+    pub trait IntoSizeRange {
+        /// `(min, max)`, both inclusive.
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Vec of values drawn from `elem`, length within `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { elem, min, max }
+    }
+
+    /// Strategy for vectors.
+    pub struct VecStrategy<S> {
+        elem: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.min + rng.below(self.max - self.min + 1);
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`proptest::option`).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// `Some` three times out of four, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// Strategy for options.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
+// ---- macros --------------------------------------------------------------
+
+/// Assert inside a property; maps to `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a property; maps to `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality inside a property; maps to `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skip this case when the assumption fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+    ($cond:expr,) => {
+        $crate::prop_assume!($cond)
+    };
+}
+
+/// Uniform choice among strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf(vec![$($crate::boxed_strategy($strat)),+])
+    };
+}
+
+/// Define property-test functions. Parameters may be `name: Type`
+/// (drawn via `any::<Type>()`) or `pat in strategy`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($params:tt)* ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::from_name(stringify!($name));
+            for __case in 0..__cfg.cases {
+                let _ = __case;
+                $crate::__proptest_bind!{ __rng, $body, $($params)* }
+            }
+        }
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident, $body:block, ) => {
+        { let _ = &mut $rng; $body }
+    };
+    ($rng:ident, $body:block,) => {
+        $crate::__proptest_bind!{ $rng, $body, }
+    };
+    ($rng:ident, $body:block, $pat:pat in $strat:expr $(, $($rest:tt)*)? ) => {
+        {
+            let $pat = $crate::Strategy::sample(&($strat), &mut $rng);
+            $crate::__proptest_bind!{ $rng, $body, $($($rest)*)? }
+        }
+    };
+    ($rng:ident, $body:block, $id:ident : $ty:ty $(, $($rest:tt)*)? ) => {
+        {
+            let $id: $ty = $crate::Strategy::sample(&$crate::any::<$ty>(), &mut $rng);
+            $crate::__proptest_bind!{ $rng, $body, $($($rest)*)? }
+        }
+    };
+}
+
+/// Prelude: everything the `use proptest::prelude::*` idiom expects.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn typed_params_sample(x: u32, flag: bool) {
+            let _ = (x, flag);
+        }
+
+        #[test]
+        fn strategy_params_sample(v in crate::collection::vec(any::<u8>(), 0..16), n in 1u32..10) {
+            prop_assert!(v.len() < 16);
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn assume_skips(n in 0u32..10) {
+            prop_assume!(n != 3);
+            prop_assert_ne!(n, 3);
+        }
+
+        #[test]
+        fn mixed_params(a: u8, s in "[a-z]{1,12}", b: u64) {
+            let _ = (a, b);
+            prop_assert!(!s.is_empty() && s.len() <= 12);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_arms() {
+        let strat = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut rng = TestRng::from_name("oneof");
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[strat.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        let strat = (0u32..10).prop_map(|n| n * 2);
+        let mut rng = TestRng::from_name("map");
+        for _ in 0..50 {
+            assert_eq!(strat.sample(&mut rng) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn printable_pattern() {
+        let mut rng = TestRng::from_name("pc");
+        let s = Strategy::sample(&"\\PC{0,256}", &mut rng);
+        assert!(s.chars().count() <= 256);
+    }
+}

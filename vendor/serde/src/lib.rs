@@ -1,0 +1,336 @@
+//! Minimal stand-in for `serde`.
+//!
+//! The real serde is a zero-copy visitor framework; this stand-in
+//! collapses it to a JSON-shaped value tree: `Serialize` renders a type
+//! into a [`Value`], `Deserialize` rebuilds the type from one. The
+//! `serde_json` stand-in then prints/parses that tree. The derive macros
+//! (re-exported from `serde_derive`) generate field-by-field
+//! implementations matching serde_json's default encoding:
+//!
+//! - struct          → `{"field": ...}` in declaration order
+//! - unit variant    → `"Variant"`
+//! - newtype variant → `{"Variant": value}`
+//! - struct variant  → `{"Variant": {"field": ...}}`
+//!
+//! Integer values survive exactly (no float round-trip): signed and
+//! unsigned 64-bit payloads each have a dedicated [`Value`] arm, which
+//! matters because envelope nonces are full-range random u64s whose
+//! canonical JSON form feeds signature verification.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped dynamic value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Non-negative integer (canonical arm for all unsigned ints).
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Finite float.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Value>),
+    /// Object; insertion order is preserved (declaration order for
+    /// derived structs), giving a canonical rendering.
+    Obj(Vec<(String, Value)>),
+}
+
+/// Shared null used when an object key is absent, so lookups can hand
+/// out a reference without allocating.
+pub static NULL: Value = Value::Null;
+
+impl Value {
+    /// Borrow the object entries, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Borrow the array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Look up an object key; absent keys read as `null` so optional
+    /// fields can be skipped by writers.
+    pub fn get(&self, key: &str) -> &Value {
+        match self {
+            Value::Obj(entries) => entries
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+
+    /// A short human label for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+}
+
+/// Render `self` into a [`Value`].
+pub trait Serialize {
+    /// Build the value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuild `Self` from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parse the value tree; errors are human-readable strings.
+    fn from_value(v: &Value) -> Result<Self, String>;
+}
+
+/// Deserialization module mirroring `serde::de`.
+pub mod de {
+    /// Owned deserialization marker — with a value-tree model every
+    /// [`Deserialize`](super::Deserialize) is already owned.
+    pub trait DeserializeOwned: super::Deserialize {}
+    impl<T: super::Deserialize> DeserializeOwned for T {}
+}
+
+fn type_err<T>(expected: &str, got: &Value) -> Result<T, String> {
+    Err(format!("expected {expected}, got {}", got.kind()))
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, String> {
+                let n = match *v {
+                    Value::U64(n) => n,
+                    Value::I64(n) if n >= 0 => n as u64,
+                    Value::F64(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => f as u64,
+                    _ => return type_err("unsigned integer", v),
+                };
+                <$t>::try_from(n).map_err(|_| format!("integer {n} out of range for {}", stringify!($t)))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, String> {
+                let n = match *v {
+                    Value::I64(n) => n,
+                    Value::U64(n) => i64::try_from(n).map_err(|_| format!("integer {n} too large"))?,
+                    Value::F64(f) if f.fract() == 0.0 && f.abs() <= i64::MAX as f64 => f as i64,
+                    _ => return type_err("integer", v),
+                };
+                <$t>::try_from(n).map_err(|_| format!("integer {n} out of range for {}", stringify!($t)))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match *v {
+            Value::F64(f) => Ok(f),
+            Value::U64(n) => Ok(n as f64),
+            Value::I64(n) => Ok(n as f64),
+            _ => type_err("number", v),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => type_err("bool", v),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => type_err("string", v),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v.as_arr() {
+            Some(items) => items.iter().map(T::from_value).collect(),
+            None => type_err("array", v),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+);)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, String> {
+                let items = v.as_arr().ok_or_else(|| format!("expected array, got {}", v.kind()))?;
+                let want = [$( $idx ),+].len();
+                if items.len() != want {
+                    return Err(format!("expected {want}-tuple, got {} elements", items.len()));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_roundtrip_exactly() {
+        let big: u64 = u64::MAX - 3;
+        assert_eq!(u64::from_value(&big.to_value()).unwrap(), big);
+        let neg: i64 = -1234567890123;
+        assert_eq!(i64::from_value(&neg.to_value()).unwrap(), neg);
+    }
+
+    #[test]
+    fn option_null_roundtrip() {
+        let none: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_value(&none.to_value()).unwrap(), None);
+        assert_eq!(Option::<u32>::from_value(&Some(7u32).to_value()).unwrap(), Some(7));
+    }
+
+    #[test]
+    fn tuple_vec_roundtrip() {
+        let rows = vec![("a".to_string(), 1.5f64, 2.5f64)];
+        let v = rows.to_value();
+        let back: Vec<(String, f64, f64)> = Vec::from_value(&v).unwrap();
+        assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn absent_key_reads_null() {
+        let obj = Value::Obj(vec![("a".into(), Value::U64(1))]);
+        assert_eq!(obj.get("missing"), &Value::Null);
+        assert_eq!(Option::<u32>::from_value(obj.get("missing")).unwrap(), None);
+    }
+
+    #[test]
+    fn type_mismatch_is_error() {
+        assert!(u32::from_value(&Value::Str("x".into())).is_err());
+        assert!(bool::from_value(&Value::U64(1)).is_err());
+        assert!(String::from_value(&Value::Null).is_err());
+    }
+}

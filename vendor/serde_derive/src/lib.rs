@@ -1,0 +1,368 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! No `syn`/`quote` (unavailable offline): the input item is parsed
+//! directly from the compiler's `TokenStream`. Supported shapes are the
+//! ones this workspace derives on — plain structs with named fields and
+//! enums whose variants are unit, tuple/newtype, or struct-like.
+//! Anything else fails loudly at expansion time rather than generating
+//! wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What the derived item looks like.
+enum Kind {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    /// Enum: variants in declaration order.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    payload: Payload,
+}
+
+enum Payload {
+    Unit,
+    /// Tuple variant with this many fields (1 = serde's newtype form).
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    gen_serialize(&item).parse().expect("serde_derive: generated invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    gen_deserialize(&item).parse().expect("serde_derive: generated invalid Rust")
+}
+
+// ---- token-level parsing ------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut toks = input.into_iter().peekable();
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let keyword = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    if matches!(&toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic type {name} is not supported by the vendored stand-in");
+    }
+    let body = match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde_derive: {name}: expected braced body (tuple/unit structs unsupported), got {other:?}"
+        ),
+    };
+    let kind = match keyword.as_str() {
+        "struct" => Kind::Struct(parse_named_fields(body)),
+        "enum" => Kind::Enum(parse_variants(body)),
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    Input { name, kind }
+}
+
+/// Parse `name: Type, ...` field lists, skipping attributes, visibility,
+/// and the type tokens (commas inside `<...>` and delimited groups do not
+/// terminate a field).
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility in front of the field name.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let field = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: field {field}: expected ':', got {other:?}"),
+        }
+        // Consume the type: commas only count at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        loop {
+            match toks.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == ',' && angle_depth == 0 {
+                        toks.next();
+                        break;
+                    }
+                    if c == '<' {
+                        angle_depth += 1;
+                    } else if c == '>' {
+                        angle_depth -= 1;
+                    }
+                    toks.next();
+                }
+                Some(_) => {
+                    toks.next();
+                }
+            }
+        }
+        fields.push(field);
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        while matches!(&toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            toks.next();
+            toks.next();
+        }
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        let payload = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                toks.next();
+                Payload::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                toks.next();
+                Payload::Struct(fields)
+            }
+            _ => Payload::Unit,
+        };
+        if matches!(&toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("serde_derive: explicit discriminants are not supported");
+        }
+        if matches!(&toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            toks.next();
+        }
+        variants.push(Variant { name, payload });
+    }
+    variants
+}
+
+/// Number of fields in a tuple-variant payload (top-level commas + 1).
+fn tuple_arity(body: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    for tok in body {
+        any = true;
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => commas += 1,
+                _ => {}
+            }
+        }
+    }
+    if !any {
+        0
+    } else {
+        commas + 1
+    }
+}
+
+// ---- code generation ----------------------------------------------------
+
+fn gen_serialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}))")
+                })
+                .collect();
+            format!("serde::Value::Obj(vec![{}])", entries.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| ser_arm(name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn ser_arm(name: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.payload {
+        Payload::Unit => {
+            format!("{name}::{vn} => serde::Value::Str(\"{vn}\".to_string()),")
+        }
+        Payload::Tuple(1) => format!(
+            "{name}::{vn}(__f0) => serde::Value::Obj(vec![(\"{vn}\".to_string(), \
+             serde::Serialize::to_value(__f0))]),"
+        ),
+        Payload::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let elems: Vec<String> = binds
+                .iter()
+                .map(|b| format!("serde::Serialize::to_value({b})"))
+                .collect();
+            format!(
+                "{name}::{vn}({}) => serde::Value::Obj(vec![(\"{vn}\".to_string(), \
+                 serde::Value::Arr(vec![{}]))]),",
+                binds.join(", "),
+                elems.join(", ")
+            )
+        }
+        Payload::Struct(fields) => {
+            let binds = fields.join(", ");
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value({f}))"))
+                .collect();
+            format!(
+                "{name}::{vn} {{ {binds} }} => serde::Value::Obj(vec![(\"{vn}\".to_string(), \
+                 serde::Value::Obj(vec![{}]))]),",
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: serde::Deserialize::from_value(__v.get(\"{f}\"))?,"))
+                .collect();
+            format!(
+                "if __v.as_obj().is_none() {{ \
+                     return Err(format!(\"{name}: expected object, got {{}}\", __v.kind())); \
+                 }}\n\
+                 Ok({name} {{ {} }})",
+                inits.join(" ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.payload, Payload::Unit))
+                .map(|v| format!("\"{vn}\" => Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| de_payload_arm(name, v))
+                .collect();
+            format!(
+                "match __v {{\n\
+                     serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {units}\n\
+                         __other => Err(format!(\"{name}: unknown variant {{__other}}\")),\n\
+                     }},\n\
+                     serde::Value::Obj(__entries) if __entries.len() == 1 => {{\n\
+                         let (__tag, __payload) = &__entries[0];\n\
+                         match __tag.as_str() {{\n\
+                             {payloads}\n\
+                             __other => Err(format!(\"{name}: unknown variant {{__other}}\")),\n\
+                         }}\n\
+                     }}\n\
+                     __other => Err(format!(\"{name}: bad enum encoding ({{}})\", __other.kind())),\n\
+                 }}",
+                units = unit_arms.join("\n"),
+                payloads = payload_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &serde::Value) -> Result<Self, String> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn de_payload_arm(name: &str, v: &Variant) -> Option<String> {
+    let vn = &v.name;
+    match &v.payload {
+        Payload::Unit => None,
+        Payload::Tuple(1) => Some(format!(
+            "\"{vn}\" => Ok({name}::{vn}(serde::Deserialize::from_value(__payload)?)),"
+        )),
+        Payload::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            Some(format!(
+                "\"{vn}\" => {{\n\
+                     let __items = __payload.as_arr()\
+                         .ok_or_else(|| \"{name}::{vn}: expected array payload\".to_string())?;\n\
+                     if __items.len() != {n} {{\n\
+                         return Err(format!(\"{name}::{vn}: expected {n} elements, got {{}}\", __items.len()));\n\
+                     }}\n\
+                     Ok({name}::{vn}({}))\n\
+                 }}",
+                elems.join(", ")
+            ))
+        }
+        Payload::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: serde::Deserialize::from_value(__payload.get(\"{f}\"))?,"))
+                .collect();
+            Some(format!(
+                "\"{vn}\" => Ok({name}::{vn} {{ {} }}),",
+                inits.join(" ")
+            ))
+        }
+    }
+}
