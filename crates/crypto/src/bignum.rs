@@ -108,7 +108,7 @@ impl BigUint {
 
     /// True when the value is even (zero counts as even).
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Number of significant bits (0 for zero).
@@ -122,7 +122,7 @@ impl BigUint {
     /// Value of bit `i` (little-endian bit numbering).
     pub fn bit(&self, i: usize) -> bool {
         let (limb, off) = (i / 32, i % 32);
-        self.limbs.get(limb).map_or(false, |l| (l >> off) & 1 == 1)
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
     }
 
     /// Interpret the low 64 bits as a `u64` (truncating).

@@ -77,7 +77,7 @@ pub fn cbc_decrypt(aes: &Aes, iv: &[u8; 16], ciphertext: &[u8]) -> Result<Vec<u8
 /// padding. Returns the plaintext length; `buf[..len]` holds the
 /// plaintext. Performs no heap allocation.
 pub fn cbc_decrypt_in_place(aes: &Aes, iv: &[u8; 16], buf: &mut [u8]) -> Result<usize, CbcError> {
-    if buf.is_empty() || buf.len() % 16 != 0 {
+    if buf.is_empty() || !buf.len().is_multiple_of(16) {
         return Err(CbcError::BadLength(buf.len()));
     }
     // Unlike encryption, CBC decryption has no cross-block dependency in

@@ -227,7 +227,7 @@ impl RsaKeyPair {
         let mut em = Vec::with_capacity(k);
         em.push(0x00);
         em.push(0x01);
-        em.extend(std::iter::repeat(0xffu8).take(k - digest.len() - 3));
+        em.extend(std::iter::repeat_n(0xffu8, k - digest.len() - 3));
         em.push(0x00);
         em.extend_from_slice(&digest);
         let s = self.raw(&BigUint::from_bytes_be(&em)).expect("padded value < n");

@@ -144,6 +144,13 @@ impl GtlsStream {
         self.handshakes
     }
 
+    /// Override the handshake counter. A reconnecting session carries its
+    /// cumulative count across connections: the replacement `GtlsStream`
+    /// starts at 1, so the owner seeds it with the prior total.
+    pub fn set_handshake_count(&mut self, n: u64) {
+        self.handshakes = n;
+    }
+
     /// Replace the security configuration (reloaded certificates, new
     /// suite preference). Takes effect at the next renegotiation — the
     /// paper's "signal the proxy to reload its configuration file".

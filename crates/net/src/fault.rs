@@ -1,0 +1,326 @@
+//! Deterministic fault injection under any [`Stream`].
+//!
+//! The paper's sessions are expected to outlive transient WAN failures,
+//! so the recovery paths above this crate (pipeline reconnect, idempotent
+//! replay, write-back re-flush) need a transport that fails *on demand*
+//! and *reproducibly*. A [`FaultStream`] wraps any byte stream and
+//! executes one [`FaultPlan`]: cut the read side mid-record, error the
+//! write side after N bytes, flip a byte in flight, cap write sizes, or
+//! stall a read — all positions drawn from a seeded generator so a failing
+//! schedule replays exactly.
+//!
+//! Once a terminal fault (cut or write error) fires, the stream is dead:
+//! the inner transport is dropped (so the peer observes EOF, like a real
+//! TCP reset tearing down both directions) and every later operation
+//! fails. Recovery therefore must go through a fresh connection, which is
+//! exactly the path the pipeline's `Reconnector` exercises.
+//!
+//! A shared [`FaultInjector`] hands out plans (and connect refusals)
+//! across the successive connections of one session, with a bounded fault
+//! budget: once spent, further connections are clean, so a recovering
+//! stack is guaranteed to converge.
+
+use crate::{BoxStream, Stream};
+use std::io::{self, Read, Write};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// One connection's fault schedule. `None` everywhere = clean stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Inject EOF after this many bytes have been read (mid-record cut).
+    pub cut_read_after: Option<u64>,
+    /// Fail writes after this many bytes have been written.
+    pub cut_write_after: Option<u64>,
+    /// XOR `0x55` into the byte at this read offset (corruption).
+    pub corrupt_read_at: Option<u64>,
+    /// Deliver at most this many bytes per `write` call (partial writes).
+    pub partial_write_cap: Option<usize>,
+    /// Stall the read that crosses this offset by the given duration
+    /// (latency spike).
+    pub delay_read_at: Option<(u64, Duration)>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn clean() -> Self {
+        Self::default()
+    }
+
+    /// Whether this plan injects any fault at all.
+    pub fn is_clean(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+/// A [`Stream`] executing one [`FaultPlan`] over an inner transport.
+pub struct FaultStream {
+    /// Dropped (closing the peer's view too) once a terminal fault fires.
+    inner: Option<BoxStream>,
+    plan: FaultPlan,
+    read_pos: u64,
+    write_pos: u64,
+    delayed: bool,
+}
+
+impl FaultStream {
+    /// Wrap `inner`, executing `plan`.
+    pub fn new(inner: BoxStream, plan: FaultPlan) -> Self {
+        Self { inner: Some(inner), plan, read_pos: 0, write_pos: 0, delayed: false }
+    }
+
+    /// Terminal fault: drop the transport so both directions die.
+    fn die(&mut self) {
+        self.inner = None;
+    }
+
+    /// Whether a terminal fault has fired.
+    pub fn is_dead(&self) -> bool {
+        self.inner.is_none()
+    }
+}
+
+impl Read for FaultStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let Some(inner) = self.inner.as_mut() else { return Ok(0) };
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let mut limit = buf.len() as u64;
+        if let Some(cut) = self.plan.cut_read_after {
+            let remaining = cut.saturating_sub(self.read_pos);
+            if remaining == 0 {
+                self.die();
+                return Ok(0);
+            }
+            limit = limit.min(remaining);
+        }
+        if let Some((at, dur)) = self.plan.delay_read_at {
+            if !self.delayed && at >= self.read_pos && at < self.read_pos + limit {
+                self.delayed = true;
+                std::thread::sleep(dur);
+            }
+        }
+        let n = inner.read(&mut buf[..limit as usize])?;
+        if let Some(at) = self.plan.corrupt_read_at {
+            if at >= self.read_pos && at < self.read_pos + n as u64 {
+                buf[(at - self.read_pos) as usize] ^= 0x55;
+            }
+        }
+        self.read_pos += n as u64;
+        Ok(n)
+    }
+}
+
+impl Write for FaultStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let Some(inner) = self.inner.as_mut() else {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "injected fault killed stream"));
+        };
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let mut limit = buf.len();
+        if let Some(cut) = self.plan.cut_write_after {
+            let remaining = cut.saturating_sub(self.write_pos);
+            if remaining == 0 {
+                self.die();
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "injected write fault (connection cut)",
+                ));
+            }
+            limit = limit.min(remaining as usize);
+        }
+        if let Some(cap) = self.plan.partial_write_cap {
+            limit = limit.min(cap.max(1));
+        }
+        let n = inner.write(&buf[..limit])?;
+        self.write_pos += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self.inner.as_mut() {
+            Some(inner) => inner.flush(),
+            None => Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "injected fault killed stream",
+            )),
+        }
+    }
+}
+
+struct InjectorState {
+    rng: u64,
+    budget: u32,
+    injected: u32,
+    refusals: u32,
+}
+
+/// Hands out fault plans (and connect refusals) across the successive
+/// connections of one session, deterministically from a seed, with a
+/// bounded total fault budget so recovery always converges.
+pub struct FaultInjector {
+    state: Mutex<InjectorState>,
+}
+
+impl FaultInjector {
+    /// An injector drawing up to `budget` faults from `seed`.
+    pub fn new(seed: u64, budget: u32) -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(InjectorState { rng: seed, budget, injected: 0, refusals: 0 }),
+        })
+    }
+
+    /// SplitMix64 step (matches the deterministic generators used by the
+    /// test suites, so schedules replay from the seed alone).
+    fn next(state: &mut InjectorState) -> u64 {
+        state.rng = state.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Draw the next connection's plan; clean once the budget is spent.
+    pub fn next_plan(&self) -> FaultPlan {
+        let mut s = self.state.lock().expect("injector poisoned");
+        if s.injected >= s.budget {
+            return FaultPlan::clean();
+        }
+        s.injected += 1;
+        let kind = Self::next(&mut s) % 4;
+        let pos = 1 + Self::next(&mut s) % 2048;
+        match kind {
+            0 => FaultPlan { cut_read_after: Some(pos), ..FaultPlan::clean() },
+            1 => FaultPlan {
+                cut_write_after: Some(pos),
+                partial_write_cap: Some(1 + (pos % 16) as usize),
+                ..FaultPlan::clean()
+            },
+            2 => FaultPlan { corrupt_read_at: Some(pos), ..FaultPlan::clean() },
+            _ => FaultPlan {
+                delay_read_at: Some((pos, Duration::from_millis(1 + pos % 5))),
+                ..FaultPlan::clean()
+            },
+        }
+    }
+
+    /// Wrap a fresh connection in the next drawn plan.
+    pub fn wrap(&self, inner: BoxStream) -> BoxStream {
+        Box::new(FaultStream::new(inner, self.next_plan()))
+    }
+
+    /// Whether the next dial attempt should be refused outright
+    /// (`ConnectionRefused` for N attempts). Consumes budget when it
+    /// refuses, so refusal streaks are bounded.
+    pub fn refuse_connect(&self) -> bool {
+        let mut s = self.state.lock().expect("injector poisoned");
+        if s.injected >= s.budget {
+            return false;
+        }
+        let refuse = Self::next(&mut s).is_multiple_of(3);
+        if refuse {
+            s.injected += 1;
+            s.refusals += 1;
+        }
+        refuse
+    }
+
+    /// Faults handed out so far (including refusals).
+    pub fn injected(&self) -> u32 {
+        self.state.lock().expect("injector poisoned").injected
+    }
+
+    /// Connect refusals handed out so far.
+    pub fn refusals(&self) -> u32 {
+        self.state.lock().expect("injector poisoned").refusals
+    }
+}
+
+// FaultStream is Read + Write + Send, so the blanket impl makes it a Stream;
+// this assertion keeps that true as the trait evolves.
+const _: fn() = || {
+    fn assert_stream<T: Stream>() {}
+    assert_stream::<FaultStream>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipe_pair;
+
+    #[test]
+    fn clean_plan_passes_bytes_through() {
+        let (a, b) = pipe_pair();
+        let mut f = FaultStream::new(Box::new(a), FaultPlan::clean());
+        let mut peer = b;
+        f.write_all(b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        peer.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+    }
+
+    #[test]
+    fn read_cut_injects_eof_and_kills_stream() {
+        let (a, mut b) = pipe_pair();
+        let plan = FaultPlan { cut_read_after: Some(3), ..FaultPlan::clean() };
+        let mut f = FaultStream::new(Box::new(a), plan);
+        b.write_all(b"abcdef").unwrap();
+        let mut buf = [0u8; 16];
+        let n = f.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"abc", "read truncated at the cut");
+        assert_eq!(f.read(&mut buf).unwrap(), 0, "EOF after the cut");
+        assert!(f.is_dead());
+        // The peer sees the teardown too (inner dropped).
+        assert_eq!(b.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn write_cut_errors_and_kills_stream() {
+        let (a, _b) = pipe_pair();
+        let plan = FaultPlan { cut_write_after: Some(4), ..FaultPlan::clean() };
+        let mut f = FaultStream::new(Box::new(a), plan);
+        assert_eq!(f.write(b"abcdef").unwrap(), 4, "write capped at the cut");
+        let err = f.write(b"gh").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        assert!(f.is_dead());
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_byte() {
+        let (a, mut b) = pipe_pair();
+        let plan = FaultPlan { corrupt_read_at: Some(2), ..FaultPlan::clean() };
+        let mut f = FaultStream::new(Box::new(a), plan);
+        b.write_all(&[0u8; 6]).unwrap();
+        let mut buf = [0u8; 6];
+        f.read_exact(&mut buf).unwrap();
+        assert_eq!(buf, [0, 0, 0x55, 0, 0, 0]);
+    }
+
+    #[test]
+    fn partial_write_cap_still_delivers_everything_via_write_all() {
+        let (a, mut b) = pipe_pair();
+        let plan = FaultPlan { partial_write_cap: Some(2), ..FaultPlan::clean() };
+        let mut f = FaultStream::new(Box::new(a), plan);
+        assert_eq!(f.write(b"abcdef").unwrap(), 2, "single write is capped");
+        f.write_all(b"cdef").unwrap();
+        let mut buf = [0u8; 6];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"abcdef");
+    }
+
+    #[test]
+    fn injector_is_deterministic_and_budget_bounded() {
+        let a = FaultInjector::new(42, 3);
+        let b = FaultInjector::new(42, 3);
+        let plans_a: Vec<FaultPlan> = (0..5).map(|_| a.next_plan()).collect();
+        let plans_b: Vec<FaultPlan> = (0..5).map(|_| b.next_plan()).collect();
+        assert_eq!(plans_a, plans_b, "same seed, same schedule");
+        assert!(plans_a[..3].iter().all(|p| !p.is_clean()), "budget worth of faults");
+        assert!(plans_a[3..].iter().all(|p| p.is_clean()), "clean once spent");
+        assert_eq!(a.injected(), 3);
+        assert!(!a.refuse_connect(), "no refusals after the budget is spent");
+    }
+}

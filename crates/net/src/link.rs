@@ -158,7 +158,7 @@ mod tests {
         let clock = SimClock::new();
         let link = Link::new(LinkSpec::wan_rtt(Duration::from_millis(80)), clock.clone());
         // Ten messages sent back-to-back share the 40ms one-way latency.
-        let last = (0..10).map(|_| link.stamp_send(0, 32 * 1024)).last().unwrap();
+        let last = (0..10).fold(Duration::ZERO, |_, _| link.stamp_send(0, 32 * 1024));
         clock.wait_until(last);
         assert!(clock.now() < Duration::from_millis(80), "not 10 x 40ms");
     }

@@ -510,7 +510,7 @@ mod tests {
     #[test]
     fn fh_size_limit() {
         let mut enc = XdrEncoder::new();
-        enc.put_opaque(&vec![0u8; 65]);
+        enc.put_opaque(&[0u8; 65]);
         assert!(Fh3::from_xdr_bytes(&enc.into_bytes()).is_err());
     }
 

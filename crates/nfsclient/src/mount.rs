@@ -426,10 +426,10 @@ impl NfsMount {
                 // Page not resident. Full-page or append-beyond-EOF writes
                 // need no fetch; interior partial writes read-modify-write.
                 let page_start = page_idx * ps;
-                let base: Vec<u8> = if page_off == 0 && take == ps as usize {
-                    Vec::new() // fully overwritten below
-                } else if page_start >= fsize {
-                    Vec::new() // beyond EOF: zero-fill prefix
+                let base: Vec<u8> = if (page_off == 0 && take == ps as usize)
+                    || page_start >= fsize
+                {
+                    Vec::new() // fully overwritten below / zero-fill beyond EOF
                 } else {
                     self.stats.read += 1;
                     let res = self.nfs.read(&fh, page_start, ps as u32)?;

@@ -92,6 +92,26 @@ pub fn read_record_into<R: Read + ?Sized>(r: &mut R, out: &mut Vec<u8>) -> io::R
     }
 }
 
+/// Classify a record-I/O error as transient (curable by tearing the
+/// connection down and re-dialing) or fatal.
+///
+/// Everything a broken *channel* can cause is transient: EOF mid-record,
+/// reset/refused/aborted connections, timeouts, and even `InvalidData`
+/// (a corrupted length word or a garbled reply says nothing about the next
+/// connection — a fresh channel starts from a clean record boundary).
+/// Only errors that indict the *caller or host* rather than the wire are
+/// fatal: malformed requests, permission failures, unsupported operations,
+/// resource exhaustion.
+pub fn is_transient_io(e: &io::Error) -> bool {
+    !matches!(
+        e.kind(),
+        io::ErrorKind::InvalidInput
+            | io::ErrorKind::PermissionDenied
+            | io::ErrorKind::Unsupported
+            | io::ErrorKind::OutOfMemory
+    )
+}
+
 /// Read exactly `buf.len()` bytes, or return `Ok(false)` if EOF occurs
 /// before the first byte.
 fn read_exact_or_eof<R: Read + ?Sized>(r: &mut R, buf: &mut [u8]) -> io::Result<bool> {
@@ -176,6 +196,30 @@ mod tests {
         let mut cur = Cursor::new(word.to_be_bytes().to_vec());
         let err = read_record(&mut cur).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn transient_classification() {
+        // Wire-level failures must be retried over a fresh connection…
+        for kind in [
+            io::ErrorKind::UnexpectedEof,
+            io::ErrorKind::ConnectionReset,
+            io::ErrorKind::ConnectionRefused,
+            io::ErrorKind::BrokenPipe,
+            io::ErrorKind::TimedOut,
+            io::ErrorKind::InvalidData, // corrupt stream: cured by re-dial
+        ] {
+            assert!(is_transient_io(&io::Error::new(kind, "x")), "{kind:?}");
+        }
+        // …while caller/host errors must stay fatal.
+        for kind in [
+            io::ErrorKind::InvalidInput,
+            io::ErrorKind::PermissionDenied,
+            io::ErrorKind::Unsupported,
+            io::ErrorKind::OutOfMemory,
+        ] {
+            assert!(!is_transient_io(&io::Error::new(kind, "x")), "{kind:?}");
+        }
     }
 
     #[test]

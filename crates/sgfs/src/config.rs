@@ -85,6 +85,42 @@ impl HopCost {
     }
 }
 
+/// Upstream fault-recovery policy for the client proxy's pipeline.
+///
+/// When the secure channel to the server proxy fails with a transient
+/// transport error, the pipeline re-dials through its `Reconnector`,
+/// backing off exponentially between attempts, and replays the idempotent
+/// calls that were in flight. These knobs bound that behaviour; see
+/// DESIGN.md §"Fault model and upstream recovery".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total reconnections allowed over the session's lifetime before the
+    /// pipeline gives up and fails outstanding calls.
+    pub max_reconnects: u32,
+    /// Dial attempts per reconnection (covers connect-refusal streaks).
+    pub dial_attempts: u32,
+    /// Backoff before the second dial attempt; doubles per attempt.
+    pub backoff_base: std::time::Duration,
+    /// Upper bound on a single backoff sleep.
+    pub backoff_cap: std::time::Duration,
+    /// Per-call reply deadline: `PendingReply::wait` fails with `TimedOut`
+    /// rather than blocking forever on a silent server. `None` = wait
+    /// indefinitely.
+    pub call_deadline: Option<std::time::Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_reconnects: 8,
+            dial_attempts: 6,
+            backoff_base: std::time::Duration::from_millis(10),
+            backoff_cap: std::time::Duration::from_millis(640),
+            call_deadline: Some(std::time::Duration::from_secs(30)),
+        }
+    }
+}
+
 /// Everything needed to set up one side of a session.
 #[derive(Clone)]
 pub struct SessionConfig {
@@ -115,6 +151,9 @@ pub struct SessionConfig {
     /// be in flight before a reply is required. 1 degenerates to the
     /// serial protocol.
     pub window: u32,
+    /// Client side: upstream fault-recovery policy (reconnect, backoff,
+    /// replay, per-call deadline).
+    pub retry: RetryPolicy,
 }
 
 impl SessionConfig {
@@ -132,6 +171,7 @@ impl SessionConfig {
             readahead: 0,
             rekey_every_records: None,
             window: crate::proxy::pipeline::DEFAULT_WINDOW,
+            retry: RetryPolicy::default(),
         }
     }
 

@@ -32,6 +32,10 @@ pub trait BlockStore: Send {
     fn meta(&self, key: &BlockKey) -> Option<BlockMeta>;
     /// Set the dirty bit of a resident block.
     fn set_clean(&mut self, key: &BlockKey);
+    /// Re-mark a resident block dirty — used when a flush fails (or the
+    /// server's write verifier changes) after the block was already
+    /// marked clean, so a later retry re-sends it.
+    fn set_dirty(&mut self, key: &BlockKey);
     /// All block offsets cached for `fh`, sorted.
     fn blocks_of(&self, fh: &Fh3) -> Vec<u64>;
     /// All dirty block offsets for `fh`, sorted.
@@ -115,6 +119,12 @@ impl BlockStore for DiskStore {
     fn set_clean(&mut self, key: &BlockKey) {
         if let Some(m) = self.index.get_mut(key) {
             m.dirty = false;
+        }
+    }
+
+    fn set_dirty(&mut self, key: &BlockKey) {
+        if let Some(m) = self.index.get_mut(key) {
+            m.dirty = true;
         }
     }
 
@@ -238,6 +248,12 @@ impl BlockStore for MemStore {
         }
     }
 
+    fn set_dirty(&mut self, key: &BlockKey) {
+        if let Some((_, dirty)) = self.blocks.get_mut(key) {
+            *dirty = true;
+        }
+    }
+
     fn blocks_of(&self, fh: &Fh3) -> Vec<u64> {
         let mut v: Vec<u64> =
             self.blocks.keys().filter(|(f, _)| f == fh).map(|(_, o)| *o).collect();
@@ -312,7 +328,7 @@ mod tests {
         assert_eq!(store.get(&(fh(1), 0)).unwrap(), vec![1; 100]);
         assert_eq!(store.get(&(fh(1), 32768)).unwrap(), vec![2; 100]);
         assert!(store.get(&(fh(1), 999)).is_none());
-        assert_eq!(store.meta(&(fh(1), 32768)).unwrap().dirty, true);
+        assert!(store.meta(&(fh(1), 32768)).unwrap().dirty);
         assert_eq!(store.blocks_of(&fh(1)), vec![0, 32768]);
         assert_eq!(store.dirty_blocks_of(&fh(1)), vec![32768]);
         assert_eq!(store.dirty_files(), vec![fh(1), fh(2)]);
@@ -321,6 +337,10 @@ mod tests {
 
         store.set_clean(&(fh(1), 32768));
         assert_eq!(store.dirty_blocks_of(&fh(1)), Vec::<u64>::new());
+        store.set_dirty(&(fh(1), 32768));
+        assert_eq!(store.dirty_blocks_of(&fh(1)), vec![32768], "re-dirtied for retry");
+        store.set_dirty(&(fh(9), 0)); // absent key: no-op
+        store.set_clean(&(fh(1), 32768));
 
         store.drop_file(&fh(1));
         assert!(store.get(&(fh(1), 0)).is_none());

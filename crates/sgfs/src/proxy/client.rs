@@ -63,7 +63,11 @@ type PrefetchMap = Arc<Mutex<HashMap<(Fh3, u64), Vec<u8>>>>;
 
 struct MetaCache {
     attrs: HashMap<Fh3, Fattr3>,
-    access: HashMap<(Fh3, u32), u32>,
+    /// Per (file, uid): (mask of bits ever checked upstream, granted
+    /// bits within that mask). A request is only served from cache when
+    /// every bit it asks about has actually been checked — granted bits
+    /// say nothing about bits the server was never asked to evaluate.
+    access: HashMap<(Fh3, u32), (u32, u32)>,
     lookups: HashMap<(Fh3, String), (Fh3, Option<Fattr3>)>,
     /// Raw READDIR/READDIRPLUS result bodies keyed (dir, cookie, plus?).
     readdirs: HashMap<(Fh3, u64, bool), Vec<u8>>,
@@ -143,8 +147,20 @@ impl ClientProxyController {
 
 impl ClientProxy {
     /// Build a proxy over an established upstream channel, configured per
-    /// the session's [`CacheMode`] and read-ahead depth.
+    /// the session's [`CacheMode`] and read-ahead depth. Without a
+    /// reconnector, any upstream transport error remains terminal.
     pub fn new(upstream: Upstream, config: &SessionConfig) -> std::io::Result<Self> {
+        Self::with_reconnector(upstream, config, None)
+    }
+
+    /// Like [`new`](Self::new), but able to survive transient upstream
+    /// failures: the pipeline re-dials through `reconnector` under
+    /// `config.retry` and replays idempotent in-flight calls.
+    pub fn with_reconnector(
+        upstream: Upstream,
+        config: &SessionConfig,
+        reconnector: Option<Box<dyn crate::proxy::retry::Reconnector>>,
+    ) -> std::io::Result<Self> {
         let (store, meta_enabled): (Option<Box<dyn BlockStore>>, bool) = match &config.cache {
             CacheMode::None => (None, false),
             CacheMode::MemoryMeta => {
@@ -165,11 +181,13 @@ impl ClientProxy {
             // rekey-every threshold itself and rekeys at quiesce points.
             t.busy_counter = Some(stats.busy_counter());
         }
-        let pipeline = Pipeline::new(
+        let pipeline = Pipeline::with_recovery(
             upstream,
             config.window,
             config.rekey_every_records,
             stats.clone(),
+            reconnector,
+            config.retry,
         );
         Ok(Self {
             pipeline,
@@ -318,16 +336,21 @@ impl ClientProxy {
             procnum::ACCESS => {
                 if let Ok(a) = AccessArgs::from_xdr_bytes(&args) {
                     let uid = header.cred.as_sys().map(|s| s.uid).unwrap_or(u32::MAX);
-                    if let Some(&granted) = self.meta.access.get(&(a.object.clone(), uid)) {
-                        self.meta.hits += 1;
-                        let res = AccessRes {
-                            status: NfsStat3::Ok,
-                            obj_attr: self.meta.attrs.get(&a.object).cloned(),
-                            access: granted & a.access,
-                        };
-                        return Ok(encode_reply(header.xid, &res));
+                    match self.meta.access.get(&(a.object.clone(), uid)) {
+                        // Cache hit only when every requested bit has been
+                        // checked upstream; unchecked bits fall through to
+                        // the server instead of reading as denied.
+                        Some(&(checked, granted)) if a.access & !checked == 0 => {
+                            self.meta.hits += 1;
+                            let res = AccessRes {
+                                status: NfsStat3::Ok,
+                                obj_attr: self.meta.attrs.get(&a.object).cloned(),
+                                access: granted & a.access,
+                            };
+                            return Ok(encode_reply(header.xid, &res));
+                        }
+                        _ => self.meta.misses += 1,
                     }
-                    self.meta.misses += 1;
                 }
                 self.forward(record, header.proc, &args)
             }
@@ -643,19 +666,42 @@ impl ClientProxy {
         Ok(encode_reply(xid, &res))
     }
 
-    /// Push all dirty blocks of `fh` upstream (WRITE + COMMIT).
+    /// Push all dirty blocks of `fh` upstream (WRITE + COMMIT), honoring
+    /// the NFSv3 crash-recovery contract: if the server's write verifier
+    /// changes at any point (it rebooted and lost uncommitted data), all
+    /// unstable writes of this flush are re-sent and re-committed.
     ///
     /// Split-phase: every dirty block's WRITE is submitted into the
     /// pipelined window first, then all replies are awaited, and only
     /// then does COMMIT go out — so COMMIT can never overtake data, and a
     /// WAN flush overlaps up to a window of WRITE round trips.
     pub fn flush_file(&mut self, fh: &Fh3) -> std::io::Result<()> {
+        // A verifier change mid-flush means a server reboot; more than a
+        // couple in one flush means the server is crash-looping and
+        // retrying forever would hide that.
+        const MAX_VERIFIER_RETRIES: u32 = 3;
+        for _ in 0..MAX_VERIFIER_RETRIES {
+            match self.flush_file_once(fh)? {
+                FlushOutcome::Committed => return Ok(()),
+                FlushOutcome::VerifierChanged => continue,
+            }
+        }
+        Err(std::io::Error::other(
+            "write verifier kept changing across flush attempts (server crash-looping?)",
+        ))
+    }
+
+    /// One WRITE-batch + COMMIT round. `VerifierChanged` means the blocks
+    /// were re-marked dirty and the caller must flush again; on `Err` the
+    /// blocks are also re-marked dirty so a later retry re-sends them —
+    /// no block is left clean without a COMMIT covering it.
+    fn flush_file_once(&mut self, fh: &Fh3) -> std::io::Result<FlushOutcome> {
         let dirty = match &self.store {
             Some(s) => s.dirty_blocks_of(fh),
-            None => return Ok(()),
+            None => return Ok(FlushOutcome::Committed),
         };
         if dirty.is_empty() {
-            return Ok(());
+            return Ok(FlushOutcome::Committed);
         }
         let mut records = Vec::with_capacity(dirty.len());
         let mut offsets = Vec::with_capacity(dirty.len());
@@ -678,31 +724,55 @@ impl ClientProxy {
         // One atomic batch: up to a window of WRITEs goes out before the
         // pipeline waits on any reply.
         let pending = self.pipeline.submit_batch(records);
-        for (offset, reply) in offsets.into_iter().zip(pending) {
-            let reply = reply.wait()?;
-            let res = success_body(&reply)
-                .and_then(|b| WriteRes::from_xdr_bytes(b).ok())
-                .ok_or_else(|| {
-                    std::io::Error::new(std::io::ErrorKind::Other, "write-back reply malformed")
-                })?;
-            if res.status != NfsStat3::Ok {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::Other,
-                    format!("write-back failed: {:?}", res.status),
-                ));
+        let mut server_verf: Option<u64> = None;
+        let mut verifier_changed = false;
+        for (offset, reply) in offsets.iter().zip(pending) {
+            let verf = match collect_write_reply(reply) {
+                Ok(v) => v,
+                Err(e) => {
+                    self.redirty(fh, &offsets);
+                    return Err(e);
+                }
+            };
+            if *server_verf.get_or_insert(verf) != verf {
+                verifier_changed = true;
             }
             if let Some(store) = &mut self.store {
-                store.set_clean(&(fh.clone(), offset));
+                store.set_clean(&(fh.clone(), *offset));
             }
         }
         let commit = CommitArgs { file: fh.clone(), offset: 0, count: 0 };
-        let res: CommitRes = self
-            .call_upstream(procnum::COMMIT, &commit)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::Other, e))?;
+        let res: CommitRes = match self.call_upstream(procnum::COMMIT, &commit) {
+            Ok(r) => r,
+            Err(e) => {
+                self.redirty(fh, &offsets);
+                return Err(std::io::Error::other(e));
+            }
+        };
+        if res.status != NfsStat3::Ok {
+            self.redirty(fh, &offsets);
+            return Err(std::io::Error::other(format!("commit failed: {:?}", res.status)));
+        }
+        // The crash-recovery check proper: every WRITE and the COMMIT
+        // must carry one verifier. Any change means the server lost its
+        // uncommitted (unstable) data — re-send everything.
+        if verifier_changed || server_verf.is_some_and(|v| v != res.verf) {
+            self.redirty(fh, &offsets);
+            return Ok(FlushOutcome::VerifierChanged);
+        }
         if let Some(a) = res.wcc.after {
             self.meta.attrs.insert(fh.clone(), a);
         }
-        Ok(())
+        Ok(FlushOutcome::Committed)
+    }
+
+    /// Return flushed-but-uncommitted blocks to the dirty set.
+    fn redirty(&mut self, fh: &Fh3, offsets: &[u64]) {
+        if let Some(store) = &mut self.store {
+            for offset in offsets {
+                store.set_dirty(&(fh.clone(), *offset));
+            }
+        }
     }
 
     /// Write back everything still dirty — called at session teardown;
@@ -787,7 +857,12 @@ impl ClientProxy {
                     (AccessArgs::from_xdr_bytes(args), AccessRes::from_xdr_bytes(body))
                 {
                     let uid = self.client_cred.as_sys().map(|s| s.uid).unwrap_or(u32::MAX);
-                    self.meta.access.insert((a.object.clone(), uid), res.access);
+                    // Merge: remember which bits this check covered and
+                    // refresh the granted state within that mask only.
+                    let entry =
+                        self.meta.access.entry((a.object.clone(), uid)).or_insert((0, 0));
+                    entry.1 = (entry.1 & !a.access) | res.access;
+                    entry.0 |= a.access;
                     if let Some(attr) = res.obj_attr {
                         self.meta.attrs.insert(a.object, attr);
                     }
@@ -825,6 +900,27 @@ impl ClientProxy {
         call_via(&self.pipeline, self.next_xid, proc, &self.client_cred, args)
             .map_err(|_| format!("upstream call proc {proc} failed"))
     }
+}
+
+/// Outcome of one WRITE-batch + COMMIT round of `flush_file_once`.
+enum FlushOutcome {
+    /// Data durable under a single, stable write verifier.
+    Committed,
+    /// The server's verifier changed (reboot): blocks re-dirtied, flush
+    /// must run again.
+    VerifierChanged,
+}
+
+/// Await one write-back WRITE reply and extract its write verifier.
+fn collect_write_reply(reply: crate::proxy::pipeline::PendingReply) -> std::io::Result<u64> {
+    let reply = reply.wait()?;
+    let res = success_body(&reply)
+        .and_then(|b| WriteRes::from_xdr_bytes(b).ok())
+        .ok_or_else(|| std::io::Error::other("write-back reply malformed"))?;
+    if res.status != NfsStat3::Ok {
+        return Err(std::io::Error::other(format!("write-back failed: {:?}", res.status)));
+    }
+    Ok(res.verf)
 }
 
 /// Encode one complete call record (header + arguments).

@@ -3,10 +3,12 @@
 pub mod blockstore;
 pub mod client;
 pub mod pipeline;
+pub mod retry;
 pub mod server;
 
 pub use client::ClientProxy;
 pub use pipeline::Pipeline;
+pub use retry::Reconnector;
 pub use server::ServerProxy;
 
 /// Proxy-layer errors.

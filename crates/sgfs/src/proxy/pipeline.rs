@@ -24,23 +24,42 @@
 //! tracked here (not by `GtlsStream::auto_rekey_every`, which would fire
 //! mid-window) for the same reason.
 //!
+//! Fault recovery: sessions are expected to outlive transient WAN
+//! failures, so a transport error is not the end of the channel when a
+//! [`Reconnector`] is installed. The I/O thread classifies the error
+//! ([`is_transient_io`]), fails the in-flight calls that are unsafe to
+//! retransmit (see [`retry::replayable`]), re-dials with capped
+//! exponential backoff, and replays the idempotent remainder — in their
+//! original wire-xid order — on the fresh channel. A successful reconnect
+//! re-runs the full GTLS handshake, which also satisfies any pending
+//! rekey request. Without a reconnector any transport error remains
+//! terminal, as before.
+//!
 //! Single-thread alternation: the emulated transport's `Stream` objects
 //! are not splittable into read/write halves, so one thread alternates
 //! between admitting writes and blocking on the next reply. The server
 //! proxy answers every request it receives, so a blocked read always
 //! terminates and queued commands wait at most one reply time for
-//! admission.
+//! admission. Against a *silent* server (replies simply never come) the
+//! per-call deadline in [`RetryPolicy::call_deadline`] bounds
+//! [`PendingReply::wait`] instead.
 
-use crate::proxy::client::Upstream;
+use crate::config::RetryPolicy;
+use crate::proxy::retry::{self, Reconnector};
 use crate::stats::ProxyStats;
-use sgfs_oncrpc::record::{read_record_into, write_record_with};
+use crate::proxy::client::Upstream;
+use sgfs_oncrpc::record::{is_transient_io, read_record_into, write_record_with};
 use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
+use std::time::Duration;
 
 /// Default in-flight window (calls admitted before a reply is required).
 pub const DEFAULT_WINDOW: u32 = 8;
+
+/// One record plus the channel its reply is delivered on.
+type BatchEntry = (Vec<u8>, mpsc::Sender<io::Result<Vec<u8>>>);
 
 /// Commands from pipeline handles to the I/O thread.
 enum Cmd {
@@ -55,17 +74,20 @@ enum Cmd {
     /// before the thread blocks on a reply. Individual `submit` calls
     /// race against admission — a batch of N ≤ window never leaves a
     /// member stranded behind a blocking read.
-    Batch(Vec<(Vec<u8>, mpsc::Sender<io::Result<Vec<u8>>>)>),
+    Batch(Vec<BatchEntry>),
     /// Quiesce the window and renegotiate the session keys.
     Rekey { done_tx: mpsc::Sender<io::Result<()>> },
 }
 
 /// State shared between handles and the I/O thread.
 struct Shared {
-    /// Mirror of the upstream's completed-handshake count.
+    /// Mirror of the upstream's completed-handshake count (cumulative
+    /// across reconnections).
     handshakes: AtomicU64,
     /// Whether the upstream is GTLS-protected (rekey is meaningful).
     is_tls: bool,
+    /// Per-call reply deadline applied by `PendingReply::wait`.
+    deadline: Option<Duration>,
 }
 
 /// A cloneable handle to the pipelined upstream channel.
@@ -81,20 +103,36 @@ pub struct Pipeline {
 /// A submitted call whose reply has not been collected yet.
 pub struct PendingReply {
     rx: mpsc::Receiver<io::Result<Vec<u8>>>,
+    deadline: Option<Duration>,
 }
 
 impl PendingReply {
-    /// Block until the reply arrives (original xid restored).
+    /// Block until the reply arrives (original xid restored), or until
+    /// the per-call deadline expires — a silent server yields `TimedOut`
+    /// rather than a hang.
     pub fn wait(self) -> io::Result<Vec<u8>> {
-        match self.rx.recv() {
-            Ok(r) => r,
-            Err(_) => Err(broken("upstream pipeline terminated")),
+        match self.deadline {
+            None => match self.rx.recv() {
+                Ok(r) => r,
+                Err(_) => Err(broken("upstream pipeline terminated")),
+            },
+            Some(d) => match self.rx.recv_timeout(d) {
+                Ok(r) => r,
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    Err(broken("upstream pipeline terminated"))
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "upstream reply deadline exceeded",
+                )),
+            },
         }
     }
 }
 
 impl Pipeline {
-    /// Take ownership of `upstream` and start the I/O thread.
+    /// Take ownership of `upstream` and start the I/O thread, with no
+    /// fault recovery: any transport error is terminal for the channel.
     ///
     /// `window` is clamped to at least 1 (a window of 1 degenerates to
     /// the serial protocol); `rekey_every` renegotiates after that many
@@ -105,16 +143,51 @@ impl Pipeline {
         rekey_every: Option<u64>,
         stats: Arc<ProxyStats>,
     ) -> Self {
+        Self::with_recovery(upstream, window, rekey_every, stats, None, RetryPolicy::default())
+    }
+
+    /// Like [`new`](Self::new), but with fault recovery: on a transient
+    /// transport error the I/O thread re-dials through `reconnector`
+    /// under `retry`'s backoff bounds and replays idempotent in-flight
+    /// calls on the fresh channel.
+    pub fn with_recovery(
+        upstream: Upstream,
+        window: u32,
+        rekey_every: Option<u64>,
+        stats: Arc<ProxyStats>,
+        reconnector: Option<Box<dyn Reconnector>>,
+        retry: RetryPolicy,
+    ) -> Self {
         let (cmd_tx, cmd_rx) = mpsc::channel();
         let (is_tls, handshakes) = match &upstream {
             Upstream::Tls(t) => (true, t.handshake_count()),
             Upstream::Plain(_) => (false, 0),
         };
-        let shared = Arc::new(Shared { handshakes: AtomicU64::new(handshakes), is_tls });
-        let thread_shared = shared.clone();
-        std::thread::spawn(move || {
-            io_loop(upstream, cmd_rx, window.max(1), rekey_every, stats, thread_shared)
+        let shared = Arc::new(Shared {
+            handshakes: AtomicU64::new(handshakes),
+            is_tls,
+            deadline: retry.call_deadline,
         });
+        let state = IoState {
+            upstream,
+            window: window.max(1),
+            rekey_every,
+            stats,
+            shared: shared.clone(),
+            reconnector,
+            retry,
+            reconnects_used: 0,
+            queue: VecDeque::new(),
+            in_flight: HashMap::new(),
+            rekey_waiters: Vec::new(),
+            rekey_due: false,
+            wire_xid: 0x9000_0000,
+            calls_since_rekey: 0,
+            reply_buf: Vec::new(),
+            reply_high_water: 0,
+            write_scratch: Vec::new(),
+        };
+        std::thread::spawn(move || state.run(cmd_rx));
         Self { cmd_tx, shared }
     }
 
@@ -125,7 +198,7 @@ impl Pipeline {
         // A send failure means the I/O thread is gone; wait() observes
         // the dropped sender and reports it.
         let _ = self.cmd_tx.send(Cmd::Call { record, reply_tx });
-        PendingReply { rx }
+        PendingReply { rx, deadline: self.shared.deadline }
     }
 
     /// Submit a group of call records atomically. Up to a window of them
@@ -137,7 +210,7 @@ impl Pipeline {
         for record in records {
             let (reply_tx, rx) = mpsc::channel();
             batch.push((record, reply_tx));
-            waiters.push(PendingReply { rx });
+            waiters.push(PendingReply { rx, deadline: self.shared.deadline });
         }
         let _ = self.cmd_tx.send(Cmd::Batch(batch));
         waiters
@@ -158,7 +231,8 @@ impl Pipeline {
         rx.recv().map_err(|_| broken("upstream pipeline terminated"))?
     }
 
-    /// Completed handshakes on the secure channel (`None` when plain).
+    /// Completed handshakes on the secure channel (`None` when plain),
+    /// cumulative across reconnections.
     pub fn handshake_count(&self) -> Option<u64> {
         self.shared
             .is_tls
@@ -169,36 +243,76 @@ impl Pipeline {
 /// One admitted call awaiting its reply.
 struct InFlight {
     orig_xid: [u8; 4],
+    /// The full wire record (wire xid already patched in), kept so the
+    /// call can be retransmitted across a reconnect. On completion this
+    /// buffer is recycled: the reply is swapped into it and handed to the
+    /// waiter, and the retired capacity becomes the next read scratch.
+    record: Vec<u8>,
+    /// Whether retransmission on a fresh channel is safe
+    /// (see [`retry::replayable`]).
+    replay: bool,
     reply_tx: mpsc::Sender<io::Result<Vec<u8>>>,
 }
 
-fn io_loop(
-    mut upstream: Upstream,
-    cmd_rx: mpsc::Receiver<Cmd>,
+/// Control-flow outcome of one I/O-loop step.
+enum Flow {
+    Continue,
+    Shutdown,
+}
+
+/// The I/O thread's entire state, factored out of the loop so the
+/// recovery path can re-enter the same machinery on a fresh upstream.
+struct IoState {
+    upstream: Upstream,
     window: u32,
     rekey_every: Option<u64>,
     stats: Arc<ProxyStats>,
     shared: Arc<Shared>,
-) {
-    // Commands accepted but not yet admitted (window full or rekeying).
-    let mut queue: VecDeque<Cmd> = VecDeque::new();
-    let mut in_flight: HashMap<u32, InFlight> = HashMap::new();
-    let mut rekey_waiters: Vec<mpsc::Sender<io::Result<()>>> = Vec::new();
-    let mut rekey_due = false;
-    // Wire xids live only between the two proxies; any monotonic counter
-    // works as long as at most `window` are outstanding at once.
-    let mut wire_xid: u32 = 0x9000_0000;
-    let mut calls_since_rekey: u64 = 0;
-    // Reused record buffers; capacity growth is the per-record allocation
-    // figure the stats expose.
-    let mut reply_buf: Vec<u8> = Vec::new();
-    let mut write_scratch: Vec<u8> = Vec::new();
+    reconnector: Option<Box<dyn Reconnector>>,
+    retry: RetryPolicy,
+    /// Reconnections performed so far (lifetime budget).
+    reconnects_used: u32,
+    /// Commands accepted but not yet admitted (window full or rekeying).
+    queue: VecDeque<Cmd>,
+    in_flight: HashMap<u32, InFlight>,
+    rekey_waiters: Vec<mpsc::Sender<io::Result<()>>>,
+    rekey_due: bool,
+    /// Wire xids live only between the two proxies; any monotonic counter
+    /// works as long as at most `window` are outstanding at once.
+    wire_xid: u32,
+    calls_since_rekey: u64,
+    /// Read scratch; replies are swapped out of it to their waiters and
+    /// the retired call record's buffer is swapped in, so at steady state
+    /// with same-sized calls and replies no allocation occurs here.
+    reply_buf: Vec<u8>,
+    /// Largest capacity `reply_buf` has reached. Because the swap recycles
+    /// buffers of varying capacity, growth is charged against this
+    /// high-water mark, not per-read capacity deltas.
+    reply_high_water: usize,
+    write_scratch: Vec<u8>,
+}
 
-    loop {
+impl IoState {
+    fn run(mut self, cmd_rx: mpsc::Receiver<Cmd>) {
+        loop {
+            match self.step(&cmd_rx) {
+                Ok(Flow::Continue) => {}
+                Ok(Flow::Shutdown) => return,
+                Err(e) => {
+                    if let Err(fatal) = self.recover(e) {
+                        self.fail_channel(&fatal);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    fn step(&mut self, cmd_rx: &mpsc::Receiver<Cmd>) -> io::Result<Flow> {
         // Admission: fill the window from queued commands, unless a rekey
         // is pending (which quiesces the channel first).
-        while !rekey_due && (in_flight.len() as u32) < window {
-            let cmd = match queue.pop_front() {
+        while !self.rekey_due && (self.in_flight.len() as u32) < self.window {
+            let cmd = match self.queue.pop_front() {
                 Some(c) => c,
                 None => match cmd_rx.try_recv() {
                     Ok(c) => c,
@@ -206,140 +320,279 @@ fn io_loop(
                 },
             };
             match cmd {
-                Cmd::Call { mut record, reply_tx } => {
-                    if record.len() < 4 {
-                        let _ = reply_tx.send(Err(io::Error::new(
-                            io::ErrorKind::InvalidInput,
-                            "RPC record shorter than an xid",
-                        )));
-                        continue;
-                    }
-                    wire_xid = wire_xid.wrapping_add(1);
-                    let orig_xid = [record[0], record[1], record[2], record[3]];
-                    record[0..4].copy_from_slice(&wire_xid.to_be_bytes());
-                    let cap = write_scratch.capacity();
-                    if let Err(e) =
-                        write_record_with(upstream.stream(), &record, &mut write_scratch)
-                    {
-                        let _ = reply_tx.send(Err(e));
-                        fail_channel(&mut in_flight, &mut queue, &mut rekey_waiters, &stats);
-                        return;
-                    }
-                    stats.add_record_alloc((write_scratch.capacity() - cap) as u64);
-                    in_flight.insert(wire_xid, InFlight { orig_xid, reply_tx });
-                    stats.pipeline_admitted(in_flight.len() as u64);
-                    calls_since_rekey += 1;
-                    if rekey_every.is_some_and(|n| calls_since_rekey >= n) {
-                        rekey_due = true;
-                    }
-                }
+                Cmd::Call { record, reply_tx } => self.send_call(record, reply_tx)?,
                 Cmd::Batch(calls) => {
                     // Expand at the head of the queue, preserving batch
                     // order; the admission loop re-pops them immediately
                     // and parks any overflow beyond the window.
                     for (record, reply_tx) in calls.into_iter().rev() {
-                        queue.push_front(Cmd::Call { record, reply_tx });
+                        self.queue.push_front(Cmd::Call { record, reply_tx });
                     }
                 }
                 Cmd::Rekey { done_tx } => {
-                    rekey_due = true;
-                    rekey_waiters.push(done_tx);
+                    self.rekey_due = true;
+                    self.rekey_waiters.push(done_tx);
                 }
             }
         }
 
-        if in_flight.is_empty() {
-            if rekey_due {
+        if self.in_flight.is_empty() {
+            if self.rekey_due {
                 // Quiesced: safe to renegotiate over the shared channel.
-                let res = renegotiate(&mut upstream, &shared);
-                calls_since_rekey = 0;
-                rekey_due = false;
-                let failed = res.is_err();
-                for w in rekey_waiters.drain(..) {
-                    let _ = w.send(res.as_ref().map(|_| ()).map_err(clone_err));
+                // On failure the waiters stay parked — a successful
+                // recovery (full fresh handshake) satisfies them.
+                self.rekey_due = false;
+                self.calls_since_rekey = 0;
+                renegotiate(&mut self.upstream, &self.shared)?;
+                for w in self.rekey_waiters.drain(..) {
+                    let _ = w.send(Ok(()));
                 }
-                if failed {
-                    fail_channel(&mut in_flight, &mut queue, &mut rekey_waiters, &stats);
-                    return;
-                }
-                continue;
+                return Ok(Flow::Continue);
             }
             // Idle: block for the next command (or shut down once every
             // handle is dropped).
-            match cmd_rx.recv() {
+            return match cmd_rx.recv() {
                 Ok(cmd) => {
-                    queue.push_back(cmd);
-                    continue;
+                    self.queue.push_back(cmd);
+                    Ok(Flow::Continue)
                 }
-                Err(_) => return,
-            }
+                Err(_) => Ok(Flow::Shutdown),
+            };
         }
 
-        // Collect exactly one reply and complete its waiter.
-        let cap = reply_buf.capacity();
-        match read_record_into(upstream.stream(), &mut reply_buf) {
-            Ok(true) => {
-                stats.add_record_alloc((reply_buf.capacity() - cap) as u64);
-                if reply_buf.len() < 4 {
-                    fail_channel(&mut in_flight, &mut queue, &mut rekey_waiters, &stats);
-                    return;
+        self.read_one_reply()?;
+        Ok(Flow::Continue)
+    }
+
+    /// Admit one call: rewrite its xid, register the waiter, transmit.
+    /// The call is registered *before* the write so a mid-write failure
+    /// is recovered (replayed or failed) uniformly with every other
+    /// in-flight call.
+    fn send_call(
+        &mut self,
+        mut record: Vec<u8>,
+        reply_tx: mpsc::Sender<io::Result<Vec<u8>>>,
+    ) -> io::Result<()> {
+        if record.len() < 4 {
+            let _ = reply_tx.send(Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "RPC record shorter than an xid",
+            )));
+            return Ok(());
+        }
+        self.wire_xid = self.wire_xid.wrapping_add(1);
+        let orig_xid = [record[0], record[1], record[2], record[3]];
+        record[0..4].copy_from_slice(&self.wire_xid.to_be_bytes());
+        // Classification is only consulted by the recovery path.
+        let replay = self.reconnector.is_some() && retry::replayable(&record);
+        self.in_flight
+            .insert(self.wire_xid, InFlight { orig_xid, record, replay, reply_tx });
+        self.stats.pipeline_admitted(self.in_flight.len() as u64);
+        self.calls_since_rekey += 1;
+        if self.rekey_every.is_some_and(|n| self.calls_since_rekey >= n) {
+            self.rekey_due = true;
+        }
+        let cap = self.write_scratch.capacity();
+        let res = write_record_with(
+            self.upstream.stream(),
+            &self.in_flight[&self.wire_xid].record,
+            &mut self.write_scratch,
+        );
+        self.stats.add_record_alloc((self.write_scratch.capacity() - cap) as u64);
+        res
+    }
+
+    /// Collect exactly one reply and complete its waiter, handing the
+    /// reply buffer over without copying.
+    fn read_one_reply(&mut self) -> io::Result<()> {
+        match read_record_into(self.upstream.stream(), &mut self.reply_buf) {
+            Ok(true) => {}
+            Ok(false) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "upstream EOF with calls in flight",
+                ))
+            }
+            Err(e) => return Err(e),
+        }
+        let cap = self.reply_buf.capacity();
+        if cap > self.reply_high_water {
+            self.stats.add_record_alloc((cap - self.reply_high_water) as u64);
+            self.reply_high_water = cap;
+        }
+        if self.reply_buf.len() < 4 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "upstream reply shorter than an xid",
+            ));
+        }
+        let xid = u32::from_be_bytes([
+            self.reply_buf[0],
+            self.reply_buf[1],
+            self.reply_buf[2],
+            self.reply_buf[3],
+        ]);
+        let Some(mut call) = self.in_flight.remove(&xid) else {
+            // A reply to nothing we sent: the stream framing can no
+            // longer be trusted; a fresh connection can.
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "upstream reply to unknown xid",
+            ));
+        };
+        // Zero-copy handoff: the reply rides out in `reply_buf`, and the
+        // retired call record's buffer becomes the next read scratch.
+        std::mem::swap(&mut self.reply_buf, &mut call.record);
+        call.record[0..4].copy_from_slice(&call.orig_xid);
+        self.reply_buf.clear();
+        self.stats.pipeline_completed(self.in_flight.len() as u64);
+        // The caller may have given up on the reply; channel teardown
+        // handles the rest.
+        let _ = call.reply_tx.send(Ok(call.record));
+        Ok(())
+    }
+
+    /// Transport failure: fail the in-flight calls that cannot be safely
+    /// retransmitted, then re-dial and replay the rest. `Err` means the
+    /// channel is truly dead (no reconnector, fatal error, or budget
+    /// exhausted) and carries the terminal cause.
+    fn recover(&mut self, err: io::Error) -> io::Result<()> {
+        if self.reconnector.is_none()
+            || !is_transient_io(&err)
+            || self.reconnects_used >= self.retry.max_reconnects
+        {
+            return Err(err);
+        }
+
+        // Partition the window: idempotent calls survive for replay (in
+        // wire-xid order, preserving relative submission order — COMMIT
+        // never jumps ahead of a replayed WRITE because COMMIT is never
+        // in flight while unstable WRITEs are, and non-idempotent calls
+        // fail right here rather than replay).
+        let mut replay: Vec<(u32, InFlight)> = Vec::new();
+        for (xid, call) in self.in_flight.drain() {
+            if call.replay {
+                replay.push((xid, call));
+            } else {
+                let _ = call.reply_tx.send(Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    "connection lost with a non-idempotent call in flight",
+                )));
+            }
+        }
+        replay.sort_by_key(|(xid, _)| *xid);
+        self.stats.pipeline_completed(0);
+
+        let mut backoff = self.retry.backoff_base;
+        let mut last = err;
+        for attempt in 0..self.retry.dial_attempts.max(1) {
+            if attempt > 0 {
+                let d = backoff.min(self.retry.backoff_cap);
+                std::thread::sleep(d);
+                self.stats.add_backoff(d);
+                backoff = backoff.saturating_mul(2);
+            }
+            let dialed = self
+                .reconnector
+                .as_mut()
+                .expect("checked above")
+                .reconnect(attempt);
+            match dialed {
+                Ok(up) => {
+                    self.install(up);
+                    match self.resend(&replay) {
+                        Ok(()) => {
+                            let replayed = replay.len() as u64;
+                            for (xid, call) in replay {
+                                self.in_flight.insert(xid, call);
+                            }
+                            self.stats.pipeline_admitted(self.in_flight.len() as u64);
+                            self.stats.add_replays(replayed);
+                            self.stats.add_reconnect();
+                            self.reconnects_used += 1;
+                            // The fresh connection ran a full handshake:
+                            // any pending rekey request is satisfied.
+                            self.rekey_due = false;
+                            self.calls_since_rekey = 0;
+                            for w in self.rekey_waiters.drain(..) {
+                                let _ = w.send(Ok(()));
+                            }
+                            return Ok(());
+                        }
+                        Err(e) if is_transient_io(&e) => last = e,
+                        Err(e) => {
+                            fail_waiters(replay, &e);
+                            return Err(e);
+                        }
+                    }
                 }
-                let xid =
-                    u32::from_be_bytes([reply_buf[0], reply_buf[1], reply_buf[2], reply_buf[3]]);
-                match in_flight.remove(&xid) {
-                    Some(call) => {
-                        let mut reply = reply_buf.clone();
-                        reply[0..4].copy_from_slice(&call.orig_xid);
-                        stats.pipeline_completed(in_flight.len() as u64);
-                        // The caller may have given up on the reply;
-                        // channel teardown handles the rest.
-                        let _ = call.reply_tx.send(Ok(reply));
-                    }
-                    None => {
-                        // A reply to nothing we sent: protocol violation,
-                        // the channel can no longer be trusted.
-                        fail_channel(&mut in_flight, &mut queue, &mut rekey_waiters, &stats);
-                        return;
-                    }
+                Err(e) if is_transient_io(&e) => last = e,
+                Err(e) => {
+                    fail_waiters(replay, &e);
+                    return Err(e);
                 }
             }
-            Ok(false) | Err(_) => {
-                // EOF or transport error with calls outstanding.
-                fail_channel(&mut in_flight, &mut queue, &mut rekey_waiters, &stats);
-                return;
+        }
+        fail_waiters(replay, &last);
+        Err(last)
+    }
+
+    /// Adopt a fresh upstream, carrying the cumulative handshake count
+    /// (and crypto-time accounting) over to the replacement channel.
+    fn install(&mut self, mut up: Upstream) {
+        if let Upstream::Tls(t) = &mut up {
+            t.busy_counter = Some(self.stats.busy_counter());
+            let total = self.shared.handshakes.load(Ordering::Acquire) + t.handshake_count();
+            t.set_handshake_count(total);
+            self.shared.handshakes.store(total, Ordering::Release);
+        }
+        self.upstream = up;
+    }
+
+    /// Retransmit every surviving call on the (fresh) upstream. Nothing
+    /// is re-registered until all writes land: a mid-resend failure kills
+    /// this connection too, and the next dial attempt resends them all.
+    fn resend(&mut self, replay: &[(u32, InFlight)]) -> io::Result<()> {
+        for (_, call) in replay {
+            write_record_with(self.upstream.stream(), &call.record, &mut self.write_scratch)?;
+        }
+        Ok(())
+    }
+
+    /// Complete every outstanding waiter with an error; the upstream is
+    /// dead beyond recovery.
+    fn fail_channel(&mut self, cause: &io::Error) {
+        let msg = format!("upstream channel failed: {cause}");
+        for (_, call) in self.in_flight.drain() {
+            let _ = call.reply_tx.send(Err(broken(&msg)));
+        }
+        self.stats.pipeline_completed(0);
+        for cmd in self.queue.drain(..) {
+            match cmd {
+                Cmd::Call { reply_tx, .. } => {
+                    let _ = reply_tx.send(Err(broken(&msg)));
+                }
+                Cmd::Batch(calls) => {
+                    for (_, reply_tx) in calls {
+                        let _ = reply_tx.send(Err(broken(&msg)));
+                    }
+                }
+                Cmd::Rekey { done_tx } => {
+                    let _ = done_tx.send(Err(broken(&msg)));
+                }
             }
+        }
+        for w in self.rekey_waiters.drain(..) {
+            let _ = w.send(Err(broken(&msg)));
         }
     }
 }
 
-/// Complete every outstanding waiter with an error; the upstream is dead.
-fn fail_channel(
-    in_flight: &mut HashMap<u32, InFlight>,
-    queue: &mut VecDeque<Cmd>,
-    rekey_waiters: &mut Vec<mpsc::Sender<io::Result<()>>>,
-    stats: &ProxyStats,
-) {
-    for (_, call) in in_flight.drain() {
-        let _ = call.reply_tx.send(Err(broken("upstream channel failed")));
-    }
-    stats.pipeline_completed(0);
-    for cmd in queue.drain(..) {
-        match cmd {
-            Cmd::Call { reply_tx, .. } => {
-                let _ = reply_tx.send(Err(broken("upstream channel failed")));
-            }
-            Cmd::Batch(calls) => {
-                for (_, reply_tx) in calls {
-                    let _ = reply_tx.send(Err(broken("upstream channel failed")));
-                }
-            }
-            Cmd::Rekey { done_tx } => {
-                let _ = done_tx.send(Err(broken("upstream channel failed")));
-            }
-        }
-    }
-    for w in rekey_waiters.drain(..) {
-        let _ = w.send(Err(broken("upstream channel failed")));
+/// Fail a batch of replay candidates whose recovery did not pan out.
+fn fail_waiters(replay: Vec<(u32, InFlight)>, cause: &io::Error) {
+    let msg = format!("upstream recovery failed: {cause}");
+    for (_, call) in replay {
+        let _ = call.reply_tx.send(Err(broken(&msg)));
     }
 }
 
@@ -357,10 +610,6 @@ fn renegotiate(upstream: &mut Upstream, shared: &Shared) -> io::Result<()> {
 
 fn broken(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::BrokenPipe, msg.to_string())
-}
-
-fn clone_err(e: &io::Error) -> io::Error {
-    io::Error::new(e.kind(), e.to_string())
 }
 
 #[cfg(test)]
@@ -515,13 +764,194 @@ mod tests {
             p.call(call_record(i, &payload)).unwrap();
         }
         let settled = stats.record_alloc_bytes();
+        assert!(settled > 0, "scratch growth must be accounted at warm-up");
+        assert!(
+            settled <= 64 * 1024,
+            "settled scratch accounting implausibly large: {settled} B \
+             (per-reply copies would inflate it every call)"
+        );
+        // Steady state at the settled size, then *varying* sizes: the
+        // reply handoff recycles caller buffers of differing capacity,
+        // and none of that churn may be charged as new scratch growth.
         for i in 32..96u32 {
             p.call(call_record(i, &payload)).unwrap();
+        }
+        for i in 96..128u32 {
+            let len = 64 + ((i as usize * 509) % payload.len());
+            p.call(call_record(i, &payload[..len])).unwrap();
         }
         assert_eq!(
             stats.record_alloc_bytes(),
             settled,
             "record scratch buffers must stop growing at steady state"
         );
+    }
+
+    // --- fault recovery -------------------------------------------------
+
+    use sgfs_nfs3::proc::procnum;
+    use sgfs_nfs3::{NFS_PROGRAM, NFS_VERSION};
+    use sgfs_oncrpc::{AuthSysParams, CallHeader, OpaqueAuth};
+    use sgfs_xdr::{XdrEncode, XdrEncoder};
+
+    /// A minimal but *valid* NFSv3 call record (the replay classifier
+    /// must be able to decode the header).
+    fn nfs_record(xid: u32, proc: u32) -> Vec<u8> {
+        let header = CallHeader {
+            xid,
+            prog: NFS_PROGRAM,
+            vers: NFS_VERSION,
+            proc,
+            cred: OpaqueAuth::sys(&AuthSysParams::new("t", 1001, 1001)),
+            verf: OpaqueAuth::none(),
+        };
+        let mut enc = XdrEncoder::with_capacity(64);
+        header.encode(&mut enc);
+        enc.into_bytes()
+    }
+
+    /// A reconnector serving fresh echo-server connections, refusing the
+    /// first `refuse` dial attempts.
+    fn echo_reconnector(refuse: u32) -> Box<dyn Reconnector> {
+        let mut refusals = refuse;
+        Box::new(move |_attempt: u32| {
+            if refusals > 0 {
+                refusals -= 1;
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionRefused,
+                    "injected connect refusal",
+                ));
+            }
+            let (client_end, server_end) = pipe_pair();
+            echo_server(server_end, 1);
+            Ok(Upstream::Plain(Box::new(client_end)))
+        })
+    }
+
+    fn quick_retry() -> RetryPolicy {
+        RetryPolicy {
+            max_reconnects: 4,
+            dial_attempts: 6,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(4),
+            call_deadline: Some(Duration::from_secs(10)),
+        }
+    }
+
+    #[test]
+    fn reconnect_replays_idempotent_calls() {
+        let (client_end, server_end) = pipe_pair();
+        let stats = ProxyStats::new();
+        let p = Pipeline::with_recovery(
+            Upstream::Plain(Box::new(client_end)),
+            4,
+            None,
+            stats.clone(),
+            Some(echo_reconnector(0)),
+            quick_retry(),
+        );
+        let pending = p.submit(nfs_record(0x77, procnum::GETATTR));
+        // Kill the first connection before any reply: the GETATTR must be
+        // replayed on the fresh channel and still complete correctly.
+        drop(server_end);
+        let reply = pending.wait().unwrap();
+        assert_eq!(&reply[0..4], &0x77u32.to_be_bytes(), "caller xid restored");
+        assert_eq!(stats.reconnects(), 1);
+        assert_eq!(stats.replays(), 1);
+        // Channel stays serviceable afterwards.
+        assert!(p.call(nfs_record(0x78, procnum::ACCESS)).is_ok());
+    }
+
+    #[test]
+    fn connect_refusals_are_retried_with_backoff() {
+        let (client_end, server_end) = pipe_pair();
+        let stats = ProxyStats::new();
+        let p = Pipeline::with_recovery(
+            Upstream::Plain(Box::new(client_end)),
+            4,
+            None,
+            stats.clone(),
+            Some(echo_reconnector(2)),
+            quick_retry(),
+        );
+        let pending = p.submit(nfs_record(1, procnum::LOOKUP));
+        drop(server_end);
+        assert!(pending.wait().is_ok());
+        assert_eq!(stats.reconnects(), 1);
+        assert!(stats.backoff() > Duration::ZERO, "refused dials must back off");
+    }
+
+    #[test]
+    fn non_idempotent_calls_fail_cleanly_on_reconnect() {
+        let (client_end, server_end) = pipe_pair();
+        let stats = ProxyStats::new();
+        let p = Pipeline::with_recovery(
+            Upstream::Plain(Box::new(client_end)),
+            4,
+            None,
+            stats.clone(),
+            Some(echo_reconnector(0)),
+            quick_retry(),
+        );
+        // Batch admission puts both calls in flight atomically before the
+        // I/O thread blocks on a reply.
+        let mut pending =
+            p.submit_batch(vec![nfs_record(2, procnum::RENAME), nfs_record(3, procnum::GETATTR)]);
+        let getattr = pending.pop().unwrap();
+        let rename = pending.pop().unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        drop(server_end);
+        let err = rename.wait().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset, "{err}");
+        assert!(getattr.wait().is_ok(), "idempotent neighbor must survive");
+        assert_eq!(stats.replays(), 1, "only the GETATTR is replayed");
+    }
+
+    #[test]
+    fn reconnect_budget_exhaustion_is_terminal() {
+        let (client_end, server_end) = pipe_pair();
+        let p = Pipeline::with_recovery(
+            Upstream::Plain(Box::new(client_end)),
+            4,
+            None,
+            ProxyStats::new(),
+            // Every dial refused: recovery must give up, not spin.
+            Some(Box::new(|_attempt: u32| {
+                Err::<Upstream, _>(io::Error::new(
+                    io::ErrorKind::ConnectionRefused,
+                    "always refused",
+                ))
+            })),
+            RetryPolicy {
+                dial_attempts: 2,
+                backoff_base: Duration::from_millis(1),
+                backoff_cap: Duration::from_millis(2),
+                ..quick_retry()
+            },
+        );
+        let pending = p.submit(nfs_record(4, procnum::GETATTR));
+        drop(server_end);
+        assert!(pending.wait().is_err());
+        assert!(p.call(nfs_record(5, procnum::GETATTR)).is_err(), "channel is dead");
+    }
+
+    #[test]
+    fn silent_server_trips_call_deadline() {
+        let (client_end, server_end) = pipe_pair();
+        // No echo server: the connection is open but never answers.
+        let p = Pipeline::with_recovery(
+            Upstream::Plain(Box::new(client_end)),
+            4,
+            None,
+            ProxyStats::new(),
+            None,
+            RetryPolicy {
+                call_deadline: Some(Duration::from_millis(50)),
+                ..RetryPolicy::default()
+            },
+        );
+        let err = p.call(nfs_record(6, procnum::GETATTR)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        drop(server_end);
     }
 }

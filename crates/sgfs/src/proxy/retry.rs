@@ -1,0 +1,165 @@
+//! Upstream reconnection and NFSv3 replay classification.
+//!
+//! When the secure channel between the proxies dies with a transient
+//! transport error, the pipeline obtains a fresh [`Upstream`] from a
+//! [`Reconnector`] and replays the calls that were in flight — but only
+//! those the NFSv3 retransmission rules make safe. The classification
+//! below is the paper's cache-consistency stance applied to recovery:
+//! retransmission safety *is* idempotency, and a WRITE is only idempotent
+//! when it is `UNSTABLE` (the write-back layer re-sends and COMMITs it
+//! under the write-verifier protocol anyway).
+
+use crate::proxy::client::Upstream;
+use sgfs_nfs3::proc::{procnum, WriteArgs};
+use sgfs_nfs3::types::StableHow;
+use sgfs_nfs3::{NFS_PROGRAM, NFS_VERSION};
+use sgfs_oncrpc::CallHeader;
+use sgfs_xdr::{XdrDecode, XdrDecoder};
+use std::io;
+
+/// Factory for replacement upstream channels.
+///
+/// `attempt` counts dials within one recovery episode (0-based), letting
+/// an implementation vary behaviour per attempt (a test injector refusing
+/// the first N connects, for instance). For `Upstream::Tls` the
+/// implementation must re-run the full GTLS handshake — a reconnect is a
+/// new connection, not a resumption.
+pub trait Reconnector: Send {
+    /// Dial a fresh upstream. `ConnectionRefused` (and other transient
+    /// kinds) are retried under the session's `RetryPolicy`; fatal kinds
+    /// abort recovery.
+    fn reconnect(&mut self, attempt: u32) -> io::Result<Upstream>;
+}
+
+impl<F> Reconnector for F
+where
+    F: FnMut(u32) -> io::Result<Upstream> + Send,
+{
+    fn reconnect(&mut self, attempt: u32) -> io::Result<Upstream> {
+        self(attempt)
+    }
+}
+
+/// Whether an encoded NFSv3 call record may be retransmitted on a fresh
+/// channel without risking duplicate side effects.
+///
+/// Pure reads and probes are always safe. WRITE is safe only when
+/// `stable == UNSTABLE`: the data is not durable until a COMMIT whose
+/// verifier is checked, so a duplicate arrival is absorbed by the
+/// crash-recovery protocol. Everything that mutates the namespace
+/// (CREATE/REMOVE/RENAME/…), stable WRITEs, SETATTR and COMMIT are not
+/// replayed — a lost reply leaves us unable to tell whether the first
+/// transmission executed.
+pub fn replayable(record: &[u8]) -> bool {
+    let mut dec = XdrDecoder::new(record);
+    let Ok(header) = CallHeader::decode(&mut dec) else { return false };
+    if header.prog != NFS_PROGRAM || header.vers != NFS_VERSION {
+        return false;
+    }
+    match header.proc {
+        procnum::NULL
+        | procnum::GETATTR
+        | procnum::LOOKUP
+        | procnum::ACCESS
+        | procnum::READLINK
+        | procnum::READ
+        | procnum::READDIR
+        | procnum::READDIRPLUS
+        | procnum::FSSTAT
+        | procnum::FSINFO
+        | procnum::PATHCONF => true,
+        procnum::WRITE => matches!(
+            WriteArgs::decode(&mut dec),
+            Ok(args) if args.stable == StableHow::Unstable
+        ),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgfs_nfs3::types::Fh3;
+    use sgfs_oncrpc::{AuthSysParams, OpaqueAuth};
+    use sgfs_xdr::{XdrEncode, XdrEncoder};
+
+    fn record(proc: u32, body: impl FnOnce(&mut XdrEncoder)) -> Vec<u8> {
+        let header = CallHeader {
+            xid: 7,
+            prog: NFS_PROGRAM,
+            vers: NFS_VERSION,
+            proc,
+            cred: OpaqueAuth::sys(&AuthSysParams::new("host", 1001, 1001)),
+            verf: OpaqueAuth::none(),
+        };
+        let mut enc = XdrEncoder::with_capacity(128);
+        header.encode(&mut enc);
+        body(&mut enc);
+        enc.into_bytes()
+    }
+
+    fn write_record(stable: StableHow) -> Vec<u8> {
+        record(procnum::WRITE, |enc| {
+            WriteArgs {
+                file: Fh3::from_ino(1, 42),
+                offset: 0,
+                stable,
+                data: vec![0u8; 16],
+            }
+            .encode(enc)
+        })
+    }
+
+    #[test]
+    fn reads_and_probes_are_replayable() {
+        for proc in [
+            procnum::NULL,
+            procnum::GETATTR,
+            procnum::LOOKUP,
+            procnum::ACCESS,
+            procnum::READLINK,
+            procnum::READ,
+            procnum::READDIR,
+            procnum::READDIRPLUS,
+            procnum::FSSTAT,
+            procnum::FSINFO,
+            procnum::PATHCONF,
+        ] {
+            assert!(replayable(&record(proc, |_| ())), "proc {proc}");
+        }
+    }
+
+    #[test]
+    fn mutations_are_not_replayable() {
+        for proc in [
+            procnum::SETATTR,
+            procnum::CREATE,
+            procnum::MKDIR,
+            procnum::SYMLINK,
+            procnum::MKNOD,
+            procnum::REMOVE,
+            procnum::RMDIR,
+            procnum::RENAME,
+            procnum::LINK,
+            procnum::COMMIT,
+        ] {
+            assert!(!replayable(&record(proc, |_| ())), "proc {proc}");
+        }
+    }
+
+    #[test]
+    fn only_unstable_writes_are_replayable() {
+        assert!(replayable(&write_record(StableHow::Unstable)));
+        assert!(!replayable(&write_record(StableHow::DataSync)));
+        assert!(!replayable(&write_record(StableHow::FileSync)));
+    }
+
+    #[test]
+    fn foreign_or_garbled_records_are_not_replayable() {
+        assert!(!replayable(b"not an rpc record"));
+        assert!(!replayable(&[]));
+        let mut wrong_prog = record(procnum::GETATTR, |_| ());
+        wrong_prog[4 + 4 + 4 + 3] ^= 1; // flip a program-number bit
+        assert!(!replayable(&wrong_prog));
+    }
+}

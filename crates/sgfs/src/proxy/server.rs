@@ -122,11 +122,7 @@ impl ServerProxy {
     /// Serve one downstream (secure-channel) connection until EOF.
     pub fn serve(self: &Arc<Self>, mut downstream: BoxStream) -> std::io::Result<()> {
         while let Some(record) = read_record(&mut downstream)? {
-            let reply = self.stats.track(|| self.process(&record));
-            let reply = match reply {
-                Ok(r) => r,
-                Err(e) => return Err(e),
-            };
+            let reply = self.stats.track(|| self.process(&record))?;
             // The proxy ↔ kernel-server loopback hop (request + reply).
             if let Some((clock, hop)) = self.hop.lock().as_ref() {
                 clock.advance(hop.of(record.len()) + hop.of(reply.len()));
@@ -334,9 +330,7 @@ impl ServerProxy {
                 return Some(Arc::new(acl));
             }
         }
-        if name.is_none() {
-            return None; // root without a root ACL
-        }
+        name.as_ref()?; // root without a root ACL
         self.resolve_acl(&parent, depth + 1)
     }
 

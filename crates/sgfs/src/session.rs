@@ -14,7 +14,7 @@
 //! | `GfsSsh`  | plain proxies through the session-key SSH tunnel |
 //! | `Sfs`     | RC4 proxies, aggressive memory metadata cache + read-ahead |
 
-use crate::config::{CacheMode, HopCost, SecurityLevel, SessionConfig};
+use crate::config::{CacheMode, HopCost, RetryPolicy, SecurityLevel, SessionConfig};
 use crate::proxy::client::{ClientProxy, ClientProxyController, Upstream};
 use crate::proxy::server::ServerProxy;
 use crate::proxy::ProxyError;
@@ -238,6 +238,9 @@ pub struct SessionParams {
     /// passing the same `Arc<Vfs>` to several sessions makes them share
     /// data (how the FSS realizes multiple sessions to one filesystem).
     pub vfs: Option<std::sync::Arc<Vfs>>,
+    /// Upstream fault-recovery policy for the client proxy's pipeline
+    /// (reconnect budget, dial backoff, per-call reply deadline).
+    pub retry: RetryPolicy,
 }
 
 impl SessionParams {
@@ -255,6 +258,7 @@ impl SessionParams {
             hop_cost: HopCost::default(),
             readahead: None,
             vfs: None,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -439,6 +443,7 @@ impl Session {
         client_cfg.readahead = params
             .readahead
             .unwrap_or(if params.kind == SetupKind::Sfs { 4 } else { 0 });
+        client_cfg.retry = params.retry;
 
         // Establish the inter-proxy channel per configuration.
         enum Downstream {
@@ -454,10 +459,8 @@ impl Session {
                 let key: [u8; 32] = rand::random();
                 let hop_s = Some((clock.clone(), params.hop_cost));
                 let hop_c = hop_s.clone();
-                let server_end = std::thread::spawn({
-                    let key = key;
-                    move || tunnel_server(wire_server, &key, hop_s)
-                });
+                let server_end =
+                    std::thread::spawn(move || tunnel_server(wire_server, &key, hop_s));
                 let client_stream = tunnel_client(wire_client, &key, hop_c)?;
                 let server_stream = server_end.join().expect("tunnel thread")?;
                 (
@@ -495,6 +498,7 @@ impl Session {
         };
 
         // Server proxy: authorize and serve.
+        let server_accept_gtls = server_cfg.gtls();
         let server_proxy = ServerProxy::new(
             server_cfg,
             &server_peer,
@@ -513,10 +517,65 @@ impl Session {
         };
         server_proxy.clone().spawn(server_downstream);
 
+        // Reconnector: when the inter-proxy channel dies with a transient
+        // fault, the pipeline re-dials through this closure. A dial lays a
+        // fresh pipe over the same emulated link and hands the far end to
+        // the acceptor thread below, which (for secure kinds) re-runs the
+        // full GTLS server handshake and attaches a new server-proxy
+        // connection. GfsSsh keeps its single tunnel (no re-keying path),
+        // and the kernel baselines have no proxy to recover.
+        let reconnector: Option<Box<dyn crate::proxy::retry::Reconnector>> = match params.kind
+        {
+            SetupKind::Gfs | SetupKind::Sgfs(_) | SetupKind::Sfs => {
+                let (accept_tx, accept_rx) = mpsc::channel::<sgfs_net::BoxStream>();
+                let sp = server_proxy.clone();
+                std::thread::spawn(move || {
+                    while let Ok(end) = accept_rx.recv() {
+                        let downstream: sgfs_net::BoxStream = match server_accept_gtls.clone()
+                        {
+                            Some(cfg) => match GtlsStream::server(end, cfg) {
+                                Ok(mut t) => {
+                                    t.busy_counter = Some(sp.stats().busy_counter());
+                                    Box::new(t)
+                                }
+                                // A failed handshake kills this dial only;
+                                // the client side sees the error and backs
+                                // off for another attempt.
+                                Err(_) => continue,
+                            },
+                            None => end,
+                        };
+                        sp.clone().spawn(downstream);
+                    }
+                });
+                let client_gtls = client_cfg.gtls();
+                let link = link.clone();
+                Some(Box::new(move |_attempt: u32| -> std::io::Result<Upstream> {
+                    let (c, s) = pipe_pair_over_link(link.clone());
+                    accept_tx.send(Box::new(s)).map_err(|_| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::ConnectionRefused,
+                            "server proxy acceptor is gone",
+                        )
+                    })?;
+                    match client_gtls.clone() {
+                        Some(cfg) => {
+                            let tls = GtlsStream::client(Box::new(c), cfg)
+                                .map_err(std::io::Error::from)?;
+                            Ok(Upstream::Tls(Box::new(tls)))
+                        }
+                        None => Ok(Upstream::Plain(Box::new(c))),
+                    }
+                }))
+            }
+            _ => None,
+        };
+
         // Client proxy. Its upstream is pipelined (xid-demultiplexed), so
         // the read-ahead worker rides the same channel — no second
         // connection, no second handshake.
-        let mut client_proxy = ClientProxy::new(client_upstream, &client_cfg)?;
+        let mut client_proxy =
+            ClientProxy::with_reconnector(client_upstream, &client_cfg, reconnector)?;
         client_proxy.set_hop_cost(clock.clone(), params.hop_cost);
         client_proxy.start_readahead();
 
@@ -579,9 +638,9 @@ impl Session {
     /// dump of the client proxy's forwarded-procedure counters
     /// (diagnostics for the evaluation harness).
     pub fn finish_with_debug(mut self) -> Result<String, SessionError> {
-        self.mount.unmount().map_err(|e| {
-            SessionError::Io(std::io::Error::new(std::io::ErrorKind::Other, e.to_string()))
-        })?;
+        self.mount
+            .unmount()
+            .map_err(|e| SessionError::Io(std::io::Error::other(e.to_string())))?;
         let old = std::mem::replace(
             &mut self.mount,
             Self::placeholder_mount(&self.clock, &Fh3::from_ino(0, 0)),
@@ -606,9 +665,9 @@ impl Session {
     /// proxy, and write back everything still dirty in the proxy cache
     /// (timed — the paper reports this separately).
     pub fn finish(mut self) -> Result<SessionReport, SessionError> {
-        self.mount.unmount().map_err(|e| {
-            SessionError::Io(std::io::Error::new(std::io::ErrorKind::Other, e.to_string()))
-        })?;
+        self.mount
+            .unmount()
+            .map_err(|e| SessionError::Io(std::io::Error::other(e.to_string())))?;
         // Closing the downstream pipe ends the proxy loop.
         let (dead, _) = pipe_pair();
         let old = std::mem::replace(

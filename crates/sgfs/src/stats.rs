@@ -32,6 +32,12 @@ pub struct ProxyStats {
     /// buffers — zero at steady state once they reach their high-water
     /// size.
     record_alloc_bytes: AtomicU64,
+    /// Successful upstream reconnections after a transient failure.
+    reconnects: AtomicU64,
+    /// In-flight idempotent calls replayed across reconnections.
+    replays: AtomicU64,
+    /// Nanoseconds slept in reconnect backoff.
+    backoff_nanos: AtomicU64,
     /// (sample_time, cumulative_busy) pairs for utilization series.
     samples: Mutex<Vec<(Duration, Duration)>>,
 }
@@ -125,6 +131,38 @@ impl ProxyStats {
         self.record_alloc_bytes.load(Ordering::Relaxed)
     }
 
+    /// One upstream reconnection completed (handshake done, channel live).
+    pub fn add_reconnect(&self) {
+        self.reconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `n` in-flight calls were replayed on a fresh channel.
+    pub fn add_replays(&self, n: u64) {
+        if n > 0 {
+            self.replays.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Slept `d` in reconnect backoff.
+    pub fn add_backoff(&self, d: Duration) {
+        self.backoff_nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Successful upstream reconnections.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects.load(Ordering::Relaxed)
+    }
+
+    /// Idempotent calls replayed across reconnections.
+    pub fn replays(&self) -> u64 {
+        self.replays.load(Ordering::Relaxed)
+    }
+
+    /// Total time spent in reconnect backoff.
+    pub fn backoff(&self) -> Duration {
+        Duration::from_nanos(self.backoff_nanos.load(Ordering::Relaxed))
+    }
+
     /// Cumulative busy time.
     pub fn busy(&self) -> Duration {
         Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed))
@@ -204,6 +242,19 @@ mod tests {
         s.add_record_alloc(128);
         s.add_record_alloc(0);
         assert_eq!(s.record_alloc_bytes(), 128);
+    }
+
+    #[test]
+    fn recovery_counters() {
+        let s = ProxyStats::new();
+        s.add_reconnect();
+        s.add_replays(3);
+        s.add_replays(0);
+        s.add_backoff(Duration::from_millis(10));
+        s.add_backoff(Duration::from_millis(20));
+        assert_eq!(s.reconnects(), 1);
+        assert_eq!(s.replays(), 3);
+        assert_eq!(s.backoff(), Duration::from_millis(30));
     }
 
     #[test]

@@ -122,20 +122,18 @@ fn endpoint(
     });
 
     // wire → local (decrypt).
-    std::thread::spawn(move || loop {
-        let (_, body) = match read_frame(&mut wire_read) {
-            Ok(f) => f,
-            Err(_) => break,
-        };
-        let plain = match rx_state.open(CT_DATA, body) {
-            Ok(p) => p,
-            Err(_) => break,
-        };
-        if let Some((clock, hop)) = &hop_rx {
-            clock.advance(hop.of(plain.len()) * 2);
-        }
-        if local_write.write_all(&plain).is_err() {
-            break;
+    std::thread::spawn(move || {
+        while let Ok((_, body)) = read_frame(&mut wire_read) {
+            let plain = match rx_state.open(CT_DATA, body) {
+                Ok(p) => p,
+                Err(_) => break,
+            };
+            if let Some((clock, hop)) = &hop_rx {
+                clock.advance(hop.of(plain.len()) * 2);
+            }
+            if local_write.write_all(&plain).is_err() {
+                break;
+            }
         }
     });
 

@@ -1,0 +1,658 @@
+//! Fault-matrix tests for the fail-safe upstream channel.
+//!
+//! A seed-driven [`FaultInjector`] subjects the pipelined channel to
+//! mid-record EOFs, partial writes, connect refusals and latency spikes;
+//! the properties checked are the recovery contract of DESIGN.md:
+//!
+//! 1. Every `PendingReply::wait` terminates (success, clean error, or
+//!    deadline) — no fault schedule may hang a caller.
+//! 2. For idempotent calls the replies a faulted run produces are
+//!    byte-identical to the fault-free run.
+//! 3. A COMMIT never reaches the server before every WRITE it covers,
+//!    even when the WRITEs were replayed across a reconnection.
+//! 4. A changed write verifier forces re-transmission of unstable WRITEs
+//!    (the NFSv3 crash-recovery contract).
+//! 5. The ACCESS cache answers only for bits it has actually checked.
+//! 6. On a GTLS channel, byte corruption is detected by the record MAC
+//!    and cured by a reconnect + handshake (plain transports cannot see
+//!    corruption — TCP checksums are the only line of defense there, so
+//!    the plain-transport matrix excludes the corruption fault).
+
+use proptest::prelude::*;
+use sgfs::config::{CacheMode, RetryPolicy, SecurityLevel, SessionConfig};
+use sgfs::proxy::client::{ClientProxy, Upstream};
+use sgfs::proxy::pipeline::Pipeline;
+use sgfs::session::GridWorld;
+use sgfs::stats::ProxyStats;
+use sgfs_gtls::GtlsStream;
+use sgfs_net::{pipe_pair, BoxStream, FaultInjector, FaultPlan, FaultStream, PipeEnd};
+use sgfs_nfs3::proc::{
+    procnum, AccessArgs, AccessRes, CommitRes, GetAttrRes, WriteArgs, WriteRes,
+};
+use sgfs_nfs3::types::*;
+use sgfs_nfs3::{NFS_PROGRAM, NFS_VERSION};
+use sgfs_oncrpc::msg::AuthSysParams;
+use sgfs_oncrpc::record::{read_record, write_record};
+use sgfs_oncrpc::{CallHeader, OpaqueAuth, ReplyHeader};
+use sgfs_xdr::{XdrDecode, XdrDecoder, XdrEncode, XdrEncoder};
+use std::io::Read;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+/// An encoded NFSv3 call record (valid `CallHeader` + body).
+fn nfs_call(xid: u32, proc: u32, body: impl FnOnce(&mut XdrEncoder)) -> Vec<u8> {
+    let header = CallHeader {
+        xid,
+        prog: NFS_PROGRAM,
+        vers: NFS_VERSION,
+        proc,
+        cred: OpaqueAuth::sys(&AuthSysParams::new("test-host", 1001, 1001)),
+        verf: OpaqueAuth::none(),
+    };
+    let mut enc = XdrEncoder::with_capacity(256);
+    header.encode(&mut enc);
+    body(&mut enc);
+    enc.into_bytes()
+}
+
+/// The echo servers' deterministic request → reply transformation.
+fn transform(request: &[u8]) -> Vec<u8> {
+    let mut reply = request[0..4].to_vec();
+    reply.extend_from_slice(b"ok:");
+    reply.extend(request[4..].iter().rev());
+    reply
+}
+
+fn base_attr(size: u64) -> Fattr3 {
+    Fattr3 {
+        ftype: FType3::Reg,
+        mode: 0o644,
+        nlink: 1,
+        uid: 1001,
+        gid: 1001,
+        size,
+        used: size,
+        fsid: 1,
+        fileid: 42,
+        atime: NfsTime3 { seconds: 1, nseconds: 0 },
+        mtime: NfsTime3 { seconds: 1, nseconds: 0 },
+        ctime: NfsTime3 { seconds: 1, nseconds: 0 },
+    }
+}
+
+fn reply_bytes<T: XdrEncode>(xid: u32, res: &T) -> Vec<u8> {
+    let mut enc = XdrEncoder::with_capacity(256);
+    ReplyHeader::success(xid).encode(&mut enc);
+    res.encode(&mut enc);
+    enc.into_bytes()
+}
+
+fn quick_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_reconnects: 32,
+        dial_attempts: 8,
+        backoff_base: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(4),
+        call_deadline: Some(Duration::from_secs(20)),
+    }
+}
+
+// ---------------------------------------------------------------------
+// 1+2. The plain-transport fault matrix: replies survive any schedule.
+// ---------------------------------------------------------------------
+
+fn echo_server(mut end: PipeEnd) {
+    std::thread::spawn(move || loop {
+        match read_record(&mut end) {
+            Ok(Some(r)) => {
+                if write_record(&mut end, &transform(&r)).is_err() {
+                    return;
+                }
+            }
+            _ => return,
+        }
+    });
+}
+
+/// A plan from the injector minus corruption: a plaintext pipe has no
+/// MAC, so a flipped byte would be silently *delivered*, not recovered.
+/// Corruption is exercised on the GTLS channel below.
+fn plain_plan(inj: &FaultInjector) -> FaultPlan {
+    let mut plan = inj.next_plan();
+    plan.corrupt_read_at = None;
+    plan
+}
+
+fn faulted_case(seed: u64, n: usize) {
+    let inj = FaultInjector::new(seed, 4);
+
+    let (first_end, first_srv) = pipe_pair();
+    echo_server(first_srv);
+    let first = FaultStream::new(Box::new(first_end), plain_plan(&inj));
+
+    let dialer = inj.clone();
+    let reconnect = move |_attempt: u32| -> std::io::Result<Upstream> {
+        if dialer.refuse_connect() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionRefused,
+                "injected connect refusal",
+            ));
+        }
+        let (end, srv) = pipe_pair();
+        echo_server(srv);
+        Ok(Upstream::Plain(Box::new(FaultStream::new(
+            Box::new(end),
+            plain_plan(&dialer),
+        ))))
+    };
+
+    let stats = ProxyStats::new();
+    let pipeline = Pipeline::with_recovery(
+        Upstream::Plain(Box::new(first)),
+        8,
+        None,
+        stats.clone(),
+        Some(Box::new(reconnect)),
+        quick_retry(),
+    );
+
+    // All-idempotent workload: GETATTRs with distinct handles.
+    let records: Vec<Vec<u8>> = (0..n)
+        .map(|i| {
+            nfs_call(0x100 + i as u32, procnum::GETATTR, |enc| {
+                Fh3::from_ino(1, i as u64).encode(enc)
+            })
+        })
+        .collect();
+    let expected: Vec<Vec<u8>> = records.iter().map(|r| transform(r)).collect();
+
+    let pending = pipeline.submit_batch(records);
+    for (i, (reply, want)) in pending.into_iter().zip(&expected).enumerate() {
+        // Property 1: wait() terminates (the 20 s deadline converts any
+        // residual hang into a loud failure). Property 2: with a finite
+        // fault budget and an idempotent workload, recovery must deliver
+        // every reply, byte-identical to the fault-free run.
+        let got = reply.wait().unwrap_or_else(|e| {
+            panic!(
+                "call {i} failed under fault schedule: {e} (reconnects={}, replays={})",
+                stats.reconnects(),
+                stats.replays()
+            )
+        });
+        prop_assert_eq!(&got, want, "call {} diverged from fault-free run", i);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn faulted_channel_yields_fault_free_replies(seed: u64, n in 1usize..8) {
+        faulted_case(seed, n);
+    }
+}
+
+// ---------------------------------------------------------------------
+// 3. COMMIT never precedes a WRITE replayed across a reconnection.
+// ---------------------------------------------------------------------
+
+/// Serves the full mock-NFS surface, logging `(proc, offset)` into a log
+/// shared across connection generations.
+fn logging_nfs_server(mut end: PipeEnd, log: Arc<Mutex<Vec<(u32, u64)>>>) {
+    std::thread::spawn(move || loop {
+        let record = match read_record(&mut end) {
+            Ok(Some(r)) => r,
+            _ => return,
+        };
+        let mut dec = XdrDecoder::new(&record);
+        let header = CallHeader::decode(&mut dec).expect("call header");
+        let reply = match header.proc {
+            procnum::GETATTR => {
+                log.lock().unwrap().push((header.proc, 0));
+                reply_bytes(
+                    header.xid,
+                    &GetAttrRes { status: NfsStat3::Ok, attr: Some(base_attr(0)) },
+                )
+            }
+            procnum::WRITE => {
+                let args =
+                    WriteArgs::from_xdr_bytes(&record[dec.position()..]).expect("write args");
+                log.lock().unwrap().push((header.proc, args.offset));
+                reply_bytes(
+                    header.xid,
+                    &WriteRes {
+                        status: NfsStat3::Ok,
+                        wcc: WccData { before: None, after: Some(base_attr(args.offset)) },
+                        count: args.data.len() as u32,
+                        committed: StableHow::Unstable,
+                        verf: 7,
+                    },
+                )
+            }
+            procnum::COMMIT => {
+                log.lock().unwrap().push((header.proc, 0));
+                reply_bytes(
+                    header.xid,
+                    &CommitRes {
+                        status: NfsStat3::Ok,
+                        wcc: WccData { before: None, after: Some(base_attr(0)) },
+                        verf: 7,
+                    },
+                )
+            }
+            other => panic!("unexpected proc {other}"),
+        };
+        if write_record(&mut end, &reply).is_err() {
+            return;
+        }
+    });
+}
+
+/// Absorb `blocks` unstable WRITEs into the proxy's write-back cache via
+/// its downstream interface, then shut the downstream and hand the proxy
+/// back for flushing.
+fn ingest_writes(proxy: ClientProxy, blocks: usize, block_len: usize) -> ClientProxy {
+    let (mut down, proxy_down) = pipe_pair();
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(proxy.run(Box::new(proxy_down)));
+    });
+    let fh = Fh3::from_ino(1, 42);
+    for i in 0..blocks {
+        let record = nfs_call(0x200 + i as u32, procnum::WRITE, |enc| {
+            WriteArgs {
+                file: fh.clone(),
+                offset: (i * block_len) as u64,
+                stable: StableHow::Unstable,
+                data: vec![i as u8; block_len],
+            }
+            .encode(enc)
+        });
+        write_record(&mut down, &record).unwrap();
+        let reply = read_record(&mut down).unwrap().expect("local WRITE ack");
+        let mut dec = XdrDecoder::new(&reply);
+        let _ = ReplyHeader::decode(&mut dec).expect("reply header");
+        let res = WriteRes::from_xdr_bytes(&reply[dec.position()..]).expect("write res");
+        assert_eq!(res.status, NfsStat3::Ok, "block {i} not absorbed");
+    }
+    drop(down);
+    let (proxy, run_result) = rx.recv().expect("proxy thread");
+    run_result.expect("proxy loop");
+    proxy
+}
+
+#[test]
+fn commit_follows_writes_replayed_across_reconnect() {
+    const BLOCKS: usize = 3;
+    const BLOCK_LEN: usize = 512;
+    let log: Arc<Mutex<Vec<(u32, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+
+    // Connection #1 swallows one record and dies without replying: the
+    // flush's WRITEs are all in flight when the channel collapses.
+    let (upstream_end, dead_srv) = pipe_pair();
+    {
+        let log = log.clone();
+        std::thread::spawn(move || {
+            let mut end = dead_srv;
+            if let Ok(Some(record)) = read_record(&mut end) {
+                let mut dec = XdrDecoder::new(&record);
+                let header = CallHeader::decode(&mut dec).expect("call header");
+                if header.proc == procnum::WRITE {
+                    let args = WriteArgs::from_xdr_bytes(&record[dec.position()..])
+                        .expect("write args");
+                    log.lock().unwrap().push((header.proc, args.offset));
+                }
+            }
+            // Drop: both pipe directions close, the pipeline recovers.
+        });
+    }
+
+    let relog = log.clone();
+    let reconnect = move |_attempt: u32| -> std::io::Result<Upstream> {
+        let (end, srv) = pipe_pair();
+        logging_nfs_server(srv, relog.clone());
+        Ok(Upstream::Plain(Box::new(end)))
+    };
+
+    let mut config = SessionConfig::new(SecurityLevel::None);
+    config.cache = CacheMode::MemoryMeta;
+    config.window = 8;
+    config.retry = quick_retry();
+    let proxy = ClientProxy::with_reconnector(
+        Upstream::Plain(Box::new(upstream_end)),
+        &config,
+        Some(Box::new(reconnect)),
+    )
+    .expect("proxy");
+    let stats = proxy.stats().clone();
+
+    let mut proxy = ingest_writes(proxy, BLOCKS, BLOCK_LEN);
+    proxy.flush_all().expect("flush survives the reconnect");
+
+    assert_eq!(stats.reconnects(), 1, "exactly one recovery episode");
+    assert!(stats.replays() >= 1, "the in-flight WRITEs were replayed");
+
+    let log = log.lock().unwrap().clone();
+    let commits: Vec<usize> =
+        (0..log.len()).filter(|&i| log[i].0 == procnum::COMMIT).collect();
+    let writes: Vec<usize> =
+        (0..log.len()).filter(|&i| log[i].0 == procnum::WRITE).collect();
+    assert_eq!(commits.len(), 1, "exactly one COMMIT: {log:?}");
+    assert!(
+        writes.iter().all(|&w| w < commits[0]),
+        "COMMIT preceded a (replayed) WRITE: {log:?}"
+    );
+    // Every block reached the server despite the dead first connection.
+    let mut offsets: Vec<u64> = writes.iter().map(|&w| log[w].1).collect();
+    offsets.sort_unstable();
+    offsets.dedup();
+    assert_eq!(
+        offsets,
+        (0..BLOCKS as u64).map(|i| i * BLOCK_LEN as u64).collect::<Vec<_>>(),
+        "all blocks written back: {log:?}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// 4. A changed write verifier forces re-transmission of unstable WRITEs.
+// ---------------------------------------------------------------------
+
+#[test]
+fn verifier_change_forces_unstable_write_resend() {
+    const BLOCKS: usize = 3;
+    const BLOCK_LEN: usize = 512;
+    let log: Arc<Mutex<Vec<(u32, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+
+    // A server that "reboots" after the first WRITE: later replies carry
+    // a different verifier, so round one's unstable data must be treated
+    // as lost and re-sent.
+    let (upstream_end, srv) = pipe_pair();
+    {
+        let log = log.clone();
+        std::thread::spawn(move || {
+            let mut end = srv;
+            let mut writes_served = 0u32;
+            loop {
+                let record = match read_record(&mut end) {
+                    Ok(Some(r)) => r,
+                    _ => return,
+                };
+                let mut dec = XdrDecoder::new(&record);
+                let header = CallHeader::decode(&mut dec).expect("call header");
+                let verf = if writes_served < 1 { 7 } else { 9 };
+                let reply = match header.proc {
+                    procnum::WRITE => {
+                        let args = WriteArgs::from_xdr_bytes(&record[dec.position()..])
+                            .expect("write args");
+                        log.lock().unwrap().push((header.proc, args.offset));
+                        writes_served += 1;
+                        reply_bytes(
+                            header.xid,
+                            &WriteRes {
+                                status: NfsStat3::Ok,
+                                wcc: WccData {
+                                    before: None,
+                                    after: Some(base_attr(args.offset)),
+                                },
+                                count: args.data.len() as u32,
+                                committed: StableHow::Unstable,
+                                verf,
+                            },
+                        )
+                    }
+                    procnum::COMMIT => {
+                        log.lock().unwrap().push((header.proc, 0));
+                        reply_bytes(
+                            header.xid,
+                            &CommitRes {
+                                status: NfsStat3::Ok,
+                                wcc: WccData { before: None, after: Some(base_attr(0)) },
+                                verf: 9,
+                            },
+                        )
+                    }
+                    procnum::GETATTR => reply_bytes(
+                        header.xid,
+                        &GetAttrRes { status: NfsStat3::Ok, attr: Some(base_attr(0)) },
+                    ),
+                    other => panic!("unexpected proc {other}"),
+                };
+                if write_record(&mut end, &reply).is_err() {
+                    return;
+                }
+            }
+        });
+    }
+
+    let mut config = SessionConfig::new(SecurityLevel::None);
+    config.cache = CacheMode::MemoryMeta;
+    config.window = 8;
+    let proxy =
+        ClientProxy::new(Upstream::Plain(Box::new(upstream_end)), &config).expect("proxy");
+    let mut proxy = ingest_writes(proxy, BLOCKS, BLOCK_LEN);
+    proxy.flush_all().expect("flush converges once the verifier settles");
+
+    let log = log.lock().unwrap().clone();
+    let writes = log.iter().filter(|(p, _)| *p == procnum::WRITE).count();
+    let commits = log.iter().filter(|(p, _)| *p == procnum::COMMIT).count();
+    // Round one saw verifiers 7 then 9 → every block re-sent in round
+    // two, which COMMITs consistently at 9.
+    assert_eq!(writes, 2 * BLOCKS, "verifier change re-sends every unstable WRITE: {log:?}");
+    assert_eq!(commits, 2, "one COMMIT per flush round: {log:?}");
+    assert_eq!(log.last().map(|(p, _)| *p), Some(procnum::COMMIT));
+}
+
+// ---------------------------------------------------------------------
+// 5. ACCESS cache answers only for bits it has actually checked.
+// ---------------------------------------------------------------------
+
+#[test]
+fn access_cache_consults_server_for_unchecked_bits() {
+    let access_calls = Arc::new(AtomicU32::new(0));
+    let (upstream_end, srv) = pipe_pair();
+    {
+        let access_calls = access_calls.clone();
+        std::thread::spawn(move || {
+            let mut end = srv;
+            loop {
+                let record = match read_record(&mut end) {
+                    Ok(Some(r)) => r,
+                    _ => return,
+                };
+                let mut dec = XdrDecoder::new(&record);
+                let header = CallHeader::decode(&mut dec).expect("call header");
+                let reply = match header.proc {
+                    procnum::ACCESS => {
+                        access_calls.fetch_add(1, Ordering::SeqCst);
+                        let args = AccessArgs::from_xdr_bytes(&record[dec.position()..])
+                            .expect("access args");
+                        // Grant exactly what was asked: the cache must
+                        // remember *which* bits were asked, not assume
+                        // its stored mask answers every query.
+                        reply_bytes(
+                            header.xid,
+                            &AccessRes {
+                                status: NfsStat3::Ok,
+                                obj_attr: Some(base_attr(0)),
+                                access: args.access,
+                            },
+                        )
+                    }
+                    procnum::GETATTR => reply_bytes(
+                        header.xid,
+                        &GetAttrRes { status: NfsStat3::Ok, attr: Some(base_attr(0)) },
+                    ),
+                    other => panic!("unexpected proc {other}"),
+                };
+                if write_record(&mut end, &reply).is_err() {
+                    return;
+                }
+            }
+        });
+    }
+
+    let mut config = SessionConfig::new(SecurityLevel::None);
+    config.cache = CacheMode::MemoryMeta;
+    let proxy =
+        ClientProxy::new(Upstream::Plain(Box::new(upstream_end)), &config).expect("proxy");
+
+    let (mut down, proxy_down) = pipe_pair();
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(proxy.run(Box::new(proxy_down)));
+    });
+
+    let fh = Fh3::from_ino(1, 42);
+    let mut ask = |xid: u32, mask: u32| -> u32 {
+        let record = nfs_call(xid, procnum::ACCESS, |enc| {
+            AccessArgs { object: fh.clone(), access: mask }.encode(enc)
+        });
+        write_record(&mut down, &record).unwrap();
+        let reply = read_record(&mut down).unwrap().expect("ACCESS reply");
+        let mut dec = XdrDecoder::new(&reply);
+        let _ = ReplyHeader::decode(&mut dec).expect("reply header");
+        let res = AccessRes::from_xdr_bytes(&reply[dec.position()..]).expect("access res");
+        assert_eq!(res.status, NfsStat3::Ok);
+        res.access
+    };
+
+    assert_eq!(ask(1, 0x1), 0x1);
+    assert_eq!(access_calls.load(Ordering::SeqCst), 1, "first mask goes upstream");
+    // The regression: 0x2 was never checked — a mask-blind cache would
+    // answer "granted: 0" (or worse) from the 0x1 entry.
+    assert_eq!(ask(2, 0x2), 0x2);
+    assert_eq!(access_calls.load(Ordering::SeqCst), 2, "unchecked bit must go upstream");
+    // Both bits now checked: the union is served from cache.
+    assert_eq!(ask(3, 0x3), 0x3);
+    assert_eq!(access_calls.load(Ordering::SeqCst), 2, "checked union served from cache");
+    // A genuinely new bit still punches through.
+    assert_eq!(ask(4, 0x4), 0x4);
+    assert_eq!(access_calls.load(Ordering::SeqCst), 3);
+
+    drop(down);
+    let (_proxy, run_result) = rx.recv().expect("proxy thread");
+    run_result.expect("proxy loop");
+}
+
+// ---------------------------------------------------------------------
+// 6. GTLS detects corruption; a reconnect (fresh handshake) cures it.
+// ---------------------------------------------------------------------
+
+/// Flips one ciphertext byte of the first GTLS data record after being
+/// armed. The first armed read delivers the 5-byte record header
+/// untouched; the second read's first byte is ciphertext/MAC material.
+struct CorruptOnce {
+    inner: PipeEnd,
+    armed: Arc<AtomicBool>,
+    armed_reads: u32,
+    done: bool,
+}
+
+impl Read for CorruptOnce {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        if self.armed.load(Ordering::SeqCst) && !self.done && n > 0 {
+            self.armed_reads += 1;
+            if self.armed_reads >= 2 {
+                buf[0] ^= 0x55;
+                self.done = true;
+            }
+        }
+        Ok(n)
+    }
+}
+
+impl std::io::Write for CorruptOnce {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.inner.write(buf)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[test]
+fn gtls_mac_detects_corruption_and_reconnect_cures_it() {
+    let world = GridWorld::new();
+    let material = world.material();
+
+    let mut server_side = SessionConfig::new(SecurityLevel::IntegrityOnly);
+    server_side.credential = Some(material.server.clone());
+    server_side.trust = material.trust.clone();
+    let mut client_side = SessionConfig::new(SecurityLevel::IntegrityOnly);
+    client_side.credential = Some(material.user.clone());
+    client_side.trust = material.trust.clone();
+    let server_gtls = server_side.gtls().expect("suite");
+    let client_gtls = client_side.gtls().expect("suite");
+
+    // Acceptor: every dialed connection gets a full server handshake and
+    // a GTLS-side echo loop.
+    let (accept_tx, accept_rx) = mpsc::channel::<BoxStream>();
+    std::thread::spawn(move || {
+        while let Ok(end) = accept_rx.recv() {
+            let cfg = server_gtls.clone();
+            std::thread::spawn(move || {
+                let mut tls = match GtlsStream::server(end, cfg) {
+                    Ok(t) => t,
+                    Err(_) => return,
+                };
+                loop {
+                    match read_record(&mut tls) {
+                        Ok(Some(r)) => {
+                            if write_record(&mut tls, &transform(&r)).is_err() {
+                                return;
+                            }
+                        }
+                        _ => return,
+                    }
+                }
+            });
+        }
+    });
+
+    // Connection #1 through the corrupting tap (armed after handshake).
+    let armed = Arc::new(AtomicBool::new(false));
+    let (client_end, server_end) = pipe_pair();
+    accept_tx.send(Box::new(server_end)).unwrap();
+    let tap = CorruptOnce {
+        inner: client_end,
+        armed: armed.clone(),
+        armed_reads: 0,
+        done: false,
+    };
+    let first =
+        GtlsStream::client(Box::new(tap), client_gtls.clone()).expect("initial handshake");
+    armed.store(true, Ordering::SeqCst);
+
+    let redial_tx = accept_tx.clone();
+    let reconnect = move |_attempt: u32| -> std::io::Result<Upstream> {
+        let (c, s) = pipe_pair();
+        redial_tx.send(Box::new(s)).map_err(|_| {
+            std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "acceptor gone")
+        })?;
+        let tls = GtlsStream::client(Box::new(c), client_gtls.clone())
+            .map_err(std::io::Error::from)?;
+        Ok(Upstream::Tls(Box::new(tls)))
+    };
+
+    let stats = ProxyStats::new();
+    let pipeline = Pipeline::with_recovery(
+        Upstream::Tls(Box::new(first)),
+        4,
+        None,
+        stats.clone(),
+        Some(Box::new(reconnect)),
+        quick_retry(),
+    );
+
+    let record = nfs_call(0x1, procnum::GETATTR, |enc| Fh3::from_ino(1, 1).encode(enc));
+    let want = transform(&record);
+    let got = pipeline.call(record).expect("reply survives the corrupted record");
+    assert_eq!(got, want, "reply identical to the fault-free run");
+    assert_eq!(stats.reconnects(), 1, "the MAC failure forced one reconnect");
+    assert_eq!(
+        pipeline.handshake_count(),
+        Some(2),
+        "the replacement channel ran a fresh full handshake"
+    );
+}

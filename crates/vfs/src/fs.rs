@@ -85,15 +85,15 @@ impl Vfs {
 
     // ---- internal helpers (called with the lock held) ---------------------
 
-    fn node<'a>(inner: &'a Inner, ino: Ino) -> VfsResult<&'a Node> {
+    fn node(inner: &Inner, ino: Ino) -> VfsResult<&Node> {
         inner.nodes.get(&ino).ok_or(VfsError::Stale)
     }
 
-    fn node_mut<'a>(inner: &'a mut Inner, ino: Ino) -> VfsResult<&'a mut Node> {
+    fn node_mut(inner: &mut Inner, ino: Ino) -> VfsResult<&mut Node> {
         inner.nodes.get_mut(&ino).ok_or(VfsError::Stale)
     }
 
-    fn dir_entries<'a>(node: &'a Node) -> VfsResult<(&'a BTreeMap<String, Ino>, Ino)> {
+    fn dir_entries(node: &Node) -> VfsResult<(&BTreeMap<String, Ino>, Ino)> {
         match &node.content {
             Content::Dir { entries, parent } => Ok((entries, *parent)),
             _ => Err(VfsError::NotDir),
@@ -263,6 +263,7 @@ impl Vfs {
 
     // ---- namespace ------------------------------------------------------------
 
+    #[allow(clippy::too_many_arguments)]
     fn insert_child(
         &self,
         inner: &mut Inner,

@@ -78,10 +78,10 @@ pub fn run(
     // `live[i]` tracks whether file i currently exists.
     let mut live = vec![false; cfg.files + cfg.transactions];
     let mut next_new = cfg.files;
-    for i in 0..cfg.files {
+    for (i, alive) in live.iter_mut().enumerate().take(cfg.files) {
         let size = rng.range(cfg.min_size, cfg.max_size);
         mount.write_file(&path_of(i, cfg.dirs), &rng.bytes(size))?;
-        live[i] = true;
+        *alive = true;
     }
     let creation = clock.now() - t0;
 

@@ -10,6 +10,7 @@
 //! 2. shares the filesystem with Bob by adding a grant (the DSS generates
 //!    the gridmap for Bob's sessions automatically);
 //! 3. restricts one file with a fine-grained per-file ACL;
+//!
 //! while Mallory — holding a perfectly valid certificate — can do none of
 //! these things because the gridmap never maps her.
 

@@ -1,8 +1,19 @@
 #!/bin/sh
-# Tier-1 verification: build, full test suite, and benchmark binaries
-# compile. Run from the repository root.
+# Tier-1 verification: build, lint, hang-watchdogged fault-injection
+# suite, full test suite, and benchmark binaries compile. Run from the
+# repository root.
 set -eux
 
 cargo build --release
+cargo clippy --workspace --all-targets -- -D warnings
+
+# Fault-injection suite first and under a watchdog: a broken retry loop
+# shows up as a hang, and it must fail loudly within 120 s rather than
+# stall the whole run. Binaries are prebuilt so the timeout covers test
+# execution only, not compilation.
+cargo test -q --workspace --no-run
+timeout 120 cargo test -q -p sgfs --test fault_matrix
+timeout 120 cargo test -q -p sgfs --test pipeline_alloc
+
 cargo test -q
 cargo bench --no-run

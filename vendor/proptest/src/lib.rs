@@ -282,7 +282,7 @@ fn parse_atom(chars: &[char], mut i: usize) -> (Atom, usize) {
             let mut ranges = Vec::new();
             while i < chars.len() && chars[i] != ']' {
                 let lo = chars[i];
-                if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).map_or(false, |&c| c != ']') {
+                if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']') {
                     ranges.push((lo, chars[i + 2]));
                     i += 3;
                 } else {

@@ -376,7 +376,7 @@ mod tests {
     #[test]
     fn scalar_roundtrip() {
         assert_eq!(to_string(&true).unwrap(), "true");
-        assert_eq!(from_str::<bool>("true").unwrap(), true);
+        assert!(from_str::<bool>("true").unwrap());
         assert_eq!(from_str::<u64>(&to_string(&u64::MAX).unwrap()).unwrap(), u64::MAX);
         assert_eq!(from_str::<i64>("-42").unwrap(), -42);
         assert_eq!(from_str::<f64>("2.5").unwrap(), 2.5);
