@@ -38,6 +38,9 @@ pub struct GtlsStream {
     /// the proxies use this to attribute crypto work to their CPU
     /// accounting without double-counting I/O waits.
     pub busy_counter: Option<std::sync::Arc<std::sync::atomic::AtomicU64>>,
+    /// When set, each record seal/open emits a timed trace event into the
+    /// session's observability domain (hop histograms + event stream).
+    pub obs: Option<std::sync::Arc<sgfs_obs::Obs>>,
     /// Completed handshakes (1 = initial; >1 means renegotiations ran).
     handshakes: u64,
 }
@@ -120,6 +123,7 @@ impl GtlsStream {
             records_sent: 0,
             auto_rekey_every: None,
             busy_counter: None,
+            obs: None,
             handshakes: 1,
         }
     }
@@ -222,11 +226,12 @@ impl Read for GtlsStream {
                         .rx
                         .open_in_place(CT_DATA, &mut self.read_buf)
                         .map_err(io::Error::from)?;
+                    let dt = t0.elapsed().as_nanos() as u64;
                     if let Some(c) = &self.busy_counter {
-                        c.fetch_add(
-                            t0.elapsed().as_nanos() as u64,
-                            std::sync::atomic::Ordering::Relaxed,
-                        );
+                        c.fetch_add(dt, std::sync::atomic::Ordering::Relaxed);
+                    }
+                    if let Some(obs) = &self.obs {
+                        obs.hop_timed(sgfs_obs::Hop::Open, 0, sgfs_obs::NO_PROC, dt);
                     }
                     self.read_pos = off;
                     self.read_end = off + len;
@@ -285,11 +290,12 @@ impl Write for GtlsStream {
             self.tx
                 .seal_into(CT_DATA, chunk, &mut rand::thread_rng(), &mut self.write_buf);
             finish_frame_header(&mut self.write_buf);
+            let dt = t0.elapsed().as_nanos() as u64;
             if let Some(c) = &self.busy_counter {
-                c.fetch_add(
-                    t0.elapsed().as_nanos() as u64,
-                    std::sync::atomic::Ordering::Relaxed,
-                );
+                c.fetch_add(dt, std::sync::atomic::Ordering::Relaxed);
+            }
+            if let Some(obs) = &self.obs {
+                obs.hop_timed(sgfs_obs::Hop::Seal, 0, sgfs_obs::NO_PROC, dt);
             }
             write_assembled_frame(&mut self.inner, &self.write_buf)?;
             self.records_sent += 1;
@@ -477,6 +483,23 @@ mod tests {
         let s = h.join().unwrap();
         assert!(c.handshake_count() >= 3, "got {}", c.handshake_count());
         assert_eq!(s.handshake_count(), c.handshake_count());
+    }
+
+    #[test]
+    fn obs_hook_times_seal_and_open() {
+        let w = world();
+        let (mut c, mut s) = connect(&w);
+        let obs = sgfs_obs::Obs::new();
+        c.obs = Some(obs.clone());
+        s.obs = Some(obs.clone());
+        c.write_all(b"payload").unwrap();
+        let mut buf = [0u8; 7];
+        s.read_exact(&mut buf).unwrap();
+        assert_eq!(obs.hop_hist(sgfs_obs::Hop::Seal).count(), 1);
+        assert_eq!(obs.hop_hist(sgfs_obs::Hop::Open).count(), 1);
+        let (events, _) = obs.events();
+        let hops: Vec<_> = events.iter().map(|e| e.hop).collect();
+        assert_eq!(hops, [sgfs_obs::Hop::Seal, sgfs_obs::Hop::Open]);
     }
 
     #[test]

@@ -102,6 +102,40 @@ impl SimClock {
     }
 }
 
+/// A deterministic logical clock: a strictly monotonic event counter
+/// shared by every component that stamps trace events.
+///
+/// Unlike [`SimClock`], whose readings depend on real CPU speed, logical
+/// ticks are handed out by one atomic increment and therefore totally
+/// ordered across threads in a way that is reproducible for any workload
+/// whose cross-thread communication is itself deterministic (the golden
+/// trace tests rely on this: two runs of the same scripted workload
+/// produce the same *relative* event order even if wall-clock timings
+/// differ).
+#[derive(Debug, Default)]
+pub struct LogicalClock {
+    next: AtomicU64,
+}
+
+impl LogicalClock {
+    /// A fresh clock starting at tick 0.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Claim the next tick. Each call returns a unique, monotonically
+    /// increasing value; the atomic read-modify-write gives all callers a
+    /// single total order.
+    pub fn tick(&self) -> u64 {
+        self.next.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Ticks handed out so far (the value the next `tick()` would return).
+    pub fn current(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+}
+
 impl std::fmt::Debug for SimClock {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SimClock")
@@ -144,6 +178,29 @@ mod tests {
         clock.advance(Duration::from_millis(30));
         assert!(wall.elapsed() >= Duration::from_millis(30));
         assert_eq!(clock.virtual_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn logical_clock_ticks_are_unique_and_monotonic() {
+        let clock = LogicalClock::new();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = clock.clone();
+            handles.push(std::thread::spawn(move || {
+                (0..1000).map(|_| c.tick()).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<u64> = Vec::new();
+        for h in handles {
+            let ticks = h.join().unwrap();
+            // Per-thread ticks are strictly increasing.
+            assert!(ticks.windows(2).all(|w| w[0] < w[1]));
+            all.extend(ticks);
+        }
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 4000, "ticks must be globally unique");
+        assert_eq!(clock.current(), 4000);
     }
 
     #[test]

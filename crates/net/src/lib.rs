@@ -23,7 +23,7 @@ pub mod fault;
 pub mod link;
 pub mod pipe;
 
-pub use clock::{ClockMode, SimClock};
+pub use clock::{ClockMode, LogicalClock, SimClock};
 pub use fault::{FaultInjector, FaultPlan, FaultStream};
 pub use link::{Link, LinkSpec};
 pub use pipe::{pipe_pair, pipe_pair_over_link, PipeEnd, PipeReader, PipeWriter};

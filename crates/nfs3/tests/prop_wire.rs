@@ -86,6 +86,54 @@ proptest! {
         prop_assert_eq!(ReaddirRes::from_xdr_bytes(&res.to_xdr_bytes()).unwrap(), res);
     }
 
+    #[test]
+    fn read_res_roundtrip(
+        attr in proptest::option::of(arb_attr()),
+        eof: bool,
+        data in proptest::collection::vec(any::<u8>(), 0..1024),
+    ) {
+        let res = ReadRes {
+            status: NfsStat3::Ok,
+            attr,
+            count: data.len() as u32,
+            eof,
+            data,
+        };
+        prop_assert_eq!(ReadRes::from_xdr_bytes(&res.to_xdr_bytes()).unwrap(), res);
+    }
+
+    #[test]
+    fn access_roundtrip(fh in arb_fh(), bits in 0u32..0x40, attr in proptest::option::of(arb_attr())) {
+        let args = AccessArgs { object: fh, access: bits };
+        prop_assert_eq!(AccessArgs::from_xdr_bytes(&args.to_xdr_bytes()).unwrap(), args);
+        let res = AccessRes { status: NfsStat3::Ok, obj_attr: attr, access: bits };
+        prop_assert_eq!(AccessRes::from_xdr_bytes(&res.to_xdr_bytes()).unwrap(), res);
+    }
+
+    #[test]
+    fn commit_roundtrip(fh in arb_fh(), offset: u64, count: u32, verf: u64, attr in arb_attr()) {
+        let args = CommitArgs { file: fh, offset, count };
+        prop_assert_eq!(CommitArgs::from_xdr_bytes(&args.to_xdr_bytes()).unwrap(), args);
+        let res = CommitRes {
+            status: NfsStat3::Ok,
+            wcc: WccData { before: None, after: Some(attr) },
+            verf,
+        };
+        prop_assert_eq!(CommitRes::from_xdr_bytes(&res.to_xdr_bytes()).unwrap(), res);
+    }
+
+    #[test]
+    fn rename_args_roundtrip(
+        from_dir in arb_fh(), from_name in "[a-z]{1,16}",
+        to_dir in arb_fh(), to_name in "[a-z]{1,16}",
+    ) {
+        let args = RenameArgs {
+            from: DirOpArgs3 { dir: from_dir, name: from_name },
+            to: DirOpArgs3 { dir: to_dir, name: to_name },
+        };
+        prop_assert_eq!(RenameArgs::from_xdr_bytes(&args.to_xdr_bytes()).unwrap(), args);
+    }
+
     /// Fuzz every decoder with garbage: structured error or value, never
     /// a panic, never unbounded allocation.
     #[test]
@@ -115,5 +163,33 @@ proptest! {
         let _ = CallHeader::from_xdr_bytes(&bytes);
         let _ = ReplyHeader::from_xdr_bytes(&bytes);
         let _ = OpaqueAuth::from_xdr_bytes(&bytes);
+    }
+
+    /// Truncating a valid message at any byte boundary is a structured
+    /// error, never a panic: real length prefixes with payloads cut short
+    /// reach deeper decoder states than random garbage.
+    #[test]
+    fn truncated_valid_messages_never_panic(
+        fh in arb_fh(),
+        attr in arb_attr(),
+        offset: u64,
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        cut_pct in 0usize..100,
+    ) {
+        let full_attr = attr.to_xdr_bytes();
+        let full_write = WriteArgs { file: fh.clone(), offset, stable: StableHow::Unstable, data: data.clone() }
+            .to_xdr_bytes();
+        let full_read_res = ReadRes { status: NfsStat3::Ok, attr: Some(attr.clone()), count: data.len() as u32, eof: false, data }
+            .to_xdr_bytes();
+        let full_lookup = LookupRes { status: NfsStat3::Ok, object: Some(fh), obj_attr: Some(attr), dir_attr: None }
+            .to_xdr_bytes();
+        for full in [&full_attr, &full_write, &full_read_res, &full_lookup] {
+            let cut = full.len() * cut_pct / 100;
+            prop_assert!(cut < full.len());
+            let _ = Fattr3::from_xdr_bytes(&full[..cut]);
+            let _ = WriteArgs::from_xdr_bytes(&full[..cut]);
+            let _ = ReadRes::from_xdr_bytes(&full[..cut]);
+            let _ = LookupRes::from_xdr_bytes(&full[..cut]);
+        }
     }
 }

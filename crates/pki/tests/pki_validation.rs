@@ -1,0 +1,209 @@
+//! Integration tests of the PKI surface the data plane depends on:
+//! gridmap parsing and lookup (the paper's §4.3 access-control file) and
+//! GSI proxy-certificate validation through the public credential API —
+//! expiry, delegation depth, and identity (DN) integrity under
+//! delegation. The inline unit tests cover hand-forged certificate
+//! bodies; these tests stay on the public constructors end to end.
+
+use sgfs_crypto::rsa::RsaKeyPair;
+use sgfs_pki::gridmap::UnmappedPolicy;
+use sgfs_pki::{
+    Certificate, CertificateAuthority, Credential, DistinguishedName, GridMap, MapTarget,
+    TrustStore, ValidationError,
+};
+
+fn dn(s: &str) -> DistinguishedName {
+    DistinguishedName::parse(s).unwrap()
+}
+
+struct World {
+    store: TrustStore,
+    alice: Credential,
+    bob: Credential,
+}
+
+fn world() -> World {
+    let mut rng = rand::thread_rng();
+    let ca = CertificateAuthority::new(&dn("/O=Grid/CN=CA"), 512, &mut rng);
+    let mut store = TrustStore::new();
+    store.add_root(ca.certificate().clone());
+    let user = |name: &str, rng: &mut rand::rngs::ThreadRng| {
+        let key = RsaKeyPair::generate(512, rng);
+        let cert = ca.issue(&dn(&format!("/O=Grid/OU=ACIS/CN={name}")), &key.public);
+        Credential::new(cert, key)
+    };
+    let alice = user("alice", &mut rng);
+    let bob = user("bob", &mut rng);
+    World { store, alice, bob }
+}
+
+// ---------------------------------------------------------------------
+// Gridmap: parse, lookup, round-trip, rejection.
+// ---------------------------------------------------------------------
+
+#[test]
+fn gridmap_parses_and_resolves() {
+    let text = r#"
+# session gridmap for GFS
+"/O=Grid/OU=ACIS/CN=alice" alice
+"/O=Grid/OU=ACIS/CN=bob scientist" blab
+"#;
+    let map = GridMap::parse(text).unwrap();
+    assert_eq!(map.len(), 2);
+    assert_eq!(
+        map.lookup(&dn("/O=Grid/OU=ACIS/CN=alice")),
+        MapTarget::Account("alice".into())
+    );
+    // DNs with embedded spaces survive the quoted format.
+    assert_eq!(
+        map.lookup(&dn("/O=Grid/OU=ACIS/CN=bob scientist")),
+        MapTarget::Account("blab".into())
+    );
+    // Unmapped users are denied by default...
+    assert_eq!(map.lookup(&dn("/O=Grid/CN=mallory")), MapTarget::Denied);
+    // ...or admitted anonymously under the permissive policy.
+    let mut map = map;
+    map.unmapped = UnmappedPolicy::Anonymous;
+    assert_eq!(map.lookup(&dn("/O=Grid/CN=mallory")), MapTarget::Anonymous);
+}
+
+#[test]
+fn gridmap_round_trips_through_text() {
+    let mut map = GridMap::new();
+    map.insert(dn("/O=Grid/OU=ACIS/CN=alice"), "alice");
+    map.insert(dn("/O=Grid/OU=ACIS/CN=carol x"), "carol");
+    let text = map.to_text();
+    let back = GridMap::parse(&text).unwrap();
+    assert_eq!(back.len(), 2);
+    assert_eq!(back.to_text(), text, "serialization is a fixed point");
+    assert_eq!(
+        back.lookup(&dn("/O=Grid/OU=ACIS/CN=carol x")),
+        MapTarget::Account("carol".into())
+    );
+}
+
+#[test]
+fn gridmap_rejects_malformed_lines_with_line_numbers() {
+    for (text, needle) in [
+        ("/O=Grid/CN=alice alice", "line 1"),          // unquoted DN
+        ("\"/O=Grid/CN=alice alice", "line 1"),        // unterminated quote
+        ("\"not-a-dn\" alice", "line 1"),              // invalid DN
+        ("\"/O=Grid/CN=alice\" two words", "line 1"),  // account with space
+        ("\n\n\"/O=Grid/CN=alice\"   ", "line 3"),     // empty account
+    ] {
+        let err = GridMap::parse(text).unwrap_err();
+        assert!(err.contains(needle), "{text:?} -> {err}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Proxy-certificate validation through the public credential API.
+// ---------------------------------------------------------------------
+
+#[test]
+fn expired_proxy_chain_rejected_after_lifetime() {
+    let w = world();
+    let proxy = w.alice.issue_proxy(600, 1, &mut rand::thread_rng());
+    let now = sgfs_pki::now();
+    // Valid within the lifetime...
+    assert!(proxy.valid_at(now));
+    w.store.validate_chain(&proxy.chain, now).unwrap();
+    // ...and dead one hour later, even though alice's own cert lives on.
+    let later = now + 3_700;
+    assert!(!proxy.valid_at(later));
+    assert!(w.store.validate_chain(&w.alice.chain, later).is_ok());
+    let err = w.store.validate_chain(&proxy.chain, later).unwrap_err();
+    assert!(
+        matches!(err, ValidationError::Expired(ref s) if s.contains("proxy")),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn delegation_depth_limits_redelegation() {
+    let mut rng = rand::thread_rng();
+    let w = world();
+    // Depth 2 supports two further hops...
+    let p1 = w.alice.issue_proxy(3600, 2, &mut rng);
+    let p2 = p1.issue_proxy(1800, 1, &mut rng);
+    let p3 = p2.issue_proxy(900, 0, &mut rng);
+    let peer = w.store.validate_chain(&p3.chain, sgfs_pki::now()).unwrap();
+    assert_eq!(peer.effective_dn.to_string(), "/O=Grid/OU=ACIS/CN=alice");
+    assert!(peer.via_proxy);
+    // ...and the depth-0 leaf is a dead end: the issuing constructor
+    // itself refuses to delegate further.
+    let attempt = std::panic::catch_unwind(move || {
+        p3.issue_proxy(300, 0, &mut rand::thread_rng())
+    });
+    assert!(attempt.is_err(), "depth-0 proxy must not re-delegate");
+}
+
+#[test]
+fn proxy_identity_stays_with_the_delegator() {
+    // A delegation chain never changes *who* the grid sees: the effective
+    // DN of any proxy of alice's is alice, never bob, never the proxy CN.
+    let mut rng = rand::thread_rng();
+    let w = world();
+    let deep = w
+        .alice
+        .issue_proxy(3600, 3, &mut rng)
+        .issue_proxy(3600, 2, &mut rng)
+        .issue_proxy(3600, 1, &mut rng);
+    let peer = w.store.validate_chain(&deep.chain, sgfs_pki::now()).unwrap();
+    assert_eq!(peer.effective_dn, *w.alice.effective_dn());
+    assert_ne!(peer.effective_dn, *w.bob.effective_dn());
+    assert_eq!(
+        peer.leaf_dn.to_string(),
+        "/O=Grid/OU=ACIS/CN=alice/CN=proxy/CN=proxy/CN=proxy"
+    );
+}
+
+#[test]
+fn grafted_proxy_chain_rejected_as_dn_mismatch() {
+    // bob steals one of alice's proxy certificates and grafts it onto his
+    // own chain: the issuer DN no longer matches the parent subject, so
+    // the chain must not validate (let alone as alice).
+    let mut rng = rand::thread_rng();
+    let w = world();
+    let alice_proxy = w.alice.issue_proxy(3600, 1, &mut rng);
+    let mut grafted: Vec<Certificate> = vec![alice_proxy.chain[0].clone()];
+    grafted.extend(w.bob.chain.iter().cloned());
+    let err = w.store.validate_chain(&grafted, sgfs_pki::now()).unwrap_err();
+    assert!(
+        matches!(err, ValidationError::BadSignature(_) | ValidationError::BadProxyName(_)),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn revoked_user_invalidates_their_proxies() {
+    let mut w = world();
+    let proxy = w.alice.issue_proxy(3600, 1, &mut rand::thread_rng());
+    let serial = w.alice.leaf().body.serial;
+    w.store.revoke(serial);
+    // Both the user chain and every delegated chain die with the serial.
+    assert_eq!(
+        w.store.validate_chain(&w.alice.chain, sgfs_pki::now()),
+        Err(ValidationError::Revoked(serial))
+    );
+    assert_eq!(
+        w.store.validate_chain(&proxy.chain, sgfs_pki::now()),
+        Err(ValidationError::Revoked(serial))
+    );
+    // bob is unaffected.
+    assert!(w.store.validate_chain(&w.bob.chain, sgfs_pki::now()).is_ok());
+}
+
+#[test]
+fn credential_serialization_preserves_validatable_chains() {
+    let w = world();
+    let proxy = w.alice.issue_proxy(3600, 1, &mut rand::thread_rng());
+    let bytes = proxy.to_bytes();
+    let back = Credential::from_bytes(&bytes).expect("decodes");
+    let peer = w.store.validate_chain(&back.chain, sgfs_pki::now()).unwrap();
+    assert_eq!(peer.effective_dn, *w.alice.effective_dn());
+    // Truncated credential bytes fail cleanly, never panic.
+    for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+        let _ = Credential::from_bytes(&bytes[..cut]);
+    }
+}

@@ -202,6 +202,21 @@ impl Dss {
                     Err(e) => DssResponse::Error(e),
                 }
             }
+            DssRequest::QuerySession { session_id, max_events } => {
+                let Some(rec) = self.sessions.get(&session_id) else {
+                    return DssResponse::Error(format!("no session {session_id}"));
+                };
+                if &rec.owner != caller {
+                    return DssResponse::Error("only the owner may query a session".into());
+                }
+                let fss_id = rec.fss_id;
+                match self.instruct_fss(&FssRequest::Query { id: fss_id, max_events }) {
+                    Ok(FssResponse::Stats { json }) => DssResponse::SessionStats { json },
+                    Ok(FssResponse::Error(e)) => DssResponse::Error(e),
+                    Ok(_) => DssResponse::Error("unexpected FSS response".into()),
+                    Err(e) => DssResponse::Error(e),
+                }
+            }
             DssRequest::GrantAccess { filesystem, grantee_dn, account } => {
                 // Only users already granted on the filesystem may share it
                 // (the paper's "she only needs to add the mapping").

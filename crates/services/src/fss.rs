@@ -61,6 +61,15 @@ pub enum FssRequest {
         /// ACL text.
         acl_text: String,
     },
+    /// Query a session's observability snapshot: per-proc/per-hop latency
+    /// summaries plus the most recent trace events (the monitoring half
+    /// of the FSS's manage-and-monitor role).
+    Query {
+        /// FSS-local session id.
+        id: u64,
+        /// Cap on trace events included in the snapshot.
+        max_events: u64,
+    },
 }
 
 /// FSS replies.
@@ -78,6 +87,12 @@ pub enum FssResponse {
     },
     /// Generic success.
     Ok,
+    /// Observability snapshot (the `sgfs_obs::Snapshot` as JSON, so the
+    /// envelope layer stays schema-agnostic).
+    Stats {
+        /// Pretty-printed snapshot JSON.
+        json: String,
+    },
     /// Failure.
     Error(String),
 }
@@ -207,10 +222,15 @@ impl Fss {
                         .or_insert_with(|| std::sync::Arc::new(sgfs_vfs::Vfs::new()))
                         .clone(),
                 );
+                // Every FSS-managed session gets its own observability
+                // domain, so `Query` can monitor it over the wire.
+                let obs = sgfs_obs::Obs::new();
+                params.obs = Some(obs.clone());
                 match Session::build_from(&material, &params, SimClock::new()) {
                     Ok(session) => {
                         let id = self.next_id;
                         self.next_id += 1;
+                        obs.set_session(id);
                         self.sessions.insert(id, session);
                         FssResponse::Established { id }
                     }
@@ -255,6 +275,13 @@ impl Fss {
                     None => FssResponse::Error(format!("no session {id}")),
                 }
             }
+            FssRequest::Query { id, max_events } => match self.sessions.get(&id) {
+                Some(session) => match session.obs() {
+                    Some(obs) => FssResponse::Stats { json: obs.json(max_events as usize) },
+                    None => FssResponse::Error("session is untraced".into()),
+                },
+                None => FssResponse::Error(format!("no session {id}")),
+            },
         }
     }
 

@@ -68,6 +68,14 @@ pub enum DssRequest {
         /// ACL text (the `.name.acl` format).
         acl_text: String,
     },
+    /// Fetch a live session's observability snapshot (per-proc and
+    /// per-hop latency summaries plus recent trace events).
+    QuerySession {
+        /// Id returned by `SessionCreated`.
+        session_id: u64,
+        /// Cap on trace events included in the snapshot.
+        max_events: u64,
+    },
     /// List the caller's active sessions.
     ListSessions,
 }
@@ -89,6 +97,11 @@ pub enum DssResponse {
     Ok,
     /// Session list.
     Sessions(Vec<SessionInfo>),
+    /// Observability snapshot (the `sgfs_obs::Snapshot` as JSON).
+    SessionStats {
+        /// Pretty-printed snapshot JSON.
+        json: String,
+    },
     /// Failure.
     Error(String),
 }

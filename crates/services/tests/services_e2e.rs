@@ -114,6 +114,57 @@ fn full_session_lifecycle_through_services() {
 }
 
 #[test]
+fn query_session_returns_observability_snapshot() {
+    let mut p = plane();
+    let user_cred = p.world.user.clone();
+
+    let req = create_session_request(&p);
+    let DssResponse::SessionCreated { session_id } = call(&mut p, &user_cred, &req) else {
+        panic!("create failed");
+    };
+
+    // Generate traffic so the snapshot has something to show.
+    {
+        let mount = p.dss.session_mount(session_id).unwrap();
+        mount.write_file("/traced.txt", b"observability plane").unwrap();
+        assert_eq!(mount.read_file("/traced.txt").unwrap(), b"observability plane");
+        mount.stat("/traced.txt").unwrap();
+    }
+
+    let resp = call(
+        &mut p,
+        &user_cred,
+        &DssRequest::QuerySession { session_id, max_events: 64 },
+    );
+    let DssResponse::SessionStats { json } = resp else {
+        panic!("query failed: {resp:?}");
+    };
+    let snap: sgfs_obs::Snapshot = serde_json::from_str(&json).unwrap();
+    assert_eq!(snap.session, session_id, "snapshot tagged with the FSS session id");
+    assert!(snap.enabled);
+    assert!(snap.events_captured > 0, "I/O should have produced trace events");
+    assert!(!snap.procs.is_empty(), "per-proc summaries populated");
+    assert!(!snap.hops.is_empty(), "per-hop summaries populated");
+    assert!(snap.events.len() <= 64);
+    // The traffic above includes a write (the read is absorbed by the
+    // client cache) and the stat forces a getattr, so those procedures
+    // must appear in the per-proc table.
+    let proc_names: Vec<&str> = snap.procs.iter().map(|s| s.name.as_str()).collect();
+    assert!(proc_names.contains(&"write"), "procs: {proc_names:?}");
+    assert!(proc_names.contains(&"getattr"), "procs: {proc_names:?}");
+
+    // Only the owner may monitor a session.
+    let mut rng = rand::thread_rng();
+    let key = sgfs_crypto::rsa::RsaKeyPair::generate(512, &mut rng);
+    let cert = p.world.ca.issue(&dn("/O=Grid/OU=ACIS/CN=eve"), &key.public);
+    let eve = sgfs_pki::Credential::new(cert, key);
+    match call(&mut p, &eve, &DssRequest::QuerySession { session_id, max_events: 8 }) {
+        DssResponse::Error(e) => assert!(e.contains("owner"), "{e}"),
+        other => panic!("expected owner check, got {other:?}"),
+    }
+}
+
+#[test]
 fn unauthorized_dn_cannot_create_sessions() {
     let mut p = plane();
     // Mallory has a valid certificate from the CA but no grant.

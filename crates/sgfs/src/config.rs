@@ -154,6 +154,9 @@ pub struct SessionConfig {
     /// Client side: upstream fault-recovery policy (reconnect, backoff,
     /// replay, per-call deadline).
     pub retry: RetryPolicy,
+    /// The observability domain the proxy emits trace events and latency
+    /// histograms into (None = untraced).
+    pub obs: Option<std::sync::Arc<sgfs_obs::Obs>>,
 }
 
 impl SessionConfig {
@@ -172,6 +175,7 @@ impl SessionConfig {
             rekey_every_records: None,
             window: crate::proxy::pipeline::DEFAULT_WINDOW,
             retry: RetryPolicy::default(),
+            obs: None,
         }
     }
 

@@ -41,4 +41,5 @@ pub mod tunnel;
 pub use config::{CacheMode, SecurityLevel, SessionConfig};
 pub use proxy::{ClientProxy, ServerProxy};
 pub use session::{GridWorld, Session, SessionError, SessionMaterial, SessionParams, SetupKind};
+pub use sgfs_obs as obs;
 pub use stats::ProxyStats;

@@ -172,6 +172,9 @@ impl ClientProxy {
         };
         let mut upstream = upstream;
         let stats = ProxyStats::new();
+        if let Some(obs) = &config.obs {
+            stats.set_obs(obs.clone());
+        }
         if let Upstream::Tls(t) = &mut upstream {
             // Attribute record crypto to this proxy's CPU account before
             // the channel moves onto the pipeline's I/O thread. The
@@ -180,6 +183,7 @@ impl ClientProxy {
             // in-flight DATA replies, so the pipeline tracks the
             // rekey-every threshold itself and rekeys at quiesce points.
             t.busy_counter = Some(stats.busy_counter());
+            t.obs = stats.obs().cloned();
         }
         let pipeline = Pipeline::with_recovery(
             upstream,
@@ -291,10 +295,17 @@ impl ClientProxy {
                 }
             }
             let stats = self.stats.clone();
+            let proc_no = sgfs_obs::peek_proc(&record);
+            let t0 = std::time::Instant::now();
             let reply = match stats.track(|| self.process(&record)) {
                 Ok(r) => r,
                 Err(e) => return (self, Err(e)),
             };
+            // End-to-end latency of this downstream request (cache work,
+            // upstream round trips, flushes — everything), per procedure.
+            if let Some(obs) = stats.obs() {
+                obs.record_proc(proc_no, t0.elapsed().as_nanos() as u64);
+            }
             // The kernel-client ↔ proxy loopback hop (request + reply).
             if let Some(clock) = &self.clock {
                 clock.advance(self.hop.of(record.len()) + self.hop.of(reply.len()));
@@ -326,10 +337,12 @@ impl ClientProxy {
                 if let Ok(fh) = Fh3::from_xdr_bytes(&args) {
                     if let Some(a) = self.meta.attrs.get(&fh) {
                         self.meta.hits += 1;
+                        trace_cache(&self.stats, true, header.xid, header.proc);
                         let res = GetAttrRes { status: NfsStat3::Ok, attr: Some(a.clone()) };
                         return Ok(encode_reply(header.xid, &res));
                     }
                     self.meta.misses += 1;
+                    trace_cache(&self.stats, false, header.xid, header.proc);
                 }
                 self.forward(record, header.proc, &args)
             }
@@ -342,6 +355,7 @@ impl ClientProxy {
                         // the server instead of reading as denied.
                         Some(&(checked, granted)) if a.access & !checked == 0 => {
                             self.meta.hits += 1;
+                            trace_cache(&self.stats, true, header.xid, header.proc);
                             let res = AccessRes {
                                 status: NfsStat3::Ok,
                                 obj_attr: self.meta.attrs.get(&a.object).cloned(),
@@ -349,7 +363,10 @@ impl ClientProxy {
                             };
                             return Ok(encode_reply(header.xid, &res));
                         }
-                        _ => self.meta.misses += 1,
+                        _ => {
+                            self.meta.misses += 1;
+                            trace_cache(&self.stats, false, header.xid, header.proc);
+                        }
                     }
                 }
                 self.forward(record, header.proc, &args)
@@ -359,6 +376,7 @@ impl ClientProxy {
                     let key = (a.dir.clone(), a.name.clone());
                     if let Some((fh, attr)) = self.meta.lookups.get(&key) {
                         self.meta.hits += 1;
+                        trace_cache(&self.stats, true, header.xid, header.proc);
                         let res = LookupRes {
                             status: NfsStat3::Ok,
                             object: Some(fh.clone()),
@@ -368,6 +386,7 @@ impl ClientProxy {
                         return Ok(encode_reply(header.xid, &res));
                     }
                     self.meta.misses += 1;
+                    trace_cache(&self.stats, false, header.xid, header.proc);
                 }
                 let reply = self.forward(record, header.proc, &args)?;
                 // A file with unflushed write-back data: the server's
@@ -511,6 +530,7 @@ impl ClientProxy {
                 };
                 if let Some(body) = self.meta.readdirs.get(&key) {
                     self.meta.hits += 1;
+                    trace_cache(&self.stats, true, header.xid, header.proc);
                     let mut enc = XdrEncoder::with_capacity(body.len() + 32);
                     ReplyHeader::success(header.xid).encode(&mut enc);
                     let mut out = enc.into_bytes();
@@ -518,6 +538,7 @@ impl ClientProxy {
                     return Ok(out);
                 }
                 self.meta.misses += 1;
+                trace_cache(&self.stats, false, header.xid, header.proc);
                 let reply = self.forward(record, header.proc, &args)?;
                 if let Some(body) = success_body(&reply) {
                     self.meta.readdirs.insert(key, body.to_vec());
@@ -545,9 +566,19 @@ impl ClientProxy {
         // 1. Block cache.
         if let Some(store) = &mut self.store {
             let key = (a.file.clone(), a.offset);
+            let t_blk = std::time::Instant::now();
             if let Some(data) = store.get(&key) {
                 if let Some(attr) = self.meta.attrs.get(&a.file) {
                     self.meta.hits += 1;
+                    if let Some(obs) = self.stats.obs() {
+                        obs.hop_timed(
+                            sgfs_obs::Hop::BlockRead,
+                            xid,
+                            procnum::READ,
+                            t_blk.elapsed().as_nanos() as u64,
+                        );
+                        obs.emit(sgfs_obs::Hop::CacheHit, xid, procnum::READ, data.len() as u64);
+                    }
                     let take = data.len().min(a.count as usize);
                     let eof = a.offset + take as u64 >= attr.size;
                     let res = ReadRes {
@@ -568,6 +599,7 @@ impl ClientProxy {
             if let Some(attr) = self.meta.attrs.get(&a.file).cloned() {
                 self.meta.hits += 1;
                 self.stats.add_prefetch_hit();
+                trace_cache(&self.stats, true, xid, procnum::READ);
                 if let Some(store) = &mut self.store {
                     store.put((a.file.clone(), a.offset), &data, false);
                 }
@@ -585,6 +617,7 @@ impl ClientProxy {
             }
         }
         self.meta.misses += 1;
+        trace_cache(&self.stats, false, xid, procnum::READ);
         // 3. Upstream, after making dirty data visible.
         let has_dirty = self
             .store
@@ -651,7 +684,16 @@ impl ClientProxy {
             }
         }
         let store = self.store.as_mut().expect("checked");
+        let t_blk = std::time::Instant::now();
         store.put((a.file.clone(), a.offset), &a.data, true);
+        if let Some(obs) = self.stats.obs() {
+            obs.hop_timed(
+                sgfs_obs::Hop::BlockWrite,
+                xid,
+                procnum::WRITE,
+                t_blk.elapsed().as_nanos() as u64,
+            );
+        }
         self.synth_mtime += 1;
         let attr = self.meta.attrs.get_mut(&a.file).expect("ensured above");
         attr.size = attr.size.max(a.offset + a.data.len() as u64);
@@ -702,6 +744,10 @@ impl ClientProxy {
         };
         if dirty.is_empty() {
             return Ok(FlushOutcome::Committed);
+        }
+        // One split-phase round is starting: aux = dirty blocks in it.
+        if let Some(obs) = self.stats.obs() {
+            obs.emit(sgfs_obs::Hop::FlushRound, 0, procnum::COMMIT, dirty.len() as u64);
         }
         let mut records = Vec::with_capacity(dirty.len());
         let mut offsets = Vec::with_capacity(dirty.len());
@@ -951,6 +997,16 @@ fn call_via<T: XdrDecode>(
     let reply = pipeline.call(record).map_err(|_| ())?;
     let body = success_body(&reply).ok_or(())?;
     T::from_xdr_bytes(body).map_err(|_| ())
+}
+
+/// Emit a cache hit/miss trace event into the proxy's observability
+/// domain, when one is attached (the hit/miss *counters* live in
+/// `MetaCache`; this is the event-stream mirror of those increments).
+fn trace_cache(stats: &ProxyStats, hit: bool, xid: u32, proc: u32) {
+    if let Some(obs) = stats.obs() {
+        let hop = if hit { sgfs_obs::Hop::CacheHit } else { sgfs_obs::Hop::CacheMiss };
+        obs.emit(hop, xid, proc, 0);
+    }
 }
 
 fn encode_reply<T: XdrEncode>(xid: u32, result: &T) -> Vec<u8> {

@@ -53,7 +53,7 @@ use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Default in-flight window (calls admitted before a reply is required).
 pub const DEFAULT_WINDOW: u32 = 8;
@@ -251,6 +251,11 @@ struct InFlight {
     /// Whether retransmission on a fresh channel is safe
     /// (see [`retry::replayable`]).
     replay: bool,
+    /// NFS procedure number (peeked from the call header), for trace
+    /// events and reply-latency attribution.
+    proc: u32,
+    /// When the call was last transmitted; reply RTT = `sent_at.elapsed()`.
+    sent_at: Instant,
     reply_tx: mpsc::Sender<io::Result<Vec<u8>>>,
 }
 
@@ -385,8 +390,14 @@ impl IoState {
         record[0..4].copy_from_slice(&self.wire_xid.to_be_bytes());
         // Classification is only consulted by the recovery path.
         let replay = self.reconnector.is_some() && retry::replayable(&record);
-        self.in_flight
-            .insert(self.wire_xid, InFlight { orig_xid, record, replay, reply_tx });
+        let proc = sgfs_obs::peek_proc(&record);
+        if let Some(obs) = self.stats.obs() {
+            obs.emit(sgfs_obs::Hop::UpstreamSend, self.wire_xid, proc, record.len() as u64);
+        }
+        self.in_flight.insert(
+            self.wire_xid,
+            InFlight { orig_xid, record, replay, proc, sent_at: Instant::now(), reply_tx },
+        );
         self.stats.pipeline_admitted(self.in_flight.len() as u64);
         self.calls_since_rekey += 1;
         if self.rekey_every.is_some_and(|n| self.calls_since_rekey >= n) {
@@ -440,6 +451,15 @@ impl IoState {
                 "upstream reply to unknown xid",
             ));
         };
+        if let Some(obs) = self.stats.obs() {
+            // aux = upstream round-trip time in nanoseconds.
+            obs.hop_timed(
+                sgfs_obs::Hop::UpstreamReply,
+                xid,
+                call.proc,
+                call.sent_at.elapsed().as_nanos() as u64,
+            );
+        }
         // Zero-copy handoff: the reply rides out in `reply_buf`, and the
         // retired call record's buffer becomes the next read scratch.
         std::mem::swap(&mut self.reply_buf, &mut call.record);
@@ -490,6 +510,14 @@ impl IoState {
                 let d = backoff.min(self.retry.backoff_cap);
                 std::thread::sleep(d);
                 self.stats.add_backoff(d);
+                if let Some(obs) = self.stats.obs() {
+                    obs.hop_timed(
+                        sgfs_obs::Hop::Backoff,
+                        0,
+                        sgfs_obs::NO_PROC,
+                        d.as_nanos() as u64,
+                    );
+                }
                 backoff = backoff.saturating_mul(2);
             }
             let dialed = self
@@ -503,8 +531,20 @@ impl IoState {
                     match self.resend(&replay) {
                         Ok(()) => {
                             let replayed = replay.len() as u64;
-                            for (xid, call) in replay {
+                            for (xid, mut call) in replay {
+                                if let Some(obs) = self.stats.obs() {
+                                    obs.emit(sgfs_obs::Hop::Replay, xid, call.proc, 0);
+                                }
+                                call.sent_at = Instant::now();
                                 self.in_flight.insert(xid, call);
+                            }
+                            if let Some(obs) = self.stats.obs() {
+                                obs.emit(
+                                    sgfs_obs::Hop::Reconnect,
+                                    0,
+                                    sgfs_obs::NO_PROC,
+                                    replayed,
+                                );
                             }
                             self.stats.pipeline_admitted(self.in_flight.len() as u64);
                             self.stats.add_replays(replayed);
@@ -542,6 +582,7 @@ impl IoState {
     fn install(&mut self, mut up: Upstream) {
         if let Upstream::Tls(t) = &mut up {
             t.busy_counter = Some(self.stats.busy_counter());
+            t.obs = self.stats.obs().cloned();
             let total = self.shared.handshakes.load(Ordering::Acquire) + t.handshake_count();
             t.set_handshake_count(total);
             self.shared.handshakes.store(total, Ordering::Release);
@@ -933,6 +974,48 @@ mod tests {
         drop(server_end);
         assert!(pending.wait().is_err());
         assert!(p.call(nfs_record(5, procnum::GETATTR)).is_err(), "channel is dead");
+    }
+
+    #[test]
+    fn trace_events_cover_send_reply_and_recovery() {
+        use sgfs_obs::{Hop, Obs};
+        let (client_end, server_end) = pipe_pair();
+        let stats = ProxyStats::new();
+        let obs = Obs::new();
+        stats.set_obs(obs.clone());
+        let p = Pipeline::with_recovery(
+            Upstream::Plain(Box::new(client_end)),
+            4,
+            None,
+            stats.clone(),
+            Some(echo_reconnector(1)),
+            quick_retry(),
+        );
+        // A one-shot server: answers the first call, then hangs up — the
+        // second call must ride the recovery path.
+        let server = std::thread::spawn(move || {
+            let mut end = server_end;
+            let r = read_record(&mut end).unwrap().unwrap();
+            let mut reply = r[0..4].to_vec();
+            reply.extend_from_slice(b"ok");
+            write_record(&mut end, &reply).unwrap();
+        });
+        p.call(nfs_record(0x41, procnum::GETATTR)).unwrap();
+        server.join().unwrap();
+        p.call(nfs_record(0x42, procnum::READ)).unwrap();
+        let hops: Vec<Hop> = obs.events().0.iter().map(|e| e.hop).collect();
+        // First call: clean send/reply pair.
+        assert_eq!(&hops[0..2], &[Hop::UpstreamSend, Hop::UpstreamReply]);
+        // Second call: sent, channel dies, backed off (one refused dial),
+        // replayed on the fresh channel, then replied.
+        assert_eq!(hops[2], Hop::UpstreamSend);
+        for hop in [Hop::Backoff, Hop::Replay, Hop::Reconnect, Hop::UpstreamReply] {
+            assert!(hops[3..].contains(&hop), "missing {hop:?} in {hops:?}");
+        }
+        // Procedure attribution survives the wire-xid rewrite.
+        let (events, _) = obs.events();
+        assert!(events.iter().any(|e| e.hop == Hop::UpstreamReply && e.proc == procnum::READ));
+        assert_eq!(obs.hop_hist(Hop::UpstreamReply).count(), 2);
     }
 
     #[test]

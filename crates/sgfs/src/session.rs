@@ -241,6 +241,10 @@ pub struct SessionParams {
     /// Upstream fault-recovery policy for the client proxy's pipeline
     /// (reconnect budget, dial backoff, per-call reply deadline).
     pub retry: RetryPolicy,
+    /// Observability domain for the session's data plane (trace events,
+    /// latency histograms). `None` = untraced; share one domain across
+    /// sessions to interleave their events on one logical clock.
+    pub obs: Option<Arc<sgfs_obs::Obs>>,
 }
 
 impl SessionParams {
@@ -259,6 +263,7 @@ impl SessionParams {
             readahead: None,
             vfs: None,
             retry: RetryPolicy::default(),
+            obs: None,
         }
     }
 
@@ -299,6 +304,7 @@ pub struct Session {
     client_stats: Option<Arc<crate::stats::ProxyStats>>,
     server_proxy: Option<Arc<ServerProxy>>,
     controller: Option<ClientProxyController>,
+    obs: Option<Arc<sgfs_obs::Obs>>,
 }
 
 impl Session {
@@ -361,6 +367,7 @@ impl Session {
             client_stats: None,
             server_proxy: None,
             controller: None,
+            obs: params.obs.clone(),
         };
 
         let mount_opts =
@@ -444,6 +451,7 @@ impl Session {
             .readahead
             .unwrap_or(if params.kind == SetupKind::Sfs { 4 } else { 0 });
         client_cfg.retry = params.retry;
+        client_cfg.obs = params.obs.clone();
 
         // Establish the inter-proxy channel per configuration.
         enum Downstream {
@@ -627,6 +635,11 @@ impl Session {
     /// The client proxy's instrumentation, when one is running.
     pub fn client_proxy_stats(&self) -> Option<&Arc<crate::stats::ProxyStats>> {
         self.client_stats.as_ref()
+    }
+
+    /// The session's observability domain, when one was configured.
+    pub fn obs(&self) -> Option<&Arc<sgfs_obs::Obs>> {
+        self.obs.as_ref()
     }
 
     /// Dynamic-reconfiguration controller for the client proxy.

@@ -4,10 +4,39 @@
 //! seconds during IOzone. Here each proxy wraps its per-message processing
 //! in [`ProxyStats::track`]; the harness reads cumulative busy time and
 //! derives utilization per interval of simulated time.
+//!
+//! # Memory-ordering contract
+//!
+//! Every counter in [`ProxyStats`] — and every histogram bucket in the
+//! attached [`Obs`] domain — uses **relaxed** atomics, deliberately. The
+//! counters are independent monotone event counts: no reader derives a
+//! decision from the *relationship* between two counters, so no
+//! acquire/release pairing is needed and none is provided. Concretely:
+//!
+//! * Increments may be observed out of order across counters. A snapshot
+//!   taken mid-workload can see `messages = 10` but `bytes_up` still
+//!   missing the tenth message's bytes. Consumers must treat a live
+//!   snapshot as approximate, and quiesce (join worker threads) before
+//!   asserting exact totals — every test in this workspace does.
+//! * `busy_nanos` is shared with the GTLS layer via
+//!   [`busy_counter`](ProxyStats::busy_counter); `fetch_add`/`fetch_update`
+//!   are atomic read-modify-writes, so no increment is ever lost even
+//!   though ordering between the two writers is unspecified.
+//! * `pipeline_depth`/`pipeline_peak` are written with plain stores (the
+//!   new depth is computed by the pipeline under its own synchronization,
+//!   so the gauge needs no RMW on the depth itself); `fetch_max` keeps the
+//!   peak monotone under races.
+//! * The one structure with a cross-field invariant — the utilization
+//!   sample series — is behind a `Mutex`, not atomics.
+//!
+//! The trace-event rings in [`Obs`] are the exception with a real
+//! ordering need, and they handle it internally (release publish of the
+//! shard head, acquire on read); see `sgfs_obs`'s module docs.
 
 use parking_lot::Mutex;
+use sgfs_obs::Obs;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Shared counters for one proxy.
@@ -40,6 +69,9 @@ pub struct ProxyStats {
     backoff_nanos: AtomicU64,
     /// (sample_time, cumulative_busy) pairs for utilization series.
     samples: Mutex<Vec<(Duration, Duration)>>,
+    /// The observability domain this proxy emits trace events and latency
+    /// samples into, when one is attached (set once at session build).
+    obs: OnceLock<Arc<Obs>>,
 }
 
 impl ProxyStats {
@@ -52,6 +84,18 @@ impl ProxyStats {
     /// their processing time into this proxy's account.
     pub fn busy_counter(&self) -> Arc<AtomicU64> {
         self.busy_nanos.clone()
+    }
+
+    /// Attach an observability domain. First attachment wins; later calls
+    /// are ignored (the session wires this exactly once, before the proxy
+    /// threads start).
+    pub fn set_obs(&self, obs: Arc<Obs>) {
+        let _ = self.obs.set(obs);
+    }
+
+    /// The attached observability domain, if any.
+    pub fn obs(&self) -> Option<&Arc<Obs>> {
+        self.obs.get()
     }
 
     /// Subtract blocked-I/O wall time that [`track`](Self::track)

@@ -1,0 +1,412 @@
+//! Golden-trace tests: scripted workloads whose observability event
+//! sequences are pinned exactly. Any silent behavior change — an extra
+//! round trip, a lost cache hit, a COMMIT overtaking a WRITE, a replay
+//! that stops happening — shows up as a diff against the golden
+//! projection.
+//!
+//! Projections only keep hops emitted from a single thread per scenario
+//! (cache decisions, upstream sends, flush rounds, replays), so the
+//! sequences are deterministic; cross-thread hops (`upstream_reply`,
+//! `backoff`) are asserted by count/structure instead. Each scenario runs
+//! three times and the three projections must be identical.
+
+use sgfs::config::{CacheMode, RetryPolicy, SecurityLevel, SessionConfig};
+use sgfs::proxy::client::{ClientProxy, Upstream};
+use sgfs_net::{pipe_pair, PipeEnd};
+use sgfs_nfs3::proc::{procnum, CommitRes, GetAttrRes, WriteArgs, WriteRes};
+use sgfs_nfs3::types::*;
+use sgfs_nfs3::{NFS_PROGRAM, NFS_VERSION};
+use sgfs_obs::{Hop, Obs, TraceEvent};
+use sgfs_oncrpc::msg::AuthSysParams;
+use sgfs_oncrpc::record::{read_record, write_record};
+use sgfs_oncrpc::{CallHeader, OpaqueAuth, ReplyHeader};
+use sgfs_xdr::{XdrDecode, XdrDecoder, XdrEncode, XdrEncoder};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+fn nfs_call(xid: u32, proc: u32, body: impl FnOnce(&mut XdrEncoder)) -> Vec<u8> {
+    let header = CallHeader {
+        xid,
+        prog: NFS_PROGRAM,
+        vers: NFS_VERSION,
+        proc,
+        cred: OpaqueAuth::sys(&AuthSysParams::new("golden-host", 1001, 1001)),
+        verf: OpaqueAuth::none(),
+    };
+    let mut enc = XdrEncoder::with_capacity(256);
+    header.encode(&mut enc);
+    body(&mut enc);
+    enc.into_bytes()
+}
+
+fn base_attr(size: u64) -> Fattr3 {
+    Fattr3 {
+        ftype: FType3::Reg,
+        mode: 0o644,
+        nlink: 1,
+        uid: 1001,
+        gid: 1001,
+        size,
+        used: size,
+        fsid: 1,
+        fileid: 42,
+        atime: NfsTime3 { seconds: 1, nseconds: 0 },
+        mtime: NfsTime3 { seconds: 1, nseconds: 0 },
+        ctime: NfsTime3 { seconds: 1, nseconds: 0 },
+    }
+}
+
+fn reply_bytes<T: XdrEncode>(xid: u32, res: &T) -> Vec<u8> {
+    let mut enc = XdrEncoder::with_capacity(256);
+    ReplyHeader::success(xid).encode(&mut enc);
+    res.encode(&mut enc);
+    enc.into_bytes()
+}
+
+fn quick_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_reconnects: 8,
+        dial_attempts: 4,
+        backoff_base: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(4),
+        call_deadline: Some(Duration::from_secs(20)),
+    }
+}
+
+/// A full mock-NFS responder with a stable write verifier.
+fn nfs_server(mut end: PipeEnd) {
+    std::thread::spawn(move || loop {
+        let record = match read_record(&mut end) {
+            Ok(Some(r)) => r,
+            _ => return,
+        };
+        let mut dec = XdrDecoder::new(&record);
+        let header = CallHeader::decode(&mut dec).expect("call header");
+        let reply = match header.proc {
+            procnum::GETATTR => reply_bytes(
+                header.xid,
+                &GetAttrRes { status: NfsStat3::Ok, attr: Some(base_attr(0)) },
+            ),
+            procnum::WRITE => {
+                let args =
+                    WriteArgs::from_xdr_bytes(&record[dec.position()..]).expect("write args");
+                reply_bytes(
+                    header.xid,
+                    &WriteRes {
+                        status: NfsStat3::Ok,
+                        wcc: WccData { before: None, after: Some(base_attr(args.offset)) },
+                        count: args.data.len() as u32,
+                        committed: StableHow::Unstable,
+                        verf: 7,
+                    },
+                )
+            }
+            procnum::COMMIT => reply_bytes(
+                header.xid,
+                &CommitRes {
+                    status: NfsStat3::Ok,
+                    wcc: WccData { before: None, after: Some(base_attr(0)) },
+                    verf: 7,
+                },
+            ),
+            other => panic!("unexpected proc {other}"),
+        };
+        if write_record(&mut end, &reply).is_err() {
+            return;
+        }
+    });
+}
+
+fn traced_config() -> (SessionConfig, Arc<Obs>) {
+    let obs = Obs::new();
+    let mut config = SessionConfig::new(SecurityLevel::None);
+    config.cache = CacheMode::MemoryMeta;
+    config.window = 8;
+    config.retry = quick_retry();
+    config.obs = Some(obs.clone());
+    (config, obs)
+}
+
+/// Run `records` through the proxy's downstream interface one at a time
+/// (request, await reply), then return the proxy for further driving.
+fn drive(proxy: ClientProxy, records: &[Vec<u8>]) -> ClientProxy {
+    let (mut down, proxy_down) = pipe_pair();
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(proxy.run(Box::new(proxy_down)));
+    });
+    for record in records {
+        write_record(&mut down, record).unwrap();
+        let reply = read_record(&mut down).unwrap().expect("downstream reply");
+        let mut dec = XdrDecoder::new(&reply);
+        ReplyHeader::decode(&mut dec).expect("reply header");
+    }
+    drop(down);
+    let (proxy, run_result) = rx.recv().expect("proxy thread");
+    run_result.expect("proxy loop");
+    proxy
+}
+
+/// The deterministic projection of a trace: hop names (tagged with the
+/// procedure where meaningful), restricted to single-threaded hops.
+fn golden(events: &[TraceEvent], keep: &[Hop]) -> Vec<String> {
+    events
+        .iter()
+        .filter(|e| keep.contains(&e.hop))
+        .map(|e| {
+            if e.proc < sgfs_obs::NUM_PROCS as u32 {
+                format!("{}:{}", e.hop.as_str(), sgfs_obs::proc_name(e.proc))
+            } else {
+                e.hop.as_str().to_string()
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// 1. Metadata cache: miss populates, hit short-circuits.
+// ---------------------------------------------------------------------
+
+fn cache_scenario() -> Vec<String> {
+    let (config, obs) = traced_config();
+    let (upstream_end, srv) = pipe_pair();
+    nfs_server(srv);
+    let proxy =
+        ClientProxy::new(Upstream::Plain(Box::new(upstream_end)), &config).expect("proxy");
+
+    let fh = Fh3::from_ino(1, 42);
+    let getattr =
+        |xid: u32| nfs_call(xid, procnum::GETATTR, |enc| fh.clone().encode(enc));
+    let proxy = drive(proxy, &[getattr(0x10), getattr(0x11), getattr(0x12)]);
+    drop(proxy);
+
+    let (events, dropped) = obs.events();
+    assert_eq!(dropped, 0);
+    // Exactly one call crossed the wire; the repeats were served locally.
+    let sends: Vec<&TraceEvent> =
+        events.iter().filter(|e| e.hop == Hop::UpstreamSend).collect();
+    assert_eq!(sends.len(), 1, "repeat GETATTRs must not go upstream");
+    assert_eq!(sends[0].proc, procnum::GETATTR);
+    // The sole round trip was measured.
+    assert_eq!(obs.hop_hist(Hop::UpstreamReply).count(), 1);
+    assert_eq!(obs.proc_hist(procnum::GETATTR).unwrap().count(), 3);
+
+    let g = golden(
+        &events,
+        &[Hop::CacheHit, Hop::CacheMiss, Hop::UpstreamSend],
+    );
+    assert_eq!(
+        g,
+        [
+            "cache_miss:getattr",
+            "upstream_send:getattr",
+            "cache_hit:getattr",
+            "cache_hit:getattr",
+        ],
+        "golden cache sequence changed"
+    );
+    g
+}
+
+#[test]
+fn golden_cache_hit_miss_sequence() {
+    let runs: Vec<Vec<String>> = (0..3).map(|_| cache_scenario()).collect();
+    assert_eq!(runs[0], runs[1], "run 2 diverged from run 1");
+    assert_eq!(runs[1], runs[2], "run 3 diverged from run 2");
+}
+
+// ---------------------------------------------------------------------
+// 2. Split-phase flush: every WRITE is sent before the COMMIT.
+// ---------------------------------------------------------------------
+
+fn flush_scenario() -> Vec<String> {
+    const BLOCKS: usize = 3;
+    const BLOCK_LEN: usize = 512;
+    let (config, obs) = traced_config();
+    let (upstream_end, srv) = pipe_pair();
+    nfs_server(srv);
+    let proxy =
+        ClientProxy::new(Upstream::Plain(Box::new(upstream_end)), &config).expect("proxy");
+
+    let fh = Fh3::from_ino(1, 42);
+    let writes: Vec<Vec<u8>> = (0..BLOCKS)
+        .map(|i| {
+            nfs_call(0x20 + i as u32, procnum::WRITE, |enc| {
+                WriteArgs {
+                    file: fh.clone(),
+                    offset: (i * BLOCK_LEN) as u64,
+                    stable: StableHow::Unstable,
+                    data: vec![i as u8; BLOCK_LEN],
+                }
+                .encode(enc)
+            })
+        })
+        .collect();
+    let mut proxy = drive(proxy, &writes);
+    proxy.flush_all().expect("flush");
+    drop(proxy);
+
+    let (events, dropped) = obs.events();
+    assert_eq!(dropped, 0);
+    // The downstream WRITEs were absorbed locally (block store), not
+    // forwarded: the only upstream WRITE traffic is the flush.
+    assert_eq!(
+        events.iter().filter(|e| e.hop == Hop::BlockWrite).count(),
+        BLOCKS,
+        "each absorbed WRITE hits the block store once"
+    );
+    let g = golden(&events, &[Hop::FlushRound, Hop::UpstreamSend]);
+    // Split-phase contract, pinned exactly: the first absorbed WRITE
+    // fetches base attributes upstream, then one flush round announcing
+    // the dirty block count, all WRITEs, then the COMMIT.
+    assert_eq!(
+        g,
+        [
+            "upstream_send:getattr",
+            "flush_round:commit",
+            "upstream_send:write",
+            "upstream_send:write",
+            "upstream_send:write",
+            "upstream_send:commit",
+        ],
+        "golden flush sequence changed"
+    );
+    let round = events.iter().find(|e| e.hop == Hop::FlushRound).unwrap();
+    assert_eq!(round.aux, BLOCKS as u64, "flush round carries the dirty count");
+    g
+}
+
+#[test]
+fn golden_split_phase_flush_sequence() {
+    let runs: Vec<Vec<String>> = (0..3).map(|_| flush_scenario()).collect();
+    assert_eq!(runs[0], runs[1], "run 2 diverged from run 1");
+    assert_eq!(runs[1], runs[2], "run 3 diverged from run 2");
+}
+
+// ---------------------------------------------------------------------
+// 3. Replay after reconnect: in-flight WRITEs are replayed on the fresh
+//    channel and the COMMIT still waits for all of them.
+// ---------------------------------------------------------------------
+
+fn replay_scenario() -> Vec<String> {
+    const BLOCKS: usize = 3;
+    const BLOCK_LEN: usize = 512;
+    let (config, obs) = traced_config();
+
+    // Connection #1 answers metadata calls but swallows WRITEs until it
+    // has seen every one, then dies without replying: the whole flush
+    // window is in flight when the channel collapses, so the replay set
+    // is exactly the three WRITEs.
+    let (upstream_end, dead_srv) = pipe_pair();
+    std::thread::spawn(move || {
+        let mut end = dead_srv;
+        let mut writes_seen = 0;
+        while writes_seen < BLOCKS {
+            match read_record(&mut end) {
+                Ok(Some(record)) => match sgfs_obs::peek_proc(&record) {
+                    p if p == procnum::WRITE => writes_seen += 1,
+                    p if p == procnum::GETATTR => {
+                        let reply = reply_bytes(
+                            sgfs_obs::peek_xid(&record),
+                            &GetAttrRes { status: NfsStat3::Ok, attr: Some(base_attr(0)) },
+                        );
+                        if write_record(&mut end, &reply).is_err() {
+                            return;
+                        }
+                    }
+                    other => panic!("unexpected proc {other} on dying channel"),
+                },
+                _ => return,
+            }
+        }
+        // Drop: both pipe directions close, the pipeline recovers.
+    });
+
+    let dials = Arc::new(AtomicU32::new(0));
+    let dialed = dials.clone();
+    let reconnect = move |_attempt: u32| -> std::io::Result<Upstream> {
+        dialed.fetch_add(1, Ordering::SeqCst);
+        let (end, srv) = pipe_pair();
+        nfs_server(srv);
+        Ok(Upstream::Plain(Box::new(end)))
+    };
+    let proxy = ClientProxy::with_reconnector(
+        Upstream::Plain(Box::new(upstream_end)),
+        &config,
+        Some(Box::new(reconnect)),
+    )
+    .expect("proxy");
+
+    let fh = Fh3::from_ino(1, 42);
+    let writes: Vec<Vec<u8>> = (0..BLOCKS)
+        .map(|i| {
+            nfs_call(0x30 + i as u32, procnum::WRITE, |enc| {
+                WriteArgs {
+                    file: fh.clone(),
+                    offset: (i * BLOCK_LEN) as u64,
+                    stable: StableHow::Unstable,
+                    data: vec![i as u8; BLOCK_LEN],
+                }
+                .encode(enc)
+            })
+        })
+        .collect();
+    let mut proxy = drive(proxy, &writes);
+    proxy.flush_all().expect("flush survives the reconnect");
+    drop(proxy);
+    assert_eq!(dials.load(Ordering::SeqCst), 1, "one successful re-dial");
+
+    let (events, dropped) = obs.events();
+    assert_eq!(dropped, 0);
+
+    // Structure: exactly one recovery episode replaying all three WRITEs.
+    let replays: Vec<&TraceEvent> =
+        events.iter().filter(|e| e.hop == Hop::Replay).collect();
+    assert_eq!(replays.len(), BLOCKS, "every in-flight WRITE was replayed");
+    assert!(replays.iter().all(|e| e.proc == procnum::WRITE));
+    assert_eq!(events.iter().filter(|e| e.hop == Hop::Reconnect).count(), 1);
+    // Each replayed xid got its reply on the fresh channel, afterwards.
+    for r in &replays {
+        assert!(
+            events
+                .iter()
+                .any(|e| e.hop == Hop::UpstreamReply && e.xid == r.xid && e.seq > r.seq),
+            "replayed xid {:#x} never answered",
+            r.xid
+        );
+    }
+    // The COMMIT was sent only after every replay (split-phase across
+    // the reconnect).
+    let commit_send = events
+        .iter()
+        .find(|e| e.hop == Hop::UpstreamSend && e.proc == procnum::COMMIT)
+        .expect("flush commits");
+    assert!(
+        replays.iter().all(|r| r.seq < commit_send.seq),
+        "COMMIT overtook a replayed WRITE"
+    );
+
+    // Replays and the reconnect marker happen on one recovery thread
+    // while the flusher is blocked, so they project deterministically.
+    let g = golden(&events, &[Hop::FlushRound, Hop::Replay, Hop::Reconnect]);
+    assert_eq!(
+        g,
+        [
+            "flush_round:commit",
+            "replay:write",
+            "replay:write",
+            "replay:write",
+            "reconnect",
+        ],
+        "golden recovery sequence changed"
+    );
+    g
+}
+
+#[test]
+fn golden_replay_after_reconnect_sequence() {
+    let runs: Vec<Vec<String>> = (0..3).map(|_| replay_scenario()).collect();
+    assert_eq!(runs[0], runs[1], "run 2 diverged from run 1");
+    assert_eq!(runs[1], runs[2], "run 3 diverged from run 2");
+}

@@ -66,4 +66,35 @@ proptest! {
         let _ = dec.get_string();
         let _ = dec.get_bool();
     }
+
+    /// Truncating a *valid* encoding at any byte boundary yields a
+    /// structured error (or a legal shorter parse), never a panic. This
+    /// reaches deeper decoder states than pure garbage: the length
+    /// prefixes are real, only the payload is cut short.
+    #[test]
+    fn truncated_valid_encodings_never_panic(
+        a: u32,
+        b: bool,
+        c in proptest::collection::vec(any::<u8>(), 0..256),
+        s in "\\PC{0,64}",
+        d: u64,
+        cut_pct in 0usize..100,
+    ) {
+        let mut enc = XdrEncoder::new();
+        enc.put_u32(a);
+        enc.put_bool(b);
+        enc.put_opaque(&c);
+        enc.put_string(&s);
+        enc.put_u64(d);
+        let bytes = enc.into_bytes();
+        let cut = bytes.len() * cut_pct / 100;
+        let mut dec = XdrDecoder::new(&bytes[..cut]);
+        let _ = dec.get_u32();
+        let _ = dec.get_bool();
+        let _ = dec.get_opaque();
+        let _ = dec.get_string();
+        let _ = dec.get_u64();
+        // A decoder can never report more bytes than it was given.
+        prop_assert!(dec.remaining() <= cut);
+    }
 }

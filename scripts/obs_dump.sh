@@ -1,0 +1,62 @@
+#!/bin/sh
+# Render an SGFS observability snapshot (the JSON the FSS `Query` op and
+# `Obs::json` emit, e.g. BENCH_obs.json or a saved Query payload) as a
+# human-readable report: per-procedure and per-hop latency tables plus
+# the tail of the trace-event log.
+#
+# Usage:  scripts/obs_dump.sh [snapshot.json]   (default: BENCH_obs.json)
+#
+# Works with either a raw `Snapshot` (has a "procs" key) or the bench
+# report (ignored keys are skipped). Requires only python3.
+set -eu
+
+FILE="${1:-BENCH_obs.json}"
+if [ ! -f "$FILE" ]; then
+    echo "no such snapshot: $FILE" >&2
+    echo "usage: $0 [snapshot.json]" >&2
+    exit 1
+fi
+
+python3 - "$FILE" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    snap = json.load(f)
+
+if "procs" not in snap:
+    # A bench report, not a snapshot: nothing tabular to show beyond it.
+    print(json.dumps(snap, indent=2))
+    sys.exit(0)
+
+print(f"session {snap.get('session', 0)}  "
+      f"logical clock {snap.get('logical_now', 0)}  "
+      f"tracing {'on' if snap.get('enabled') else 'off'}")
+print(f"events: {snap.get('events_captured', 0)} captured, "
+      f"{snap.get('events_dropped', 0)} dropped to ring wrap")
+
+def table(title, rows):
+    if not rows:
+        return
+    print(f"\n{title:<14} {'count':>8} {'mean':>10} {'p50':>10} "
+          f"{'p95':>10} {'p99':>10} {'max':>10}  (microseconds)")
+    for r in rows:
+        print(f"{r['name']:<14} {r['count']:>8} {r['mean_micros']:>10.1f} "
+              f"{r['p50_micros']:>10.1f} {r['p95_micros']:>10.1f} "
+              f"{r['p99_micros']:>10.1f} {r['max_micros']:>10.1f}")
+
+table("per-procedure", snap.get("procs", []))
+table("per-hop", snap.get("hops", []))
+
+events = snap.get("events", [])
+if events:
+    print(f"\nlast {len(events)} trace events (oldest first):")
+    print(f"{'seq':>8} {'xid':>10} {'proc':>12} {'hop':<14} {'aux':>12}")
+    procs = ["null", "getattr", "setattr", "lookup", "access", "readlink",
+             "read", "write", "create", "mkdir", "symlink", "mknod",
+             "remove", "rmdir", "rename", "link", "readdir", "readdirplus",
+             "fsstat", "fsinfo", "pathconf", "commit"]
+    for e in events:
+        p = procs[e["proc"]] if e["proc"] < len(procs) else "-"
+        xid = f"{e['xid']:#x}" if e["xid"] else "-"
+        print(f"{e['seq']:>8} {xid:>10} {p:>12} {e['hop']:<14} {e['aux']:>12}")
+EOF

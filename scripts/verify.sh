@@ -7,13 +7,20 @@ set -eux
 cargo build --release
 cargo clippy --workspace --all-targets -- -D warnings
 
-# Fault-injection suite first and under a watchdog: a broken retry loop
-# shows up as a hang, and it must fail loudly within 120 s rather than
-# stall the whole run. Binaries are prebuilt so the timeout covers test
-# execution only, not compilation.
+# Fault-injection and golden-trace suites first and under a watchdog: a
+# broken retry loop shows up as a hang, and it must fail loudly within
+# 120 s rather than stall the whole run. Binaries are prebuilt so the
+# timeout covers test execution only, not compilation.
 cargo test -q --workspace --no-run
 timeout 120 cargo test -q -p sgfs --test fault_matrix
 timeout 120 cargo test -q -p sgfs --test pipeline_alloc
+timeout 120 cargo test -q -p sgfs --test trace_golden
 
 cargo test -q
 cargo bench --no-run
+
+# Observability overhead gate: enabled tracing may cost at most 2% of
+# pipeline throughput (writes BENCH_obs.json; exits nonzero past the
+# threshold).
+cargo build --release -p sgfs-bench --bin obs_bench
+timeout 300 ./target/release/obs_bench --quick
