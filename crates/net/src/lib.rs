@@ -19,11 +19,13 @@
 //!   `TcpStream`s can be substituted for the in-memory pipes.
 
 pub mod clock;
+pub mod crash;
 pub mod fault;
 pub mod link;
 pub mod pipe;
 
 pub use clock::{ClockMode, LogicalClock, SimClock};
+pub use crash::{CrashInjector, CrashPoint, ALL_CRASH_POINTS};
 pub use fault::{FaultInjector, FaultPlan, FaultStream};
 pub use link::{Link, LinkSpec};
 pub use pipe::{pipe_pair, pipe_pair_over_link, PipeEnd, PipeReader, PipeWriter};

@@ -75,10 +75,23 @@ pub enum Hop {
     BlockRead = 10,
     /// Block store write (aux = bytes).
     BlockWrite = 11,
+    /// A record was appended to the write-ahead journal (aux = bytes).
+    JournalAppend = 12,
+    /// The journal was compacted (aux = live records retained).
+    JournalCompact = 13,
+    /// Recovery replayed the journal (aux = records replayed).
+    RecoveryReplay = 14,
+    /// Recovery detected and discarded a torn/corrupt journal tail
+    /// (aux = bytes discarded).
+    RecoveryTorn = 15,
+    /// Recovery finished rebuilding the cache index (aux = blocks
+    /// re-marked dirty); the timed variant feeds the recovery-latency
+    /// histogram.
+    RecoveryComplete = 16,
 }
 
 /// Every hop, for iteration and snapshot ordering.
-pub const ALL_HOPS: [Hop; 12] = [
+pub const ALL_HOPS: [Hop; 17] = [
     Hop::CacheHit,
     Hop::CacheMiss,
     Hop::Seal,
@@ -91,6 +104,11 @@ pub const ALL_HOPS: [Hop; 12] = [
     Hop::Reconnect,
     Hop::BlockRead,
     Hop::BlockWrite,
+    Hop::JournalAppend,
+    Hop::JournalCompact,
+    Hop::RecoveryReplay,
+    Hop::RecoveryTorn,
+    Hop::RecoveryComplete,
 ];
 
 impl Hop {
@@ -109,6 +127,11 @@ impl Hop {
             Hop::Reconnect => "reconnect",
             Hop::BlockRead => "block_read",
             Hop::BlockWrite => "block_write",
+            Hop::JournalAppend => "journal_append",
+            Hop::JournalCompact => "journal_compact",
+            Hop::RecoveryReplay => "recovery_replay",
+            Hop::RecoveryTorn => "recovery_torn",
+            Hop::RecoveryComplete => "recovery_complete",
         }
     }
 

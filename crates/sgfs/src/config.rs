@@ -85,6 +85,42 @@ impl HopCost {
     }
 }
 
+/// Crash-consistency policy for the client proxy's write-back disk cache.
+///
+/// With the journal enabled, every dirty-block state change (`put(dirty)`,
+/// `set_clean`, `set_dirty`, `drop_file`, commit) appends a checksummed,
+/// length-prefixed record to a write-ahead journal in the spool directory,
+/// and the spool persists across restarts: recovery replays the journal,
+/// stops at the first torn/corrupt record, and re-marks every surviving
+/// block dirty so the next flush re-sends it under the write-verifier
+/// contract. See DESIGN.md §12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityPolicy {
+    /// Journal dirty-block state to disk (off = the pre-journal behavior:
+    /// a crash discards every dirty block silently).
+    pub journal: bool,
+    /// fsync the journal every N appends (0 = rely on the OS to flush;
+    /// in-process crash recovery still works, host power loss does not).
+    pub fsync_every: u32,
+    /// Compact once the journal holds at least this many records *and*
+    /// dead records (clean transitions, dropped files) outnumber live
+    /// dirty-block entries.
+    pub compact_min_records: u64,
+}
+
+impl Default for DurabilityPolicy {
+    fn default() -> Self {
+        Self { journal: true, fsync_every: 64, compact_min_records: 1024 }
+    }
+}
+
+impl DurabilityPolicy {
+    /// The pre-journal behavior: nothing survives a restart.
+    pub fn none() -> Self {
+        Self { journal: false, fsync_every: 0, compact_min_records: 0 }
+    }
+}
+
 /// Upstream fault-recovery policy for the client proxy's pipeline.
 ///
 /// When the secure channel to the server proxy fails with a transient
@@ -154,6 +190,12 @@ pub struct SessionConfig {
     /// Client side: upstream fault-recovery policy (reconnect, backoff,
     /// replay, per-call deadline).
     pub retry: RetryPolicy,
+    /// Client side: crash-consistency policy for the disk cache (journal,
+    /// fsync cadence, compaction threshold).
+    pub durability: DurabilityPolicy,
+    /// Kill-point injector for the crash harness (`None` in production:
+    /// every durability hook is a no-op).
+    pub crash: Option<std::sync::Arc<sgfs_net::CrashInjector>>,
     /// The observability domain the proxy emits trace events and latency
     /// histograms into (None = untraced).
     pub obs: Option<std::sync::Arc<sgfs_obs::Obs>>,
@@ -175,6 +217,8 @@ impl SessionConfig {
             rekey_every_records: None,
             window: crate::proxy::pipeline::DEFAULT_WINDOW,
             retry: RetryPolicy::default(),
+            durability: DurabilityPolicy::default(),
+            crash: None,
             obs: None,
         }
     }

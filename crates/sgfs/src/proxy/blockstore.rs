@@ -4,11 +4,24 @@
 //! host's local disk; the SFS-style daemon keeps a bounded in-memory block
 //! cache instead. Both stores index blocks by `(file handle, offset)` and
 //! track a dirty bit for write-back.
+//!
+//! The disk store can additionally run **crash-consistent**: with a
+//! [`DurabilityPolicy`] whose journal is enabled, every dirty-block state
+//! change is logged to a write-ahead journal (see
+//! [`journal`](super::journal)) in the spool directory, the spool survives
+//! restarts, and [`DiskStore::with_durability`] replays the journal to
+//! re-mark surviving blocks dirty before the proxy serves its first call.
 
+use super::journal::{Journal, RecoveryReport, Survivor};
+use crate::config::DurabilityPolicy;
+use crate::stats::ProxyStats;
+use sgfs_net::{CrashInjector, CrashPoint};
 use sgfs_nfs3::Fh3;
+use sgfs_obs::{Hop, Obs};
 use std::collections::HashMap;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Key of one cached block.
 pub type BlockKey = (Fh3, u64);
@@ -23,19 +36,31 @@ pub struct BlockMeta {
 }
 
 /// A block store: where cached data blocks live.
+///
+/// Mutating operations return `io::Result` so a journaled disk store can
+/// refuse to acknowledge state it could not make durable; the in-memory
+/// store never fails. Callers distinguish an injected crash
+/// ([`sgfs_net::crash::is_crash`]) — which must propagate — from a
+/// genuine I/O error, which degrades the block to write-through.
 pub trait BlockStore: Send {
     /// Fetch a block's bytes, if cached.
     fn get(&mut self, key: &BlockKey) -> Option<Vec<u8>>;
     /// Insert/overwrite a block.
-    fn put(&mut self, key: BlockKey, data: &[u8], dirty: bool);
+    fn put(&mut self, key: BlockKey, data: &[u8], dirty: bool) -> std::io::Result<()>;
     /// Metadata without reading the payload.
     fn meta(&self, key: &BlockKey) -> Option<BlockMeta>;
-    /// Set the dirty bit of a resident block.
-    fn set_clean(&mut self, key: &BlockKey);
+    /// Mark a resident block clean (its WRITE was acked upstream).
+    fn set_clean(&mut self, key: &BlockKey) -> std::io::Result<()>;
     /// Re-mark a resident block dirty — used when a flush fails (or the
     /// server's write verifier changes) after the block was already
     /// marked clean, so a later retry re-sends it.
-    fn set_dirty(&mut self, key: &BlockKey);
+    fn set_dirty(&mut self, key: &BlockKey) -> std::io::Result<()>;
+    /// The server confirmed a COMMIT of `fh`: its clean blocks are now
+    /// stable and need not survive a crash. No visible state changes;
+    /// journaled stores use this to shrink the recovery set.
+    fn commit_file(&mut self, _fh: &Fh3) -> std::io::Result<()> {
+        Ok(())
+    }
     /// All block offsets cached for `fh`, sorted.
     fn blocks_of(&self, fh: &Fh3) -> Vec<u64>;
     /// All dirty block offsets for `fh`, sorted.
@@ -54,28 +79,149 @@ pub trait BlockStore: Send {
 /// Disk-backed store: one spool file per cached file handle, written at
 /// block offsets (sparse), with an in-memory index. Real file I/O makes
 /// the disk-cache cost in the benchmarks genuine.
+///
+/// Two modes:
+///
+/// * [`new`](Self::new) — ephemeral: the spool directory is cleared on
+///   open and removed on drop (each benchmark session starts cold, per
+///   the paper's methodology). A crash discards dirty blocks.
+/// * [`with_durability`](Self::with_durability) — crash-consistent: the
+///   spool and a write-ahead journal persist across restarts, and
+///   construction replays the journal into the index.
 pub struct DiskStore {
     dir: PathBuf,
     index: HashMap<BlockKey, BlockMeta>,
     open: HashMap<Fh3, std::fs::File>,
+    journal: Option<Journal>,
+    stats: Option<Arc<ProxyStats>>,
+    crash: Option<Arc<CrashInjector>>,
+    /// Keep the spool directory on drop (journal mode).
+    persist: bool,
 }
 
 impl DiskStore {
-    /// Create a store spooling under `dir` (created if missing, and
-    /// cleared — each session starts with a cold cache, per the paper's
-    /// methodology).
+    /// Create an ephemeral store spooling under `dir` (created if
+    /// missing, and cleared — each session starts with a cold cache, per
+    /// the paper's methodology).
     pub fn new(dir: PathBuf) -> std::io::Result<Self> {
         if dir.exists() {
             std::fs::remove_dir_all(&dir)?;
         }
         std::fs::create_dir_all(&dir)?;
-        Ok(Self { dir, index: HashMap::new(), open: HashMap::new() })
+        Ok(Self {
+            dir,
+            index: HashMap::new(),
+            open: HashMap::new(),
+            journal: None,
+            stats: None,
+            crash: None,
+            persist: false,
+        })
+    }
+
+    /// Open a crash-consistent store under `dir`: recover the journal
+    /// left by a previous incarnation (replaying up to the first torn
+    /// record), re-mark every surviving block dirty, and start journaling
+    /// new state. With `policy.journal` off this degenerates to
+    /// [`new`](Self::new).
+    pub fn with_durability(
+        dir: PathBuf,
+        policy: DurabilityPolicy,
+        stats: Option<Arc<ProxyStats>>,
+        obs: Option<Arc<Obs>>,
+        crash: Option<Arc<CrashInjector>>,
+    ) -> std::io::Result<(Self, RecoveryReport)> {
+        if !policy.journal {
+            let mut s = Self::new(dir)?;
+            s.stats = stats;
+            s.crash = crash;
+            return Ok((s, RecoveryReport::default()));
+        }
+        std::fs::create_dir_all(&dir)?;
+        let t0 = std::time::Instant::now();
+        let mut report = Journal::recover(&dir);
+        Journal::truncate_tail(&dir, &report)?;
+        let mut store = Self {
+            dir,
+            index: HashMap::new(),
+            open: HashMap::new(),
+            journal: None,
+            stats: stats.clone(),
+            crash: crash.clone(),
+            persist: true,
+        };
+        // Re-admit survivors, verifying the spool actually holds the
+        // bytes the journal promises (spool writes precede journal
+        // appends, so a shortfall means external tampering — skip and
+        // count rather than resurrect garbage).
+        let mut recovered: Vec<Survivor> = Vec::new();
+        let mut recovered_bytes = 0u64;
+        for s in std::mem::take(&mut report.survivors) {
+            let (fh, offset) = &s.key;
+            let end = *offset + s.len as u64;
+            let ok = store
+                .file_for(&fh.clone())
+                .and_then(|f| f.metadata())
+                .map(|m| m.len() >= end)
+                .unwrap_or(false);
+            if ok {
+                store
+                    .index
+                    .insert(s.key.clone(), BlockMeta { len: s.len, dirty: true });
+                recovered_bytes += s.len as u64;
+                recovered.push(s);
+            } else if let Some(st) = &stats {
+                st.add_cache_io_error();
+            }
+        }
+        let mut journal =
+            Journal::open(&store.dir, policy, &recovered, report.records_replayed)?;
+        journal.instrument(stats.clone(), obs.clone(), crash);
+        store.journal = Some(journal);
+        report.survivors = recovered;
+        if let Some(st) = &stats {
+            st.add_recovered(report.survivors.len() as u64, recovered_bytes);
+        }
+        if let Some(o) = &obs {
+            o.emit(Hop::RecoveryReplay, 0, sgfs_obs::NO_PROC, report.records_replayed);
+            if report.torn_bytes > 0 {
+                o.emit(Hop::RecoveryTorn, 0, sgfs_obs::NO_PROC, report.torn_bytes);
+            }
+            o.emit(Hop::RecoveryComplete, 0, sgfs_obs::NO_PROC, report.survivors.len() as u64);
+            o.record_hop(Hop::RecoveryComplete, t0.elapsed().as_nanos() as u64);
+        }
+        Ok((store, report))
+    }
+
+    /// The spool directory.
+    pub fn dir(&self) -> &PathBuf {
+        &self.dir
+    }
+
+    /// Force journal buffers to disk (session teardown).
+    pub fn sync_journal(&mut self) -> std::io::Result<()> {
+        match &mut self.journal {
+            Some(j) => j.sync(),
+            None => Ok(()),
+        }
+    }
+
+    fn hit(&self, point: CrashPoint) -> std::io::Result<()> {
+        match &self.crash {
+            Some(c) => c.hit(point),
+            None => Ok(()),
+        }
+    }
+
+    fn count_io_error(&self) {
+        if let Some(s) = &self.stats {
+            s.add_cache_io_error();
+        }
     }
 
     fn file_for(&mut self, fh: &Fh3) -> std::io::Result<&mut std::fs::File> {
         if !self.open.contains_key(fh) {
-            let name: String = fh.0.iter().map(|b| format!("{b:02x}")).collect();
-            let path = self.dir.join(format!("{name}.spool"));
+            let path = self.dir.join(Self::spool_name(fh));
             let f = std::fs::OpenOptions::new()
                 .read(true)
                 .write(true)
@@ -86,6 +232,11 @@ impl DiskStore {
         }
         Ok(self.open.get_mut(fh).expect("just inserted"))
     }
+
+    fn spool_name(fh: &Fh3) -> String {
+        let name: String = fh.0.iter().map(|b| format!("{b:02x}")).collect();
+        format!("{name}.spool")
+    }
 }
 
 impl BlockStore for DiskStore {
@@ -94,38 +245,85 @@ impl BlockStore for DiskStore {
         let (fh, offset) = key;
         let fh = fh.clone();
         let offset = *offset;
-        let f = self.file_for(&fh).ok()?;
         let mut buf = vec![0u8; meta.len as usize];
-        f.seek(SeekFrom::Start(offset)).ok()?;
-        f.read_exact(&mut buf).ok()?;
-        Some(buf)
+        let read = (|| -> std::io::Result<()> {
+            let f = self.file_for(&fh)?;
+            f.seek(SeekFrom::Start(offset))?;
+            f.read_exact(&mut buf)
+        })();
+        match read {
+            Ok(()) => Some(buf),
+            Err(_) => {
+                // Spool read failed: the index promised bytes the disk
+                // no longer yields. Evict the entry (forcing an upstream
+                // re-READ) rather than serve a short block; count it.
+                self.index.remove(key);
+                self.count_io_error();
+                None
+            }
+        }
     }
 
-    fn put(&mut self, key: BlockKey, data: &[u8], dirty: bool) {
+    fn put(&mut self, key: BlockKey, data: &[u8], dirty: bool) -> std::io::Result<()> {
+        self.hit(CrashPoint::BeforeSpoolWrite)?;
         let (fh, offset) = &key;
         let fh = fh.clone();
         let offset = *offset;
-        if let Ok(f) = self.file_for(&fh) {
-            if f.seek(SeekFrom::Start(offset)).is_ok() && f.write_all(data).is_ok() {
-                self.index.insert(key, BlockMeta { len: data.len() as u32, dirty });
-            }
+        let write = (|| -> std::io::Result<()> {
+            let f = self.file_for(&fh)?;
+            f.seek(SeekFrom::Start(offset))?;
+            f.write_all(data)
+        })();
+        if let Err(e) = write {
+            // Short writes / ENOSPC no longer insert a lying index entry;
+            // the caller decides whether to degrade to write-through.
+            self.count_io_error();
+            return Err(e);
         }
+        self.hit(CrashPoint::AfterSpoolWrite)?;
+        if let Some(j) = &mut self.journal {
+            j.record_put(&key, data.len() as u32, dirty)?;
+        }
+        self.index
+            .insert(key, BlockMeta { len: data.len() as u32, dirty });
+        Ok(())
     }
 
     fn meta(&self, key: &BlockKey) -> Option<BlockMeta> {
         self.index.get(key).copied()
     }
 
-    fn set_clean(&mut self, key: &BlockKey) {
+    fn set_clean(&mut self, key: &BlockKey) -> std::io::Result<()> {
+        if !self.index.contains_key(key) {
+            return Ok(());
+        }
+        if let Some(j) = &mut self.journal {
+            j.record_set_clean(key)?;
+        }
         if let Some(m) = self.index.get_mut(key) {
             m.dirty = false;
         }
+        Ok(())
     }
 
-    fn set_dirty(&mut self, key: &BlockKey) {
+    fn set_dirty(&mut self, key: &BlockKey) -> std::io::Result<()> {
+        let Some(len) = self.index.get(key).map(|m| m.len) else {
+            return Ok(());
+        };
+        if let Some(j) = &mut self.journal {
+            j.record_set_dirty(key, len)?;
+        }
         if let Some(m) = self.index.get_mut(key) {
             m.dirty = true;
         }
+        Ok(())
+    }
+
+    fn commit_file(&mut self, fh: &Fh3) -> std::io::Result<()> {
+        if let Some(j) = &mut self.journal {
+            j.record_commit_file(fh)?;
+        }
+        Ok(())
     }
 
     fn blocks_of(&self, fh: &Fh3) -> Vec<u64> {
@@ -159,10 +357,22 @@ impl BlockStore for DiskStore {
     }
 
     fn drop_file(&mut self, fh: &Fh3) {
+        // Journal first: if the append fails (crash), the blocks stay
+        // both in the index and in the recovery set — dropping from the
+        // index but not the journal would resurrect deleted data.
+        if let Some(j) = &mut self.journal {
+            if j.record_drop_file(fh).is_err() {
+                self.count_io_error();
+                return;
+            }
+        }
         self.index.retain(|(f, _), _| f != fh);
-        if self.open.remove(fh).is_some() {
-            let name: String = fh.0.iter().map(|b| format!("{b:02x}")).collect();
-            let _ = std::fs::remove_file(self.dir.join(format!("{name}.spool")));
+        if self.open.remove(fh).is_some()
+            && std::fs::remove_file(self.dir.join(Self::spool_name(fh))).is_err()
+        {
+            // The spool file lingers (it will be truncated on reuse or
+            // removed with the directory); count, don't ignore.
+            self.count_io_error();
         }
     }
 
@@ -177,8 +387,19 @@ impl BlockStore for DiskStore {
 
 impl Drop for DiskStore {
     fn drop(&mut self) {
+        if self.persist {
+            // Crash-consistent mode: the spool and journal ARE the
+            // durable state; flush journal buffers and leave everything
+            // in place for the next incarnation.
+            if let Some(j) = &mut self.journal {
+                let _ = j.sync();
+            }
+            return;
+        }
         self.open.clear();
-        let _ = std::fs::remove_dir_all(&self.dir);
+        if std::fs::remove_dir_all(&self.dir).is_err() && self.dir.exists() {
+            self.count_io_error();
+        }
     }
 }
 
@@ -208,7 +429,7 @@ impl BlockStore for MemStore {
         self.blocks.get(key).map(|(d, _)| d.clone())
     }
 
-    fn put(&mut self, key: BlockKey, data: &[u8], dirty: bool) {
+    fn put(&mut self, key: BlockKey, data: &[u8], dirty: bool) -> std::io::Result<()> {
         if let Some((old, _)) = self.blocks.insert(key.clone(), (data.to_vec(), dirty)) {
             self.resident -= old.len() as u64;
         } else {
@@ -234,6 +455,7 @@ impl BlockStore for MemStore {
                 None => {}
             }
         }
+        Ok(())
     }
 
     fn meta(&self, key: &BlockKey) -> Option<BlockMeta> {
@@ -242,16 +464,18 @@ impl BlockStore for MemStore {
             .map(|(d, dirty)| BlockMeta { len: d.len() as u32, dirty: *dirty })
     }
 
-    fn set_clean(&mut self, key: &BlockKey) {
+    fn set_clean(&mut self, key: &BlockKey) -> std::io::Result<()> {
         if let Some((_, dirty)) = self.blocks.get_mut(key) {
             *dirty = false;
         }
+        Ok(())
     }
 
-    fn set_dirty(&mut self, key: &BlockKey) {
+    fn set_dirty(&mut self, key: &BlockKey) -> std::io::Result<()> {
         if let Some((_, dirty)) = self.blocks.get_mut(key) {
             *dirty = true;
         }
+        Ok(())
     }
 
     fn blocks_of(&self, fh: &Fh3) -> Vec<u64> {
@@ -321,9 +545,9 @@ mod tests {
     }
 
     fn exercise(store: &mut dyn BlockStore) {
-        store.put((fh(1), 0), &[1; 100], false);
-        store.put((fh(1), 32768), &[2; 100], true);
-        store.put((fh(2), 0), &[3; 50], true);
+        store.put((fh(1), 0), &[1; 100], false).unwrap();
+        store.put((fh(1), 32768), &[2; 100], true).unwrap();
+        store.put((fh(2), 0), &[3; 50], true).unwrap();
 
         assert_eq!(store.get(&(fh(1), 0)).unwrap(), vec![1; 100]);
         assert_eq!(store.get(&(fh(1), 32768)).unwrap(), vec![2; 100]);
@@ -335,12 +559,13 @@ mod tests {
         assert_eq!(store.total_bytes(), 250);
         assert_eq!(store.dirty_bytes(), 150);
 
-        store.set_clean(&(fh(1), 32768));
+        store.set_clean(&(fh(1), 32768)).unwrap();
         assert_eq!(store.dirty_blocks_of(&fh(1)), Vec::<u64>::new());
-        store.set_dirty(&(fh(1), 32768));
+        store.set_dirty(&(fh(1), 32768)).unwrap();
         assert_eq!(store.dirty_blocks_of(&fh(1)), vec![32768], "re-dirtied for retry");
-        store.set_dirty(&(fh(9), 0)); // absent key: no-op
-        store.set_clean(&(fh(1), 32768));
+        store.set_dirty(&(fh(9), 0)).unwrap(); // absent key: no-op
+        store.set_clean(&(fh(1), 32768)).unwrap();
+        store.commit_file(&fh(1)).unwrap();
 
         store.drop_file(&fh(1));
         assert!(store.get(&(fh(1), 0)).is_none());
@@ -354,6 +579,25 @@ mod tests {
     }
 
     #[test]
+    fn journaled_disk_store_semantics() {
+        let dir = temp_dir("disk-journal");
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let (mut store, report) = DiskStore::with_durability(
+                dir.clone(),
+                DurabilityPolicy::default(),
+                None,
+                None,
+                None,
+            )
+            .unwrap();
+            assert!(report.survivors.is_empty(), "cold start");
+            exercise(&mut store);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn mem_store_semantics() {
         let mut store = MemStore::new(1 << 20);
         exercise(&mut store);
@@ -362,8 +606,8 @@ mod tests {
     #[test]
     fn disk_store_overwrite_block() {
         let mut store = DiskStore::new(temp_dir("ow")).unwrap();
-        store.put((fh(1), 0), &[1; 100], false);
-        store.put((fh(1), 0), &[9; 80], true);
+        store.put((fh(1), 0), &[1; 100], false).unwrap();
+        store.put((fh(1), 0), &[9; 80], true).unwrap();
         assert_eq!(store.get(&(fh(1), 0)).unwrap(), vec![9; 80]);
         assert!(store.meta(&(fh(1), 0)).unwrap().dirty);
         assert_eq!(store.total_bytes(), 80);
@@ -372,9 +616,9 @@ mod tests {
     #[test]
     fn mem_store_evicts_clean_not_dirty() {
         let mut store = MemStore::new(250);
-        store.put((fh(1), 0), &[1; 100], true); // dirty: protected
-        store.put((fh(1), 1), &[2; 100], false);
-        store.put((fh(1), 2), &[3; 100], false); // over budget
+        store.put((fh(1), 0), &[1; 100], true).unwrap(); // dirty: protected
+        store.put((fh(1), 1), &[2; 100], false).unwrap();
+        store.put((fh(1), 2), &[3; 100], false).unwrap(); // over budget
         assert!(store.get(&(fh(1), 0)).is_some(), "dirty block survives");
         assert!(store.total_bytes() <= 250);
     }
@@ -384,9 +628,130 @@ mod tests {
         let dir = temp_dir("cleanup");
         {
             let mut store = DiskStore::new(dir.clone()).unwrap();
-            store.put((fh(1), 0), &[1; 10], false);
+            store.put((fh(1), 0), &[1; 10], false).unwrap();
             assert!(dir.exists());
         }
         assert!(!dir.exists(), "spool removed on drop");
+    }
+
+    #[test]
+    fn journaled_store_survives_restart() {
+        let dir = temp_dir("restart");
+        let _ = std::fs::remove_dir_all(&dir);
+        let policy = DurabilityPolicy::default();
+        {
+            let (mut store, _) =
+                DiskStore::with_durability(dir.clone(), policy, None, None, None).unwrap();
+            store.put((fh(1), 0), &[7; 100], true).unwrap();
+            store.put((fh(1), 32768), &[8; 64], true).unwrap();
+            store.put((fh(2), 0), &[9; 10], false).unwrap(); // clean: not recovered
+        }
+        assert!(dir.exists(), "spool persists in journal mode");
+        let (mut store, report) =
+            DiskStore::with_durability(dir.clone(), policy, None, None, None).unwrap();
+        assert_eq!(report.survivors.len(), 2);
+        assert_eq!(store.dirty_blocks_of(&fh(1)), vec![0, 32768]);
+        assert_eq!(store.get(&(fh(1), 0)).unwrap(), vec![7; 100], "payload recovered");
+        assert_eq!(store.get(&(fh(1), 32768)).unwrap(), vec![8; 64]);
+        assert!(store.get(&(fh(2), 0)).is_none(), "clean block not resurrected");
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn committed_blocks_do_not_recover() {
+        let dir = temp_dir("committed");
+        let _ = std::fs::remove_dir_all(&dir);
+        let policy = DurabilityPolicy::default();
+        {
+            let (mut store, _) =
+                DiskStore::with_durability(dir.clone(), policy, None, None, None).unwrap();
+            store.put((fh(1), 0), &[7; 100], true).unwrap();
+            store.set_clean(&(fh(1), 0)).unwrap();
+            store.commit_file(&fh(1)).unwrap();
+            store.put((fh(1), 32768), &[8; 64], true).unwrap(); // post-commit write
+        }
+        let (_store, report) =
+            DiskStore::with_durability(dir.clone(), policy, None, None, None).unwrap();
+        let keys: Vec<_> = report.survivors.iter().map(|s| s.key.clone()).collect();
+        assert_eq!(keys, vec![(fh(1), 32768)], "only the uncommitted block recovers");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clean_before_commit_still_recovers_dirty() {
+        let dir = temp_dir("clean-uncommitted");
+        let _ = std::fs::remove_dir_all(&dir);
+        let policy = DurabilityPolicy::default();
+        {
+            let (mut store, _) =
+                DiskStore::with_durability(dir.clone(), policy, None, None, None).unwrap();
+            store.put((fh(1), 0), &[7; 100], true).unwrap();
+            store.set_clean(&(fh(1), 0)).unwrap(); // WRITE acked, COMMIT never ran
+        }
+        let (store, report) =
+            DiskStore::with_durability(dir.clone(), policy, None, None, None).unwrap();
+        assert_eq!(report.survivors.len(), 1);
+        assert_eq!(store.dirty_blocks_of(&fh(1)), vec![0], "recovered dirty, not clean");
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dropped_file_stays_dropped_after_restart() {
+        let dir = temp_dir("dropped");
+        let _ = std::fs::remove_dir_all(&dir);
+        let policy = DurabilityPolicy::default();
+        {
+            let (mut store, _) =
+                DiskStore::with_durability(dir.clone(), policy, None, None, None).unwrap();
+            store.put((fh(1), 0), &[7; 100], true).unwrap();
+            store.drop_file(&fh(1));
+        }
+        let (_store, report) =
+            DiskStore::with_durability(dir.clone(), policy, None, None, None).unwrap();
+        assert!(report.survivors.is_empty(), "deleted data not resurrected");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_disabled_policy_behaves_ephemeral() {
+        let dir = temp_dir("nojournal");
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let (mut store, _) = DiskStore::with_durability(
+                dir.clone(),
+                DurabilityPolicy::none(),
+                None,
+                None,
+                None,
+            )
+            .unwrap();
+            store.put((fh(1), 0), &[7; 100], true).unwrap();
+        }
+        assert!(!dir.exists(), "ephemeral mode cleans up");
+    }
+
+    #[test]
+    fn recovery_counts_into_stats() {
+        let dir = temp_dir("recovery-stats");
+        let _ = std::fs::remove_dir_all(&dir);
+        let policy = DurabilityPolicy::default();
+        {
+            let (mut store, _) =
+                DiskStore::with_durability(dir.clone(), policy, None, None, None).unwrap();
+            store.put((fh(1), 0), &[7; 100], true).unwrap();
+        }
+        let stats = ProxyStats::new();
+        let (_store, _) = DiskStore::with_durability(
+            dir.clone(),
+            policy,
+            Some(stats.clone()),
+            None,
+            None,
+        )
+        .unwrap();
+        assert_eq!(stats.recovered(), (1, 100));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -34,7 +34,7 @@ use sgfs_nfs3::types::*;
 use sgfs_nfs3::{NFS_PROGRAM, NFS_VERSION};
 use sgfs_oncrpc::record::{read_record, write_record};
 use sgfs_oncrpc::{AcceptStat, CallHeader, OpaqueAuth, ReplyHeader};
-use sgfs_net::BoxStream;
+use sgfs_net::{BoxStream, CrashInjector, CrashPoint};
 use sgfs_xdr::{XdrDecode, XdrDecoder, XdrEncode, XdrEncoder};
 use std::collections::HashMap;
 use std::sync::mpsc;
@@ -122,6 +122,8 @@ pub struct ClientProxy {
     hop: HopCost,
     /// Upstream-forwarded call counts per procedure (diagnostics).
     forwarded: HashMap<u32, u64>,
+    /// Kill-point injector for the crash harness (None in production).
+    crash: Option<Arc<CrashInjector>>,
 }
 
 struct PrefetchReq {
@@ -161,6 +163,10 @@ impl ClientProxy {
         config: &SessionConfig,
         reconnector: Option<Box<dyn crate::proxy::retry::Reconnector>>,
     ) -> std::io::Result<Self> {
+        let stats = ProxyStats::new();
+        if let Some(obs) = &config.obs {
+            stats.set_obs(obs.clone());
+        }
         let (store, meta_enabled): (Option<Box<dyn BlockStore>>, bool) = match &config.cache {
             CacheMode::None => (None, false),
             CacheMode::MemoryMeta => {
@@ -168,13 +174,21 @@ impl ClientProxy {
                 // via read-ahead, held in a bounded memory store.
                 (Some(Box::new(MemStore::new(64 * 1024 * 1024))), true)
             }
-            CacheMode::Disk { dir } => (Some(Box::new(DiskStore::new(dir.clone())?)), true),
+            CacheMode::Disk { dir } => {
+                // Crash-consistent disk cache: recover the previous
+                // incarnation's journal (re-marking survivors dirty)
+                // before serving the first call, then journal new state.
+                let (store, _report) = DiskStore::with_durability(
+                    dir.clone(),
+                    config.durability,
+                    Some(stats.clone()),
+                    config.obs.clone(),
+                    config.crash.clone(),
+                )?;
+                (Some(Box::new(store)), true)
+            }
         };
         let mut upstream = upstream;
-        let stats = ProxyStats::new();
-        if let Some(obs) = &config.obs {
-            stats.set_obs(obs.clone());
-        }
         if let Upstream::Tls(t) = &mut upstream {
             // Attribute record crypto to this proxy's CPU account before
             // the channel moves onto the pipeline's I/O thread. The
@@ -210,6 +224,7 @@ impl ClientProxy {
             clock: None,
             hop: HopCost::free(),
             forwarded: HashMap::new(),
+            crash: config.crash.clone(),
         })
     }
 
@@ -600,9 +615,7 @@ impl ClientProxy {
                 self.meta.hits += 1;
                 self.stats.add_prefetch_hit();
                 trace_cache(&self.stats, true, xid, procnum::READ);
-                if let Some(store) = &mut self.store {
-                    store.put((a.file.clone(), a.offset), &data, false);
-                }
+                self.put_clean((a.file.clone(), a.offset), &data)?;
                 let take = data.len().min(a.count as usize);
                 let eof = a.offset + take as u64 >= attr.size;
                 let res = ReadRes {
@@ -633,13 +646,25 @@ impl ClientProxy {
                 if let Some(attr) = &res.attr {
                     self.meta.attrs.insert(a.file.clone(), attr.clone());
                 }
-                if let Some(store) = &mut self.store {
-                    store.put((a.file.clone(), a.offset), &res.data, false);
-                }
+                self.put_clean((a.file.clone(), a.offset), &res.data)?;
             }
         }
         self.maybe_prefetch(&a);
         Ok(reply)
+    }
+
+    /// Cache a clean (server-sourced) block, best-effort: a genuine I/O
+    /// error just leaves the block uncached (counted by the store); an
+    /// injected crash propagates — a dead process serves nothing.
+    fn put_clean(&mut self, key: (Fh3, u64), data: &[u8]) -> std::io::Result<()> {
+        if let Some(store) = &mut self.store {
+            if let Err(e) = store.put(key, data, false) {
+                if sgfs_net::crash::is_crash(&e) {
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
     }
 
     fn maybe_prefetch(&mut self, a: &ReadArgs) {
@@ -683,9 +708,24 @@ impl ClientProxy {
                 _ => return self.forward(record, procnum::WRITE, args),
             }
         }
-        let store = self.store.as_mut().expect("checked");
         let t_blk = std::time::Instant::now();
-        store.put((a.file.clone(), a.offset), &a.data, true);
+        let put = self
+            .store
+            .as_mut()
+            .expect("checked")
+            .put((a.file.clone(), a.offset), &a.data, true);
+        if let Err(e) = put {
+            if sgfs_net::crash::is_crash(&e) {
+                // The acknowledgement below is the durability promise the
+                // journal underwrites; a dead process must not make it.
+                return Err(e);
+            }
+            // Spool unusable (ENOSPC, I/O error — already counted by the
+            // store): degrade this WRITE to write-through so the ack the
+            // client sees is the server's, not a fabrication the cache
+            // can no longer back.
+            return self.forward(record, procnum::WRITE, args);
+        }
         if let Some(obs) = self.stats.obs() {
             obs.hop_timed(
                 sgfs_obs::Hop::BlockWrite,
@@ -783,9 +823,23 @@ impl ClientProxy {
             if *server_verf.get_or_insert(verf) != verf {
                 verifier_changed = true;
             }
-            if let Some(store) = &mut self.store {
-                store.set_clean(&(fh.clone(), *offset));
+            let cleaned = match &mut self.store {
+                Some(store) => store.set_clean(&(fh.clone(), *offset)),
+                None => Ok(()),
+            };
+            if let Err(e) = cleaned {
+                // The journal could not record the transition; the block
+                // stays dirty (the store updates its index only after the
+                // append succeeds) and a later flush re-sends it.
+                self.redirty(fh, &offsets);
+                return Err(e);
             }
+        }
+        // Kill point: blocks are clean locally, COMMIT never goes out.
+        // Recovery must re-dirty them (clean-before-COMMIT is not stable).
+        if let Err(e) = self.hit_crash(CrashPoint::FlushBeforeCommit) {
+            self.redirty(fh, &offsets);
+            return Err(e);
         }
         let commit = CommitArgs { file: fh.clone(), offset: 0, count: 0 };
         let res: CommitRes = match self.call_upstream(procnum::COMMIT, &commit) {
@@ -806,17 +860,35 @@ impl ClientProxy {
             self.redirty(fh, &offsets);
             return Ok(FlushOutcome::VerifierChanged);
         }
+        // Kill point: the server has committed but the journal has not
+        // heard — recovery re-sends the blocks, which is idempotent.
+        self.hit_crash(CrashPoint::FlushAfterCommit)?;
+        if let Some(store) = &mut self.store {
+            store.commit_file(fh)?;
+        }
         if let Some(a) = res.wcc.after {
             self.meta.attrs.insert(fh.clone(), a);
         }
         Ok(FlushOutcome::Committed)
     }
 
+    fn hit_crash(&self, point: CrashPoint) -> std::io::Result<()> {
+        match &self.crash {
+            Some(c) => c.hit(point),
+            None => Ok(()),
+        }
+    }
+
     /// Return flushed-but-uncommitted blocks to the dirty set.
+    ///
+    /// Best-effort: this runs on error paths, where a tripped crash
+    /// injector makes every journal append fail too — recovery re-dirties
+    /// the blocks from the journal, which never recorded them as
+    /// committed.
     fn redirty(&mut self, fh: &Fh3, offsets: &[u64]) {
         if let Some(store) = &mut self.store {
             for offset in offsets {
-                store.set_dirty(&(fh.clone(), *offset));
+                let _ = store.set_dirty(&(fh.clone(), *offset));
             }
         }
     }

@@ -2,6 +2,7 @@
 
 pub mod blockstore;
 pub mod client;
+pub mod journal;
 pub mod pipeline;
 pub mod retry;
 pub mod server;

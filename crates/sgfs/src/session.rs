@@ -14,7 +14,7 @@
 //! | `GfsSsh`  | plain proxies through the session-key SSH tunnel |
 //! | `Sfs`     | RC4 proxies, aggressive memory metadata cache + read-ahead |
 
-use crate::config::{CacheMode, HopCost, RetryPolicy, SecurityLevel, SessionConfig};
+use crate::config::{CacheMode, DurabilityPolicy, HopCost, RetryPolicy, SecurityLevel, SessionConfig};
 use crate::proxy::client::{ClientProxy, ClientProxyController, Upstream};
 use crate::proxy::server::ServerProxy;
 use crate::proxy::ProxyError;
@@ -241,6 +241,13 @@ pub struct SessionParams {
     /// Upstream fault-recovery policy for the client proxy's pipeline
     /// (reconnect budget, dial backoff, per-call reply deadline).
     pub retry: RetryPolicy,
+    /// Crash-consistency policy for the disk cache. The benchmark
+    /// defaults disable the journal (the paper's methodology starts each
+    /// session with a cold, ephemeral cache); a production session sets a
+    /// journaling policy and its spool + journal survive restarts —
+    /// session assembly replays the journal before serving the first
+    /// call.
+    pub durability: DurabilityPolicy,
     /// Observability domain for the session's data plane (trace events,
     /// latency histograms). `None` = untraced; share one domain across
     /// sessions to interleave their events on one logical clock.
@@ -263,6 +270,7 @@ impl SessionParams {
             readahead: None,
             vfs: None,
             retry: RetryPolicy::default(),
+            durability: DurabilityPolicy::none(),
             obs: None,
         }
     }
@@ -451,6 +459,7 @@ impl Session {
             .readahead
             .unwrap_or(if params.kind == SetupKind::Sfs { 4 } else { 0 });
         client_cfg.retry = params.retry;
+        client_cfg.durability = params.durability;
         client_cfg.obs = params.obs.clone();
 
         // Establish the inter-proxy channel per configuration.
@@ -699,11 +708,35 @@ impl Session {
                 .recv()
                 .map_err(|_| SessionError::Mount("client proxy vanished".into()))?;
             let t0 = self.clock.now();
-            report.writeback_bytes = proxy.flush_all()?;
+            let flushed = proxy.flush_all();
+            // Gauge what (if anything) the flush left behind before
+            // propagating its error: non-zero means the journal (when
+            // enabled) is now the only copy of those bytes.
+            proxy.stats().set_dirty_at_shutdown(proxy.dirty_bytes());
+            report.writeback_bytes = flushed?;
             report.writeback_time = self.clock.now() - t0;
             report.proxy_cache = Some(proxy.cache_stats());
         }
         Ok(report)
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        // `finish`/`finish_with_debug` take the receiver; reaching here
+        // with it still in place means the session was dropped without
+        // orderly teardown. Stop the proxy and write its dirty blocks
+        // back rather than silently discarding them.
+        let Some(rx) = self.client_proxy_rx.take() else { return };
+        let old = std::mem::replace(
+            &mut self.mount,
+            Self::placeholder_mount(&self.clock, &Fh3::from_ino(0, 0)),
+        );
+        drop(old);
+        if let Ok((mut proxy, _)) = rx.recv() {
+            let _ = proxy.flush_all();
+            proxy.stats().set_dirty_at_shutdown(proxy.dirty_bytes());
+        }
     }
 }
 

@@ -67,6 +67,22 @@ pub struct ProxyStats {
     replays: AtomicU64,
     /// Nanoseconds slept in reconnect backoff.
     backoff_nanos: AtomicU64,
+    /// Cache I/O errors absorbed by degrading to write-through (spool
+    /// write failures, spool-file removal failures). Non-zero means the
+    /// disk cache lost residency, never that data was lost.
+    cache_io_errors: AtomicU64,
+    /// Records appended to the write-ahead journal.
+    journal_appends: AtomicU64,
+    /// Journal compactions (dead records rewritten away).
+    journal_compactions: AtomicU64,
+    /// Blocks re-marked dirty by crash recovery.
+    recovered_blocks: AtomicU64,
+    /// Bytes re-marked dirty by crash recovery.
+    recovered_bytes: AtomicU64,
+    /// Gauge: dirty bytes still cached when the session tore down
+    /// (after the teardown flush — non-zero means the flush failed and
+    /// the journal is the only copy).
+    dirty_at_shutdown: AtomicU64,
     /// (sample_time, cumulative_busy) pairs for utilization series.
     samples: Mutex<Vec<(Duration, Duration)>>,
     /// The observability domain this proxy emits trace events and latency
@@ -207,6 +223,61 @@ impl ProxyStats {
         Duration::from_nanos(self.backoff_nanos.load(Ordering::Relaxed))
     }
 
+    /// One cache I/O error was absorbed (the block degraded to
+    /// write-through instead of silently pretending to be cached).
+    pub fn add_cache_io_error(&self) {
+        self.cache_io_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cache I/O errors absorbed so far.
+    pub fn cache_io_errors(&self) -> u64 {
+        self.cache_io_errors.load(Ordering::Relaxed)
+    }
+
+    /// One record reached the write-ahead journal.
+    pub fn add_journal_append(&self) {
+        self.journal_appends.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records appended to the journal.
+    pub fn journal_appends(&self) -> u64 {
+        self.journal_appends.load(Ordering::Relaxed)
+    }
+
+    /// The journal was compacted.
+    pub fn add_journal_compaction(&self) {
+        self.journal_compactions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Journal compactions performed.
+    pub fn journal_compactions(&self) -> u64 {
+        self.journal_compactions.load(Ordering::Relaxed)
+    }
+
+    /// Crash recovery re-marked `blocks` blocks (`bytes` bytes) dirty.
+    pub fn add_recovered(&self, blocks: u64, bytes: u64) {
+        self.recovered_blocks.fetch_add(blocks, Ordering::Relaxed);
+        self.recovered_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// (blocks, bytes) re-marked dirty by crash recovery.
+    pub fn recovered(&self) -> (u64, u64) {
+        (
+            self.recovered_blocks.load(Ordering::Relaxed),
+            self.recovered_bytes.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Record the dirty-byte gauge at session teardown.
+    pub fn set_dirty_at_shutdown(&self, bytes: u64) {
+        self.dirty_at_shutdown.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Dirty bytes still cached when the session tore down.
+    pub fn dirty_at_shutdown(&self) -> u64 {
+        self.dirty_at_shutdown.load(Ordering::Relaxed)
+    }
+
     /// Cumulative busy time.
     pub fn busy(&self) -> Duration {
         Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed))
@@ -299,6 +370,24 @@ mod tests {
         assert_eq!(s.reconnects(), 1);
         assert_eq!(s.replays(), 3);
         assert_eq!(s.backoff(), Duration::from_millis(30));
+    }
+
+    #[test]
+    fn durability_counters() {
+        let s = ProxyStats::new();
+        s.add_cache_io_error();
+        s.add_journal_append();
+        s.add_journal_append();
+        s.add_journal_compaction();
+        s.add_recovered(3, 96);
+        s.set_dirty_at_shutdown(64);
+        assert_eq!(s.cache_io_errors(), 1);
+        assert_eq!(s.journal_appends(), 2);
+        assert_eq!(s.journal_compactions(), 1);
+        assert_eq!(s.recovered(), (3, 96));
+        assert_eq!(s.dirty_at_shutdown(), 64);
+        s.set_dirty_at_shutdown(0);
+        assert_eq!(s.dirty_at_shutdown(), 0, "gauge, not counter");
     }
 
     #[test]

@@ -10,8 +10,9 @@
 //! `backoff`) are asserted by count/structure instead. Each scenario runs
 //! three times and the three projections must be identical.
 
-use sgfs::config::{CacheMode, RetryPolicy, SecurityLevel, SessionConfig};
+use sgfs::config::{CacheMode, DurabilityPolicy, RetryPolicy, SecurityLevel, SessionConfig};
 use sgfs::proxy::client::{ClientProxy, Upstream};
+use sgfs::proxy::journal::JOURNAL_FILE;
 use sgfs_net::{pipe_pair, PipeEnd};
 use sgfs_nfs3::proc::{procnum, CommitRes, GetAttrRes, WriteArgs, WriteRes};
 use sgfs_nfs3::types::*;
@@ -407,6 +408,123 @@ fn replay_scenario() -> Vec<String> {
 #[test]
 fn golden_replay_after_reconnect_sequence() {
     let runs: Vec<Vec<String>> = (0..3).map(|_| replay_scenario()).collect();
+    assert_eq!(runs[0], runs[1], "run 2 diverged from run 1");
+    assert_eq!(runs[1], runs[2], "run 3 diverged from run 2");
+}
+
+// ---------------------------------------------------------------------
+// 4. Crash recovery: journal replay, torn-tail detection, and the
+//    re-flush of the surviving dirty block — pinned exactly.
+// ---------------------------------------------------------------------
+
+fn recovery_scenario() -> Vec<String> {
+    const BLOCK_LEN: usize = 512;
+    let dir =
+        std::env::temp_dir().join(format!("sgfs-golden-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let durability =
+        DurabilityPolicy { journal: true, fsync_every: 1, compact_min_records: 0 };
+    let disk_config = |obs: &Arc<Obs>| {
+        let mut config = SessionConfig::new(SecurityLevel::None);
+        config.cache = CacheMode::Disk { dir: dir.clone() };
+        config.window = 8;
+        config.retry = quick_retry();
+        config.durability = durability;
+        config.obs = Some(obs.clone());
+        config
+    };
+    let fh = Fh3::from_ino(1, 42);
+
+    // Incarnation #1 absorbs two unstable WRITEs and dies without a
+    // flush: the journal is the only thing standing between those acks
+    // and data loss.
+    {
+        let obs = Obs::new();
+        let (upstream_end, srv) = pipe_pair();
+        nfs_server(srv);
+        let proxy = ClientProxy::new(Upstream::Plain(Box::new(upstream_end)), &disk_config(&obs))
+            .expect("proxy");
+        let writes: Vec<Vec<u8>> = (0..2)
+            .map(|i| {
+                nfs_call(0x40 + i as u32, procnum::WRITE, |enc| {
+                    WriteArgs {
+                        file: fh.clone(),
+                        offset: (i * BLOCK_LEN) as u64,
+                        stable: StableHow::Unstable,
+                        data: vec![i as u8; BLOCK_LEN],
+                    }
+                    .encode(enc)
+                })
+            })
+            .collect();
+        let proxy = drive(proxy, &writes);
+        drop(proxy);
+        let (events, dropped) = obs.events();
+        assert_eq!(dropped, 0);
+        assert_eq!(
+            events.iter().filter(|e| e.hop == Hop::JournalAppend).count(),
+            2,
+            "each absorbed WRITE journals exactly once"
+        );
+    }
+    // A host crash mid-append: the second record's tail is torn off.
+    let wal = dir.join(JOURNAL_FILE);
+    let len = std::fs::metadata(&wal).unwrap().len();
+    let f = std::fs::OpenOptions::new().write(true).open(&wal).unwrap();
+    f.set_len(len - 3).unwrap();
+    drop(f);
+
+    // Incarnation #2: recovery replays the intact prefix, reports the
+    // tear, and the next flush re-sends the surviving block.
+    let obs = Obs::new();
+    let (upstream_end, srv) = pipe_pair();
+    nfs_server(srv);
+    let mut proxy = ClientProxy::new(Upstream::Plain(Box::new(upstream_end)), &disk_config(&obs))
+        .expect("proxy");
+    assert_eq!(proxy.stats().recovered(), (1, BLOCK_LEN as u64), "one block survives the tear");
+    proxy.flush_all().expect("post-recovery flush");
+    drop(proxy);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let (events, dropped) = obs.events();
+    assert_eq!(dropped, 0);
+    // Recovery latency landed in its histogram.
+    assert_eq!(obs.hop_hist(Hop::RecoveryComplete).count(), 1);
+    let replayed = events.iter().find(|e| e.hop == Hop::RecoveryReplay).unwrap();
+    assert_eq!(replayed.aux, 1, "one journal record replayed before the tear");
+    let torn = events.iter().find(|e| e.hop == Hop::RecoveryTorn).unwrap();
+    assert!(torn.aux > 0, "torn bytes measured");
+    let complete = events.iter().find(|e| e.hop == Hop::RecoveryComplete).unwrap();
+    assert_eq!(complete.aux, 1, "one survivor re-marked dirty");
+
+    let g = golden(
+        &events,
+        &[
+            Hop::RecoveryReplay,
+            Hop::RecoveryTorn,
+            Hop::RecoveryComplete,
+            Hop::FlushRound,
+            Hop::UpstreamSend,
+        ],
+    );
+    assert_eq!(
+        g,
+        [
+            "recovery_replay",
+            "recovery_torn",
+            "recovery_complete",
+            "flush_round:commit",
+            "upstream_send:write",
+            "upstream_send:commit",
+        ],
+        "golden recovery sequence changed"
+    );
+    g
+}
+
+#[test]
+fn golden_recovery_sequence() {
+    let runs: Vec<Vec<String>> = (0..3).map(|_| recovery_scenario()).collect();
     assert_eq!(runs[0], runs[1], "run 2 diverged from run 1");
     assert_eq!(runs[1], runs[2], "run 3 diverged from run 2");
 }

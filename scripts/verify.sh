@@ -15,6 +15,8 @@ cargo test -q --workspace --no-run
 timeout 120 cargo test -q -p sgfs --test fault_matrix
 timeout 120 cargo test -q -p sgfs --test pipeline_alloc
 timeout 120 cargo test -q -p sgfs --test trace_golden
+timeout 120 cargo test -q -p sgfs --test crash_matrix
+timeout 120 cargo test -q -p sgfs --test store_parity
 
 cargo test -q
 cargo bench --no-run
@@ -24,3 +26,9 @@ cargo bench --no-run
 # threshold).
 cargo build --release -p sgfs-bench --bin obs_bench
 timeout 300 ./target/release/obs_bench --quick
+
+# Durability cost gate: the unsynced write-ahead journal may add at most
+# 1 ms per dirty put and compaction must fire (writes BENCH_journal.json;
+# exits nonzero past the threshold).
+cargo build --release -p sgfs-bench --bin journal_bench
+timeout 120 ./target/release/journal_bench --quick
