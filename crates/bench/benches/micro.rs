@@ -48,16 +48,29 @@ fn bench_gtls_records(c: &mut Criterion) {
     let payload = vec![0xefu8; BLOCK];
     let mut g = c.benchmark_group("gtls_record");
     g.throughput(Throughput::Bytes(BLOCK as u64));
-    for suite in [CipherSuite::NullSha1, CipherSuite::Rc4_128Sha1, CipherSuite::Aes256CbcSha1] {
+    for suite in [
+        CipherSuite::NullSha1,
+        CipherSuite::Rc4_128Sha1,
+        CipherSuite::Aes256CbcSha1,
+        CipherSuite::Aes128Gcm,
+        CipherSuite::Aes256Gcm,
+        CipherSuite::ChaCha20Poly1305,
+    ] {
         g.bench_with_input(
             BenchmarkId::new("seal_open", format!("{suite:?}")),
             &suite,
             |b, &suite| {
                 let key = vec![9u8; suite.key_len()];
-                let mac = vec![7u8; 20];
+                let mac = vec![7u8; suite.mac_key_len()];
+                let iv = vec![3u8; suite.iv_len()];
                 let mut rng = rand::thread_rng();
                 b.iter_batched(
-                    || (HalfConn::new(suite, &key, &mac), HalfConn::new(suite, &key, &mac)),
+                    || {
+                        (
+                            HalfConn::new(suite, &key, &mac, &iv),
+                            HalfConn::new(suite, &key, &mac, &iv),
+                        )
+                    },
                     |(mut tx, mut rx)| {
                         let wire = tx.seal(CT_DATA, &payload, &mut rng);
                         rx.open(CT_DATA, wire).expect("valid record")

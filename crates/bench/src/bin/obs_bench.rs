@@ -115,9 +115,9 @@ fn forwarding_run(calls: usize, record_bytes: usize, traced: bool) -> f64 {
 }
 
 fn bench_overhead(opts: &RunOpts) -> OverheadResult {
-    let calls = if opts.quick { 4_000 } else { 20_000 };
+    let calls = if opts.quick { 8_000 } else { 20_000 };
     let record_bytes = 64;
-    let repeats = 5;
+    let repeats = if opts.quick { 9 } else { 5 };
     // Interleave repeats and keep the best of each arm: the emit cost is
     // tens of nanoseconds against a multi-microsecond loopback RPC, so
     // scheduler noise, not tracing, dominates single runs.

@@ -12,13 +12,18 @@
 //! 2. **GTLS record seal/open** — full record protection (explicit IV,
 //!    CBC, HMAC-SHA1 over seq‖type‖len‖payload) on reused scratch
 //!    buffers, as the stream layer drives it at steady state.
-//! 3. **Pipelined vs serial RPC forwarding** — the same call mix over an
+//! 3. **Per-suite record throughput** — separate seal and open rates for
+//!    the legacy CBC baseline and each AEAD suite (AES-GCM over
+//!    AES-NI+PCLMUL, ChaCha20-Poly1305), with a regression gate: every
+//!    AEAD suite must beat the legacy CBC+HMAC baseline.
+//! 4. **Pipelined vs serial RPC forwarding** — the same call mix over an
 //!    emulated 20 ms-RTT link, window 1 (the old serial protocol) vs
 //!    window 8, measured in the testbed's virtual time. Serial pays one
 //!    RTT per call; the xid-demultiplexed window overlaps them.
 //!
 //! The binary asserts the PR's acceptance thresholds (AES ≥ 5×,
-//! pipeline ≥ 2×) and exits nonzero if they regress.
+//! AEAD > CBC baseline, pipeline ≥ 2×) and exits nonzero if they
+//! regress.
 
 use sgfs::proxy::client::Upstream;
 use sgfs::proxy::pipeline::Pipeline;
@@ -52,6 +57,25 @@ struct RecordResult {
 }
 
 #[derive(serde::Serialize)]
+struct SuiteRecordResult {
+    suite: String,
+    wire_id: u32,
+    payload_bytes: usize,
+    records: usize,
+    seal_mb_s: f64,
+    open_mb_s: f64,
+}
+
+#[derive(serde::Serialize)]
+struct AeadGate {
+    baseline_suite: String,
+    baseline_mb_s: f64,
+    /// Every AEAD suite's slower direction must exceed
+    /// `baseline_mb_s * threshold_factor`.
+    threshold_factor: f64,
+}
+
+#[derive(serde::Serialize)]
 struct PipelineResult {
     rtt_ms: u64,
     calls: usize,
@@ -66,6 +90,8 @@ struct PipelineResult {
 struct BenchReport {
     aes: AesResult,
     record: RecordResult,
+    record_suites: Vec<SuiteRecordResult>,
+    aead_gate: AeadGate,
     pipeline: PipelineResult,
 }
 
@@ -131,8 +157,8 @@ fn bench_record(opts: &RunOpts) -> RecordResult {
     let suite = CipherSuite::Aes256CbcSha1;
     let key = vec![7u8; suite.key_len()];
     let mac = vec![9u8; suite.mac_key_len()];
-    let mut tx = HalfConn::new(suite, &key, &mac);
-    let mut rx = HalfConn::new(suite, &key, &mac);
+    let mut tx = HalfConn::new(suite, &key, &mac, &[]);
+    let mut rx = HalfConn::new(suite, &key, &mac, &[]);
     let payload = vec![0xa5u8; 8 * 1024];
     let records = if opts.quick { 2_000 } else { 20_000 };
     let mut rng = rand::thread_rng();
@@ -158,6 +184,66 @@ fn bench_record(opts: &RunOpts) -> RecordResult {
         records,
         seal_open_records_s: records as f64 / dt,
         seal_open_mb_s: (records * payload.len()) as f64 / dt / (1024.0 * 1024.0),
+    }
+}
+
+/// Separate seal and open throughput for one suite, on reused scratch.
+///
+/// Sealing times the tx half alone. Opening pre-seals small batches
+/// off-clock (the rx sequence number must track the tx one) and times
+/// only the `open_in_place` calls.
+fn bench_suite_record(opts: &RunOpts, suite: CipherSuite) -> SuiteRecordResult {
+    let key = vec![7u8; suite.key_len()];
+    let mac = vec![9u8; suite.mac_key_len()];
+    let iv = vec![3u8; suite.iv_len()];
+    let payload = vec![0xa5u8; 8 * 1024];
+    let records = if opts.quick { 2_000 } else { 20_000 };
+    let mut rng = rand::thread_rng();
+    let ct = sgfs_gtls::record::CT_DATA;
+
+    let mut tx = HalfConn::new(suite, &key, &mac, &iv);
+    let mut wire: Vec<u8> = Vec::new();
+    for _ in 0..16 {
+        wire.clear();
+        tx.seal_into(ct, &payload, &mut rng, &mut wire);
+    }
+    let start = Instant::now();
+    for _ in 0..records {
+        wire.clear();
+        tx.seal_into(ct, &payload, &mut rng, &mut wire);
+    }
+    let seal_dt = start.elapsed().as_secs_f64();
+
+    let mut tx = HalfConn::new(suite, &key, &mac, &iv);
+    let mut rx = HalfConn::new(suite, &key, &mac, &iv);
+    const BATCH: usize = 256;
+    let mut batch: Vec<Vec<u8>> = vec![Vec::new(); BATCH];
+    let mut open_dt = 0.0;
+    let mut done = 0;
+    while done < records {
+        let n = BATCH.min(records - done);
+        for w in batch.iter_mut().take(n) {
+            w.clear();
+            tx.seal_into(ct, &payload, &mut rng, w);
+        }
+        let start = Instant::now();
+        for w in batch.iter_mut().take(n) {
+            let (off, len) = rx.open_in_place(ct, w).expect("round trip");
+            assert_eq!(len, payload.len());
+            assert_eq!(&w[off..off + 4], &payload[..4]);
+        }
+        open_dt += start.elapsed().as_secs_f64();
+        done += n;
+    }
+
+    let mb = (records * payload.len()) as f64 / (1024.0 * 1024.0);
+    SuiteRecordResult {
+        suite: format!("{suite:?}"),
+        wire_id: suite as u32,
+        payload_bytes: payload.len(),
+        records,
+        seal_mb_s: mb / seal_dt,
+        open_mb_s: mb / open_dt,
     }
 }
 
@@ -237,6 +323,31 @@ fn main() {
         record.payload_bytes
     );
 
+    let record_suites: Vec<SuiteRecordResult> = [
+        CipherSuite::Aes256CbcSha1,
+        CipherSuite::Aes128Gcm,
+        CipherSuite::Aes256Gcm,
+        CipherSuite::ChaCha20Poly1305,
+    ]
+    .into_iter()
+    .map(|s| bench_suite_record(&opts, s))
+    .collect();
+    for r in &record_suites {
+        println!(
+            "  suite {:<18} seal {:>8.1} MB/s   open {:>8.1} MB/s",
+            r.suite, r.seal_mb_s, r.open_mb_s
+        );
+    }
+    let baseline = &record_suites[0];
+    let aead_gate = AeadGate {
+        baseline_suite: baseline.suite.clone(),
+        baseline_mb_s: baseline.seal_mb_s.min(baseline.open_mb_s),
+        threshold_factor: 1.1,
+    };
+    let aead_ok = record_suites[1..].iter().all(|r| {
+        r.seal_mb_s.min(r.open_mb_s) > aead_gate.baseline_mb_s * aead_gate.threshold_factor
+    });
+
     let pipeline = bench_pipeline(&opts);
     println!(
         "RPC @ 20ms RTT:  window=1 {:>6.2} s   window=8 {:>6.2} s   speedup {:.1}x (peak depth {})",
@@ -245,7 +356,7 @@ fn main() {
 
     let aes_ok = aes.speedup >= aes.threshold && aes.decrypt_speedup >= aes.threshold;
     let pipe_ok = pipeline.speedup >= pipeline.threshold;
-    let report = BenchReport { aes, record, pipeline };
+    let report = BenchReport { aes, record, record_suites, aead_gate, pipeline };
     if let Ok(json) = serde_json::to_string_pretty(&report) {
         for path in ["BENCH_pipeline.json", "results/BENCH_pipeline.json"] {
             if let Some(dir) = std::path::Path::new(path).parent() {
@@ -262,10 +373,18 @@ fn main() {
     if !aes_ok {
         eprintln!("FAIL: AES T-table speedup below {}x", report.aes.threshold);
     }
+    if !aead_ok {
+        eprintln!(
+            "FAIL: an AEAD suite fell below {}x the {} baseline ({:.1} MB/s)",
+            report.aead_gate.threshold_factor,
+            report.aead_gate.baseline_suite,
+            report.aead_gate.baseline_mb_s
+        );
+    }
     if !pipe_ok {
         eprintln!("FAIL: pipeline speedup below {}x", report.pipeline.threshold);
     }
-    if !(aes_ok && pipe_ok) {
+    if !(aes_ok && aead_ok && pipe_ok) {
         std::process::exit(1);
     }
 }

@@ -113,6 +113,63 @@ pub fn cbc_decrypt_in_place(aes: &Aes, iv: &[u8; 16], buf: &mut [u8]) -> Result<
     Ok(buf.len() - pad)
 }
 
+/// Like [`cbc_decrypt_in_place`], but padding validation is constant-time
+/// and failure is *not* an early return: the record layer combines the
+/// returned `pad_ok` flag with its MAC check so a forger cannot
+/// distinguish "bad padding" from "bad MAC" by timing or by error kind
+/// (the classic CBC padding-oracle shape).
+///
+/// Returns `(plaintext_len, pad_ok)`. When `pad_ok` is false the length
+/// is computed from a clamped pad value and must not be trusted — the
+/// caller still runs its MAC pass over it and rejects. Length errors
+/// (empty / unaligned input) still return `Err` since the record framing
+/// exposes lengths on the wire anyway.
+pub fn cbc_decrypt_in_place_ct(
+    aes: &Aes,
+    iv: &[u8; 16],
+    buf: &mut [u8],
+) -> Result<(usize, bool), CbcError> {
+    if buf.is_empty() || !buf.len().is_multiple_of(16) {
+        return Err(CbcError::BadLength(buf.len()));
+    }
+    const CHUNK: usize = 64 * 16;
+    let mut prev = *iv;
+    let mut saved = [0u8; CHUNK];
+    let mut off = 0;
+    while off < buf.len() {
+        let n = CHUNK.min(buf.len() - off);
+        let chunk = &mut buf[off..off + n];
+        saved[..n].copy_from_slice(chunk);
+        aes.decrypt_blocks(chunk);
+        for (i, block) in chunk.chunks_exact_mut(16).enumerate() {
+            let x: &[u8] = if i == 0 { &prev } else { &saved[(i - 1) * 16..i * 16] };
+            for (b, p) in block.iter_mut().zip(x) {
+                *b ^= p;
+            }
+        }
+        prev.copy_from_slice(&saved[n - 16..n]);
+        off += n;
+    }
+
+    // Constant-time PKCS#7 validation: scan a fixed window of the last
+    // 16 bytes regardless of the claimed pad value, accumulating a
+    // difference mask instead of branching per byte.
+    let len = buf.len();
+    let pad = buf[len - 1] as usize;
+    // valid_pad = 0xff if 1 <= pad <= 16 (buf.len() >= 16 always holds here).
+    let valid_range = ((pad.wrapping_sub(1) < 16) as u8).wrapping_neg();
+    // Clamp so the arithmetic below stays in range even when pad is junk.
+    let clamped = if pad.wrapping_sub(1) < 16 { pad } else { 1 };
+    let mut diff = 0u8;
+    for (i, &b) in buf[len - 16..].iter().enumerate() {
+        // in_pad = 0xff for the last `clamped` bytes of the window.
+        let in_pad = ((i >= 16 - clamped) as u8).wrapping_neg();
+        diff |= (b ^ clamped as u8) & in_pad;
+    }
+    let pad_ok = valid_range != 0 && diff == 0;
+    Ok((len - clamped, pad_ok))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,6 +254,38 @@ mod tests {
         buf[last] ^= 0x55;
         assert_eq!(cbc_decrypt_in_place(&aes, &iv, &mut buf), Err(CbcError::BadPadding));
         assert_eq!(cbc_decrypt_in_place(&aes, &iv, &mut [0u8; 9]), Err(CbcError::BadLength(9)));
+    }
+
+    #[test]
+    fn ct_decrypt_matches_plain_decrypt() {
+        let aes = Aes::new(&[6u8; 32]);
+        let iv = [2u8; 16];
+        for len in [0usize, 1, 15, 16, 17, 255, 4096] {
+            let pt: Vec<u8> = (0..len).map(|i| (i * 3 % 256) as u8).collect();
+            let mut a = cbc_encrypt(&aes, &iv, &pt);
+            let mut b = a.clone();
+            let n1 = cbc_decrypt_in_place(&aes, &iv, &mut a).unwrap();
+            let (n2, ok) = cbc_decrypt_in_place_ct(&aes, &iv, &mut b).unwrap();
+            assert!(ok, "len {len}");
+            assert_eq!(n1, n2, "len {len}");
+            assert_eq!(a, b, "len {len}");
+        }
+    }
+
+    #[test]
+    fn ct_decrypt_flags_bad_padding_without_erroring() {
+        let aes = Aes::new(&[6u8; 16]);
+        let iv = [0u8; 16];
+        let mut buf = cbc_encrypt(&aes, &iv, b"payload bytes");
+        let last = buf.len() - 1;
+        buf[last] ^= 0x11;
+        let (_, ok) = cbc_decrypt_in_place_ct(&aes, &iv, &mut buf).unwrap();
+        assert!(!ok);
+        // Length errors still surface (frame length is public anyway).
+        assert_eq!(
+            cbc_decrypt_in_place_ct(&aes, &iv, &mut [0u8; 9]),
+            Err(CbcError::BadLength(9))
+        );
     }
 
     #[test]

@@ -1,0 +1,309 @@
+//! AES-GCM (SP 800-38D) — single-pass authenticated encryption over the
+//! dispatched AES backend ([`crate::Aes`], AES-NI where available) and
+//! GHASH ([`crate::ghash`], PCLMUL where available).
+//!
+//! CTR keystream blocks are generated into a fixed stack scratch and
+//! encrypted through the interleaved bulk AES entry points, so sealing
+//! and opening are allocation-free and run at the block cipher's bulk
+//! rate; the GHASH pass over AAD and ciphertext is the only other
+//! per-byte work. Open verifies the tag (constant-time) *before*
+//! decrypting, and reports every failure as the same opaque
+//! [`AeadError`].
+
+use crate::ghash::{ghash, GhashKey};
+use crate::{ct_eq, Aes};
+
+/// Opaque authenticated-decryption failure. Deliberately carries no
+/// detail: distinguishing tag, padding, or length failures is exactly
+/// the oracle AEAD removes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AeadError;
+
+impl std::fmt::Display for AeadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "authenticated decryption failed")
+    }
+}
+
+impl std::error::Error for AeadError {}
+
+/// AEAD authentication tag length (GCM and ChaCha20-Poly1305 alike).
+pub const TAG_LEN: usize = 16;
+/// AEAD nonce length (96-bit, the GCM fast path and the RFC 8439 size).
+pub const NONCE_LEN: usize = 12;
+
+/// CTR scratch: 64 keystream blocks per refill, matching the CBC bulk
+/// decrypt chunk so the four-lane AES backends stay saturated.
+const CTR_CHUNK: usize = 64 * 16;
+
+/// An AES-128/256-GCM key: the AES schedule plus the GHASH subkey.
+#[derive(Clone)]
+pub struct AesGcm {
+    aes: Aes,
+    ghash: GhashKey,
+}
+
+impl AesGcm {
+    /// Expand `key` (16 or 32 bytes) and derive `H = E_K(0^128)`.
+    pub fn new(key: &[u8]) -> Self {
+        let aes = Aes::new(key);
+        let mut h = [0u8; 16];
+        aes.encrypt_block(&mut h);
+        Self { ghash: GhashKey::new(&h), aes }
+    }
+
+    /// Like [`AesGcm::new`] but with GHASH pinned to the scalar backend
+    /// (differential testing of the PCLMUL path).
+    pub fn new_portable_ghash(key: &[u8]) -> Self {
+        let aes = Aes::new(key);
+        let mut h = [0u8; 16];
+        aes.encrypt_block(&mut h);
+        Self { ghash: GhashKey::new_portable(&h), aes }
+    }
+
+    /// The GHASH backend in use (`"pclmul"` or `"scalar"`).
+    pub fn ghash_backend(&self) -> &'static str {
+        self.ghash.backend()
+    }
+
+    /// The pre-counter block `J0` for a 96-bit nonce.
+    fn j0(nonce: &[u8; NONCE_LEN]) -> [u8; 16] {
+        let mut j0 = [0u8; 16];
+        j0[..12].copy_from_slice(nonce);
+        j0[15] = 1;
+        j0
+    }
+
+    /// XOR the CTR keystream starting at counter value `ctr` into `data`.
+    fn ctr_xor(&self, j0: &[u8; 16], mut ctr: u32, data: &mut [u8]) {
+        let mut ks = [0u8; CTR_CHUNK];
+        let mut off = 0;
+        while off < data.len() {
+            let n = (data.len() - off).min(CTR_CHUNK);
+            let blocks = n.div_ceil(16);
+            for b in 0..blocks {
+                ks[b * 16..b * 16 + 12].copy_from_slice(&j0[..12]);
+                ks[b * 16 + 12..b * 16 + 16].copy_from_slice(&ctr.to_be_bytes());
+                ctr = ctr.wrapping_add(1);
+            }
+            self.aes.encrypt_blocks(&mut ks[..blocks * 16]);
+            for (d, k) in data[off..off + n].iter_mut().zip(&ks[..n]) {
+                *d ^= k;
+            }
+            off += n;
+        }
+    }
+
+    /// The tag: `GHASH(H, aad, ct) XOR E_K(J0)`.
+    fn tag(&self, j0: &[u8; 16], aad: &[u8], ct: &[u8]) -> [u8; 16] {
+        let mut tag = ghash(&self.ghash, aad, ct);
+        let mut ekj0 = *j0;
+        self.aes.encrypt_block(&mut ekj0);
+        for (t, e) in tag.iter_mut().zip(&ekj0) {
+            *t ^= e;
+        }
+        tag
+    }
+
+    /// Encrypt `buf[from..]` in place and append the 16-byte tag.
+    /// `buf[..from]` (e.g. a frame header already in the buffer) is left
+    /// untouched. No heap allocation beyond `buf` growing by the tag.
+    pub fn seal_in_place(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], buf: &mut Vec<u8>, from: usize) {
+        debug_assert!(from <= buf.len());
+        let j0 = Self::j0(nonce);
+        self.ctr_xor(&j0, 2, &mut buf[from..]);
+        let tag = self.tag(&j0, aad, &buf[from..]);
+        buf.extend_from_slice(&tag);
+    }
+
+    /// Verify and decrypt `buf` (`ciphertext || tag`) in place, returning
+    /// the plaintext length; `buf[..len]` holds the plaintext. The tag is
+    /// checked in constant time before any byte is decrypted.
+    pub fn open_in_place(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        buf: &mut [u8],
+    ) -> Result<usize, AeadError> {
+        if buf.len() < TAG_LEN {
+            return Err(AeadError);
+        }
+        let ct_len = buf.len() - TAG_LEN;
+        let j0 = Self::j0(nonce);
+        let expected = self.tag(&j0, aad, &buf[..ct_len]);
+        if !ct_eq(&expected, &buf[ct_len..]) {
+            return Err(AeadError);
+        }
+        self.ctr_xor(&j0, 2, &mut buf[..ct_len]);
+        Ok(ct_len)
+    }
+
+    /// Allocating convenience: seal `plain` into `ciphertext || tag`.
+    pub fn seal(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], plain: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(plain.len() + TAG_LEN);
+        out.extend_from_slice(plain);
+        self.seal_in_place(nonce, aad, &mut out, 0);
+        out
+    }
+
+    /// Allocating convenience: open `ciphertext || tag` back to plaintext.
+    pub fn open(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], wire: &[u8]) -> Result<Vec<u8>, AeadError> {
+        let mut buf = wire.to_vec();
+        let len = self.open_in_place(nonce, aad, &mut buf)?;
+        buf.truncate(len);
+        Ok(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn nonce(hex: &str) -> [u8; 12] {
+        from_hex(hex).try_into().unwrap()
+    }
+
+    struct Kat {
+        key: &'static str,
+        iv: &'static str,
+        pt: &'static str,
+        aad: &'static str,
+        ct: &'static str,
+        tag: &'static str,
+    }
+
+    /// NIST GCM spec test cases 1–4 (AES-128) and 13–16 (AES-256 subset).
+    const KATS: &[Kat] = &[
+        // TC1: empty everything.
+        Kat {
+            key: "00000000000000000000000000000000",
+            iv: "000000000000000000000000",
+            pt: "",
+            aad: "",
+            ct: "",
+            tag: "58e2fccefa7e3061367f1d57a4e7455a",
+        },
+        // TC2: one zero block.
+        Kat {
+            key: "00000000000000000000000000000000",
+            iv: "000000000000000000000000",
+            pt: "00000000000000000000000000000000",
+            aad: "",
+            ct: "0388dace60b6a392f328c2b971b2fe78",
+            tag: "ab6e47d42cec13bdf53a67b21257bddf",
+        },
+        // TC3: four full blocks, no AAD.
+        Kat {
+            key: "feffe9928665731c6d6a8f9467308308",
+            iv: "cafebabefacedbaddecaf888",
+            pt: "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+                 1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255",
+            aad: "",
+            ct: "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+                 21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985",
+            tag: "4d5c2af327cd64a62cf35abd2ba6fab4",
+        },
+        // TC4: 60-byte plaintext + 20-byte AAD (partial blocks both).
+        Kat {
+            key: "feffe9928665731c6d6a8f9467308308",
+            iv: "cafebabefacedbaddecaf888",
+            pt: "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+                 1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+            aad: "feedfacedeadbeeffeedfacedeadbeefabaddad2",
+            ct: "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+                 21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091",
+            tag: "5bc94fbc3221a5db94fae95ae7121a47",
+        },
+        // TC13: AES-256, empty everything.
+        Kat {
+            key: "0000000000000000000000000000000000000000000000000000000000000000",
+            iv: "000000000000000000000000",
+            pt: "",
+            aad: "",
+            ct: "",
+            tag: "530f8afbc74536b9a963b4f1c4cb738b",
+        },
+        // TC14: AES-256, one zero block.
+        Kat {
+            key: "0000000000000000000000000000000000000000000000000000000000000000",
+            iv: "000000000000000000000000",
+            pt: "00000000000000000000000000000000",
+            aad: "",
+            ct: "cea7403d4d606b6e074ec5d3baf39d18",
+            tag: "d0d1c8a799996bf0265b98b5d48ab919",
+        },
+        // TC16: AES-256, 60-byte plaintext + 20-byte AAD.
+        Kat {
+            key: "feffe9928665731c6d6a8f9467308308feffe9928665731c6d6a8f9467308308",
+            iv: "cafebabefacedbaddecaf888",
+            pt: "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+                 1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+            aad: "feedfacedeadbeeffeedfacedeadbeefabaddad2",
+            ct: "522dc1f099567d07f47f37a32a84427d643a8cdcbfe5c0c97598a2bd2555d1aa\
+                 8cb08e48590dbb3da7b08b1056828838c5f61e6393ba7a0abcc9f662",
+            tag: "76fc6ece0f4e1768cddf8853bb2d551b",
+        },
+    ];
+
+    #[test]
+    fn nist_gcm_known_answers() {
+        for (i, kat) in KATS.iter().enumerate() {
+            for portable in [false, true] {
+                let gcm = if portable {
+                    AesGcm::new_portable_ghash(&from_hex(kat.key))
+                } else {
+                    AesGcm::new(&from_hex(kat.key))
+                };
+                let iv = nonce(kat.iv);
+                let aad = from_hex(kat.aad);
+                let pt = from_hex(kat.pt);
+                let wire = gcm.seal(&iv, &aad, &pt);
+                let mut expect = from_hex(kat.ct);
+                expect.extend_from_slice(&from_hex(kat.tag));
+                assert_eq!(wire, expect, "KAT {i} seal (portable={portable})");
+                assert_eq!(gcm.open(&iv, &aad, &wire).unwrap(), pt, "KAT {i} open");
+            }
+        }
+    }
+
+    #[test]
+    fn tampered_anything_fails_opaquely() {
+        let gcm = AesGcm::new(&[7u8; 16]);
+        let iv = [1u8; 12];
+        let aad = b"header".to_vec();
+        let wire = gcm.seal(&iv, &aad, b"payload bytes here");
+        // Flip each byte in turn: ciphertext, tag — same opaque error.
+        for i in 0..wire.len() {
+            let mut w = wire.clone();
+            w[i] ^= 0x40;
+            assert_eq!(gcm.open(&iv, &aad, &w).unwrap_err(), AeadError, "byte {i}");
+        }
+        // Wrong AAD, wrong nonce, truncated wire.
+        assert_eq!(gcm.open(&iv, b"Header", &wire).unwrap_err(), AeadError);
+        assert_eq!(gcm.open(&[2u8; 12], &aad, &wire).unwrap_err(), AeadError);
+        assert_eq!(gcm.open(&iv, &aad, &wire[..15]).unwrap_err(), AeadError);
+    }
+
+    #[test]
+    fn in_place_matches_allocating_and_preserves_prefix() {
+        let gcm = AesGcm::new(&[9u8; 32]);
+        let iv = [3u8; 12];
+        for len in [0usize, 1, 15, 16, 17, 1000, 8192] {
+            let pt: Vec<u8> = (0..len).map(|i| (i * 11) as u8).collect();
+            let mut buf = vec![0xEE; 5];
+            buf.extend_from_slice(&pt);
+            gcm.seal_in_place(&iv, b"aad", &mut buf, 5);
+            assert_eq!(&buf[..5], &[0xEE; 5][..], "prefix untouched len={len}");
+            assert_eq!(&buf[5..], &gcm.seal(&iv, b"aad", &pt)[..], "len={len}");
+            let n = gcm.open_in_place(&iv, b"aad", &mut buf[5..]).unwrap();
+            assert_eq!(&buf[5..5 + n], &pt[..], "roundtrip len={len}");
+        }
+    }
+}

@@ -15,6 +15,10 @@
 //!   signing and encryption used by the certificate and handshake layers.
 //! * **Key derivation** — a TLS-1.2-style PRF for turning the handshake
 //!   pre-master secret into record-layer keys.
+//! * **AEAD suites** — AES-128/256-GCM (GHASH over PCLMUL with a scalar
+//!   oracle, CTR over the AES-NI/T-table backends) and scalar
+//!   ChaCha20-Poly1305, the single-pass record-protection modes that
+//!   replace the two-pass CBC+HMAC path on the hot data plane.
 //!
 //! None of this is intended to be side-channel hardened production crypto;
 //! it is a faithful, tested reimplementation sufficient to reproduce the
@@ -23,7 +27,12 @@
 pub mod aes;
 pub mod bignum;
 pub mod cbc;
+pub mod chacha;
+pub mod chachapoly;
+pub mod gcm;
+pub mod ghash;
 pub mod hmac;
+pub mod poly1305;
 pub mod prf;
 pub mod prime;
 pub mod rc4;
@@ -33,6 +42,9 @@ pub mod sha256;
 
 pub use aes::Aes;
 pub use bignum::BigUint;
+pub use chacha::ChaCha20;
+pub use chachapoly::ChaCha20Poly1305;
+pub use gcm::{AeadError, AesGcm, NONCE_LEN as AEAD_NONCE_LEN, TAG_LEN as AEAD_TAG_LEN};
 pub use hmac::{hmac_sha1, hmac_sha256, Hmac, HmacSha1, HmacSha1Key};
 pub use rc4::Rc4;
 pub use rsa::{RsaKeyPair, RsaPublicKey};

@@ -1,0 +1,266 @@
+//! Poly1305 one-time authenticator (RFC 8439 §2.5), 26-bit-limb scalar
+//! implementation (the widely used "donna" radix-2^26 shape: five limbs
+//! keep carries inside u64 multiplies, no 128-bit arithmetic needed in
+//! the hot loop beyond u64×u64→u128 products).
+
+/// Poly1305 key length: `r || s`, 16 bytes each.
+pub const KEY_LEN: usize = 32;
+/// Tag length.
+pub const TAG_LEN: usize = 16;
+
+/// A streaming Poly1305 computation over one (r, s) one-time key.
+#[derive(Clone)]
+pub struct Poly1305 {
+    r: [u64; 5],
+    s: [u64; 4],
+    h: [u64; 5],
+    buf: [u8; 16],
+    buf_len: usize,
+}
+
+impl Poly1305 {
+    /// Initialize from the 32-byte one-time key; `r` is clamped per RFC.
+    pub fn new(key: &[u8; KEY_LEN]) -> Self {
+        let t0 = u32::from_le_bytes(key[0..4].try_into().unwrap()) as u64;
+        let t1 = u32::from_le_bytes(key[4..8].try_into().unwrap()) as u64;
+        let t2 = u32::from_le_bytes(key[8..12].try_into().unwrap()) as u64;
+        let t3 = u32::from_le_bytes(key[12..16].try_into().unwrap()) as u64;
+        // Clamp and split into 26-bit limbs in one pass.
+        let r = [
+            t0 & 0x03ff_ffff,
+            ((t0 >> 26) | (t1 << 6)) & 0x03ff_ff03,
+            ((t1 >> 20) | (t2 << 12)) & 0x03ff_c0ff,
+            ((t2 >> 14) | (t3 << 18)) & 0x03f0_3fff,
+            (t3 >> 8) & 0x000f_ffff,
+        ];
+        let s = [
+            u32::from_le_bytes(key[16..20].try_into().unwrap()) as u64,
+            u32::from_le_bytes(key[20..24].try_into().unwrap()) as u64,
+            u32::from_le_bytes(key[24..28].try_into().unwrap()) as u64,
+            u32::from_le_bytes(key[28..32].try_into().unwrap()) as u64,
+        ];
+        Self { r, s, h: [0; 5], buf: [0; 16], buf_len: 0 }
+    }
+
+    /// Absorb one 16-byte block (or a short final block) into `h`.
+    /// `hibit` is 1 for full blocks, matching the 2^128 pad bit.
+    fn block(&mut self, m: &[u8; 16], hibit: u64) {
+        let t0 = u32::from_le_bytes(m[0..4].try_into().unwrap()) as u64;
+        let t1 = u32::from_le_bytes(m[4..8].try_into().unwrap()) as u64;
+        let t2 = u32::from_le_bytes(m[8..12].try_into().unwrap()) as u64;
+        let t3 = u32::from_le_bytes(m[12..16].try_into().unwrap()) as u64;
+
+        let h0 = self.h[0] + (t0 & 0x03ff_ffff);
+        let h1 = self.h[1] + (((t0 >> 26) | (t1 << 6)) & 0x03ff_ffff);
+        let h2 = self.h[2] + (((t1 >> 20) | (t2 << 12)) & 0x03ff_ffff);
+        let h3 = self.h[3] + (((t2 >> 14) | (t3 << 18)) & 0x03ff_ffff);
+        let h4 = self.h[4] + ((t3 >> 8) | (hibit << 24));
+
+        let [r0, r1, r2, r3, r4] = self.r;
+        let (s1, s2, s3, s4) = (r1 * 5, r2 * 5, r3 * 5, r4 * 5);
+
+        // h *= r (mod 2^130 - 5): schoolbook with the 5·r wraparound.
+        let d0 = h0 as u128 * r0 as u128
+            + h1 as u128 * s4 as u128
+            + h2 as u128 * s3 as u128
+            + h3 as u128 * s2 as u128
+            + h4 as u128 * s1 as u128;
+        let d1 = h0 as u128 * r1 as u128
+            + h1 as u128 * r0 as u128
+            + h2 as u128 * s4 as u128
+            + h3 as u128 * s3 as u128
+            + h4 as u128 * s2 as u128;
+        let d2 = h0 as u128 * r2 as u128
+            + h1 as u128 * r1 as u128
+            + h2 as u128 * r0 as u128
+            + h3 as u128 * s4 as u128
+            + h4 as u128 * s3 as u128;
+        let d3 = h0 as u128 * r3 as u128
+            + h1 as u128 * r2 as u128
+            + h2 as u128 * r1 as u128
+            + h3 as u128 * r0 as u128
+            + h4 as u128 * s4 as u128;
+        let d4 = h0 as u128 * r4 as u128
+            + h1 as u128 * r3 as u128
+            + h2 as u128 * r2 as u128
+            + h3 as u128 * r1 as u128
+            + h4 as u128 * r0 as u128;
+
+        // Carry chain back to 26-bit limbs.
+        let mut c;
+        let mut h0 = (d0 as u64) & 0x03ff_ffff;
+        c = (d0 >> 26) as u64;
+        let d1 = d1 + c as u128;
+        let mut h1 = (d1 as u64) & 0x03ff_ffff;
+        c = (d1 >> 26) as u64;
+        let d2 = d2 + c as u128;
+        let h2 = (d2 as u64) & 0x03ff_ffff;
+        c = (d2 >> 26) as u64;
+        let d3 = d3 + c as u128;
+        let h3 = (d3 as u64) & 0x03ff_ffff;
+        c = (d3 >> 26) as u64;
+        let d4 = d4 + c as u128;
+        let h4 = (d4 as u64) & 0x03ff_ffff;
+        c = (d4 >> 26) as u64;
+        h0 += c * 5;
+        let c = h0 >> 26;
+        h0 &= 0x03ff_ffff;
+        h1 += c;
+
+        self.h = [h0, h1, h2, h3, h4];
+    }
+
+    /// Absorb message bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        if self.buf_len > 0 {
+            let take = data.len().min(16 - self.buf_len);
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 16 {
+                let m = self.buf;
+                self.block(&m, 1);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 16 {
+            let m: [u8; 16] = data[..16].try_into().unwrap();
+            self.block(&m, 1);
+            data = &data[16..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Finish: final partial block gets `0x01` then zero padding (the
+    /// hibit rides in the explicit byte, not the 2^128 position).
+    pub fn finalize(mut self) -> [u8; TAG_LEN] {
+        if self.buf_len > 0 {
+            let mut m = [0u8; 16];
+            m[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+            m[self.buf_len] = 1;
+            self.block(&m, 0);
+        }
+
+        // Fully reduce h mod 2^130 - 5 (constant-time select of h vs h+5-2^130).
+        let [mut h0, mut h1, mut h2, mut h3, mut h4] = self.h;
+        let mut c = h1 >> 26;
+        h1 &= 0x03ff_ffff;
+        h2 += c;
+        c = h2 >> 26;
+        h2 &= 0x03ff_ffff;
+        h3 += c;
+        c = h3 >> 26;
+        h3 &= 0x03ff_ffff;
+        h4 += c;
+        c = h4 >> 26;
+        h4 &= 0x03ff_ffff;
+        h0 += c * 5;
+        c = h0 >> 26;
+        h0 &= 0x03ff_ffff;
+        h1 += c;
+
+        let mut g0 = h0.wrapping_add(5);
+        c = g0 >> 26;
+        g0 &= 0x03ff_ffff;
+        let mut g1 = h1.wrapping_add(c);
+        c = g1 >> 26;
+        g1 &= 0x03ff_ffff;
+        let mut g2 = h2.wrapping_add(c);
+        c = g2 >> 26;
+        g2 &= 0x03ff_ffff;
+        let mut g3 = h3.wrapping_add(c);
+        c = g3 >> 26;
+        g3 &= 0x03ff_ffff;
+        let g4 = h4.wrapping_add(c).wrapping_sub(1 << 26);
+
+        // mask = all-ones if h >= p (g4 did not borrow), else zero.
+        let mask = (g4 >> 63).wrapping_sub(1);
+        h0 = (h0 & !mask) | (g0 & mask);
+        h1 = (h1 & !mask) | (g1 & mask);
+        h2 = (h2 & !mask) | (g2 & mask);
+        h3 = (h3 & !mask) | (g3 & mask);
+        h4 = (h4 & !mask) | (g4 & mask & 0x03ff_ffff);
+
+        // Repack to four 32-bit words and add s (mod 2^128).
+        let f0 = (h0 | (h1 << 26)) & 0xffff_ffff;
+        let f1 = ((h1 >> 6) | (h2 << 20)) & 0xffff_ffff;
+        let f2 = ((h2 >> 12) | (h3 << 14)) & 0xffff_ffff;
+        let f3 = ((h3 >> 18) | (h4 << 8)) & 0xffff_ffff;
+
+        let mut tag = [0u8; TAG_LEN];
+        let mut acc = f0 + self.s[0];
+        tag[0..4].copy_from_slice(&(acc as u32).to_le_bytes());
+        acc = f1 + self.s[1] + (acc >> 32);
+        tag[4..8].copy_from_slice(&(acc as u32).to_le_bytes());
+        acc = f2 + self.s[2] + (acc >> 32);
+        tag[8..12].copy_from_slice(&(acc as u32).to_le_bytes());
+        acc = f3 + self.s[3] + (acc >> 32);
+        tag[12..16].copy_from_slice(&(acc as u32).to_le_bytes());
+        tag
+    }
+}
+
+/// One-shot MAC over `data`.
+pub fn poly1305(key: &[u8; KEY_LEN], data: &[u8]) -> [u8; TAG_LEN] {
+    let mut p = Poly1305::new(key);
+    p.update(data);
+    p.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn rfc8439_mac_vector() {
+        // RFC 8439 §2.5.2.
+        let key: [u8; 32] = from_hex(
+            "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b",
+        )
+        .try_into()
+        .unwrap();
+        let tag = poly1305(&key, b"Cryptographic Forum Research Group");
+        assert_eq!(tag.to_vec(), from_hex("a8061dc1305136c6c22b8baf0c0127a9"));
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let key: [u8; 32] = (0..32u8).map(|i| i.wrapping_mul(7)).collect::<Vec<_>>()
+            .try_into()
+            .unwrap();
+        let data: Vec<u8> = (0..517u32).map(|i| (i % 251) as u8).collect();
+        let oneshot = poly1305(&key, &data);
+        for split in [0usize, 1, 15, 16, 17, 100, 516, 517] {
+            let mut p = Poly1305::new(&key);
+            p.update(&data[..split]);
+            p.update(&data[split..]);
+            assert_eq!(p.finalize(), oneshot, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn full_reduction_edge_case() {
+        // h near 2^130 - 5 exercises the g-select path: an all-ones
+        // message with an r that drives h high. Cross-check against a
+        // second evaluation order, not a fixed vector — the point is
+        // self-consistency of the reduction.
+        let key: [u8; 32] = [0xff; 32];
+        let data = [0xffu8; 64];
+        let a = poly1305(&key, &data);
+        let mut p = Poly1305::new(&key);
+        for chunk in data.chunks(7) {
+            p.update(chunk);
+        }
+        assert_eq!(p.finalize(), a);
+    }
+}

@@ -34,9 +34,16 @@ impl GtlsConfig {
     }
 
     /// Restrict to exactly one suite — how the benchmarks pin
-    /// `sgfs-sha` / `sgfs-rc` / `sgfs-aes` configurations.
+    /// `sgfs-sha` / `sgfs-rc` / `sgfs-aes` / `sgfs-gcm` configurations.
     pub fn with_suite(mut self, suite: CipherSuite) -> Self {
         self.suites = vec![suite];
+        self
+    }
+
+    /// Replace the offer/acceptance list wholesale (most preferred
+    /// first) — the negotiation-matrix tests and policy files use this.
+    pub fn with_suites(mut self, suites: Vec<CipherSuite>) -> Self {
+        self.suites = suites;
         self
     }
 

@@ -41,6 +41,11 @@ pub struct SessionKeys {
     pub client_mac_key: Vec<u8>,
     /// MAC key for server→client records.
     pub server_mac_key: Vec<u8>,
+    /// Static AEAD nonce IV for client→server records (empty for
+    /// non-AEAD suites).
+    pub client_iv: Vec<u8>,
+    /// Static AEAD nonce IV for server→client records.
+    pub server_iv: Vec<u8>,
 }
 
 // ---- handshake messages -------------------------------------------------
@@ -135,15 +140,18 @@ fn derive_keys(
     let mut seed = Vec::with_capacity(64);
     seed.extend_from_slice(server_random);
     seed.extend_from_slice(client_random);
-    let need = 2 * suite.mac_key_len() + 2 * suite.key_len();
+    let need = 2 * suite.mac_key_len() + 2 * suite.key_len() + 2 * suite.iv_len();
     let block = prf_sha256(master, b"key expansion", &seed, need);
-    let (mac_len, key_len) = (suite.mac_key_len(), suite.key_len());
+    let (mac_len, key_len, iv_len) = (suite.mac_key_len(), suite.key_len(), suite.iv_len());
+    let keys_end = 2 * mac_len + 2 * key_len;
     SessionKeys {
         suite,
         client_mac_key: block[..mac_len].to_vec(),
         server_mac_key: block[mac_len..2 * mac_len].to_vec(),
         client_write_key: block[2 * mac_len..2 * mac_len + key_len].to_vec(),
-        server_write_key: block[2 * mac_len + key_len..].to_vec(),
+        server_write_key: block[2 * mac_len + key_len..keys_end].to_vec(),
+        client_iv: block[keys_end..keys_end + iv_len].to_vec(),
+        server_iv: block[keys_end + iv_len..].to_vec(),
     }
 }
 
@@ -316,11 +324,17 @@ mod tests {
             let k2 = derive_keys(suite, &master, &cr, &sr);
             assert_eq!(k1.client_write_key, k2.client_write_key);
             assert_eq!(k1.client_write_key.len(), suite.key_len());
-            assert_eq!(k1.client_mac_key.len(), 20);
+            assert_eq!(k1.client_mac_key.len(), suite.mac_key_len());
+            assert_eq!(k1.client_iv.len(), suite.iv_len());
+            assert_eq!(k1.server_iv.len(), suite.iv_len());
             if suite.encrypts() {
                 assert_ne!(k1.client_write_key, k1.server_write_key);
             }
-            assert_ne!(k1.client_mac_key, k1.server_mac_key);
+            if suite.is_aead() {
+                assert_ne!(k1.client_iv, k1.server_iv, "{suite:?} per-direction IVs");
+            } else {
+                assert_ne!(k1.client_mac_key, k1.server_mac_key);
+            }
         }
     }
 

@@ -7,17 +7,25 @@
 //! * **Mutual authentication** with certificate chains validated against a
 //!   trust store, including GSI proxy-certificate chains (delegated
 //!   sessions authenticate as the delegating user).
-//! * **Cipher-suite negotiation** across the paper's three security
-//!   levels: integrity only (`NULL-SHA1`, the `sgfs-sha` configuration),
-//!   medium encryption (`RC4-128-SHA1`, `sgfs-rc`), and strong encryption
-//!   (`AES-256-CBC-SHA1`, `sgfs-aes`; `AES-128-CBC-SHA1` is also offered).
+//! * **Cipher-suite negotiation**, strongest first: single-pass AEAD
+//!   suites (`AES-256-GCM` — the default, `AES-128-GCM`,
+//!   `CHACHA20-POLY1305`) and the paper's three legacy levels —
+//!   integrity only (`NULL-SHA1`, the `sgfs-sha` configuration), medium
+//!   encryption (`RC4-128-SHA1`, `sgfs-rc`), and strong encryption
+//!   (`AES-256-CBC-SHA1`, `sgfs-aes`; `AES-128-CBC-SHA1` is also
+//!   offered) — so a modern endpoint still interoperates with a
+//!   legacy-only peer.
 //! * **RSA key transport** of a 48-byte pre-master secret, expanded with a
-//!   TLS-1.2-style PRF into per-direction cipher and MAC keys.
-//! * **A record layer** with sequence-numbered HMAC-SHA1 integrity
-//!   (anti-replay, anti-reorder) and per-record IVs for CBC suites.
+//!   TLS-1.2-style PRF into per-direction cipher, MAC and IV material.
+//! * **A record layer** that is either single-pass AEAD (header as
+//!   associated data, nonce derived from the sequence counter, 16-byte
+//!   overhead, no wire IV) or sequence-numbered HMAC-SHA1 with
+//!   per-record IVs for the legacy suites — both anti-replay and
+//!   anti-reorder, and every open failure is one opaque error. See
+//!   DESIGN.md §13.
 //! * **Renegotiation** — a live session can re-run the handshake to
-//!   refresh keys or pick up a reloaded certificate, driving the paper's
-//!   dynamic reconfiguration feature.
+//!   refresh keys (resetting AEAD nonce state) or pick up a reloaded
+//!   certificate, driving the paper's dynamic reconfiguration feature.
 //!
 //! The entry points are [`GtlsStream::client`] and [`GtlsStream::server`],
 //! both turning any [`sgfs_net::Stream`] into an authenticated, protected

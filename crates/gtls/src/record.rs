@@ -14,22 +14,36 @@ pub const CT_DATA: u8 = 23;
 /// Largest record payload we will emit or accept.
 pub const MAX_RECORD_PAYLOAD: usize = 64 * 1024;
 
+/// AEAD authentication tag length appended to each AEAD record.
+pub const AEAD_TAG_LEN: usize = sgfs_crypto::AEAD_TAG_LEN;
+
+/// The one error every record-open failure collapses into. Bad padding,
+/// bad MAC, bad tag, short record — all indistinguishable to a peer, so
+/// no padding/verification oracle exists.
+fn auth_failure() -> GtlsError {
+    GtlsError::RecordIntegrity("record authentication failed".into())
+}
+
 /// One direction of a protected connection.
 ///
 /// Owns the bulk cipher state, MAC key, and the implicit 64-bit sequence
-/// number that makes replayed or reordered records fail their MAC.
+/// number that makes replayed or reordered records fail authentication.
+/// Legacy suites MAC-then-encrypt with HMAC-SHA1; AEAD suites seal in a
+/// single pass with the record header as associated data.
 pub struct HalfConn {
     cipher: CipherState,
-    /// Precomputed HMAC-SHA1 pad states; `None` for unprotected streams.
+    /// Precomputed HMAC-SHA1 pad states; `None` for unprotected streams
+    /// and for the AEAD suites (which authenticate inside the cipher).
     mac: Option<HmacSha1Key>,
     seq: u64,
 }
 
 impl HalfConn {
-    /// Fresh direction state from negotiated key material.
-    pub fn new(suite: CipherSuite, write_key: &[u8], mac_key: &[u8]) -> Self {
+    /// Fresh direction state from negotiated key material. `iv` is the
+    /// direction's static AEAD nonce IV (empty for non-AEAD suites).
+    pub fn new(suite: CipherSuite, write_key: &[u8], mac_key: &[u8], iv: &[u8]) -> Self {
         let mac = if mac_key.is_empty() { None } else { Some(HmacSha1Key::new(mac_key)) };
-        Self { cipher: suite.new_state(write_key), mac, seq: 0 }
+        Self { cipher: suite.new_state(write_key, iv), mac, seq: 0 }
     }
 
     /// An unprotected direction (used only before the first handshake).
@@ -47,14 +61,23 @@ impl HalfConn {
         h.finalize_fixed()
     }
 
+    /// The AEAD associated data: the same record header the legacy MAC
+    /// covers — `seq(8 BE) || content_type(1) || payload_len(4 BE)`.
+    fn aad(&self, content_type: u8, payload_len: usize) -> [u8; 13] {
+        let mut aad = [0u8; 13];
+        aad[..8].copy_from_slice(&self.seq.to_be_bytes());
+        aad[8] = content_type;
+        aad[9..].copy_from_slice(&(payload_len as u32).to_be_bytes());
+        aad
+    }
+
     /// Protect `payload`, appending the wire body to `out`.
     ///
     /// `out[..out.len()]` on entry (e.g. a frame header) is preserved, so
     /// a whole framed record can be assembled in one reused buffer. The
-    /// steady-state cost is zero heap allocations: the MAC runs on
-    /// precomputed pad states, encryption is in place, and `out` only
-    /// grows until it reaches the connection's record-size high-water
-    /// mark.
+    /// steady-state cost is zero heap allocations: the MAC/GHASH runs on
+    /// precomputed states, encryption is in place, and `out` only grows
+    /// until it reaches the connection's record-size high-water mark.
     pub fn seal_into<R: RngCore>(
         &mut self,
         content_type: u8,
@@ -63,6 +86,16 @@ impl HalfConn {
         out: &mut Vec<u8>,
     ) {
         let start = out.len();
+        if self.cipher.is_aead() {
+            // Single pass: encrypt + authenticate together, header as AAD,
+            // nonce derived from the sequence counter — no per-record
+            // randomness, no IV bytes on the wire.
+            out.extend_from_slice(payload);
+            let aad = self.aad(content_type, payload.len());
+            self.cipher.seal_aead(self.seq, &aad, out, start);
+            self.seq = self.seq.wrapping_add(1);
+            return;
+        }
         out.resize(start + self.cipher.explicit_iv_len(), 0);
         out.extend_from_slice(payload);
         if self.mac.is_some() {
@@ -74,25 +107,41 @@ impl HalfConn {
     }
 
     /// Unprotect a wire body in place, returning the `(offset, len)`
-    /// window of the payload within `wire`. No heap allocation.
+    /// window of the payload within `wire`. No heap allocation. Every
+    /// failure mode returns the same opaque error.
     pub fn open_in_place(
         &mut self,
         content_type: u8,
         wire: &mut [u8],
     ) -> Result<(usize, usize), GtlsError> {
-        let (off, mut len) = self
-            .cipher
-            .open_in_place(wire)
-            .map_err(GtlsError::RecordIntegrity)?;
+        if self.cipher.is_aead() {
+            if wire.len() < AEAD_TAG_LEN {
+                return Err(auth_failure());
+            }
+            let aad = self.aad(content_type, wire.len() - AEAD_TAG_LEN);
+            let len = self
+                .cipher
+                .open_aead(self.seq, &aad, wire)
+                .map_err(|_| auth_failure())?;
+            self.seq = self.seq.wrapping_add(1);
+            return Ok((0, len));
+        }
+        let (off, mut len, pad_ok) =
+            self.cipher.open_in_place(wire).map_err(|_| auth_failure())?;
+        let mut ok = pad_ok;
         if self.mac.is_some() {
             if len < 20 {
-                return Err(GtlsError::RecordIntegrity("record shorter than MAC".into()));
+                return Err(auth_failure());
             }
             len -= 20;
+            // The MAC always runs, even over a bad-padding plaintext, so
+            // padding and MAC failures take the same code path and emerge
+            // as the same error.
             let expected = self.mac(content_type, &wire[off..off + len]);
-            if !ct_eq(&expected, &wire[off + len..off + len + 20]) {
-                return Err(GtlsError::RecordIntegrity("record MAC mismatch".into()));
-            }
+            ok &= ct_eq(&expected, &wire[off + len..off + len + 20]);
+        }
+        if !ok {
+            return Err(auth_failure());
         }
         self.seq = self.seq.wrapping_add(1);
         Ok((off, len))
@@ -199,8 +248,12 @@ mod tests {
 
     fn pair(suite: CipherSuite) -> (HalfConn, HalfConn) {
         let key = vec![9u8; suite.key_len()];
-        let mac = vec![7u8; 20];
-        (HalfConn::new(suite, &key, &mac), HalfConn::new(suite, &key, &mac))
+        let mac = vec![7u8; suite.mac_key_len()];
+        let iv = vec![5u8; suite.iv_len()];
+        (
+            HalfConn::new(suite, &key, &mac, &iv),
+            HalfConn::new(suite, &key, &mac, &iv),
+        )
     }
 
     #[test]
@@ -285,8 +338,65 @@ mod tests {
         let mut rng = rand::thread_rng();
         let (mut tx, _) = pair(CipherSuite::Aes256CbcSha1);
         let other_key = vec![1u8; 32];
-        let mut rx = HalfConn::new(CipherSuite::Aes256CbcSha1, &other_key, &[7u8; 20]);
+        let mut rx = HalfConn::new(CipherSuite::Aes256CbcSha1, &other_key, &[7u8; 20], &[]);
         let wire = tx.seal(CT_DATA, b"secret", &mut rng);
         assert!(rx.open(CT_DATA, wire).is_err());
+    }
+
+    /// Padding corruption and MAC corruption on the CBC+HMAC path must be
+    /// indistinguishable: same error variant, same message, no oracle.
+    #[test]
+    fn cbc_padding_and_mac_failures_are_indistinguishable() {
+        let mut rng = rand::thread_rng();
+        let payload = vec![0x5Au8; 100];
+
+        // Corrupt the *last* ciphertext block: garbles the padding.
+        let (mut tx, mut rx) = pair(CipherSuite::Aes256CbcSha1);
+        let mut wire = tx.seal(CT_DATA, &payload, &mut rng);
+        let last = wire.len() - 1;
+        wire[last] ^= 0x01;
+        let pad_err = rx.open(CT_DATA, wire).unwrap_err();
+
+        // Corrupt the *first* ciphertext block: padding stays intact (it
+        // only garbles plaintext block 0), so only the MAC fails.
+        let (mut tx, mut rx) = pair(CipherSuite::Aes256CbcSha1);
+        let mut wire = tx.seal(CT_DATA, &payload, &mut rng);
+        wire[16] ^= 0x01; // first byte after the explicit IV
+        let mac_err = rx.open(CT_DATA, wire).unwrap_err();
+
+        let (pad_s, mac_s) = (pad_err.to_string(), mac_err.to_string());
+        assert_eq!(pad_s, mac_s, "corruption kinds must be indistinguishable");
+        assert!(
+            matches!(pad_err, GtlsError::RecordIntegrity(_))
+                && matches!(mac_err, GtlsError::RecordIntegrity(_))
+        );
+        // And AEAD failures collapse to the same message too.
+        let (mut tx, mut rx) = pair(CipherSuite::Aes256Gcm);
+        let mut wire = tx.seal(CT_DATA, &payload, &mut rng);
+        wire[0] ^= 0x01;
+        assert_eq!(rx.open(CT_DATA, wire).unwrap_err().to_string(), pad_s);
+    }
+
+    #[test]
+    fn aead_records_carry_no_iv_and_fixed_overhead() {
+        let mut rng = rand::thread_rng();
+        for suite in [CipherSuite::Aes128Gcm, CipherSuite::Aes256Gcm, CipherSuite::ChaCha20Poly1305]
+        {
+            let (mut tx, _) = pair(suite);
+            let wire = tx.seal(CT_DATA, &[0u8; 1000], &mut rng);
+            assert_eq!(wire.len(), 1000 + AEAD_TAG_LEN, "{suite:?} wire overhead");
+        }
+        // Legacy CBC pays IV + MAC + padding on the wire.
+        let (mut tx, _) = pair(CipherSuite::Aes256CbcSha1);
+        let wire = tx.seal(CT_DATA, &[0u8; 1000], &mut rng);
+        assert!(wire.len() >= 1000 + 16 + 20, "CBC wire overhead");
+    }
+
+    #[test]
+    fn aead_wrong_content_type_rejected() {
+        let mut rng = rand::thread_rng();
+        let (mut tx, mut rx) = pair(CipherSuite::ChaCha20Poly1305);
+        let wire = tx.seal(CT_DATA, b"data", &mut rng);
+        assert!(rx.open(CT_HANDSHAKE, wire).is_err());
     }
 }

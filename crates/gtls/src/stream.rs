@@ -2,6 +2,7 @@
 
 use crate::config::GtlsConfig;
 use crate::handshake::{client_handshake, server_handshake, HsChannel, SessionKeys};
+use crate::suite::CipherSuite;
 use crate::record::{
     finish_frame_header, frame_header_into, read_frame, read_frame_into, write_assembled_frame,
     write_frame, HalfConn, CT_DATA, CT_HANDSHAKE, MAX_RECORD_PAYLOAD,
@@ -21,6 +22,8 @@ pub struct GtlsStream {
     config: GtlsConfig,
     peer: ValidatedPeer,
     is_client: bool,
+    /// The negotiated suite for the current epoch (updated on rekey).
+    suite: CipherSuite,
     /// Reused receive buffer: holds the current record's wire body,
     /// decrypted in place; `read_pos..read_end` is unconsumed plaintext.
     read_buf: Vec<u8>,
@@ -116,6 +119,7 @@ impl GtlsStream {
             config,
             peer,
             is_client,
+            suite: keys.suite,
             read_buf: Vec::new(),
             read_pos: 0,
             read_end: 0,
@@ -129,8 +133,18 @@ impl GtlsStream {
     }
 
     fn split_keys(keys: &SessionKeys, is_client: bool) -> (HalfConn, HalfConn) {
-        let c2s = HalfConn::new(keys.suite, &keys.client_write_key, &keys.client_mac_key);
-        let s2c = HalfConn::new(keys.suite, &keys.server_write_key, &keys.server_mac_key);
+        let c2s = HalfConn::new(
+            keys.suite,
+            &keys.client_write_key,
+            &keys.client_mac_key,
+            &keys.client_iv,
+        );
+        let s2c = HalfConn::new(
+            keys.suite,
+            &keys.server_write_key,
+            &keys.server_mac_key,
+            &keys.server_iv,
+        );
         if is_client {
             (c2s, s2c)
         } else {
@@ -141,6 +155,11 @@ impl GtlsStream {
     /// The authenticated peer (leaf DN, effective grid DN, proxy flag).
     pub fn peer(&self) -> &ValidatedPeer {
         &self.peer
+    }
+
+    /// The cipher suite protecting the current epoch.
+    pub fn suite(&self) -> CipherSuite {
+        self.suite
     }
 
     /// Number of completed handshakes on this connection.
@@ -172,6 +191,7 @@ impl GtlsStream {
         let (tx, rx) = Self::split_keys(&keys, true);
         self.tx = tx;
         self.rx = rx;
+        self.suite = keys.suite;
         self.peer = peer;
         self.records_sent = 0;
         self.handshakes += 1;
@@ -204,6 +224,7 @@ impl GtlsStream {
         let (tx, rx) = Self::split_keys(&keys, false);
         self.tx = tx;
         self.rx = rx;
+        self.suite = keys.suite;
         self.peer = peer;
         self.records_sent = 0;
         self.handshakes += 1;
@@ -232,6 +253,15 @@ impl Read for GtlsStream {
                     }
                     if let Some(obs) = &self.obs {
                         obs.hop_timed(sgfs_obs::Hop::Open, 0, sgfs_obs::NO_PROC, dt);
+                        // Deterministic per-suite event: xid = suite wire
+                        // id, aux = payload bytes (golden-trace friendly,
+                        // unlike the nanosecond aux above).
+                        obs.emit(
+                            sgfs_obs::Hop::RecordOpen,
+                            self.suite as u32,
+                            sgfs_obs::NO_PROC,
+                            len as u64,
+                        );
                     }
                     self.read_pos = off;
                     self.read_end = off + len;
@@ -296,6 +326,12 @@ impl Write for GtlsStream {
             }
             if let Some(obs) = &self.obs {
                 obs.hop_timed(sgfs_obs::Hop::Seal, 0, sgfs_obs::NO_PROC, dt);
+                obs.emit(
+                    sgfs_obs::Hop::RecordSeal,
+                    self.suite as u32,
+                    sgfs_obs::NO_PROC,
+                    chunk.len() as u64,
+                );
             }
             write_assembled_frame(&mut self.inner, &self.write_buf)?;
             self.records_sent += 1;
@@ -499,7 +535,21 @@ mod tests {
         assert_eq!(obs.hop_hist(sgfs_obs::Hop::Open).count(), 1);
         let (events, _) = obs.events();
         let hops: Vec<_> = events.iter().map(|e| e.hop).collect();
-        assert_eq!(hops, [sgfs_obs::Hop::Seal, sgfs_obs::Hop::Open]);
+        assert_eq!(
+            hops,
+            [
+                sgfs_obs::Hop::Seal,
+                sgfs_obs::Hop::RecordSeal,
+                sgfs_obs::Hop::Open,
+                sgfs_obs::Hop::RecordOpen,
+            ]
+        );
+        // The per-suite events are tagged with the suite wire id and the
+        // payload byte count — both deterministic.
+        assert_eq!(events[1].xid, c.suite() as u32);
+        assert_eq!(events[1].aux, 7);
+        assert_eq!(events[3].xid, s.suite() as u32);
+        assert_eq!(events[3].aux, 7);
     }
 
     #[test]

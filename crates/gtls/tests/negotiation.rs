@@ -1,0 +1,169 @@
+//! Suite negotiation matrix and AEAD rekey behaviour.
+//!
+//! Every client offer-list × server support-set either agrees on the
+//! client's first offer the server also accepts (the rule the handshake
+//! implements) or fails cleanly on both ends with `NoCommonSuite` — no
+//! hangs, no partial sessions. A modern default-config peer still
+//! completes the handshake against a legacy CBC/RC4-only peer.
+
+use sgfs_gtls::{CipherSuite, GtlsConfig, GtlsError, GtlsStream};
+use sgfs_pki::{CertificateAuthority, Credential, DistinguishedName, TrustStore};
+use std::io::{Read, Write};
+
+fn dn(s: &str) -> DistinguishedName {
+    DistinguishedName::parse(s).unwrap()
+}
+
+struct World {
+    client_cfg: GtlsConfig,
+    server_cfg: GtlsConfig,
+}
+
+fn world() -> World {
+    let mut rng = rand::thread_rng();
+    let ca = CertificateAuthority::new(&dn("/O=Grid/CN=CA"), 512, &mut rng);
+    let mut trust = TrustStore::new();
+    trust.add_root(ca.certificate().clone());
+
+    let ckey = sgfs_crypto::rsa::RsaKeyPair::generate(512, &mut rng);
+    let ccert = ca.issue(&dn("/O=Grid/CN=alice"), &ckey.public);
+    let client = Credential::new(ccert, ckey);
+
+    let skey = sgfs_crypto::rsa::RsaKeyPair::generate(512, &mut rng);
+    let scert = ca.issue(&dn("/O=Grid/CN=fileserver"), &skey.public);
+    let server = Credential::new(scert, skey);
+
+    World {
+        client_cfg: GtlsConfig::new(client, trust.clone()),
+        server_cfg: GtlsConfig::new(server, trust),
+    }
+}
+
+/// Handshake with the given offer/support lists; `Ok` carries both ends.
+fn try_connect(
+    w: &World,
+    client_suites: Vec<CipherSuite>,
+    server_suites: Vec<CipherSuite>,
+) -> (Result<GtlsStream, GtlsError>, Result<GtlsStream, GtlsError>) {
+    let (a, b) = sgfs_net::pipe_pair();
+    let server_cfg = w.server_cfg.clone().with_suites(server_suites);
+    let h = std::thread::spawn(move || GtlsStream::server(Box::new(b), server_cfg));
+    let client_cfg = w.client_cfg.clone().with_suites(client_suites);
+    let client = GtlsStream::client(Box::new(a), client_cfg);
+    (client, h.join().unwrap())
+}
+
+/// Prove the session actually works under the agreed suite.
+fn ping_pong(c: &mut GtlsStream, s: &mut GtlsStream) {
+    c.write_all(b"ping").unwrap();
+    let mut buf = [0u8; 4];
+    s.read_exact(&mut buf).unwrap();
+    assert_eq!(&buf, b"ping");
+    s.write_all(b"pong").unwrap();
+    c.read_exact(&mut buf).unwrap();
+    assert_eq!(&buf, b"pong");
+}
+
+#[test]
+fn negotiation_matrix_agrees_or_fails_cleanly() {
+    use CipherSuite::*;
+    let w = world();
+
+    let client_lists: [Vec<CipherSuite>; 5] = [
+        CipherSuite::all(),
+        CipherSuite::legacy(),
+        vec![ChaCha20Poly1305],
+        vec![Aes128Gcm, Aes128CbcSha1],
+        vec![Rc4_128Sha1],
+    ];
+    let server_lists: [Vec<CipherSuite>; 5] = [
+        CipherSuite::all(),
+        CipherSuite::legacy(),
+        vec![Aes256Gcm],
+        vec![ChaCha20Poly1305, NullSha1],
+        vec![NullSha1],
+    ];
+
+    for offers in &client_lists {
+        for supports in &server_lists {
+            // The handshake rule: the client's first offer the server
+            // also accepts.
+            let expected = offers.iter().find(|s| supports.contains(s)).copied();
+            let (client, server) = try_connect(&w, offers.clone(), supports.clone());
+            match expected {
+                Some(suite) => {
+                    let mut c = client.unwrap_or_else(|e| {
+                        panic!("client failed for {offers:?} x {supports:?}: {e}")
+                    });
+                    let mut s = server.unwrap_or_else(|e| {
+                        panic!("server failed for {offers:?} x {supports:?}: {e}")
+                    });
+                    assert_eq!(c.suite(), suite, "{offers:?} x {supports:?}");
+                    assert_eq!(s.suite(), suite, "{offers:?} x {supports:?}");
+                    ping_pong(&mut c, &mut s);
+                }
+                None => {
+                    assert!(
+                        matches!(server, Err(GtlsError::NoCommonSuite)),
+                        "server must reject {offers:?} x {supports:?}"
+                    );
+                    assert!(client.is_err(), "client must fail {offers:?} x {supports:?}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn default_config_negotiates_strongest_aead() {
+    let w = world();
+    let (client, server) = try_connect(&w, CipherSuite::all(), CipherSuite::all());
+    let (mut c, mut s) = (client.unwrap(), server.unwrap());
+    assert_eq!(c.suite(), CipherSuite::Aes256Gcm);
+    assert!(c.suite().is_aead());
+    ping_pong(&mut c, &mut s);
+}
+
+#[test]
+fn legacy_only_peer_still_completes_on_cbc() {
+    let w = world();
+    // Modern default client against a pre-AEAD server offering only the
+    // seed's four suites: graceful agreement on the strongest legacy one.
+    let (client, server) = try_connect(&w, CipherSuite::all(), CipherSuite::legacy());
+    let (mut c, mut s) = (client.unwrap(), server.unwrap());
+    assert_eq!(c.suite(), CipherSuite::Aes256CbcSha1);
+    assert!(!c.suite().is_aead());
+    ping_pong(&mut c, &mut s);
+}
+
+/// Rekey mid-stream on every AEAD suite: renegotiation must reset the
+/// per-direction sequence counters and install fresh IVs, proven by data
+/// flowing in both directions after the second handshake.
+#[test]
+fn rekey_mid_stream_per_aead_suite() {
+    use CipherSuite::*;
+    let w = world();
+    for suite in [Aes128Gcm, Aes256Gcm, ChaCha20Poly1305] {
+        let (client, server) = try_connect(&w, vec![suite], vec![suite]);
+        let (mut c, mut s) = (client.unwrap(), server.unwrap());
+        assert_eq!(c.suite(), suite);
+        ping_pong(&mut c, &mut s);
+
+        // Server must be blocked in read to service the rekey.
+        let h = std::thread::spawn(move || {
+            let mut buf = [0u8; 5];
+            s.read_exact(&mut buf).unwrap();
+            (s, buf)
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        c.renegotiate().unwrap();
+        c.write_all(b"after").unwrap();
+        let (mut s, buf) = h.join().unwrap();
+        assert_eq!(&buf, b"after", "{suite:?}: first record after rekey");
+        assert_eq!(c.handshake_count(), 2);
+        assert_eq!(s.suite(), suite, "rekey must keep the negotiated suite");
+
+        // Both directions flow under the fresh keys/nonces.
+        ping_pong(&mut c, &mut s);
+    }
+}

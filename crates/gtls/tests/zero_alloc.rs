@@ -43,7 +43,8 @@ fn allocs() -> u64 {
 fn pair(suite: CipherSuite) -> (HalfConn, HalfConn) {
     let key = vec![0x5au8; suite.key_len()];
     let mac = vec![0xa5u8; suite.mac_key_len()];
-    (HalfConn::new(suite, &key, &mac), HalfConn::new(suite, &key, &mac))
+    let iv = vec![0x1bu8; suite.iv_len()];
+    (HalfConn::new(suite, &key, &mac, &iv), HalfConn::new(suite, &key, &mac, &iv))
 }
 
 /// Drive `n` records through seal_into/open_in_place with reused scratch.
@@ -94,8 +95,8 @@ fn scratch_survives_renegotiation_mid_stream() {
     // Rekey: replace both directions, as GtlsStream::renegotiate does.
     let key = vec![0x33u8; suite.key_len()];
     let mac = vec![0xccu8; suite.mac_key_len()];
-    tx = HalfConn::new(suite, &key, &mac);
-    rx = HalfConn::new(suite, &key, &mac);
+    tx = HalfConn::new(suite, &key, &mac, &[]);
+    rx = HalfConn::new(suite, &key, &mac, &[]);
     // One warm record under the new keys, then steady state.
     pump(&mut tx, &mut rx, &mut wire, &payload, 1);
 
@@ -113,6 +114,6 @@ fn rekey_invalidates_old_records() {
     let mut wire = Vec::new();
     tx.seal_into(CT_DATA, b"old-key record", &mut rng, &mut wire);
 
-    let mut rx = HalfConn::new(suite, &[9u8; 16], &[9u8; 20]);
+    let mut rx = HalfConn::new(suite, &[9u8; 16], &[9u8; 20], &[]);
     assert!(rx.open_in_place(CT_DATA, &mut wire).is_err());
 }

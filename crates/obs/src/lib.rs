@@ -88,10 +88,17 @@ pub enum Hop {
     /// re-marked dirty); the timed variant feeds the recovery-latency
     /// histogram.
     RecoveryComplete = 16,
+    /// A GTLS record was sealed, tagged with the cipher suite (xid =
+    /// suite wire id, aux = payload bytes). Deterministic per workload,
+    /// unlike the nanosecond-aux [`Hop::Seal`] timing event.
+    RecordSeal = 17,
+    /// A GTLS record was opened, tagged with the cipher suite (xid =
+    /// suite wire id, aux = payload bytes).
+    RecordOpen = 18,
 }
 
 /// Every hop, for iteration and snapshot ordering.
-pub const ALL_HOPS: [Hop; 17] = [
+pub const ALL_HOPS: [Hop; 19] = [
     Hop::CacheHit,
     Hop::CacheMiss,
     Hop::Seal,
@@ -109,6 +116,8 @@ pub const ALL_HOPS: [Hop; 17] = [
     Hop::RecoveryReplay,
     Hop::RecoveryTorn,
     Hop::RecoveryComplete,
+    Hop::RecordSeal,
+    Hop::RecordOpen,
 ];
 
 impl Hop {
@@ -132,6 +141,8 @@ impl Hop {
             Hop::RecoveryReplay => "recovery_replay",
             Hop::RecoveryTorn => "recovery_torn",
             Hop::RecoveryComplete => "recovery_complete",
+            Hop::RecordSeal => "record_seal",
+            Hop::RecordOpen => "record_open",
         }
     }
 

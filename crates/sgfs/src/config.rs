@@ -9,7 +9,8 @@
 use sgfs_gtls::{CipherSuite, GtlsConfig};
 use sgfs_pki::{Credential, DistinguishedName, GridMap, TrustStore};
 
-/// The three security strengths the paper benchmarks, plus none (gfs).
+/// The three security strengths the paper benchmarks, plus none (gfs)
+/// and the post-paper AEAD configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SecurityLevel {
     /// No protection at all — the `gfs` baseline.
@@ -20,6 +21,8 @@ pub enum SecurityLevel {
     MediumCipher,
     /// AES-256-CBC + SHA1-HMAC — `sgfs-aes`.
     StrongCipher,
+    /// AES-256-GCM single-pass AEAD — `sgfs-gcm`.
+    AeadCipher,
 }
 
 impl SecurityLevel {
@@ -30,6 +33,7 @@ impl SecurityLevel {
             SecurityLevel::IntegrityOnly => Some(CipherSuite::NullSha1),
             SecurityLevel::MediumCipher => Some(CipherSuite::Rc4_128Sha1),
             SecurityLevel::StrongCipher => Some(CipherSuite::Aes256CbcSha1),
+            SecurityLevel::AeadCipher => Some(CipherSuite::Aes256Gcm),
         }
     }
 }
@@ -261,6 +265,7 @@ mod tests {
         assert_eq!(SecurityLevel::IntegrityOnly.suite(), Some(CipherSuite::NullSha1));
         assert_eq!(SecurityLevel::MediumCipher.suite(), Some(CipherSuite::Rc4_128Sha1));
         assert_eq!(SecurityLevel::StrongCipher.suite(), Some(CipherSuite::Aes256CbcSha1));
+        assert_eq!(SecurityLevel::AeadCipher.suite(), Some(CipherSuite::Aes256Gcm));
     }
 
     #[test]

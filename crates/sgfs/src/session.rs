@@ -69,6 +69,7 @@ impl SetupKind {
             SetupKind::Sgfs(SecurityLevel::IntegrityOnly) => "sgfs-sha",
             SetupKind::Sgfs(SecurityLevel::MediumCipher) => "sgfs-rc",
             SetupKind::Sgfs(SecurityLevel::StrongCipher) => "sgfs-aes",
+            SetupKind::Sgfs(SecurityLevel::AeadCipher) => "sgfs-gcm",
             SetupKind::GfsSsh => "gfs-ssh",
             SetupKind::Sfs => "sfs",
         }

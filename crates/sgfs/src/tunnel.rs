@@ -71,8 +71,8 @@ fn authenticate(
     let (c_mac, rest) = rest.split_at(20);
     let (s_key, s_mac) = rest.split_at(32);
     let suite = CipherSuite::Aes256CbcSha1;
-    let c2s = HalfConn::new(suite, c_key, c_mac);
-    let s2c = HalfConn::new(suite, s_key, s_mac);
+    let c2s = HalfConn::new(suite, c_key, c_mac, &[]);
+    let s2c = HalfConn::new(suite, s_key, s_mac, &[]);
     Ok(if is_client { (c2s, s2c) } else { (s2c, c2s) })
 }
 

@@ -528,3 +528,84 @@ fn golden_recovery_sequence() {
     assert_eq!(runs[0], runs[1], "run 2 diverged from run 1");
     assert_eq!(runs[1], runs[2], "run 3 diverged from run 2");
 }
+
+// ---------------------------------------------------------------------
+// 5. AEAD record plane: a GTLS session under AES-256-GCM emits one
+//    suite-tagged record_seal/record_open pair per record, with the
+//    exact payload byte counts — no hidden fragmentation or padding.
+// ---------------------------------------------------------------------
+
+fn aead_trace_scenario() -> Vec<String> {
+    use sgfs_gtls::{CipherSuite, GtlsConfig, GtlsStream};
+    use sgfs_pki::{CertificateAuthority, Credential, DistinguishedName, TrustStore};
+    use std::io::{Read, Write};
+
+    let mut rng = rand::thread_rng();
+    let ca = CertificateAuthority::new(
+        &DistinguishedName::parse("/O=Grid/CN=CA").unwrap(),
+        512,
+        &mut rng,
+    );
+    let mut trust = TrustStore::new();
+    trust.add_root(ca.certificate().clone());
+    let mut cred = |cn: &str| {
+        let key = sgfs_crypto::rsa::RsaKeyPair::generate(512, &mut rng);
+        let cert = ca.issue(&DistinguishedName::parse(cn).unwrap(), &key.public);
+        Credential::new(cert, key)
+    };
+    let client_cfg = GtlsConfig::new(cred("/O=Grid/CN=alice"), trust.clone())
+        .with_suite(CipherSuite::Aes256Gcm);
+    let server_cfg = GtlsConfig::new(cred("/O=Grid/CN=fileserver"), trust)
+        .with_suite(CipherSuite::Aes256Gcm);
+
+    let (a, b) = pipe_pair();
+    let h = std::thread::spawn(move || GtlsStream::server(Box::new(b), server_cfg).unwrap());
+    let mut c = GtlsStream::client(Box::new(a), client_cfg).unwrap();
+    let mut s = h.join().unwrap();
+    assert!(c.suite().is_aead());
+
+    // One shared domain, attached after the handshake; the scripted
+    // ping-pong below then drives both ends from this single thread, so
+    // the event interleaving is fully deterministic.
+    let obs = Obs::new();
+    c.obs = Some(obs.clone());
+    s.obs = Some(obs.clone());
+
+    let mut buf = vec![0u8; 4096];
+    for &(c_to_s, len) in &[(true, 1024usize), (false, 2048), (true, 333), (false, 1)] {
+        let (tx, rx) = if c_to_s { (&mut c, &mut s) } else { (&mut s, &mut c) };
+        tx.write_all(&vec![0x5au8; len]).unwrap();
+        rx.read_exact(&mut buf[..len]).unwrap();
+    }
+
+    let (events, dropped) = obs.events();
+    assert_eq!(dropped, 0);
+    let g: Vec<String> = events
+        .iter()
+        .filter(|e| matches!(e.hop, Hop::RecordSeal | Hop::RecordOpen))
+        .map(|e| format!("{}:{}:{}", e.hop.as_str(), e.xid, e.aux))
+        .collect();
+    // suite wire id 6 = AES-256-GCM; aux = plaintext payload bytes.
+    assert_eq!(
+        g,
+        [
+            "record_seal:6:1024",
+            "record_open:6:1024",
+            "record_seal:6:2048",
+            "record_open:6:2048",
+            "record_seal:6:333",
+            "record_open:6:333",
+            "record_seal:6:1",
+            "record_open:6:1",
+        ],
+        "golden AEAD record sequence changed"
+    );
+    g
+}
+
+#[test]
+fn golden_aead_record_sequence() {
+    let runs: Vec<Vec<String>> = (0..3).map(|_| aead_trace_scenario()).collect();
+    assert_eq!(runs[0], runs[1], "run 2 diverged from run 1");
+    assert_eq!(runs[1], runs[2], "run 3 diverged from run 2");
+}

@@ -24,6 +24,7 @@ fn main() {
         (SecurityLevel::IntegrityOnly, "SHA1-HMAC integrity only"),
         (SecurityLevel::MediumCipher, "RC4-128 + SHA1-HMAC"),
         (SecurityLevel::StrongCipher, "AES-256-CBC + SHA1-HMAC"),
+        (SecurityLevel::AeadCipher, "AES-256-GCM single-pass AEAD"),
     ] {
         let kind = if level == SecurityLevel::None {
             SetupKind::Gfs
@@ -43,7 +44,7 @@ fn main() {
     }
 
     println!("\n== dynamic reconfiguration: periodic session-key refresh (§4.2) ==\n");
-    let mut params = SessionParams::lan(SetupKind::Sgfs(SecurityLevel::StrongCipher));
+    let mut params = SessionParams::lan(SetupKind::Sgfs(SecurityLevel::AeadCipher));
     params.rekey_every = Some(64); // renegotiate every 64 records
     let mut session = Session::build(&world, &params).expect("session setup");
     for i in 0..40 {

@@ -18,6 +18,12 @@ timeout 120 cargo test -q -p sgfs --test trace_golden
 timeout 120 cargo test -q -p sgfs --test crash_matrix
 timeout 120 cargo test -q -p sgfs --test store_parity
 
+# AEAD record layer: RFC/NIST known-answer vectors + PCLMUL-vs-scalar
+# GHASH equivalence proptests, then the negotiation/rekey matrix.
+timeout 120 cargo test -q -p sgfs-crypto --lib -- ghash:: gcm:: chacha:: poly1305:: chachapoly::
+timeout 120 cargo test -q -p sgfs-crypto --test prop_crypto
+timeout 120 cargo test -q -p sgfs-gtls --test negotiation
+
 cargo test -q
 cargo bench --no-run
 
@@ -32,3 +38,9 @@ timeout 300 ./target/release/obs_bench --quick
 # exits nonzero past the threshold).
 cargo build --release -p sgfs-bench --bin journal_bench
 timeout 120 ./target/release/journal_bench --quick
+
+# Per-suite record-throughput gate: every AEAD suite (AES-GCM,
+# ChaCha20-Poly1305) must beat the legacy CBC+HMAC baseline (writes
+# BENCH_pipeline.json; exits nonzero past the threshold).
+cargo build --release -p sgfs-bench --bin pipeline_bench
+timeout 120 ./target/release/pipeline_bench --quick
