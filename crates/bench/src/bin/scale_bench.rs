@@ -1,0 +1,260 @@
+//! Session-scale gate for the sharded server core, written to
+//! `BENCH_scale.json` at the workspace root (and mirrored under
+//! `results/`).
+//!
+//! Three measurements:
+//!
+//! 1. **Baseline latency** — one session on a one-shard server; p50/p99
+//!    of a sequential echo round trip, the number a thread-per-connection
+//!    design would also post.
+//! 2. **Scale** — 1000+ sessions pinned onto a small shard pool. The
+//!    gate: the process grows by at most `shards + 4` threads (a
+//!    thread-per-connection design would add 1000+), and a low-load
+//!    session driven while the other 999+ sit idle-but-pinned posts a
+//!    p99 no worse than 2× the single-session baseline — pinned idle
+//!    sessions must cost nothing on the hot path.
+//! 3. **Aggregate throughput** — a bounded driver pool round-robins the
+//!    whole population, reported for trend tracking (not gated: the
+//!    number is driver-bound on small hosts).
+
+use sgfs_bench::RunOpts;
+use sgfs_net::{pipe_pair, PipeEnd};
+use sgfs_oncrpc::record::{read_record_into, write_record_with};
+use sgfs_oncrpc::{process_thread_count, RecordService, ShardServer};
+use std::sync::Arc;
+use std::time::Instant;
+
+const RECORD_LEN: usize = 512;
+
+/// Echo service: isolates the shard loop + transport from any NFS logic.
+struct Echo;
+
+impl RecordService for Echo {
+    fn process_record(&self, record: &[u8]) -> std::io::Result<Vec<u8>> {
+        Ok(record.to_vec())
+    }
+}
+
+/// A driver-side session handle with reused buffers.
+struct Client {
+    end: PipeEnd,
+    req: Vec<u8>,
+    reply: Vec<u8>,
+    scratch: Vec<u8>,
+}
+
+impl Client {
+    fn new(end: PipeEnd) -> Self {
+        Self { end, req: vec![0x42; RECORD_LEN], reply: Vec::new(), scratch: Vec::new() }
+    }
+
+    fn call(&mut self, xid: u32) {
+        self.req[0..4].copy_from_slice(&xid.to_be_bytes());
+        write_record_with(&mut self.end, &self.req, &mut self.scratch).expect("request");
+        assert!(read_record_into(&mut self.end, &mut self.reply).expect("reply"));
+        assert_eq!(&self.reply[0..4], &xid.to_be_bytes(), "xid echoed");
+    }
+}
+
+fn add_echo_session(shards: &ShardServer) -> Client {
+    let (client_end, server_end) = pipe_pair();
+    let watch = server_end.watch();
+    shards.add_session(Box::new(server_end), watch, Arc::new(Echo)).expect("add session");
+    Client::new(client_end)
+}
+
+/// Sequential round trips; returns sorted per-call latencies in ns.
+fn measure_latency(client: &mut Client, calls: usize) -> Vec<u64> {
+    for i in 0..32u32 {
+        client.call(i);
+    }
+    let mut lat = Vec::with_capacity(calls);
+    for i in 0..calls as u32 {
+        let start = Instant::now();
+        client.call(0x100 + i);
+        lat.push(start.elapsed().as_nanos() as u64);
+    }
+    lat.sort_unstable();
+    lat
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+#[derive(serde::Serialize)]
+struct LatencyResult {
+    calls: usize,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn latency_result(sorted: &[u64]) -> LatencyResult {
+    LatencyResult {
+        calls: sorted.len(),
+        p50_us: percentile(sorted, 0.50) as f64 / 1_000.0,
+        p99_us: percentile(sorted, 0.99) as f64 / 1_000.0,
+    }
+}
+
+#[derive(serde::Serialize)]
+struct ScaleResult {
+    sessions: usize,
+    shards: usize,
+    threads_before: Option<usize>,
+    threads_after: Option<usize>,
+    thread_slack: usize,
+    /// p99 of one driven session while the rest sit pinned and idle.
+    low_load: LatencyResult,
+    /// Allowed p99 degradation vs the single-session baseline.
+    p99_factor_limit: f64,
+    p99_factor: f64,
+}
+
+#[derive(serde::Serialize)]
+struct ThroughputResult {
+    drivers: usize,
+    rounds: usize,
+    calls: usize,
+    wall_s: f64,
+    calls_per_s: f64,
+    served: u64,
+}
+
+#[derive(serde::Serialize)]
+struct BenchReport {
+    record_bytes: usize,
+    baseline: LatencyResult,
+    scale: ScaleResult,
+    throughput: ThroughputResult,
+    gate_ok: bool,
+}
+
+fn main() {
+    let opts = RunOpts::parse();
+    let sessions: usize = 1024;
+    let shards: usize = 4;
+    let latency_calls = if opts.quick { 2_000 } else { 10_000 };
+    let rounds = if opts.quick { 4 } else { 16 };
+    let drivers = 8;
+
+    // 1. Baseline: one session, one shard.
+    let baseline = {
+        let solo = ShardServer::new(1);
+        let mut client = add_echo_session(&solo);
+        latency_result(&measure_latency(&mut client, latency_calls))
+    };
+    println!(
+        "baseline:   1 session / 1 shard        p50 {:>7.1} us   p99 {:>7.1} us",
+        baseline.p50_us, baseline.p99_us
+    );
+
+    // 2. Scale: the full population on a small pool.
+    let threads_before = process_thread_count();
+    let pool = ShardServer::with_obs(shards, sgfs_obs::Obs::disabled());
+    let mut clients: Vec<Client> = (0..sessions).map(|_| add_echo_session(&pool)).collect();
+    let threads_after = process_thread_count();
+
+    let low_load = {
+        let mut probe = add_echo_session(&pool);
+        latency_result(&measure_latency(&mut probe, latency_calls))
+    };
+    let p99_factor_limit = 2.0;
+    let p99_factor = low_load.p99_us / baseline.p99_us.max(f64::EPSILON);
+    let thread_slack = 4;
+    println!(
+        "low-load:   1 of {} sessions driven   p50 {:>7.1} us   p99 {:>7.1} us   ({:.2}x baseline)",
+        sessions + 1,
+        low_load.p50_us,
+        low_load.p99_us,
+        p99_factor
+    );
+    if let (Some(before), Some(after)) = (threads_before, threads_after) {
+        println!(
+            "threads:    {sessions} pinned sessions cost {} threads (before {before}, after {after})",
+            after.saturating_sub(before)
+        );
+    }
+
+    // 3. Aggregate throughput over the whole population.
+    let served_before = pool.stats().served;
+    let mut work: Vec<Vec<Client>> = (0..drivers).map(|_| Vec::new()).collect();
+    for (slot, c) in clients.drain(..).enumerate() {
+        work[slot % drivers].push(c);
+    }
+    let start = Instant::now();
+    let handles: Vec<_> = work
+        .into_iter()
+        .map(|mut mine| {
+            std::thread::spawn(move || {
+                for r in 0..rounds as u32 {
+                    for c in mine.iter_mut() {
+                        c.call(0x1_0000 + r);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("driver");
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    let calls = sessions * rounds;
+    let served = pool.stats().served - served_before;
+    let throughput = ThroughputResult {
+        drivers,
+        rounds,
+        calls,
+        wall_s,
+        calls_per_s: calls as f64 / wall_s,
+        served,
+    };
+    println!(
+        "throughput: {} calls over {} sessions  {:>9.0} calls/s  ({} shard-served)",
+        calls, sessions, throughput.calls_per_s, served
+    );
+
+    let threads_ok = match (threads_before, threads_after) {
+        (Some(before), Some(after)) => after <= before + shards + thread_slack,
+        _ => true, // no /proc on this host: latency gate still applies
+    };
+    let gate_ok = sessions >= 1000 && threads_ok && p99_factor <= p99_factor_limit;
+
+    let report = BenchReport {
+        record_bytes: RECORD_LEN,
+        baseline,
+        scale: ScaleResult {
+            sessions,
+            shards,
+            threads_before,
+            threads_after,
+            thread_slack,
+            low_load,
+            p99_factor_limit,
+            p99_factor,
+        },
+        throughput,
+        gate_ok,
+    };
+    if let Ok(json) = serde_json::to_string_pretty(&report) {
+        for path in ["BENCH_scale.json", "results/BENCH_scale.json"] {
+            if let Some(dir) = std::path::Path::new(path).parent() {
+                if !dir.as_os_str().is_empty() {
+                    let _ = std::fs::create_dir_all(dir);
+                }
+            }
+            if std::fs::write(path, &json).is_ok() {
+                println!("[saved {path}]");
+            }
+        }
+    }
+
+    if !gate_ok {
+        eprintln!(
+            "FAIL: sessions={} threads_ok={} p99_factor={:.2} (limit {:.1})",
+            report.scale.sessions, threads_ok, report.scale.p99_factor, p99_factor_limit
+        );
+        std::process::exit(1);
+    }
+}

@@ -17,18 +17,27 @@
 //! * [`Stream`] — the object-safe byte-stream trait every layer above
 //!   (record marking, GTLS, tunnels) is written against, so real
 //!   `TcpStream`s can be substituted for the in-memory pipes.
+//! * [`poll::Poller`] — readiness notification over the pipe transports:
+//!   the sharded server's event loops sleep here instead of in one
+//!   blocking read per connection.
+//! * [`spsc::SpscQueue`] — the lock-free single-producer/single-consumer
+//!   ring the acceptor uses to hand accepted sessions to their shard.
 
 pub mod clock;
 pub mod crash;
 pub mod fault;
 pub mod link;
 pub mod pipe;
+pub mod poll;
+pub mod spsc;
 
 pub use clock::{ClockMode, LogicalClock, SimClock};
 pub use crash::{CrashInjector, CrashPoint, ALL_CRASH_POINTS};
 pub use fault::{FaultInjector, FaultPlan, FaultStream};
 pub use link::{Link, LinkSpec};
-pub use pipe::{pipe_pair, pipe_pair_over_link, PipeEnd, PipeReader, PipeWriter};
+pub use pipe::{pipe_pair, pipe_pair_over_link, PipeEnd, PipeReader, PipeWatch, PipeWriter};
+pub use poll::{Poller, Readiness, Token};
+pub use spsc::{spsc_channel, Popped, SpscReceiver, SpscSender};
 
 use std::io::{Read, Write};
 

@@ -2,6 +2,7 @@
 
 use crate::clock::SimClock;
 use crate::link::Link;
+use crate::poll::Readiness;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
@@ -18,6 +19,9 @@ struct Msg {
 struct Channel {
     state: Mutex<ChannelState>,
     cond: Condvar,
+    /// Readiness handle of a registered poller, notified on every push
+    /// and close (the shard event loops watch receive channels this way).
+    watcher: Mutex<Option<Readiness>>,
 }
 
 #[derive(Default)]
@@ -28,16 +32,23 @@ struct ChannelState {
 
 impl Channel {
     fn new() -> Arc<Self> {
-        Arc::new(Self { state: Mutex::new(ChannelState::default()), cond: Condvar::new() })
+        Arc::new(Self {
+            state: Mutex::new(ChannelState::default()),
+            cond: Condvar::new(),
+            watcher: Mutex::new(None),
+        })
     }
 
     fn push(&self, msg: Msg) -> io::Result<()> {
-        let mut st = self.state.lock();
-        if st.closed {
-            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "pipe closed"));
+        {
+            let mut st = self.state.lock();
+            if st.closed {
+                return Err(io::Error::new(io::ErrorKind::BrokenPipe, "pipe closed"));
+            }
+            st.queue.push_back(msg);
+            self.cond.notify_one();
         }
-        st.queue.push_back(msg);
-        self.cond.notify_one();
+        self.notify_watcher();
         Ok(())
     }
 
@@ -56,9 +67,59 @@ impl Channel {
     }
 
     fn close(&self) {
-        let mut st = self.state.lock();
-        st.closed = true;
-        self.cond.notify_all();
+        {
+            let mut st = self.state.lock();
+            st.closed = true;
+            self.cond.notify_all();
+        }
+        self.notify_watcher();
+    }
+
+    /// Wake a registered poller, outside the state lock (the poller has
+    /// its own lock; never hold both).
+    fn notify_watcher(&self) {
+        if let Some(w) = self.watcher.lock().as_ref() {
+            w.notify();
+        }
+    }
+}
+
+/// A poll-side view of one pipe endpoint's *receive* channel.
+///
+/// Taken from the raw [`PipeEnd`] **before** the endpoint is wrapped in
+/// higher layers (fault injectors, GTLS), so readiness always reflects
+/// the wire itself: arrivals and EOF fire regardless of what the wrapping
+/// stack does with the bytes. Writers always emit whole records in single
+/// pipe messages, so "the wire has input" is exactly "a record (or EOF)
+/// is ready to pump".
+#[derive(Clone)]
+pub struct PipeWatch {
+    channel: Arc<Channel>,
+}
+
+impl PipeWatch {
+    /// Install `readiness` as this channel's watcher. If the channel
+    /// already holds data or is already closed, the token fires
+    /// immediately — registration cannot race an earlier arrival.
+    pub fn register(&self, readiness: Readiness) {
+        *self.channel.watcher.lock() = Some(readiness.clone());
+        let fire = {
+            let st = self.channel.state.lock();
+            !st.queue.is_empty() || st.closed
+        };
+        if fire {
+            readiness.notify();
+        }
+    }
+
+    /// Is at least one unconsumed message queued?
+    pub fn has_input(&self) -> bool {
+        !self.channel.state.lock().queue.is_empty()
+    }
+
+    /// Has the sending side closed (EOF pending once drained)?
+    pub fn is_closed(&self) -> bool {
+        self.channel.state.lock().closed
     }
 }
 
@@ -131,6 +192,13 @@ pub struct PipeWriter {
 }
 
 impl PipeEnd {
+    /// A poll-side watch on this endpoint's receive channel. Take it
+    /// before boxing/wrapping the endpoint; it stays valid (and keeps
+    /// firing) through any wrapping stack.
+    pub fn watch(&self) -> PipeWatch {
+        PipeWatch { channel: self.incoming.clone() }
+    }
+
     /// Split into independently owned read and write halves, so one
     /// thread can block reading while another writes (the tunnel
     /// forwarders need this).
@@ -150,6 +218,13 @@ impl PipeEnd {
                 PipeWriter { outgoing, link },
             )
         }
+    }
+}
+
+impl PipeReader {
+    /// A poll-side watch on this half's receive channel.
+    pub fn watch(&self) -> PipeWatch {
+        PipeWatch { channel: self.incoming.clone() }
     }
 }
 
@@ -321,6 +396,35 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         a.write_all(b"async").unwrap();
         assert_eq!(&t.join().unwrap(), b"async");
+    }
+
+    #[test]
+    fn watch_fires_on_push_and_close() {
+        use crate::poll::Poller;
+        let (mut a, b) = pipe_pair();
+        let watch = b.watch();
+        let poller = Poller::new();
+        watch.register(poller.readiness(4));
+        let mut out = Vec::new();
+        assert_eq!(poller.wait(Some(Duration::from_millis(5)), &mut out), 0, "idle pipe");
+        a.write_all(b"ping").unwrap();
+        assert_eq!(poller.wait(None, &mut out), 1);
+        assert_eq!(out, [4]);
+        assert!(watch.has_input());
+        drop(a);
+        assert_eq!(poller.wait(None, &mut out), 1, "close wakes the watcher");
+        assert!(watch.is_closed());
+    }
+
+    #[test]
+    fn watch_registered_after_data_fires_immediately() {
+        use crate::poll::Poller;
+        let (mut a, b) = pipe_pair();
+        a.write_all(b"early").unwrap();
+        let poller = Poller::new();
+        b.watch().register(poller.readiness(0));
+        let mut out = Vec::new();
+        assert_eq!(poller.wait(Some(Duration::from_millis(50)), &mut out), 1);
     }
 
     #[test]

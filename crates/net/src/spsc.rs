@@ -1,0 +1,243 @@
+//! Lock-free single-producer/single-consumer handoff queue.
+//!
+//! The sharded server pins every accepted session to one shard thread;
+//! the acceptor pushes the established connection into that shard's
+//! inbox and never touches it again. This queue is that inbox: a bounded
+//! ring with one atomic word per side, wait-free on both ends, carrying
+//! owned values (connection state machines) across exactly one
+//! producer → consumer edge.
+//!
+//! Ordering contract (proven by `tests/spsc_prop.rs`): values pop in
+//! push order, every pushed value pops exactly once, and closing the
+//! queue lets the consumer drain what was already in flight.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A slot-granular SPSC ring of owned values.
+///
+/// Capacity is fixed at construction; `push` fails (returning the value)
+/// when the ring is full or the queue is closed, so the producer can
+/// apply backpressure or drop the session explicitly rather than block.
+pub struct SpscQueue<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Next slot the producer fills. Only the producer writes this.
+    head: AtomicUsize,
+    /// Next slot the consumer drains. Only the consumer writes this.
+    tail: AtomicUsize,
+    closed: AtomicBool,
+}
+
+// Safety: `head`/`tail` partition the slots between the two sides — the
+// producer only writes slots in `[head, tail + capacity)` and publishes
+// them with a release store of `head`; the consumer only reads slots in
+// `[tail, head)` after an acquire load of `head`. A slot is therefore
+// never accessed by both sides at once, so `T: Send` suffices.
+unsafe impl<T: Send> Sync for SpscQueue<T> {}
+unsafe impl<T: Send> Send for SpscQueue<T> {}
+
+/// Producer handle: the only side allowed to push.
+pub struct SpscSender<T> {
+    queue: Arc<SpscQueue<T>>,
+}
+
+/// Consumer handle: the only side allowed to pop.
+pub struct SpscReceiver<T> {
+    queue: Arc<SpscQueue<T>>,
+}
+
+/// Build a connected sender/receiver pair over a ring of `capacity` slots.
+pub fn spsc_channel<T>(capacity: usize) -> (SpscSender<T>, SpscReceiver<T>) {
+    assert!(capacity > 0, "SPSC ring needs at least one slot");
+    let slots = (0..capacity)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect::<Vec<_>>()
+        .into_boxed_slice();
+    let queue = Arc::new(SpscQueue {
+        slots,
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+        closed: AtomicBool::new(false),
+    });
+    (SpscSender { queue: queue.clone() }, SpscReceiver { queue })
+}
+
+impl<T> SpscSender<T> {
+    /// Push `value`, or hand it back if the ring is full or closed.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let q = &self.queue;
+        if q.closed.load(Ordering::Acquire) {
+            return Err(value);
+        }
+        let head = q.head.load(Ordering::Relaxed);
+        let tail = q.tail.load(Ordering::Acquire);
+        if head - tail == q.slots.len() {
+            return Err(value);
+        }
+        let slot = &q.slots[head % q.slots.len()];
+        // Safety: this slot is outside [tail, head), so the consumer
+        // cannot be reading it; we are the only producer.
+        unsafe { (*slot.get()).write(value) };
+        q.head.store(head + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Mark the queue closed; queued values stay poppable.
+    pub fn close(&self) {
+        self.queue.closed.store(true, Ordering::Release);
+    }
+
+    /// Has the other side (or this one) closed the queue?
+    pub fn is_closed(&self) -> bool {
+        self.queue.closed.load(Ordering::Acquire)
+    }
+}
+
+impl<T> Drop for SpscSender<T> {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// What a pop observed.
+pub enum Popped<T> {
+    /// The oldest queued value.
+    Value(T),
+    /// Nothing queued right now; the producer is still live.
+    Empty,
+    /// Nothing queued and the queue is closed: no value will ever arrive.
+    Closed,
+}
+
+impl<T> SpscReceiver<T> {
+    /// Pop the oldest value, without blocking.
+    pub fn pop(&self) -> Popped<T> {
+        let q = &self.queue;
+        let tail = q.tail.load(Ordering::Relaxed);
+        let mut head = q.head.load(Ordering::Acquire);
+        if tail == head {
+            if !q.closed.load(Ordering::Acquire) {
+                return Popped::Empty;
+            }
+            // Closed, apparently empty — but a push may have landed
+            // between the head load and the closed load; re-check so no
+            // value is stranded behind a `Closed` verdict.
+            head = q.head.load(Ordering::Acquire);
+            if tail == head {
+                return Popped::Closed;
+            }
+        }
+        let slot = &q.slots[tail % q.slots.len()];
+        // Safety: slot is inside [tail, head): fully written and
+        // published by the producer's release store; we are the only
+        // consumer.
+        let value = unsafe { (*slot.get()).assume_init_read() };
+        q.tail.store(tail + 1, Ordering::Release);
+        Popped::Value(value)
+    }
+
+    /// Close from the consumer side (refuse further pushes).
+    pub fn close(&self) {
+        self.queue.closed.store(true, Ordering::Release);
+    }
+
+    /// Has either side closed the queue?
+    pub fn is_closed(&self) -> bool {
+        self.queue.closed.load(Ordering::Acquire)
+    }
+}
+
+impl<T> Drop for SpscReceiver<T> {
+    fn drop(&mut self) {
+        self.close();
+        // Drain anything still queued so owned values are not leaked.
+        while let Popped::Value(v) = self.pop() {
+            drop(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let (tx, rx) = spsc_channel::<u32>(8);
+        for i in 0..8 {
+            tx.push(i).unwrap();
+        }
+        for i in 0..8 {
+            match rx.pop() {
+                Popped::Value(v) => assert_eq!(v, i),
+                _ => panic!("expected value {i}"),
+            }
+        }
+        assert!(matches!(rx.pop(), Popped::Empty));
+    }
+
+    #[test]
+    fn full_ring_rejects_push() {
+        let (tx, rx) = spsc_channel::<u32>(2);
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        assert_eq!(tx.push(3), Err(3));
+        assert!(matches!(rx.pop(), Popped::Value(1)));
+        tx.push(3).unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_reports_closed() {
+        let (tx, rx) = spsc_channel::<u32>(4);
+        tx.push(7).unwrap();
+        tx.close();
+        assert_eq!(tx.push(8), Err(8));
+        assert!(matches!(rx.pop(), Popped::Value(7)));
+        assert!(matches!(rx.pop(), Popped::Closed));
+    }
+
+    #[test]
+    fn receiver_drop_releases_queued_values() {
+        let value = Arc::new(());
+        let (tx, rx) = spsc_channel::<Arc<()>>(4);
+        tx.push(value.clone()).unwrap();
+        tx.push(value.clone()).unwrap();
+        drop(rx);
+        assert_eq!(Arc::strong_count(&value), 1);
+    }
+
+    #[test]
+    fn cross_thread_stream_preserves_order() {
+        const N: u64 = 200_000;
+        let (tx, rx) = spsc_channel::<u64>(64);
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                let mut v = i;
+                loop {
+                    match tx.push(v) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            v = back;
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            }
+        });
+        let mut expect = 0u64;
+        loop {
+            match rx.pop() {
+                Popped::Value(v) => {
+                    assert_eq!(v, expect);
+                    expect += 1;
+                }
+                Popped::Empty => std::hint::spin_loop(),
+                Popped::Closed => break,
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(expect, N, "every pushed value popped exactly once");
+    }
+}

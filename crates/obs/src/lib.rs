@@ -95,10 +95,17 @@ pub enum Hop {
     /// A GTLS record was opened, tagged with the cipher suite (xid =
     /// suite wire id, aux = payload bytes).
     RecordOpen = 18,
+    /// The sharded server accepted a session and chose its shard
+    /// (xid = session id, aux = shard index). Emitted by the acceptor
+    /// before the cross-shard handoff.
+    ShardAccept = 19,
+    /// A shard's event loop picked the session out of its handoff inbox
+    /// and pinned it (xid = session id, aux = shard index).
+    ShardHandoff = 20,
 }
 
 /// Every hop, for iteration and snapshot ordering.
-pub const ALL_HOPS: [Hop; 19] = [
+pub const ALL_HOPS: [Hop; 21] = [
     Hop::CacheHit,
     Hop::CacheMiss,
     Hop::Seal,
@@ -118,6 +125,8 @@ pub const ALL_HOPS: [Hop; 19] = [
     Hop::RecoveryComplete,
     Hop::RecordSeal,
     Hop::RecordOpen,
+    Hop::ShardAccept,
+    Hop::ShardHandoff,
 ];
 
 impl Hop {
@@ -143,6 +152,8 @@ impl Hop {
             Hop::RecoveryComplete => "recovery_complete",
             Hop::RecordSeal => "record_seal",
             Hop::RecordOpen => "record_open",
+            Hop::ShardAccept => "shard_accept",
+            Hop::ShardHandoff => "shard_handoff",
         }
     }
 

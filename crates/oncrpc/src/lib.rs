@@ -12,6 +12,10 @@
 //! * [`record`] — RFC 5531 §11 record marking for stream transports.
 //! * [`client`] — a blocking RPC client (`call` = one round trip).
 //! * [`server`] — a per-connection dispatch loop over an [`RpcService`].
+//! * [`shard`] — the sharded event-driven server core: a fixed pool of
+//!   per-core event loops serving thousands of pinned sessions.
+//! * [`loopback`] — synchronous in-process dispatch, so a proxy can call
+//!   a same-process backend without a thread or a pipe.
 //!
 //! The SGFS proxies additionally use the header types directly to inspect
 //! and rewrite credentials in-flight, which is the core of the paper's
@@ -19,14 +23,18 @@
 
 pub mod client;
 pub mod error;
+pub mod loopback;
 pub mod msg;
 pub mod record;
 pub mod server;
+pub mod shard;
 
 pub use client::RpcClient;
 pub use error::RpcError;
+pub use loopback::LoopbackStream;
 pub use msg::{AcceptStat, AuthFlavor, AuthSysParams, CallHeader, OpaqueAuth, ReplyHeader};
 pub use server::{serve_connection, spawn_connection, RpcService};
+pub use shard::{process_thread_count, RecordService, RpcRecordService, ShardServer, ShardStats};
 
 /// The fixed RPC protocol version this crate speaks.
 pub const RPC_VERSION: u32 = 2;

@@ -1,0 +1,503 @@
+//! Sharded event-driven RPC server core.
+//!
+//! Thread-per-connection dies at scale: ten thousand sessions is ten
+//! thousand parked stacks. [`ShardServer`] replaces that with a fixed pool
+//! of shard threads, each running a readiness-driven event loop over a
+//! [`sgfs_net::Poller`]. Sessions are pinned to a shard at accept time and
+//! never migrate, so every shard is shared-nothing: its sessions, its
+//! record scratch buffers, its poller — no cross-shard locks on the data
+//! path. The only cross-shard edge is the accept → pin handoff, a
+//! lock-free SPSC ring per shard ([`sgfs_net::spsc`]).
+//!
+//! # Why a blocking read inside an event loop is sound here
+//!
+//! The record writer emits header + payload in ONE write call per
+//! fragment ([`crate::record::write_record_with`]), and the in-memory
+//! pipe turns each write call into one message, so a message never spans
+//! two records. GTLS likewise seals each write call into its own frames.
+//! Consequently, once readiness reports the first bytes of a record, the
+//! rest of that record is already queued or actively being written by a
+//! peer that cannot block (the pipes are unbounded). A shard may therefore
+//! perform a bounded *blocking* `read_record_into` after readiness fires —
+//! no restartable partial-record state machine, and GTLS renegotiation
+//! (a blocking ping-pong driven by the client) works unchanged. An
+//! abandoned partial record always ends in channel close → EOF error →
+//! session teardown, never an indefinite stall.
+
+use crate::record::{read_record_into, write_record_with};
+use crate::server::{process_record, RpcService};
+use sgfs_net::{spsc_channel, BoxStream, PipeWatch, Poller, Popped, SpscReceiver, SpscSender, Token};
+use sgfs_obs::{Hop, Obs, NO_PROC};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A per-record request processor — the unit of work a shard drives.
+///
+/// [`RpcService`] decodes and dispatches; SGFS server proxies implement
+/// this directly so each record passes through their stats/hop-cost
+/// accounting. Implementations must be cheap to call repeatedly and must
+/// not block on another session's progress (in-process backends use
+/// [`crate::loopback::LoopbackStream`] for exactly this reason).
+pub trait RecordService: Send + Sync {
+    /// Consume one request record, produce one reply record.
+    fn process_record(&self, record: &[u8]) -> io::Result<Vec<u8>>;
+}
+
+/// Adapter exposing any [`RpcService`] as a [`RecordService`].
+pub struct RpcRecordService(pub Arc<dyn RpcService>);
+
+impl RecordService for RpcRecordService {
+    fn process_record(&self, record: &[u8]) -> io::Result<Vec<u8>> {
+        Ok(process_record(record, self.0.as_ref()))
+    }
+}
+
+/// Handoff payload: everything a shard needs to own a session.
+struct NewSession {
+    id: u64,
+    stream: BoxStream,
+    watch: PipeWatch,
+    service: Arc<dyn RecordService>,
+}
+
+/// Token 0 is every shard's handoff inbox; sessions start at 1.
+const INBOX: Token = 0;
+
+/// Per-wakeup record budget for one session, so a chatty session cannot
+/// starve its shard neighbors; leftover input re-arms the token.
+const MAX_PUMP: usize = 32;
+
+/// Capacity of each shard's handoff ring. Accepts briefly spin when a
+/// burst outruns the shard; the ring never drops.
+const INBOX_CAPACITY: usize = 256;
+
+struct ShardHandle {
+    /// Producer side of the handoff ring. The mutex serializes concurrent
+    /// acceptors (the ring itself is strictly SPSC); the consumer side in
+    /// the shard thread stays lock-free.
+    tx: Mutex<SpscSender<NewSession>>,
+    poller: Arc<Poller>,
+    active: Arc<AtomicUsize>,
+    served: Arc<AtomicU64>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Aggregate counters over all shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Number of shard event loops.
+    pub shards: usize,
+    /// Sessions ever accepted.
+    pub accepted: u64,
+    /// Sessions currently pinned to a shard.
+    pub active: usize,
+    /// Request records served across all shards.
+    pub served: u64,
+}
+
+/// The sharded server: a fixed set of event-loop threads plus the
+/// accept-side API that pins sessions onto them.
+pub struct ShardServer {
+    shards: Vec<ShardHandle>,
+    next_id: AtomicU64,
+    accepted: AtomicU64,
+    obs: Arc<Obs>,
+    shutdown: AtomicBool,
+}
+
+impl ShardServer {
+    /// Start `shards` event loops (at least one) with tracing disabled.
+    pub fn new(shards: usize) -> Arc<Self> {
+        Self::with_obs(shards, Obs::disabled())
+    }
+
+    /// Start `shards` event loops emitting [`Hop::ShardAccept`] /
+    /// [`Hop::ShardHandoff`] into `obs`.
+    pub fn with_obs(shards: usize, obs: Arc<Obs>) -> Arc<Self> {
+        let shards = shards.max(1);
+        let handles = (0..shards)
+            .map(|index| {
+                let (tx, rx) = spsc_channel::<NewSession>(INBOX_CAPACITY);
+                let poller = Arc::new(Poller::new());
+                let active = Arc::new(AtomicUsize::new(0));
+                let served = Arc::new(AtomicU64::new(0));
+                let loop_poller = poller.clone();
+                let loop_active = active.clone();
+                let loop_served = served.clone();
+                let loop_obs = obs.clone();
+                let join = std::thread::Builder::new()
+                    .name(format!("sgfs-shard-{index}"))
+                    .spawn(move || {
+                        shard_loop(index, loop_poller, rx, loop_active, loop_served, loop_obs)
+                    })
+                    .expect("spawn shard thread");
+                ShardHandle {
+                    tx: Mutex::new(tx),
+                    poller,
+                    active,
+                    served,
+                    join: Some(join),
+                }
+            })
+            .collect();
+        Arc::new(Self {
+            shards: handles,
+            next_id: AtomicU64::new(1),
+            accepted: AtomicU64::new(0),
+            obs,
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    /// Number of shard event loops.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Accept a session: assign it an id, pick its shard (`id % shards`),
+    /// and hand it off. Returns the session id.
+    ///
+    /// `watch` must observe the *wire* the peer writes into — take it from
+    /// the raw pipe end before wrapping the stream in fault injectors or
+    /// GTLS, so readiness reflects arrivals regardless of wrapping.
+    pub fn add_session(
+        &self,
+        stream: BoxStream,
+        watch: PipeWatch,
+        service: Arc<dyn RecordService>,
+    ) -> io::Result<u64> {
+        if self.shutdown.load(Ordering::Acquire) {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "shard server shut down"));
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let shard_index = (id % self.shards.len() as u64) as usize;
+        let shard = &self.shards[shard_index];
+        self.obs.emit(Hop::ShardAccept, id as u32, NO_PROC, shard_index as u64);
+        let mut session = NewSession { id, stream, watch, service };
+        loop {
+            let pushed = shard.tx.lock().push(session);
+            match pushed {
+                Ok(()) => break,
+                Err(back) => {
+                    if self.shutdown.load(Ordering::Acquire) {
+                        return Err(io::Error::new(
+                            io::ErrorKind::BrokenPipe,
+                            "shard server shut down",
+                        ));
+                    }
+                    // Ring full: nudge the shard and retry.
+                    session = back;
+                    shard.poller.wake(INBOX);
+                    std::thread::yield_now();
+                }
+            }
+        }
+        shard.poller.wake(INBOX);
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        Ok(id)
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> ShardStats {
+        ShardStats {
+            shards: self.shards.len(),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            active: self.shards.iter().map(|s| s.active.load(Ordering::Relaxed)).sum(),
+            served: self.shards.iter().map(|s| s.served.load(Ordering::Relaxed)).sum(),
+        }
+    }
+
+    /// Stop accepting, drain, and join every shard thread. Sessions still
+    /// pinned are dropped (their peers see EOF). Idempotent.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        for shard in &self.shards {
+            shard.tx.lock().close();
+            shard.poller.wake(INBOX);
+        }
+    }
+
+    /// Join shard threads after [`shutdown`](Self::shutdown); called by
+    /// `Drop`, public for tests that want deterministic teardown.
+    pub fn join(&mut self) {
+        for shard in &mut self.shards {
+            if let Some(join) = shard.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+impl Drop for ShardServer {
+    fn drop(&mut self) {
+        self.shutdown();
+        self.join();
+    }
+}
+
+/// One pinned session inside a shard's event loop.
+struct PinnedSession {
+    stream: BoxStream,
+    watch: PipeWatch,
+    service: Arc<dyn RecordService>,
+}
+
+/// What one pump pass decided about a session.
+enum Pump {
+    /// Budget spent with input left: re-arm the token.
+    Rearm,
+    /// Nothing more to do until the next arrival.
+    Idle,
+    /// EOF or error: unpin and drop.
+    Gone,
+}
+
+fn shard_loop(
+    shard_index: usize,
+    poller: Arc<Poller>,
+    inbox: SpscReceiver<NewSession>,
+    active: Arc<AtomicUsize>,
+    served: Arc<AtomicU64>,
+    obs: Arc<Obs>,
+) {
+    let mut sessions: HashMap<Token, PinnedSession> = HashMap::new();
+    let mut next_token: Token = INBOX + 1;
+    let mut ready: Vec<Token> = Vec::new();
+    // Per-shard scratch: one request buffer, one write-assembly buffer,
+    // shared by every session the shard owns — zero-alloc at steady state.
+    let mut record: Vec<u8> = Vec::new();
+    let mut scratch: Vec<u8> = Vec::new();
+    let mut closed = false;
+
+    loop {
+        poller.wait(None, &mut ready);
+        for &token in &ready {
+            if token == INBOX {
+                loop {
+                    match inbox.pop() {
+                        Popped::Value(new) => {
+                            let token = next_token;
+                            next_token += 1;
+                            new.watch.register(poller.readiness(token));
+                            obs.emit(
+                                Hop::ShardHandoff,
+                                new.id as u32,
+                                NO_PROC,
+                                shard_index as u64,
+                            );
+                            active.fetch_add(1, Ordering::Relaxed);
+                            sessions.insert(
+                                token,
+                                PinnedSession {
+                                    stream: new.stream,
+                                    watch: new.watch,
+                                    service: new.service,
+                                },
+                            );
+                        }
+                        Popped::Empty => break,
+                        Popped::Closed => {
+                            closed = true;
+                            break;
+                        }
+                    }
+                }
+                continue;
+            }
+            let Some(session) = sessions.get_mut(&token) else {
+                continue; // stale readiness for an unpinned session
+            };
+            match pump_session(session, &mut record, &mut scratch, &served) {
+                Pump::Idle => {}
+                Pump::Rearm => poller.wake(token),
+                Pump::Gone => {
+                    sessions.remove(&token);
+                    active.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+        }
+        if closed {
+            // Pinned sessions drop here; their peers observe EOF.
+            return;
+        }
+    }
+}
+
+fn pump_session(
+    session: &mut PinnedSession,
+    record: &mut Vec<u8>,
+    scratch: &mut Vec<u8>,
+    served: &AtomicU64,
+) -> Pump {
+    for _ in 0..MAX_PUMP {
+        if session.watch.has_input() {
+            // Message-atomic writer invariant (module docs): the record
+            // whose first bytes are queued cannot stall us indefinitely.
+            match read_record_into(&mut session.stream, record) {
+                Ok(true) => {
+                    let reply = match session.service.process_record(record) {
+                        Ok(r) => r,
+                        Err(_) => return Pump::Gone,
+                    };
+                    // Count before the reply leaves: a peer that has seen
+                    // the reply must also see it counted.
+                    served.fetch_add(1, Ordering::Relaxed);
+                    if write_record_with(&mut session.stream, &reply, scratch).is_err() {
+                        return Pump::Gone;
+                    }
+                }
+                Ok(false) | Err(_) => return Pump::Gone,
+            }
+        } else if session.watch.is_closed() {
+            // Close is final and the queue is empty: clean EOF.
+            return Pump::Gone;
+        } else {
+            return Pump::Idle;
+        }
+    }
+    // Budget exhausted with input (possibly) left — be fair to neighbors.
+    if session.watch.has_input() || session.watch.is_closed() {
+        Pump::Rearm
+    } else {
+        Pump::Idle
+    }
+}
+
+/// Threads currently live in this process, from `/proc/self/status`
+/// (`None` off Linux or if the file is unreadable). The scale tests use
+/// this to assert the sharded core's thread ceiling.
+pub fn process_thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::RpcClient;
+    use crate::msg::{AcceptStat, OpaqueAuth};
+    use crate::server::Dispatch;
+    use sgfs_net::pipe_pair;
+    use sgfs_xdr::XdrDecoder;
+
+    struct Doubler;
+
+    impl RpcService for Doubler {
+        fn program(&self) -> u32 {
+            0x2000_0001
+        }
+        fn version(&self) -> u32 {
+            1
+        }
+        fn handle(&self, proc: u32, _cred: &OpaqueAuth, args: &mut XdrDecoder<'_>) -> Dispatch {
+            match proc {
+                0 => Dispatch::Ok(Vec::new()),
+                1 => match args.get_u32() {
+                    Ok(v) => Dispatch::reply(&(v * 2)),
+                    Err(_) => Dispatch::Error(AcceptStat::GarbageArgs),
+                },
+                _ => Dispatch::Error(AcceptStat::ProcUnavail),
+            }
+        }
+    }
+
+    fn connect(server: &ShardServer) -> RpcClient {
+        let (client_end, server_end) = pipe_pair();
+        let watch = server_end.watch();
+        server
+            .add_session(
+                Box::new(server_end),
+                watch,
+                Arc::new(RpcRecordService(Arc::new(Doubler))),
+            )
+            .unwrap();
+        RpcClient::new(Box::new(client_end), 0x2000_0001, 1)
+    }
+
+    #[test]
+    fn single_session_roundtrips() {
+        let server = ShardServer::new(2);
+        let mut c = connect(&server);
+        for v in [1u32, 2, 99] {
+            let r: u32 = c.call(1, &v).unwrap();
+            assert_eq!(r, v * 2);
+        }
+        let stats = server.stats();
+        assert_eq!(stats.accepted, 1);
+        assert_eq!(stats.served, 3);
+    }
+
+    #[test]
+    fn many_sessions_few_threads() {
+        let before = process_thread_count();
+        let server = ShardServer::new(4);
+        let mut clients: Vec<RpcClient> = (0..64).map(|_| connect(&server)).collect();
+        for (i, c) in clients.iter_mut().enumerate() {
+            let r: u32 = c.call(1, &(i as u32)).unwrap();
+            assert_eq!(r, i as u32 * 2);
+        }
+        if let (Some(b), Some(a)) = (before, process_thread_count()) {
+            assert!(
+                a <= b + 4,
+                "64 sessions must cost at most 4 shard threads (before={b}, after={a})"
+            );
+        }
+        assert_eq!(server.stats().active, 64);
+        drop(clients);
+    }
+
+    #[test]
+    fn session_close_unpins() {
+        let server = ShardServer::new(1);
+        let c = connect(&server);
+        drop(c);
+        // EOF propagation is asynchronous; poll briefly.
+        for _ in 0..200 {
+            if server.stats().active == 0 {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        panic!("session not unpinned after client EOF");
+    }
+
+    #[test]
+    fn shutdown_drops_sessions_and_joins() {
+        let server = ShardServer::new(3);
+        let mut c = connect(&server);
+        let r: u32 = c.call(1, &21).unwrap();
+        assert_eq!(r, 42);
+        server.shutdown();
+        // After shutdown the peer sees EOF on its next call.
+        assert!(c.call::<u32>(1, &1u32).is_err());
+        let (_client_end, server_end) = pipe_pair();
+        let watch = server_end.watch();
+        assert!(server
+            .add_session(
+                Box::new(server_end),
+                watch,
+                Arc::new(RpcRecordService(Arc::new(Doubler))),
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn interleaved_sessions_on_one_shard() {
+        let server = ShardServer::new(1);
+        let mut clients: Vec<RpcClient> = (0..8).map(|_| connect(&server)).collect();
+        for round in 0..50u32 {
+            for (i, c) in clients.iter_mut().enumerate() {
+                let v = round * 8 + i as u32;
+                let r: u32 = c.call(1, &v).unwrap();
+                assert_eq!(r, v * 2);
+            }
+        }
+        assert_eq!(server.stats().served, 400);
+    }
+}

@@ -122,12 +122,7 @@ impl ServerProxy {
     /// Serve one downstream (secure-channel) connection until EOF.
     pub fn serve(self: &Arc<Self>, mut downstream: BoxStream) -> std::io::Result<()> {
         while let Some(record) = read_record(&mut downstream)? {
-            let reply = self.stats.track(|| self.process(&record))?;
-            // The proxy ↔ kernel-server loopback hop (request + reply).
-            if let Some((clock, hop)) = self.hop.lock().as_ref() {
-                clock.advance(hop.of(record.len()) + hop.of(reply.len()));
-            }
-            self.stats.add_down(reply.len());
+            let reply = self.process_one(&record)?;
             write_record(&mut downstream, &reply)?;
         }
         Ok(())
@@ -138,6 +133,19 @@ impl ServerProxy {
         std::thread::spawn(move || {
             let _ = self.serve(downstream);
         })
+    }
+
+    /// Process one call record with full session accounting — exactly one
+    /// iteration of [`serve`](Self::serve)'s loop, minus the transport.
+    /// This is the entry point the sharded server core drives.
+    pub fn process_one(&self, record: &[u8]) -> std::io::Result<Vec<u8>> {
+        let reply = self.stats.track(|| self.process(record))?;
+        // The proxy ↔ kernel-server loopback hop (request + reply).
+        if let Some((clock, hop)) = self.hop.lock().as_ref() {
+            clock.advance(hop.of(record.len()) + hop.of(reply.len()));
+        }
+        self.stats.add_down(reply.len());
+        Ok(reply)
     }
 
     /// Process one call record into one reply record.
@@ -392,6 +400,13 @@ impl ServerProxy {
     /// Drop all cached ACL resolutions (after out-of-band ACL edits).
     pub fn invalidate_acl_cache(&self) {
         self.acl_cache.lock().clear();
+    }
+}
+
+/// The sharded server core drives the proxy one record at a time.
+impl sgfs_oncrpc::shard::RecordService for ServerProxy {
+    fn process_record(&self, record: &[u8]) -> std::io::Result<Vec<u8>> {
+        self.process_one(record)
     }
 }
 

@@ -18,7 +18,7 @@ use crate::config::{CacheMode, DurabilityPolicy, HopCost, RetryPolicy, SecurityL
 use crate::proxy::client::{ClientProxy, ClientProxyController, Upstream};
 use crate::proxy::server::ServerProxy;
 use crate::proxy::ProxyError;
-use crate::tunnel::{tunnel_client, tunnel_server};
+use crate::tunnel::{tunnel_client, tunnel_server_watched};
 use sgfs_crypto::rsa::RsaKeyPair;
 use sgfs_gtls::{GtlsError, GtlsStream};
 use sgfs_net::{pipe_pair, pipe_pair_over_link, Link, LinkSpec, SimClock};
@@ -26,7 +26,7 @@ use sgfs_nfs3::{Fh3, Nfs3Client};
 use sgfs_nfsclient::{MountOptions, NfsMount};
 use sgfs_nfsd::{ExportEntry, Exports, NfsServer};
 use sgfs_oncrpc::msg::AuthSysParams;
-use sgfs_oncrpc::{spawn_connection, OpaqueAuth};
+use sgfs_oncrpc::{LoopbackStream, OpaqueAuth, RpcRecordService, ShardServer};
 use sgfs_pki::{
     CertificateAuthority, Credential, DistinguishedName, TrustStore, ValidatedPeer,
 };
@@ -253,7 +253,17 @@ pub struct SessionParams {
     /// latency histograms). `None` = untraced; share one domain across
     /// sessions to interleave their events on one logical clock.
     pub obs: Option<Arc<sgfs_obs::Obs>>,
+    /// The sharded server core this session's server-side connections pin
+    /// to. `None` = the session starts a private [`ShardServer`] with
+    /// [`DEFAULT_SHARDS`] event loops; pass a shared one to multiplex many
+    /// sessions over the same fixed thread pool (the 10k-session path).
+    pub shard_server: Option<Arc<ShardServer>>,
 }
+
+/// Shard count of a session's private server core. Two loops exercise the
+/// cross-shard paths even in single-session tests while costing only two
+/// threads.
+pub const DEFAULT_SHARDS: usize = 2;
 
 impl SessionParams {
     /// LAN defaults for the given kind.
@@ -273,6 +283,7 @@ impl SessionParams {
             retry: RetryPolicy::default(),
             durability: DurabilityPolicy::none(),
             obs: None,
+            shard_server: None,
         }
     }
 
@@ -314,6 +325,7 @@ pub struct Session {
     server_proxy: Option<Arc<ServerProxy>>,
     controller: Option<ClientProxyController>,
     obs: Option<Arc<sgfs_obs::Obs>>,
+    shards: Arc<ShardServer>,
 }
 
 impl Session {
@@ -367,6 +379,14 @@ impl Session {
             clock.clone(),
         );
 
+        // --- the sharded server core: every server-side connection in
+        // this session (kernel baseline or proxy downstream) pins to one
+        // of its event loops instead of getting its own thread ---
+        let shards = params
+            .shard_server
+            .clone()
+            .unwrap_or_else(|| ShardServer::new(DEFAULT_SHARDS));
+
         let mut session = Session {
             mount: Self::placeholder_mount(&clock, &root_fh),
             clock: clock.clone(),
@@ -377,6 +397,7 @@ impl Session {
             server_proxy: None,
             controller: None,
             obs: params.obs.clone(),
+            shards: shards.clone(),
         };
 
         let mount_opts =
@@ -398,7 +419,12 @@ impl Session {
                 let server = NfsServer::new_no_squash(server.vfs().clone(), exports);
                 let root_fh = server.mount("/GFS", "compute-host").expect("wildcard export");
                 let (client_end, server_end) = pipe_pair_over_link(link.clone());
-                spawn_connection(Box::new(server_end), server.clone());
+                let watch = server_end.watch();
+                shards.add_session(
+                    Box::new(server_end),
+                    watch,
+                    Arc::new(RpcRecordService(server.clone())),
+                )?;
                 let mut nfs = Nfs3Client::new(Box::new(client_end));
                 // The kernel client presents the *file* account directly:
                 // the baseline has no identity mapping.
@@ -416,17 +442,18 @@ impl Session {
 
         // --- proxied stacks: wire across the link ---
         let (wire_client, wire_server) = pipe_pair_over_link(link.clone());
+        // Readiness must observe the raw wire, before fault injectors or
+        // GTLS wrap the stream: arrivals are arrivals regardless of what
+        // decrypts them.
+        let wire_watch = wire_server.watch();
 
-        // Server-proxy-side plumbing (two loopback connections to nfsd).
-        let make_forward = || {
-            let (a, b) = pipe_pair();
-            spawn_connection(Box::new(b), server.clone());
-            Box::new(a) as sgfs_net::BoxStream
-        };
+        // Server-proxy-side plumbing: two in-process loopbacks to nfsd.
+        // Synchronous dispatch (no pipe, no thread) keeps the proxy free
+        // to run on a shard — it can never block on another thread's
+        // progress to reach its own backend.
+        let make_forward = || Box::new(LoopbackStream::new(server.clone())) as sgfs_net::BoxStream;
         let make_acl_client = || {
-            let (a, b) = pipe_pair();
-            spawn_connection(Box::new(b), server.clone());
-            let mut c = Nfs3Client::new(Box::new(a));
+            let mut c = Nfs3Client::new(Box::new(LoopbackStream::new(server.clone())));
             // The proxy's own service identity ("user gfs" in §5).
             c.set_cred(OpaqueAuth::sys(&AuthSysParams::new("file-host", 0, 0)));
             c
@@ -468,23 +495,27 @@ impl Session {
             Plain(sgfs_net::BoxStream),
             Tls(Box<GtlsStream>),
         }
-        let (client_upstream, server_peer, server_downstream): (
+        let (client_upstream, server_peer, server_downstream, server_watch): (
             Upstream,
             ValidatedPeer,
             Downstream,
+            sgfs_net::PipeWatch,
         ) = match params.kind {
             SetupKind::GfsSsh => {
                 let key: [u8; 32] = rand::random();
                 let hop_s = Some((clock.clone(), params.hop_cost));
                 let hop_c = hop_s.clone();
                 let server_end =
-                    std::thread::spawn(move || tunnel_server(wire_server, &key, hop_s));
+                    std::thread::spawn(move || tunnel_server_watched(wire_server, &key, hop_s));
                 let client_stream = tunnel_client(wire_client, &key, hop_c)?;
-                let server_stream = server_end.join().expect("tunnel thread")?;
+                // The tunnel's forwarder threads drain the wire; the shard
+                // must watch the local plaintext pipe they feed instead.
+                let (server_stream, tunnel_watch) = server_end.join().expect("tunnel thread")?;
                 (
                     Upstream::Plain(client_stream),
                     synthetic_peer(world),
                     Downstream::Plain(server_stream),
+                    tunnel_watch,
                 )
             }
             SetupKind::Gfs => {
@@ -494,6 +525,7 @@ impl Session {
                     Upstream::Plain(Box::new(wire_client)),
                     synthetic_peer(world),
                     Downstream::Plain(server_thread.join().expect("plumbing")),
+                    wire_watch,
                 )
             }
             _ => {
@@ -511,6 +543,7 @@ impl Session {
                     Upstream::Tls(Box::new(client_tls)),
                     peer,
                     Downstream::Tls(Box::new(server_tls)),
+                    wire_watch,
                 )
             }
         };
@@ -533,49 +566,46 @@ impl Session {
                 t
             }
         };
-        server_proxy.clone().spawn(server_downstream);
+        shards.add_session(server_downstream, server_watch, server_proxy.clone())?;
 
         // Reconnector: when the inter-proxy channel dies with a transient
         // fault, the pipeline re-dials through this closure. A dial lays a
-        // fresh pipe over the same emulated link and hands the far end to
-        // the acceptor thread below, which (for secure kinds) re-runs the
-        // full GTLS server handshake and attaches a new server-proxy
-        // connection. GfsSsh keeps its single tunnel (no re-keying path),
-        // and the kernel baselines have no proxy to recover.
+        // fresh pipe over the same emulated link; a transient thread runs
+        // the server-side GTLS handshake (for secure kinds) and pins the
+        // fresh connection onto the shard core — no persistent acceptor
+        // thread. GfsSsh keeps its single tunnel (no re-keying path), and
+        // the kernel baselines have no proxy to recover.
         let reconnector: Option<Box<dyn crate::proxy::retry::Reconnector>> = match params.kind
         {
             SetupKind::Gfs | SetupKind::Sgfs(_) | SetupKind::Sfs => {
-                let (accept_tx, accept_rx) = mpsc::channel::<sgfs_net::BoxStream>();
                 let sp = server_proxy.clone();
-                std::thread::spawn(move || {
-                    while let Ok(end) = accept_rx.recv() {
-                        let downstream: sgfs_net::BoxStream = match server_accept_gtls.clone()
-                        {
+                let client_gtls = client_cfg.gtls();
+                let link = link.clone();
+                let dial_shards = shards.clone();
+                Some(Box::new(move |_attempt: u32| -> std::io::Result<Upstream> {
+                    let (c, s) = pipe_pair_over_link(link.clone());
+                    let watch = s.watch();
+                    let sp = sp.clone();
+                    let accept_gtls = server_accept_gtls.clone();
+                    let accept_shards = dial_shards.clone();
+                    // The server handshake must run concurrently with the
+                    // client's; the thread is gone once the session is
+                    // pinned (or the handshake fails — which kills this
+                    // dial only; the client backs off and retries).
+                    std::thread::spawn(move || {
+                        let end: sgfs_net::BoxStream = Box::new(s);
+                        let downstream: sgfs_net::BoxStream = match accept_gtls {
                             Some(cfg) => match GtlsStream::server(end, cfg) {
                                 Ok(mut t) => {
                                     t.busy_counter = Some(sp.stats().busy_counter());
                                     Box::new(t)
                                 }
-                                // A failed handshake kills this dial only;
-                                // the client side sees the error and backs
-                                // off for another attempt.
-                                Err(_) => continue,
+                                Err(_) => return,
                             },
                             None => end,
                         };
-                        sp.clone().spawn(downstream);
-                    }
-                });
-                let client_gtls = client_cfg.gtls();
-                let link = link.clone();
-                Some(Box::new(move |_attempt: u32| -> std::io::Result<Upstream> {
-                    let (c, s) = pipe_pair_over_link(link.clone());
-                    accept_tx.send(Box::new(s)).map_err(|_| {
-                        std::io::Error::new(
-                            std::io::ErrorKind::ConnectionRefused,
-                            "server proxy acceptor is gone",
-                        )
-                    })?;
+                        let _ = accept_shards.add_session(downstream, watch, sp);
+                    });
                     match client_gtls.clone() {
                         Some(cfg) => {
                             let tls = GtlsStream::client(Box::new(c), cfg)
@@ -640,6 +670,13 @@ impl Session {
     /// The server-side proxy, when this configuration has one.
     pub fn server_proxy(&self) -> Option<&Arc<ServerProxy>> {
         self.server_proxy.as_ref()
+    }
+
+    /// The sharded server core this session's server-side connections run
+    /// on (private to the session unless one was passed in via
+    /// [`SessionParams::shard_server`]).
+    pub fn shard_server(&self) -> &Arc<ShardServer> {
+        &self.shards
     }
 
     /// The client proxy's instrumentation, when one is running.

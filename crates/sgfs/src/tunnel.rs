@@ -87,7 +87,7 @@ fn endpoint(
     key: &[u8],
     is_client: bool,
     hop: Option<(Arc<SimClock>, HopCost)>,
-) -> Result<BoxStream, ProxyError> {
+) -> Result<(BoxStream, sgfs_net::PipeWatch), ProxyError> {
     let mut wire = wire;
     let (mut tx_state, mut rx_state) = authenticate(&mut wire, key, is_client)?;
     let hop_tx = hop.clone();
@@ -137,7 +137,8 @@ fn endpoint(
         }
     });
 
-    Ok(Box::new(local_for_proxy))
+    let watch = local_for_proxy.watch();
+    Ok((Box::new(local_for_proxy), watch))
 }
 
 /// Client-side tunnel endpoint (the `ssh` process on the compute host).
@@ -146,7 +147,7 @@ pub fn tunnel_client(
     key: &[u8],
     hop: Option<(Arc<SimClock>, HopCost)>,
 ) -> Result<BoxStream, ProxyError> {
-    endpoint(wire, key, true, hop)
+    endpoint(wire, key, true, hop).map(|(s, _)| s)
 }
 
 /// Server-side tunnel endpoint (the `sshd` on the file-server host).
@@ -155,6 +156,17 @@ pub fn tunnel_server(
     key: &[u8],
     hop: Option<(Arc<SimClock>, HopCost)>,
 ) -> Result<BoxStream, ProxyError> {
+    endpoint(wire, key, false, hop).map(|(s, _)| s)
+}
+
+/// Like [`tunnel_server`] but also returns a readiness watch on the local
+/// plaintext pipe — what the sharded server core must observe, since the
+/// forwarder threads (not the shard) drain the encrypted wire.
+pub fn tunnel_server_watched(
+    wire: sgfs_net::PipeEnd,
+    key: &[u8],
+    hop: Option<(Arc<SimClock>, HopCost)>,
+) -> Result<(BoxStream, sgfs_net::PipeWatch), ProxyError> {
     endpoint(wire, key, false, hop)
 }
 

@@ -609,3 +609,70 @@ fn golden_aead_record_sequence() {
     assert_eq!(runs[0], runs[1], "run 2 diverged from run 1");
     assert_eq!(runs[1], runs[2], "run 3 diverged from run 2");
 }
+
+// ---------------------------------------------------------------------
+// 6. Sharded accept plane: each accepted session emits exactly one
+//    shard_accept (on the accepting thread) followed by one
+//    shard_handoff (on its event loop), and the round-robin placement
+//    `id % shards` is pinned in the aux field.
+// ---------------------------------------------------------------------
+
+fn shard_scenario() -> Vec<String> {
+    use sgfs_oncrpc::{RecordService, ShardServer};
+
+    struct Echo;
+    impl RecordService for Echo {
+        fn process_record(&self, record: &[u8]) -> std::io::Result<Vec<u8>> {
+            Ok(record.to_vec())
+        }
+    }
+
+    let obs = Obs::new();
+    let shards = ShardServer::with_obs(2, obs.clone());
+    let mut clients = Vec::new();
+    for _ in 0..4 {
+        let (mut client, server_end) = pipe_pair();
+        let watch = server_end.watch();
+        shards.add_session(Box::new(server_end), watch, Arc::new(Echo)).unwrap();
+        // One round trip serializes the interleaving: the echoed reply
+        // proves this session's handoff completed before the next accept,
+        // so the projection is deterministic despite the shard threads.
+        write_record(&mut client, b"ping").unwrap();
+        assert_eq!(read_record(&mut client).unwrap().expect("echo"), b"ping");
+        clients.push(client);
+    }
+    let stats = shards.stats();
+    assert_eq!(stats.accepted, 4);
+    assert_eq!(stats.served, 4);
+
+    let (events, dropped) = obs.events();
+    assert_eq!(dropped, 0);
+    // xid carries the session id, aux the shard index (id % 2).
+    let g: Vec<String> = events
+        .iter()
+        .filter(|e| matches!(e.hop, Hop::ShardAccept | Hop::ShardHandoff))
+        .map(|e| format!("{}:{}:{}", e.hop.as_str(), e.xid, e.aux))
+        .collect();
+    assert_eq!(
+        g,
+        [
+            "shard_accept:1:1",
+            "shard_handoff:1:1",
+            "shard_accept:2:0",
+            "shard_handoff:2:0",
+            "shard_accept:3:1",
+            "shard_handoff:3:1",
+            "shard_accept:4:0",
+            "shard_handoff:4:0",
+        ],
+        "golden shard accept/handoff sequence changed"
+    );
+    g
+}
+
+#[test]
+fn golden_shard_accept_handoff_sequence() {
+    let runs: Vec<Vec<String>> = (0..3).map(|_| shard_scenario()).collect();
+    assert_eq!(runs[0], runs[1], "run 2 diverged from run 1");
+    assert_eq!(runs[1], runs[2], "run 3 diverged from run 2");
+}

@@ -4,6 +4,28 @@
 # repository root.
 set -eux
 
+# Run a named suite under a watchdog. On a hang the plain `timeout`
+# exit code said nothing about *which* suite died; this prints the
+# suite name and how long it ran before the kill.
+run_watchdog() {
+    wd_limit=$1
+    wd_name=$2
+    shift 2
+    wd_start=$(date +%s)
+    if timeout "$wd_limit" "$@"; then
+        return 0
+    else
+        wd_rc=$?
+    fi
+    wd_elapsed=$(( $(date +%s) - wd_start ))
+    if [ "$wd_rc" -eq 124 ]; then
+        echo "WATCHDOG: suite '$wd_name' hung — killed after ${wd_elapsed}s (limit ${wd_limit}s)" >&2
+    else
+        echo "WATCHDOG: suite '$wd_name' failed with rc=$wd_rc after ${wd_elapsed}s" >&2
+    fi
+    exit "$wd_rc"
+}
+
 cargo build --release
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -12,17 +34,23 @@ cargo clippy --workspace --all-targets -- -D warnings
 # 120 s rather than stall the whole run. Binaries are prebuilt so the
 # timeout covers test execution only, not compilation.
 cargo test -q --workspace --no-run
-timeout 120 cargo test -q -p sgfs --test fault_matrix
-timeout 120 cargo test -q -p sgfs --test pipeline_alloc
-timeout 120 cargo test -q -p sgfs --test trace_golden
-timeout 120 cargo test -q -p sgfs --test crash_matrix
-timeout 120 cargo test -q -p sgfs --test store_parity
+run_watchdog 120 fault_matrix   cargo test -q -p sgfs --test fault_matrix
+run_watchdog 120 pipeline_alloc cargo test -q -p sgfs --test pipeline_alloc
+run_watchdog 120 trace_golden   cargo test -q -p sgfs --test trace_golden
+run_watchdog 120 crash_matrix   cargo test -q -p sgfs --test crash_matrix
+run_watchdog 120 store_parity   cargo test -q -p sgfs --test store_parity
+
+# Sharded server core: the 64-session concurrency battery (a stuck shard
+# loop or lost wakeup shows up as a hang here) and the SPSC ring's
+# proptest + exhaustive interleaving suite.
+run_watchdog 120 scale_matrix   cargo test -q -p sgfs --test scale_matrix
+run_watchdog 120 spsc_prop      cargo test -q -p sgfs-net --test spsc_prop
 
 # AEAD record layer: RFC/NIST known-answer vectors + PCLMUL-vs-scalar
 # GHASH equivalence proptests, then the negotiation/rekey matrix.
-timeout 120 cargo test -q -p sgfs-crypto --lib -- ghash:: gcm:: chacha:: poly1305:: chachapoly::
-timeout 120 cargo test -q -p sgfs-crypto --test prop_crypto
-timeout 120 cargo test -q -p sgfs-gtls --test negotiation
+run_watchdog 120 crypto_kat     cargo test -q -p sgfs-crypto --lib -- ghash:: gcm:: chacha:: poly1305:: chachapoly::
+run_watchdog 120 prop_crypto    cargo test -q -p sgfs-crypto --test prop_crypto
+run_watchdog 120 gtls_negotiation cargo test -q -p sgfs-gtls --test negotiation
 
 cargo test -q
 cargo bench --no-run
@@ -31,16 +59,23 @@ cargo bench --no-run
 # pipeline throughput (writes BENCH_obs.json; exits nonzero past the
 # threshold).
 cargo build --release -p sgfs-bench --bin obs_bench
-timeout 300 ./target/release/obs_bench --quick
+run_watchdog 300 obs_bench ./target/release/obs_bench --quick
 
 # Durability cost gate: the unsynced write-ahead journal may add at most
 # 1 ms per dirty put and compaction must fire (writes BENCH_journal.json;
 # exits nonzero past the threshold).
 cargo build --release -p sgfs-bench --bin journal_bench
-timeout 120 ./target/release/journal_bench --quick
+run_watchdog 120 journal_bench ./target/release/journal_bench --quick
 
 # Per-suite record-throughput gate: every AEAD suite (AES-GCM,
 # ChaCha20-Poly1305) must beat the legacy CBC+HMAC baseline (writes
 # BENCH_pipeline.json; exits nonzero past the threshold).
 cargo build --release -p sgfs-bench --bin pipeline_bench
-timeout 120 ./target/release/pipeline_bench --quick
+run_watchdog 120 pipeline_bench ./target/release/pipeline_bench --quick
+
+# Session-scale gate: 1000+ sessions pinned on a 4-shard pool may grow
+# the process by at most shards+4 threads, and a low-load session's p99
+# may degrade at most 2x vs a single-session baseline (writes
+# BENCH_scale.json; exits nonzero past either threshold).
+cargo build --release -p sgfs-bench --bin scale_bench
+run_watchdog 120 scale_bench ./target/release/scale_bench --quick

@@ -86,6 +86,17 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+/// Outcome of [`Condvar::wait_for`], mirroring parking_lot's type.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Did the wait end by timeout rather than notification?
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
 /// Condition variable whose `wait` reborrows the guard like parking_lot.
 #[derive(Debug, Default)]
 pub struct Condvar(sync::Condvar);
@@ -110,6 +121,24 @@ impl Condvar {
                 Err(e) => e.into_inner(),
             };
             std::ptr::write(guard, reacquired);
+        }
+    }
+
+    /// Like [`wait`](Self::wait) but gives up after `timeout`; check
+    /// [`WaitTimeoutResult::timed_out`] to distinguish wakeup from expiry.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        unsafe {
+            let owned = std::ptr::read(guard);
+            let (reacquired, result) = match self.0.wait_timeout(owned, timeout) {
+                Ok(pair) => pair,
+                Err(e) => e.into_inner(),
+            };
+            std::ptr::write(guard, reacquired);
+            WaitTimeoutResult(result.timed_out())
         }
     }
 
