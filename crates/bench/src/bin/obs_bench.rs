@@ -97,8 +97,9 @@ fn forwarding_run(calls: usize, record_bytes: usize, traced: bool) -> f64 {
     if traced {
         stats.set_obs(Obs::new());
     }
+    let client_watch = client_end.watch();
     let pipeline =
-        Pipeline::new(Upstream::Plain(Box::new(client_end)), 8, None, stats.clone());
+        Pipeline::new(Upstream::Plain(Box::new(client_end)), client_watch, 8, None, stats.clone());
     // Warm both directions (and the obs shard registration) off the clock.
     for xid in 0..16u32 {
         let mut record = xid.to_be_bytes().to_vec();

@@ -266,8 +266,9 @@ fn forwarding_time(rtt: Duration, calls: usize, window: u32, callers: usize) -> 
     let (client_end, server_end) = pipe_pair_over_link(link);
     echo_upstream(server_end);
     let stats = ProxyStats::new();
+    let watch = client_end.watch();
     let pipeline =
-        Pipeline::new(Upstream::Plain(Box::new(client_end)), window, None, stats.clone());
+        Pipeline::new(Upstream::Plain(Box::new(client_end)), watch, window, None, stats.clone());
     let start = clock.now();
     let per_caller = calls / callers;
     let workers: Vec<_> = (0..callers)

@@ -16,11 +16,22 @@
 //! 3. **Aggregate throughput** — a bounded driver pool round-robins the
 //!    whole population, reported for trend tracking (not gated: the
 //!    number is driver-bound on small hosts).
+//! 4. **Client plane** — 256 pipelines multiplexed onto a fixed
+//!    [`ClientIoPool`]. The mirror-image gate of (2): the client side
+//!    used to burn one reader thread per pipeline, so the population may
+//!    now cost at most `pool + server shards + 4` threads while running,
+//!    and the process must return to its pre-test thread count once the
+//!    pipelines, pool, and server are dropped — a leaked reader fails
+//!    the teardown check by exactly the number of zombies.
 
+use sgfs::config::RetryPolicy;
+use sgfs::proxy::client::Upstream;
+use sgfs::proxy::pipeline::Pipeline;
+use sgfs::stats::ProxyStats;
 use sgfs_bench::RunOpts;
 use sgfs_net::{pipe_pair, PipeEnd};
 use sgfs_oncrpc::record::{read_record_into, write_record_with};
-use sgfs_oncrpc::{process_thread_count, RecordService, ShardServer};
+use sgfs_oncrpc::{process_thread_count, ClientIoPool, RecordService, ShardServer};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -123,12 +134,137 @@ struct ThroughputResult {
 }
 
 #[derive(serde::Serialize)]
+struct ClientPlaneResult {
+    pipelines: usize,
+    pool_threads: usize,
+    server_shards: usize,
+    threads_before: Option<usize>,
+    threads_running: Option<usize>,
+    threads_after_teardown: Option<usize>,
+    thread_slack: usize,
+    calls: usize,
+    wall_s: f64,
+    calls_per_s: f64,
+    ceiling_ok: bool,
+    teardown_ok: bool,
+}
+
+#[derive(serde::Serialize)]
 struct BenchReport {
     record_bytes: usize,
     baseline: LatencyResult,
     scale: ScaleResult,
     throughput: ThroughputResult,
+    client_plane: ClientPlaneResult,
     gate_ok: bool,
+}
+
+/// 256 pipelines on one fixed client I/O pool: thread ceiling while the
+/// plane is live, and zero residue after teardown.
+fn bench_client_plane(opts: &RunOpts) -> ClientPlaneResult {
+    let pipelines: usize = 256;
+    let pool_threads: usize = 2;
+    let server_shards: usize = 2;
+    let rounds: usize = if opts.quick { 4 } else { 16 };
+    let drivers: usize = 8;
+    let thread_slack: usize = 4;
+
+    let threads_before = process_thread_count();
+    let pool = ClientIoPool::new(pool_threads);
+    let server = ShardServer::new(server_shards);
+    let mut plane: Vec<Pipeline> = Vec::with_capacity(pipelines);
+    for _ in 0..pipelines {
+        let (client_end, server_end) = pipe_pair();
+        let watch = server_end.watch();
+        server.add_session(Box::new(server_end), watch, Arc::new(Echo)).expect("echo session");
+        let client_watch = client_end.watch();
+        plane.push(
+            Pipeline::with_recovery_on(
+                &pool,
+                Upstream::Plain(Box::new(client_end)),
+                client_watch,
+                8,
+                None,
+                ProxyStats::new(),
+                None,
+                RetryPolicy::default(),
+            )
+            .expect("pipeline on shared pool"),
+        );
+    }
+    let threads_running = process_thread_count();
+
+    let mut work: Vec<Vec<Pipeline>> = (0..drivers).map(|_| Vec::new()).collect();
+    for (slot, p) in plane.drain(..).enumerate() {
+        work[slot % drivers].push(p);
+    }
+    let start = Instant::now();
+    let handles: Vec<_> = work
+        .into_iter()
+        .map(|mine| {
+            std::thread::spawn(move || {
+                for r in 0..rounds as u32 {
+                    for p in mine.iter() {
+                        let mut record = vec![0x37u8; RECORD_LEN];
+                        record[0..4].copy_from_slice(&(0x2_0000 + r).to_be_bytes());
+                        let reply = p.call(record.clone()).expect("pipeline call");
+                        assert_eq!(reply, record, "echo through the shared pool");
+                    }
+                }
+                // `mine` drops here: each pipeline retires off the pool
+                // inside its driver, so teardown below waits only on the
+                // pool and server workers.
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client driver");
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    let calls = pipelines * rounds;
+
+    drop(server);
+    drop(pool);
+    // The drops above join their workers, but /proc can trail the reaper
+    // by a beat; poll briefly before declaring a leak.
+    let mut threads_after_teardown = process_thread_count();
+    if let Some(before) = threads_before {
+        for _ in 0..2_000 {
+            match threads_after_teardown {
+                Some(now) if now > before => {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    threads_after_teardown = process_thread_count();
+                }
+                _ => break,
+            }
+        }
+    }
+
+    let ceiling_ok = match (threads_before, threads_running) {
+        (Some(before), Some(running)) => {
+            running <= before + pool_threads + server_shards + thread_slack
+        }
+        _ => true, // no /proc on this host: the echo asserts still ran
+    };
+    let teardown_ok = match (threads_before, threads_after_teardown) {
+        (Some(before), Some(after)) => after <= before,
+        _ => true,
+    };
+
+    ClientPlaneResult {
+        pipelines,
+        pool_threads,
+        server_shards,
+        threads_before,
+        threads_running,
+        threads_after_teardown,
+        thread_slack,
+        calls,
+        wall_s,
+        calls_per_s: calls as f64 / wall_s,
+        ceiling_ok,
+        teardown_ok,
+    }
 }
 
 fn main() {
@@ -215,11 +351,35 @@ fn main() {
         calls, sessions, throughput.calls_per_s, served
     );
 
+    // 4. Client plane: 256 pipelines on a 2-thread client I/O pool.
+    let client_plane = bench_client_plane(&opts);
+    println!(
+        "client:     {} pipelines / {} pool threads  {:>9.0} calls/s  ceiling {}  teardown {}",
+        client_plane.pipelines,
+        client_plane.pool_threads,
+        client_plane.calls_per_s,
+        if client_plane.ceiling_ok { "ok" } else { "FAIL" },
+        if client_plane.teardown_ok { "ok" } else { "FAIL" },
+    );
+    if let (Some(before), Some(running), Some(after)) = (
+        client_plane.threads_before,
+        client_plane.threads_running,
+        client_plane.threads_after_teardown,
+    ) {
+        println!(
+            "            threads before {before}, running {running}, after teardown {after}"
+        );
+    }
+
     let threads_ok = match (threads_before, threads_after) {
         (Some(before), Some(after)) => after <= before + shards + thread_slack,
         _ => true, // no /proc on this host: latency gate still applies
     };
-    let gate_ok = sessions >= 1000 && threads_ok && p99_factor <= p99_factor_limit;
+    let gate_ok = sessions >= 1000
+        && threads_ok
+        && p99_factor <= p99_factor_limit
+        && client_plane.ceiling_ok
+        && client_plane.teardown_ok;
 
     let report = BenchReport {
         record_bytes: RECORD_LEN,
@@ -235,6 +395,7 @@ fn main() {
             p99_factor,
         },
         throughput,
+        client_plane,
         gate_ok,
     };
     if let Ok(json) = serde_json::to_string_pretty(&report) {
@@ -252,8 +413,14 @@ fn main() {
 
     if !gate_ok {
         eprintln!(
-            "FAIL: sessions={} threads_ok={} p99_factor={:.2} (limit {:.1})",
-            report.scale.sessions, threads_ok, report.scale.p99_factor, p99_factor_limit
+            "FAIL: sessions={} threads_ok={} p99_factor={:.2} (limit {:.1}) \
+             client_ceiling_ok={} client_teardown_ok={}",
+            report.scale.sessions,
+            threads_ok,
+            report.scale.p99_factor,
+            p99_factor_limit,
+            report.client_plane.ceiling_ok,
+            report.client_plane.teardown_ok
         );
         std::process::exit(1);
     }

@@ -1,5 +1,13 @@
 //! The GTLS handshake: mutual certificate authentication, suite
 //! negotiation, RSA key transport, and key derivation.
+//!
+//! The core is the sans-io [`HandshakeState`] machine: feed it handshake
+//! messages as they arrive and it tells you what to do next —
+//! [`HsAdvance::Send`] a message, wait for [`HsAdvance::NeedInput`], or
+//! accept [`HsAdvance::Done`] key material. Event loops drive it one
+//! readiness notification at a time without parking a thread; the
+//! blocking [`client_handshake`]/[`server_handshake`] drivers below are
+//! thin loops over the same machine.
 
 use crate::config::GtlsConfig;
 use crate::suite::CipherSuite;
@@ -160,152 +168,354 @@ fn finished_data(master: &[u8], label: &[u8], transcript: &[u8]) -> Vec<u8> {
     prf_sha256(master, label, &hash, VERIFY_DATA_LEN)
 }
 
-// ---- handshake drivers ----------------------------------------------------
+// ---- the resumable state machine -----------------------------------------
 
-/// Run the client side of the handshake over `ch`.
+/// What the machine wants next after one [`HandshakeState::advance`].
+pub enum HsAdvance {
+    /// Write this handshake message to the peer, then advance again.
+    Send(Vec<u8>),
+    /// Nothing to do until the peer's next message arrives.
+    NeedInput,
+    /// Handshake complete; the channel may switch to the derived keys.
+    Done(Box<HsOutcome>),
+}
+
+/// The result of a completed handshake.
+pub struct HsOutcome {
+    /// Derived per-direction key material for the negotiated suite.
+    pub keys: SessionKeys,
+    /// The authenticated peer identity.
+    pub peer: ValidatedPeer,
+}
+
+enum Phase {
+    // Client side.
+    ClientStart,
+    AwaitServerHello {
+        client_random: [u8; 32],
+    },
+    SendClientFinished {
+        fin: Vec<u8>,
+        master: Vec<u8>,
+        suite: CipherSuite,
+        client_random: [u8; 32],
+        server_random: [u8; 32],
+        peer: ValidatedPeer,
+    },
+    AwaitServerFinished {
+        expected_fin: Vec<u8>,
+        master: Vec<u8>,
+        suite: CipherSuite,
+        client_random: [u8; 32],
+        server_random: [u8; 32],
+        peer: ValidatedPeer,
+    },
+    // Server side.
+    AwaitClientHello,
+    AwaitKeyExchange {
+        client_random: [u8; 32],
+        server_random: [u8; 32],
+        suite: CipherSuite,
+        /// Transcript length as of ServerHello — the span the client's
+        /// CertificateVerify signature covers.
+        before_cke: usize,
+    },
+    AwaitClientFinished {
+        master: Vec<u8>,
+        suite: CipherSuite,
+        client_random: [u8; 32],
+        server_random: [u8; 32],
+        peer: ValidatedPeer,
+    },
+    /// Server Finished emitted; the next advance reports completion.
+    Complete(Box<HsOutcome>),
+    Done,
+    /// A prior advance failed; the machine is poisoned.
+    Failed,
+}
+
+/// A resumable GTLS handshake.
+///
+/// One call to [`advance`](Self::advance) consumes at most one incoming
+/// handshake message and yields at most one action, so an event loop can
+/// park the machine at any `NeedInput` and resume it when readiness
+/// fires — no thread ever blocks inside the handshake. Any protocol or
+/// validation error poisons the machine: every later advance keeps
+/// failing rather than resuming half-agreed state.
+pub struct HandshakeState {
+    config: GtlsConfig,
+    transcript: Vec<u8>,
+    phase: Phase,
+}
+
+impl HandshakeState {
+    /// A client-side machine; the first advance emits ClientHello.
+    pub fn client(config: GtlsConfig) -> Self {
+        Self { config, transcript: Vec::new(), phase: Phase::ClientStart }
+    }
+
+    /// A server-side machine; waits for the peer's ClientHello.
+    pub fn server(config: GtlsConfig) -> Self {
+        Self { config, transcript: Vec::new(), phase: Phase::AwaitClientHello }
+    }
+
+    /// True once the handshake reached `Done` (terminal success).
+    pub fn is_done(&self) -> bool {
+        matches!(self.phase, Phase::Done)
+    }
+
+    /// Advance the machine: `incoming` carries the peer's next handshake
+    /// message when one has arrived (it must only be `Some` when the
+    /// machine asked for input). Errors are terminal.
+    pub fn advance<R: Rng>(
+        &mut self,
+        incoming: Option<Vec<u8>>,
+        rng: &mut R,
+    ) -> Result<HsAdvance, GtlsError> {
+        match self.step(incoming, rng) {
+            Ok(adv) => Ok(adv),
+            Err(e) => {
+                self.phase = Phase::Failed;
+                Err(e)
+            }
+        }
+    }
+
+    fn step<R: Rng>(
+        &mut self,
+        incoming: Option<Vec<u8>>,
+        rng: &mut R,
+    ) -> Result<HsAdvance, GtlsError> {
+        // Phases that consume input stay put (reporting NeedInput) until
+        // a message actually arrives, so redundant wakeups are harmless.
+        let wants_input = matches!(
+            self.phase,
+            Phase::AwaitServerHello { .. }
+                | Phase::AwaitServerFinished { .. }
+                | Phase::AwaitClientHello
+                | Phase::AwaitKeyExchange { .. }
+                | Phase::AwaitClientFinished { .. }
+        );
+        if incoming.is_some() && !wants_input {
+            return Err(GtlsError::Handshake("unexpected handshake message".into()));
+        }
+        if incoming.is_none() && wants_input {
+            return Ok(HsAdvance::NeedInput);
+        }
+        match std::mem::replace(&mut self.phase, Phase::Failed) {
+            Phase::ClientStart => {
+                let mut client_random = [0u8; 32];
+                rng.fill_bytes(&mut client_random);
+                let hello = ClientHello {
+                    random: client_random,
+                    suites: self.config.suites.iter().map(|s| *s as u32).collect(),
+                };
+                let msg = hello.to_xdr_bytes();
+                self.transcript.extend_from_slice(&msg);
+                self.phase = Phase::AwaitServerHello { client_random };
+                Ok(HsAdvance::Send(msg))
+            }
+            Phase::AwaitServerHello { client_random } => {
+                let msg = incoming.unwrap();
+                self.transcript.extend_from_slice(&msg);
+                let sh = ServerHello::from_xdr_bytes(&msg)
+                    .map_err(|e| GtlsError::Handshake(format!("bad ServerHello: {e}")))?;
+                let suite = CipherSuite::from_u32(sh.suite).ok_or(GtlsError::NoCommonSuite)?;
+                if !self.config.suites.contains(&suite) {
+                    return Err(GtlsError::NoCommonSuite);
+                }
+                let peer = self.config.trust.validate_chain(&sh.chain, sgfs_pki::now())?;
+                if let Some(expected) = &self.config.expected_peer {
+                    if &peer.effective_dn != expected {
+                        return Err(GtlsError::Validation(ValidationError::WrongIdentity {
+                            expected: expected.to_string(),
+                            actual: peer.effective_dn.to_string(),
+                        }));
+                    }
+                }
+                let server_key = &sh.chain[0].body.public_key;
+
+                // ClientKeyExchange: premaster + our chain + possession
+                // proof (signature over the transcript up to ServerHello).
+                let mut premaster = vec![0u8; PREMASTER_LEN];
+                rng.fill_bytes(&mut premaster);
+                let encrypted_premaster = server_key
+                    .encrypt(&premaster, rng)
+                    .map_err(|e| GtlsError::Handshake(format!("premaster encryption: {e}")))?;
+                let verify_sig = self.config.credential.sign(&self.transcript);
+                let cke = ClientKeyExchange {
+                    encrypted_premaster,
+                    chain: self.config.credential.chain.clone(),
+                    verify_sig,
+                };
+                let msg = cke.to_xdr_bytes();
+                self.transcript.extend_from_slice(&msg);
+                let master = derive_master(&premaster, &client_random, &sh.random);
+                let fin = finished_data(&master, b"client finished", &self.transcript);
+                self.transcript.extend_from_slice(&fin);
+                self.phase = Phase::SendClientFinished {
+                    fin,
+                    master,
+                    suite,
+                    client_random,
+                    server_random: sh.random,
+                    peer,
+                };
+                Ok(HsAdvance::Send(msg))
+            }
+            Phase::SendClientFinished { fin, master, suite, client_random, server_random, peer } => {
+                let expected_fin = finished_data(&master, b"server finished", &self.transcript);
+                self.phase = Phase::AwaitServerFinished {
+                    expected_fin,
+                    master,
+                    suite,
+                    client_random,
+                    server_random,
+                    peer,
+                };
+                Ok(HsAdvance::Send(fin))
+            }
+            Phase::AwaitServerFinished {
+                expected_fin,
+                master,
+                suite,
+                client_random,
+                server_random,
+                peer,
+            } => {
+                let server_fin = incoming.unwrap();
+                if !ct_eq(&server_fin, &expected_fin) {
+                    return Err(GtlsError::Handshake("server Finished mismatch".into()));
+                }
+                self.phase = Phase::Done;
+                Ok(HsAdvance::Done(Box::new(HsOutcome {
+                    keys: derive_keys(suite, &master, &client_random, &server_random),
+                    peer,
+                })))
+            }
+            Phase::AwaitClientHello => {
+                let msg = incoming.unwrap();
+                self.transcript.extend_from_slice(&msg);
+                let hello = ClientHello::from_xdr_bytes(&msg)
+                    .map_err(|e| GtlsError::Handshake(format!("bad ClientHello: {e}")))?;
+                let suite = hello
+                    .suites
+                    .iter()
+                    .filter_map(|v| CipherSuite::from_u32(*v))
+                    .find(|s| self.config.suites.contains(s))
+                    .ok_or(GtlsError::NoCommonSuite)?;
+                let mut server_random = [0u8; 32];
+                rng.fill_bytes(&mut server_random);
+                let sh = ServerHello {
+                    random: server_random,
+                    suite: suite as u32,
+                    chain: self.config.credential.chain.clone(),
+                };
+                let msg = sh.to_xdr_bytes();
+                self.transcript.extend_from_slice(&msg);
+                self.phase = Phase::AwaitKeyExchange {
+                    client_random: hello.random,
+                    server_random,
+                    suite,
+                    before_cke: self.transcript.len(),
+                };
+                Ok(HsAdvance::Send(msg))
+            }
+            Phase::AwaitKeyExchange { client_random, server_random, suite, before_cke } => {
+                let msg = incoming.unwrap();
+                self.transcript.extend_from_slice(&msg);
+                let cke = ClientKeyExchange::from_xdr_bytes(&msg)
+                    .map_err(|e| GtlsError::Handshake(format!("bad ClientKeyExchange: {e}")))?;
+                let peer = self.config.trust.validate_chain(&cke.chain, sgfs_pki::now())?;
+                if let Some(expected) = &self.config.expected_peer {
+                    if &peer.effective_dn != expected {
+                        return Err(GtlsError::Validation(ValidationError::WrongIdentity {
+                            expected: expected.to_string(),
+                            actual: peer.effective_dn.to_string(),
+                        }));
+                    }
+                }
+                cke.chain[0]
+                    .body
+                    .public_key
+                    .verify(&self.transcript[..before_cke], &cke.verify_sig)
+                    .map_err(|_| GtlsError::Handshake("client CertificateVerify failed".into()))?;
+                let premaster = self
+                    .config
+                    .credential
+                    .key
+                    .decrypt(&cke.encrypted_premaster)
+                    .map_err(|e| GtlsError::Handshake(format!("premaster decryption: {e}")))?;
+                if premaster.len() != PREMASTER_LEN {
+                    return Err(GtlsError::Handshake("premaster has wrong length".into()));
+                }
+                let master = derive_master(&premaster, &client_random, &server_random);
+                self.phase = Phase::AwaitClientFinished {
+                    master,
+                    suite,
+                    client_random,
+                    server_random,
+                    peer,
+                };
+                Ok(HsAdvance::NeedInput)
+            }
+            Phase::AwaitClientFinished { master, suite, client_random, server_random, peer } => {
+                let client_fin = incoming.unwrap();
+                let expected = finished_data(&master, b"client finished", &self.transcript);
+                if !ct_eq(&client_fin, &expected) {
+                    return Err(GtlsError::Handshake("client Finished mismatch".into()));
+                }
+                self.transcript.extend_from_slice(&client_fin);
+                let server_fin = finished_data(&master, b"server finished", &self.transcript);
+                self.phase = Phase::Complete(Box::new(HsOutcome {
+                    keys: derive_keys(suite, &master, &client_random, &server_random),
+                    peer,
+                }));
+                Ok(HsAdvance::Send(server_fin))
+            }
+            Phase::Complete(outcome) => {
+                self.phase = Phase::Done;
+                Ok(HsAdvance::Done(outcome))
+            }
+            Phase::Done => Err(GtlsError::Handshake("handshake already complete".into())),
+            Phase::Failed => Err(GtlsError::Handshake("handshake previously failed".into())),
+        }
+    }
+}
+
+// ---- blocking drivers -----------------------------------------------------
+
+fn drive_blocking<R: Rng>(
+    mut state: HandshakeState,
+    ch: &mut dyn HsChannel,
+    rng: &mut R,
+) -> Result<(SessionKeys, ValidatedPeer), GtlsError> {
+    let mut incoming = None;
+    loop {
+        match state.advance(incoming.take(), rng)? {
+            HsAdvance::Send(msg) => ch.hs_send(&msg)?,
+            HsAdvance::NeedInput => incoming = Some(ch.hs_recv()?),
+            HsAdvance::Done(outcome) => return Ok((outcome.keys, outcome.peer)),
+        }
+    }
+}
+
+/// Run the client side of the handshake over `ch`, blocking for input.
 pub fn client_handshake<R: Rng>(
     ch: &mut dyn HsChannel,
     config: &GtlsConfig,
     rng: &mut R,
 ) -> Result<(SessionKeys, ValidatedPeer), GtlsError> {
-    let mut transcript = Vec::new();
-
-    // 1. ClientHello.
-    let mut client_random = [0u8; 32];
-    rng.fill_bytes(&mut client_random);
-    let hello = ClientHello {
-        random: client_random,
-        suites: config.suites.iter().map(|s| *s as u32).collect(),
-    };
-    let msg = hello.to_xdr_bytes();
-    transcript.extend_from_slice(&msg);
-    ch.hs_send(&msg)?;
-
-    // 2. ServerHello: validate server identity and the chosen suite.
-    let msg = ch.hs_recv()?;
-    transcript.extend_from_slice(&msg);
-    let sh = ServerHello::from_xdr_bytes(&msg)
-        .map_err(|e| GtlsError::Handshake(format!("bad ServerHello: {e}")))?;
-    let suite = CipherSuite::from_u32(sh.suite).ok_or(GtlsError::NoCommonSuite)?;
-    if !config.suites.contains(&suite) {
-        return Err(GtlsError::NoCommonSuite);
-    }
-    let peer = config.trust.validate_chain(&sh.chain, sgfs_pki::now())?;
-    if let Some(expected) = &config.expected_peer {
-        if &peer.effective_dn != expected {
-            return Err(GtlsError::Validation(ValidationError::WrongIdentity {
-                expected: expected.to_string(),
-                actual: peer.effective_dn.to_string(),
-            }));
-        }
-    }
-    let server_key = &sh.chain[0].body.public_key;
-
-    // 3. ClientKeyExchange: premaster + our chain + possession proof.
-    let mut premaster = vec![0u8; PREMASTER_LEN];
-    rng.fill_bytes(&mut premaster);
-    let encrypted_premaster = server_key
-        .encrypt(&premaster, rng)
-        .map_err(|e| GtlsError::Handshake(format!("premaster encryption: {e}")))?;
-    let verify_sig = config.credential.sign(&transcript);
-    let cke = ClientKeyExchange {
-        encrypted_premaster,
-        chain: config.credential.chain.clone(),
-        verify_sig,
-    };
-    let msg = cke.to_xdr_bytes();
-    transcript.extend_from_slice(&msg);
-    ch.hs_send(&msg)?;
-
-    // 4. Derive keys and exchange Finished.
-    let master = derive_master(&premaster, &client_random, &sh.random);
-    let client_fin = finished_data(&master, b"client finished", &transcript);
-    transcript.extend_from_slice(&client_fin);
-    ch.hs_send(&client_fin)?;
-
-    let server_fin = ch.hs_recv()?;
-    let expected = finished_data(&master, b"server finished", &transcript);
-    if !ct_eq(&server_fin, &expected) {
-        return Err(GtlsError::Handshake("server Finished mismatch".into()));
-    }
-
-    Ok((derive_keys(suite, &master, &client_random, &sh.random), peer))
+    drive_blocking(HandshakeState::client(config.clone()), ch, rng)
 }
 
-/// Run the server side of the handshake over `ch`.
+/// Run the server side of the handshake over `ch`, blocking for input.
 pub fn server_handshake<R: Rng>(
     ch: &mut dyn HsChannel,
     config: &GtlsConfig,
     rng: &mut R,
 ) -> Result<(SessionKeys, ValidatedPeer), GtlsError> {
-    let mut transcript = Vec::new();
-
-    // 1. ClientHello: pick the client's first suite we also accept.
-    let msg = ch.hs_recv()?;
-    transcript.extend_from_slice(&msg);
-    let hello = ClientHello::from_xdr_bytes(&msg)
-        .map_err(|e| GtlsError::Handshake(format!("bad ClientHello: {e}")))?;
-    let suite = hello
-        .suites
-        .iter()
-        .filter_map(|v| CipherSuite::from_u32(*v))
-        .find(|s| config.suites.contains(s))
-        .ok_or(GtlsError::NoCommonSuite)?;
-
-    // 2. ServerHello with our chain.
-    let mut server_random = [0u8; 32];
-    rng.fill_bytes(&mut server_random);
-    let sh = ServerHello {
-        random: server_random,
-        suite: suite as u32,
-        chain: config.credential.chain.clone(),
-    };
-    let msg = sh.to_xdr_bytes();
-    transcript.extend_from_slice(&msg);
-    ch.hs_send(&msg)?;
-    let transcript_before_cke = transcript.clone();
-
-    // 3. ClientKeyExchange: authenticate the client and recover premaster.
-    let msg = ch.hs_recv()?;
-    transcript.extend_from_slice(&msg);
-    let cke = ClientKeyExchange::from_xdr_bytes(&msg)
-        .map_err(|e| GtlsError::Handshake(format!("bad ClientKeyExchange: {e}")))?;
-    let peer = config.trust.validate_chain(&cke.chain, sgfs_pki::now())?;
-    if let Some(expected) = &config.expected_peer {
-        if &peer.effective_dn != expected {
-            return Err(GtlsError::Validation(ValidationError::WrongIdentity {
-                expected: expected.to_string(),
-                actual: peer.effective_dn.to_string(),
-            }));
-        }
-    }
-    // Possession proof: signature over the transcript up to ServerHello.
-    cke.chain[0]
-        .body
-        .public_key
-        .verify(&transcript_before_cke, &cke.verify_sig)
-        .map_err(|_| GtlsError::Handshake("client CertificateVerify failed".into()))?;
-    let premaster = config
-        .credential
-        .key
-        .decrypt(&cke.encrypted_premaster)
-        .map_err(|e| GtlsError::Handshake(format!("premaster decryption: {e}")))?;
-    if premaster.len() != PREMASTER_LEN {
-        return Err(GtlsError::Handshake("premaster has wrong length".into()));
-    }
-
-    // 4. Verify client Finished, send ours.
-    let master = derive_master(&premaster, &hello.random, &server_random);
-    let client_fin = ch.hs_recv()?;
-    let expected = finished_data(&master, b"client finished", &transcript);
-    if !ct_eq(&client_fin, &expected) {
-        return Err(GtlsError::Handshake("client Finished mismatch".into()));
-    }
-    transcript.extend_from_slice(&client_fin);
-    let server_fin = finished_data(&master, b"server finished", &transcript);
-    ch.hs_send(&server_fin)?;
-
-    Ok((derive_keys(suite, &master, &hello.random, &server_random), peer))
+    drive_blocking(HandshakeState::server(config.clone()), ch, rng)
 }
 
 #[cfg(test)]

@@ -38,7 +38,8 @@ pub mod stream;
 pub mod suite;
 
 pub use config::GtlsConfig;
-pub use stream::GtlsStream;
+pub use handshake::{HandshakeState, HsAdvance, HsOutcome};
+pub use stream::{handshake_pair, GtlsHandshake, GtlsStream, HsStatus};
 pub use suite::CipherSuite;
 
 use sgfs_pki::ValidationError;

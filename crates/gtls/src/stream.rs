@@ -1,14 +1,17 @@
 //! [`GtlsStream`]: a protected byte stream over any transport.
 
 use crate::config::GtlsConfig;
-use crate::handshake::{client_handshake, server_handshake, HsChannel, SessionKeys};
+use crate::handshake::{
+    client_handshake, server_handshake, HandshakeState, HsAdvance, HsChannel, HsOutcome,
+    SessionKeys,
+};
 use crate::suite::CipherSuite;
 use crate::record::{
     finish_frame_header, frame_header_into, read_frame, read_frame_into, write_assembled_frame,
     write_frame, HalfConn, CT_DATA, CT_HANDSHAKE, MAX_RECORD_PAYLOAD,
 };
 use crate::GtlsError;
-use sgfs_net::BoxStream;
+use sgfs_net::{BoxStream, PipeWatch};
 use sgfs_pki::ValidatedPeer;
 use std::io::{self, Read, Write};
 
@@ -87,6 +90,132 @@ impl HsChannel for RekeyChannel<'_> {
         }
         self.rx.open(CT_HANDSHAKE, body)
     }
+}
+
+/// What one [`GtlsHandshake::advance`] achieved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HsStatus {
+    /// Waiting for the peer's next message; re-advance on readiness.
+    Pending,
+    /// Handshake complete; call [`GtlsHandshake::into_stream`].
+    Done,
+}
+
+/// A resumable handshake in progress over a transport.
+///
+/// Binds a [`HandshakeState`] machine to its stream and (optionally) the
+/// stream's [`PipeWatch`]: each [`advance`](Self::advance) drives the
+/// machine as far as the bytes on hand allow and returns
+/// [`HsStatus::Pending`] instead of blocking when the peer's next
+/// message has not arrived. Event loops (the client I/O pool, the
+/// session reconnector) park the whole struct and re-advance on
+/// readiness — no thread is ever dedicated to a connect, reconnect, or
+/// rekey. Without a watch, `advance` blocks like the classic drivers.
+///
+/// Reading whole frames under `has_input()` is sound for the same
+/// reason the sharded server's record reads are: every handshake frame
+/// leaves its writer in one write call, so one pipe message holds one
+/// complete frame.
+pub struct GtlsHandshake {
+    inner: BoxStream,
+    watch: Option<PipeWatch>,
+    config: GtlsConfig,
+    state: HandshakeState,
+    incoming: Option<Vec<u8>>,
+    outcome: Option<Box<HsOutcome>>,
+    is_client: bool,
+}
+
+impl GtlsHandshake {
+    /// Begin a client-side handshake over `inner`. `watch` observes the
+    /// transport's receive side; `None` makes `advance` block for input.
+    pub fn client(inner: BoxStream, watch: Option<PipeWatch>, config: GtlsConfig) -> Self {
+        let state = HandshakeState::client(config.clone());
+        Self { inner, watch, config, state, incoming: None, outcome: None, is_client: true }
+    }
+
+    /// Begin a server-side handshake over `inner`.
+    pub fn server(inner: BoxStream, watch: Option<PipeWatch>, config: GtlsConfig) -> Self {
+        let state = HandshakeState::server(config.clone());
+        Self { inner, watch, config, state, incoming: None, outcome: None, is_client: false }
+    }
+
+    /// Drive the handshake as far as currently possible. Errors are
+    /// terminal (the underlying machine is poisoned).
+    pub fn advance(&mut self) -> io::Result<HsStatus> {
+        if self.outcome.is_some() {
+            return Ok(HsStatus::Done);
+        }
+        let mut rng = rand::thread_rng();
+        loop {
+            match self.state.advance(self.incoming.take(), &mut rng).map_err(io::Error::from)? {
+                HsAdvance::Send(msg) => write_frame(&mut self.inner, CT_HANDSHAKE, &msg)?,
+                HsAdvance::Done(outcome) => {
+                    self.outcome = Some(outcome);
+                    return Ok(HsStatus::Done);
+                }
+                HsAdvance::NeedInput => {
+                    if let Some(w) = &self.watch {
+                        if !w.has_input() {
+                            if w.is_closed() {
+                                return Err(io::Error::new(
+                                    io::ErrorKind::UnexpectedEof,
+                                    "peer closed during GTLS handshake",
+                                ));
+                            }
+                            return Ok(HsStatus::Pending);
+                        }
+                    }
+                    let (ct, body) = read_frame(&mut self.inner)?;
+                    if ct != CT_HANDSHAKE {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "expected handshake frame",
+                        ));
+                    }
+                    self.incoming = Some(body);
+                }
+            }
+        }
+    }
+
+    /// Finish: consume the driver and produce the protected stream.
+    /// Fails unless [`advance`](Self::advance) has returned `Done`.
+    pub fn into_stream(self) -> Result<GtlsStream, GtlsError> {
+        let outcome = self
+            .outcome
+            .ok_or_else(|| GtlsError::Handshake("handshake not complete".into()))?;
+        Ok(GtlsStream::from_keys(
+            self.inner,
+            self.config,
+            outcome.keys,
+            outcome.peer,
+            self.is_client,
+        ))
+    }
+}
+
+/// Drive both ends of an in-process handshake to completion on the
+/// calling thread — the no-spawn replacement for the old
+/// "`GtlsStream::server` on a helper thread, `::client` here" pattern.
+/// Both sides must carry watches (a blocking side would deadlock the
+/// single driving thread).
+pub fn handshake_pair(
+    mut client: GtlsHandshake,
+    mut server: GtlsHandshake,
+) -> Result<(GtlsStream, GtlsStream), GtlsError> {
+    assert!(client.watch.is_some() && server.watch.is_some(), "handshake_pair needs watches");
+    // 5 messages (3 client→server flights, 2 back) ⇒ alternation
+    // converges in a handful of rounds; the cap only guards against a
+    // protocol bug turning into a spin.
+    for _ in 0..16 {
+        let c = client.advance()?;
+        let s = server.advance()?;
+        if c == HsStatus::Done && s == HsStatus::Done {
+            return Ok((client.into_stream()?, server.into_stream()?));
+        }
+    }
+    Err(GtlsError::Handshake("in-process handshake stalled".into()))
 }
 
 impl GtlsStream {
@@ -550,6 +679,51 @@ mod tests {
         assert_eq!(events[1].aux, 7);
         assert_eq!(events[3].xid, s.suite() as u32);
         assert_eq!(events[3].aux, 7);
+    }
+
+    #[test]
+    fn resumable_pair_handshakes_on_one_thread() {
+        let w = world();
+        let (a, b) = sgfs_net::pipe_pair();
+        let (aw, bw) = (a.watch(), b.watch());
+        let client = GtlsHandshake::client(Box::new(a), Some(aw), w.client_cfg.clone());
+        let server = GtlsHandshake::server(Box::new(b), Some(bw), w.server_cfg.clone());
+        let (mut c, mut s) = handshake_pair(client, server).unwrap();
+        assert_eq!(c.peer().effective_dn.to_string(), "/O=Grid/CN=fileserver");
+        assert_eq!(s.peer().effective_dn.to_string(), "/O=Grid/CN=alice");
+        c.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        s.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+    }
+
+    #[test]
+    fn resumable_client_parks_at_pending_until_input() {
+        let w = world();
+        let (a, b) = sgfs_net::pipe_pair();
+        let aw = a.watch();
+        let mut client = GtlsHandshake::client(Box::new(a), Some(aw), w.client_cfg.clone());
+        // First advance emits ClientHello and parks: no server yet.
+        assert_eq!(client.advance().unwrap(), HsStatus::Pending);
+        assert_eq!(client.advance().unwrap(), HsStatus::Pending, "re-advance is idempotent");
+        assert!(client.into_stream().is_err(), "incomplete handshake yields no stream");
+        drop(b);
+    }
+
+    #[test]
+    fn resumable_client_fails_cleanly_on_mid_handshake_close() {
+        let w = world();
+        let (a, b) = sgfs_net::pipe_pair();
+        let aw = a.watch();
+        let mut client = GtlsHandshake::client(Box::new(a), Some(aw), w.client_cfg.clone());
+        assert_eq!(client.advance().unwrap(), HsStatus::Pending);
+        // Peer dies before ServerHello: the machine reports EOF instead
+        // of leaving anything parked.
+        drop(b);
+        let err = client.advance().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // And keeps failing — no half-open state to resume into.
+        assert!(client.advance().is_err());
     }
 
     #[test]

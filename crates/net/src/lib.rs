@@ -30,6 +30,7 @@ pub mod link;
 pub mod pipe;
 pub mod poll;
 pub mod spsc;
+pub mod submit;
 
 pub use clock::{ClockMode, LogicalClock, SimClock};
 pub use crash::{CrashInjector, CrashPoint, ALL_CRASH_POINTS};
@@ -38,6 +39,7 @@ pub use link::{Link, LinkSpec};
 pub use pipe::{pipe_pair, pipe_pair_over_link, PipeEnd, PipeReader, PipeWatch, PipeWriter};
 pub use poll::{Poller, Readiness, Token};
 pub use spsc::{spsc_channel, Popped, SpscReceiver, SpscSender};
+pub use submit::{submit_ring, SubmitReceiver, SubmitSender};
 
 use std::io::{Read, Write};
 

@@ -14,6 +14,8 @@
 //! * [`server`] — a per-connection dispatch loop over an [`RpcService`].
 //! * [`shard`] — the sharded event-driven server core: a fixed pool of
 //!   per-core event loops serving thousands of pinned sessions.
+//! * [`client_pool`] — the client-side mirror: a fixed pool of event
+//!   loops multiplexing many pipelined upstream connections.
 //! * [`loopback`] — synchronous in-process dispatch, so a proxy can call
 //!   a same-process backend without a thread or a pipe.
 //!
@@ -22,6 +24,7 @@
 //! user-level virtualization technique.
 
 pub mod client;
+pub mod client_pool;
 pub mod error;
 pub mod loopback;
 pub mod msg;
@@ -30,6 +33,7 @@ pub mod server;
 pub mod shard;
 
 pub use client::RpcClient;
+pub use client_pool::{ClientIoPool, ConnPump, PoolConn};
 pub use error::RpcError;
 pub use loopback::LoopbackStream;
 pub use msg::{AcceptStat, AuthFlavor, AuthSysParams, CallHeader, OpaqueAuth, ReplyHeader};

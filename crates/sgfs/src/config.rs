@@ -203,6 +203,9 @@ pub struct SessionConfig {
     /// The observability domain the proxy emits trace events and latency
     /// histograms into (None = untraced).
     pub obs: Option<std::sync::Arc<sgfs_obs::Obs>>,
+    /// Shared client I/O pool the session's upstream pipeline is pinned
+    /// to; `None` gives the pipeline a private single-worker pool.
+    pub client_pool: Option<std::sync::Arc<sgfs_oncrpc::ClientIoPool>>,
 }
 
 impl SessionConfig {
@@ -224,6 +227,7 @@ impl SessionConfig {
             durability: DurabilityPolicy::default(),
             crash: None,
             obs: None,
+            client_pool: None,
         }
     }
 

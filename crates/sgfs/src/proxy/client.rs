@@ -149,10 +149,15 @@ impl ClientProxyController {
 
 impl ClientProxy {
     /// Build a proxy over an established upstream channel, configured per
-    /// the session's [`CacheMode`] and read-ahead depth. Without a
+    /// the session's [`CacheMode`] and read-ahead depth. `watch` must
+    /// observe the raw transport under `upstream`. Without a
     /// reconnector, any upstream transport error remains terminal.
-    pub fn new(upstream: Upstream, config: &SessionConfig) -> std::io::Result<Self> {
-        Self::with_reconnector(upstream, config, None)
+    pub fn new(
+        upstream: Upstream,
+        watch: sgfs_net::PipeWatch,
+        config: &SessionConfig,
+    ) -> std::io::Result<Self> {
+        Self::with_reconnector(upstream, watch, config, None)
     }
 
     /// Like [`new`](Self::new), but able to survive transient upstream
@@ -160,6 +165,7 @@ impl ClientProxy {
     /// `config.retry` and replays idempotent in-flight calls.
     pub fn with_reconnector(
         upstream: Upstream,
+        watch: sgfs_net::PipeWatch,
         config: &SessionConfig,
         reconnector: Option<Box<dyn crate::proxy::retry::Reconnector>>,
     ) -> std::io::Result<Self> {
@@ -191,22 +197,35 @@ impl ClientProxy {
         let mut upstream = upstream;
         if let Upstream::Tls(t) = &mut upstream {
             // Attribute record crypto to this proxy's CPU account before
-            // the channel moves onto the pipeline's I/O thread. The
-            // stream's own auto-rekey stays off: a transparent mid-window
+            // the channel moves onto the client I/O pool. The stream's
+            // own auto-rekey stays off: a transparent mid-window
             // renegotiation would interleave handshake records with
             // in-flight DATA replies, so the pipeline tracks the
             // rekey-every threshold itself and rekeys at quiesce points.
             t.busy_counter = Some(stats.busy_counter());
             t.obs = stats.obs().cloned();
         }
-        let pipeline = Pipeline::with_recovery(
-            upstream,
-            config.window,
-            config.rekey_every_records,
-            stats.clone(),
-            reconnector,
-            config.retry,
-        );
+        let pipeline = match &config.client_pool {
+            Some(pool) => Pipeline::with_recovery_on(
+                pool,
+                upstream,
+                watch,
+                config.window,
+                config.rekey_every_records,
+                stats.clone(),
+                reconnector,
+                config.retry,
+            )?,
+            None => Pipeline::with_recovery(
+                upstream,
+                watch,
+                config.window,
+                config.rekey_every_records,
+                stats.clone(),
+                reconnector,
+                config.retry,
+            ),
+        };
         Ok(Self {
             pipeline,
             store,

@@ -1,12 +1,29 @@
-//! Xid-demultiplexed RPC pipelining over the upstream channel.
+//! Xid-demultiplexed RPC pipelining over the upstream channel, pumped by
+//! the shared client I/O pool.
 //!
 //! The client proxy used to issue upstream calls strictly serially: write
 //! one record, block for its reply, repeat. Over a WAN that bounds
 //! throughput at one call per round trip. A [`Pipeline`] instead owns the
-//! upstream channel on a dedicated I/O thread and admits up to `window`
-//! calls before requiring a reply, matching replies back to callers by
-//! RPC xid — the transaction id that is the first word of every ONC RPC
-//! call *and* reply record (RFC 5531 §9).
+//! upstream channel and admits up to `window` calls before requiring a
+//! reply, matching replies back to callers by RPC xid — the transaction
+//! id that is the first word of every ONC RPC call *and* reply record
+//! (RFC 5531 §9).
+//!
+//! Earlier revisions parked a dedicated blocking reader thread per
+//! pipeline; N sessions cost N stacks, and a dropped handle leaked its
+//! thread outright (nothing joined it). The pipeline is now a
+//! [`PoolConn`] pinned to a [`ClientIoPool`] worker: its event sources —
+//! the upstream transport's [`PipeWatch`] and a wake-aware submission
+//! ring ([`sgfs_net::submit_ring`]) carrying caller commands — are routed
+//! into one readiness token, and a `pump` pass drains whatever is
+//! actionable without ever blocking for *new* input. Steady state is
+//! allocation-free: the ring is a fixed-capacity ladder, and the
+//! record/reply scratch buffers recycle as before. Dropping the last
+//! handle closes the ring; the worker observes the close, delivers any
+//! replies that already arrived, fails the rest, flushes `ProxyStats`,
+//! and retires the connection — the handle's `Drop` blocks (bounded)
+//! until that retirement is signalled, so teardown is deterministic and
+//! nothing is left parked.
 //!
 //! Because several independent callers (the proxy's request loop, the
 //! split-phase write-back, the read-ahead worker) share one channel, their
@@ -26,37 +43,57 @@
 //!
 //! Fault recovery: sessions are expected to outlive transient WAN
 //! failures, so a transport error is not the end of the channel when a
-//! [`Reconnector`] is installed. The I/O thread classifies the error
+//! [`Reconnector`] is installed. The pump classifies the error
 //! ([`is_transient_io`]), fails the in-flight calls that are unsafe to
 //! retransmit (see [`retry::replayable`]), re-dials with capped
 //! exponential backoff, and replays the idempotent remainder — in their
-//! original wire-xid order — on the fresh channel. A successful reconnect
-//! re-runs the full GTLS handshake, which also satisfies any pending
-//! rekey request. Without a reconnector any transport error remains
-//! terminal, as before.
+//! original wire-xid order — on the fresh channel, re-registering the
+//! replacement transport's watch on the same pool token. A successful
+//! reconnect re-runs the full GTLS handshake, which also satisfies any
+//! pending rekey request. Without a reconnector any transport error
+//! remains terminal, as before.
 //!
-//! Single-thread alternation: the emulated transport's `Stream` objects
-//! are not splittable into read/write halves, so one thread alternates
-//! between admitting writes and blocking on the next reply. The server
-//! proxy answers every request it receives, so a blocked read always
-//! terminates and queued commands wait at most one reply time for
-//! admission. Against a *silent* server (replies simply never come) the
+//! Blocking inside the pump: the emulated transport's `Stream` objects
+//! are not splittable into read/write halves, so one pump alternates
+//! between admitting writes and collecting replies. Replies are only
+//! read once the transport watch reports input, and the message-atomic
+//! writer invariant (see the shard module docs in `sgfs-oncrpc`)
+//! guarantees a whole record follows, so the bounded blocking record
+//! read cannot stall the worker. Against a *silent* server (replies
+//! simply never come) the pipeline goes idle — no thread waits — and the
 //! per-call deadline in [`RetryPolicy::call_deadline`] bounds
-//! [`PendingReply::wait`] instead.
+//! [`PendingReply::wait`] on the caller's side. Renegotiation and
+//! reconnect backoff do block their pool worker (they are rare,
+//! bounded control-plane events); pool sizing accounts for that.
 
 use crate::config::RetryPolicy;
 use crate::proxy::retry::{self, Reconnector};
 use crate::stats::ProxyStats;
 use crate::proxy::client::Upstream;
+use sgfs_net::{submit_ring, PipeWatch, Popped, Readiness, SubmitReceiver, SubmitSender};
 use sgfs_oncrpc::record::{is_transient_io, read_record_into, write_record_with};
+use sgfs_oncrpc::{ClientIoPool, ConnPump, PoolConn};
 use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Default in-flight window (calls admitted before a reply is required).
 pub const DEFAULT_WINDOW: u32 = 8;
+
+/// Capacity of the submission ring between handles and the pump.
+/// Producers block (backpressure) when it is full.
+const RING_CAPACITY: usize = 256;
+
+/// Fairness budget: work items one pump pass performs before re-arming
+/// its token so neighbor connections on the same worker get a turn.
+const MAX_PUMP: usize = 32;
+
+/// Upper bound a dropping handle waits for the pump to acknowledge
+/// retirement. Retirement is normally immediate; the bound only guards
+/// against a wedged pool worker.
+const RETIRE_WAIT: Duration = Duration::from_secs(5);
 
 /// One record plus the channel its reply is delivered on.
 type BatchEntry = (Vec<u8>, mpsc::Sender<io::Result<Vec<u8>>>);
@@ -90,14 +127,59 @@ struct Shared {
     deadline: Option<Duration>,
 }
 
+/// Signals the handle side when the pump has retired the connection
+/// (stats flushed, waiters completed, upstream released).
+#[derive(Clone)]
+struct RetireGate(Arc<(Mutex<bool>, Condvar)>);
+
+impl RetireGate {
+    fn new() -> Self {
+        Self(Arc::new((Mutex::new(false), Condvar::new())))
+    }
+
+    fn set(&self) {
+        let (lock, cvar) = &*self.0;
+        *lock.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        cvar.notify_all();
+    }
+
+    fn wait(&self, timeout: Duration) {
+        let (lock, cvar) = &*self.0;
+        let guard = lock.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = cvar.wait_timeout_while(guard, timeout, |done| !*done);
+    }
+}
+
 /// A cloneable handle to the pipelined upstream channel.
 ///
-/// Dropping every handle shuts the I/O thread down and closes the
-/// upstream connection.
+/// Dropping every handle closes the submission ring; the pool worker
+/// observes the close, delivers replies that already arrived, fails the
+/// remainder, flushes stats, and retires the connection. The last
+/// handle's drop blocks (bounded by [`RETIRE_WAIT`]) for that
+/// acknowledgment — the event-plane equivalent of joining the old
+/// per-pipeline reader thread.
 #[derive(Clone)]
 pub struct Pipeline {
-    cmd_tx: mpsc::Sender<Cmd>,
+    inner: Arc<PipelineInner>,
+}
+
+struct PipelineInner {
+    /// `Some` until drop; taken there so the ring closes before the
+    /// retirement wait begins.
+    cmd_tx: Option<SubmitSender<Cmd>>,
     shared: Arc<Shared>,
+    retired: RetireGate,
+    /// Keeps the I/O pool alive for as long as the pipeline is; a
+    /// private (per-pipeline) pool shuts down and joins when this Arc
+    /// drops.
+    _pool: Arc<ClientIoPool>,
+}
+
+impl Drop for PipelineInner {
+    fn drop(&mut self) {
+        self.cmd_tx.take();
+        self.retired.wait(RETIRE_WAIT);
+    }
 }
 
 /// A submitted call whose reply has not been collected yet.
@@ -139,26 +221,62 @@ impl Pipeline {
     /// calls, at a quiesce point.
     pub fn new(
         upstream: Upstream,
+        watch: PipeWatch,
         window: u32,
         rekey_every: Option<u64>,
         stats: Arc<ProxyStats>,
     ) -> Self {
-        Self::with_recovery(upstream, window, rekey_every, stats, None, RetryPolicy::default())
+        Self::with_recovery(
+            upstream,
+            watch,
+            window,
+            rekey_every,
+            stats,
+            None,
+            RetryPolicy::default(),
+        )
     }
 
     /// Like [`new`](Self::new), but with fault recovery: on a transient
-    /// transport error the I/O thread re-dials through `reconnector`
-    /// under `retry`'s backoff bounds and replays idempotent in-flight
-    /// calls on the fresh channel.
+    /// transport error the pump re-dials through `reconnector` under
+    /// `retry`'s backoff bounds and replays idempotent in-flight calls
+    /// on the fresh channel.
+    ///
+    /// The pipeline runs on a private single-worker [`ClientIoPool`] —
+    /// thread-for-thread what the old dedicated reader cost, but with
+    /// deterministic teardown. Sessions that share a pool use
+    /// [`with_recovery_on`](Self::with_recovery_on).
     pub fn with_recovery(
         upstream: Upstream,
+        watch: PipeWatch,
         window: u32,
         rekey_every: Option<u64>,
         stats: Arc<ProxyStats>,
         reconnector: Option<Box<dyn Reconnector>>,
         retry: RetryPolicy,
     ) -> Self {
-        let (cmd_tx, cmd_rx) = mpsc::channel();
+        let pool = ClientIoPool::new(1);
+        Self::with_recovery_on(&pool, upstream, watch, window, rekey_every, stats, reconnector, retry)
+            .expect("a fresh private pool accepts its first connection")
+    }
+
+    /// Pin this pipeline's upstream onto an existing client I/O pool so
+    /// many sessions multiplex a fixed set of event-loop threads.
+    /// `watch` must observe the raw transport under `upstream` (for a
+    /// GTLS channel, the pipe beneath the secure stream). Fails only if
+    /// `pool` is already shut down.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_recovery_on(
+        pool: &Arc<ClientIoPool>,
+        upstream: Upstream,
+        watch: PipeWatch,
+        window: u32,
+        rekey_every: Option<u64>,
+        stats: Arc<ProxyStats>,
+        reconnector: Option<Box<dyn Reconnector>>,
+        retry: RetryPolicy,
+    ) -> io::Result<Self> {
+        let (cmd_tx, cmd_rx) = submit_ring(RING_CAPACITY);
         let (is_tls, handshakes) = match &upstream {
             Upstream::Tls(t) => (true, t.handshake_count()),
             Upstream::Plain(_) => (false, 0),
@@ -168,8 +286,15 @@ impl Pipeline {
             is_tls,
             deadline: retry.call_deadline,
         });
+        let retired = RetireGate::new();
         let state = IoState {
             upstream,
+            watch,
+            cmd_rx,
+            readiness: None,
+            shutdown: false,
+            retired: false,
+            gate: retired.clone(),
             window: window.max(1),
             rekey_every,
             stats,
@@ -187,32 +312,44 @@ impl Pipeline {
             reply_high_water: 0,
             write_scratch: Vec::new(),
         };
-        std::thread::spawn(move || state.run(cmd_rx));
-        Self { cmd_tx, shared }
+        pool.add_conn(Box::new(state))?;
+        Ok(Self {
+            inner: Arc::new(PipelineInner {
+                cmd_tx: Some(cmd_tx),
+                shared,
+                retired,
+                _pool: pool.clone(),
+            }),
+        })
+    }
+
+    fn sender(&self) -> &SubmitSender<Cmd> {
+        self.inner.cmd_tx.as_ref().expect("sender present until the last handle drops")
     }
 
     /// Submit a raw call record without waiting for its reply — the
-    /// split-phase half of pipelined write-back.
+    /// split-phase half of pipelined write-back. Blocks only while the
+    /// submission ring is full (backpressure against a slow upstream).
     pub fn submit(&self, record: Vec<u8>) -> PendingReply {
         let (reply_tx, rx) = mpsc::channel();
-        // A send failure means the I/O thread is gone; wait() observes
-        // the dropped sender and reports it.
-        let _ = self.cmd_tx.send(Cmd::Call { record, reply_tx });
-        PendingReply { rx, deadline: self.shared.deadline }
+        // A push failure means the pump retired; the rejected command's
+        // reply sender drops here and wait() reports the broken channel.
+        let _ = self.sender().push(Cmd::Call { record, reply_tx });
+        PendingReply { rx, deadline: self.inner.shared.deadline }
     }
 
     /// Submit a group of call records atomically. Up to a window of them
-    /// is admitted before the I/O thread waits on any reply, so a
-    /// split-phase flush overlaps its round trips deterministically.
+    /// is admitted before the pump collects any reply, so a split-phase
+    /// flush overlaps its round trips deterministically.
     pub fn submit_batch(&self, records: Vec<Vec<u8>>) -> Vec<PendingReply> {
         let mut waiters = Vec::with_capacity(records.len());
         let mut batch = Vec::with_capacity(records.len());
         for record in records {
             let (reply_tx, rx) = mpsc::channel();
             batch.push((record, reply_tx));
-            waiters.push(PendingReply { rx, deadline: self.shared.deadline });
+            waiters.push(PendingReply { rx, deadline: self.inner.shared.deadline });
         }
-        let _ = self.cmd_tx.send(Cmd::Batch(batch));
+        let _ = self.sender().push(Cmd::Batch(batch));
         waiters
     }
 
@@ -225,8 +362,8 @@ impl Pipeline {
     /// until the new keys are in effect. No-op on a plaintext upstream.
     pub fn rekey(&self) -> io::Result<()> {
         let (done_tx, rx) = mpsc::channel();
-        self.cmd_tx
-            .send(Cmd::Rekey { done_tx })
+        self.sender()
+            .push(Cmd::Rekey { done_tx })
             .map_err(|_| broken("upstream pipeline terminated"))?;
         rx.recv().map_err(|_| broken("upstream pipeline terminated"))?
     }
@@ -234,9 +371,10 @@ impl Pipeline {
     /// Completed handshakes on the secure channel (`None` when plain),
     /// cumulative across reconnections.
     pub fn handshake_count(&self) -> Option<u64> {
-        self.shared
+        self.inner
+            .shared
             .is_tls
-            .then(|| self.shared.handshakes.load(Ordering::Acquire))
+            .then(|| self.inner.shared.handshakes.load(Ordering::Acquire))
     }
 }
 
@@ -259,16 +397,33 @@ struct InFlight {
     reply_tx: mpsc::Sender<io::Result<Vec<u8>>>,
 }
 
-/// Control-flow outcome of one I/O-loop step.
-enum Flow {
-    Continue,
-    Shutdown,
+/// Outcome of one unit of pump work.
+enum Step {
+    /// Did something; the pass may continue within its budget.
+    Progress,
+    /// Nothing actionable until the next readiness notification.
+    Idle,
+    /// Ring closed and drained: the connection is done.
+    Retire,
 }
 
-/// The I/O thread's entire state, factored out of the loop so the
-/// recovery path can re-enter the same machinery on a fresh upstream.
+/// The pipeline's entire I/O state, pinned to a [`ClientIoPool`] worker
+/// as a [`PoolConn`]; the recovery path re-enters the same machinery on
+/// a fresh upstream.
 struct IoState {
     upstream: Upstream,
+    /// Readiness watch on the raw transport under `upstream`.
+    watch: PipeWatch,
+    /// Consumer side of the handle-to-pump submission ring.
+    cmd_rx: SubmitReceiver<Cmd>,
+    /// The pool token's readiness, kept so a reconnected transport's
+    /// watch can be routed to the same token.
+    readiness: Option<Readiness>,
+    /// Every handle dropped (ring closed); retire once `queue` drains.
+    shutdown: bool,
+    /// Clean retirement happened in `pump` (stats flushed there).
+    retired: bool,
+    gate: RetireGate,
     window: u32,
     rekey_every: Option<u64>,
     stats: Arc<ProxyStats>,
@@ -297,76 +452,154 @@ struct IoState {
     write_scratch: Vec<u8>,
 }
 
-impl IoState {
-    fn run(mut self, cmd_rx: mpsc::Receiver<Cmd>) {
-        loop {
-            match self.step(&cmd_rx) {
-                Ok(Flow::Continue) => {}
-                Ok(Flow::Shutdown) => return,
+impl PoolConn for IoState {
+    fn attach(&mut self, readiness: Readiness) {
+        // Both event sources share the token: commands and upstream data
+        // each wake the same pump. Registration fires immediately when
+        // anything is already pending, so submissions racing the pin are
+        // not lost.
+        self.watch.register(readiness.clone());
+        self.cmd_rx.register(readiness.clone());
+        self.readiness = Some(readiness);
+    }
+
+    fn pump(&mut self) -> ConnPump {
+        for _ in 0..MAX_PUMP {
+            match self.pump_once() {
+                Ok(Step::Progress) => {}
+                Ok(Step::Idle) => return ConnPump::Idle,
+                Ok(Step::Retire) => {
+                    self.retire();
+                    return ConnPump::Gone;
+                }
                 Err(e) => {
                     if let Err(fatal) = self.recover(e) {
                         self.fail_channel(&fatal);
-                        return;
+                        self.retire();
+                        return ConnPump::Gone;
                     }
                 }
             }
         }
+        // Budget spent; there may or may not be work left — re-arming
+        // unconditionally costs at most one extra (idle) pass.
+        ConnPump::Rearm
+    }
+}
+
+impl Drop for IoState {
+    fn drop(&mut self) {
+        if !self.retired {
+            // Pool-shutdown path: the worker dropped us without a clean
+            // retirement. Flush every waiter (and the depth gauge)
+            // before signalling so no stat is lost.
+            self.fail_channel(&broken("client I/O pool shut down"));
+        }
+        self.gate.set();
+    }
+}
+
+impl IoState {
+    fn retire(&mut self) {
+        self.retired = true;
+        self.gate.set();
     }
 
-    fn step(&mut self, cmd_rx: &mpsc::Receiver<Cmd>) -> io::Result<Flow> {
-        // Admission: fill the window from queued commands, unless a rekey
-        // is pending (which quiesces the channel first).
-        while !self.rekey_due && (self.in_flight.len() as u32) < self.window {
+    /// Perform at most one unit of work. Priority: retirement check,
+    /// admission (fills the window), rekey at quiesce, reply collection.
+    fn pump_once(&mut self) -> io::Result<Step> {
+        if self.shutdown && self.queue.is_empty() {
+            return Ok(self.finish());
+        }
+
+        // Admission: top the window up from queued commands, unless a
+        // rekey is pending (which quiesces the channel first).
+        if !self.rekey_due && (self.in_flight.len() as u32) < self.window {
             let cmd = match self.queue.pop_front() {
-                Some(c) => c,
-                None => match cmd_rx.try_recv() {
-                    Ok(c) => c,
-                    Err(_) => break,
+                Some(c) => Some(c),
+                None if !self.shutdown => match self.cmd_rx.pop() {
+                    Popped::Value(c) => Some(c),
+                    Popped::Empty => None,
+                    Popped::Closed => {
+                        self.shutdown = true;
+                        // Loop back into the retirement check.
+                        return Ok(Step::Progress);
+                    }
                 },
+                None => None,
             };
-            match cmd {
-                Cmd::Call { record, reply_tx } => self.send_call(record, reply_tx)?,
-                Cmd::Batch(calls) => {
-                    // Expand at the head of the queue, preserving batch
-                    // order; the admission loop re-pops them immediately
-                    // and parks any overflow beyond the window.
-                    for (record, reply_tx) in calls.into_iter().rev() {
-                        self.queue.push_front(Cmd::Call { record, reply_tx });
+            if let Some(cmd) = cmd {
+                match cmd {
+                    Cmd::Call { record, reply_tx } => self.send_call(record, reply_tx)?,
+                    Cmd::Batch(calls) => {
+                        // Expand at the head of the queue, preserving
+                        // batch order; admission re-pops them before any
+                        // reply is read (admission has priority) and
+                        // parks overflow beyond the window.
+                        for (record, reply_tx) in calls.into_iter().rev() {
+                            self.queue.push_front(Cmd::Call { record, reply_tx });
+                        }
+                    }
+                    Cmd::Rekey { done_tx } => {
+                        self.rekey_due = true;
+                        self.rekey_waiters.push(done_tx);
                     }
                 }
-                Cmd::Rekey { done_tx } => {
-                    self.rekey_due = true;
-                    self.rekey_waiters.push(done_tx);
-                }
+                return Ok(Step::Progress);
             }
         }
 
-        if self.in_flight.is_empty() {
-            if self.rekey_due {
-                // Quiesced: safe to renegotiate over the shared channel.
-                // On failure the waiters stay parked — a successful
-                // recovery (full fresh handshake) satisfies them.
-                self.rekey_due = false;
-                self.calls_since_rekey = 0;
-                renegotiate(&mut self.upstream, &self.shared)?;
-                for w in self.rekey_waiters.drain(..) {
-                    let _ = w.send(Ok(()));
-                }
-                return Ok(Flow::Continue);
+        if self.rekey_due && self.in_flight.is_empty() {
+            // Quiesced: safe to renegotiate over the shared channel. On
+            // failure the waiters stay parked — a successful recovery
+            // (full fresh handshake) satisfies them.
+            self.rekey_due = false;
+            self.calls_since_rekey = 0;
+            renegotiate(&mut self.upstream, &self.shared)?;
+            for w in self.rekey_waiters.drain(..) {
+                let _ = w.send(Ok(()));
             }
-            // Idle: block for the next command (or shut down once every
-            // handle is dropped).
-            return match cmd_rx.recv() {
-                Ok(cmd) => {
-                    self.queue.push_back(cmd);
-                    Ok(Flow::Continue)
-                }
-                Err(_) => Ok(Flow::Shutdown),
-            };
+            return Ok(Step::Progress);
         }
 
-        self.read_one_reply()?;
-        Ok(Flow::Continue)
+        if !self.in_flight.is_empty() {
+            if self.watch.has_input() {
+                self.read_one_reply()?;
+                return Ok(Step::Progress);
+            }
+            if self.watch.is_closed() {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "upstream EOF with calls in flight",
+                ));
+            }
+        }
+
+        Ok(Step::Idle)
+    }
+
+    /// Final drain once every handle is gone: deliver replies that have
+    /// already arrived, then fail anything still outstanding — dropping
+    /// the last handle abandons calls whose replies are still in the
+    /// air. Leaves the depth gauge at zero.
+    fn finish(&mut self) -> Step {
+        while !self.in_flight.is_empty() && self.watch.has_input() {
+            if self.read_one_reply().is_err() {
+                break;
+            }
+        }
+        if !self.in_flight.is_empty() {
+            for (_, call) in self.in_flight.drain() {
+                let _ = call
+                    .reply_tx
+                    .send(Err(broken("pipeline dropped with calls in flight")));
+            }
+            self.stats.pipeline_completed(0);
+        }
+        for w in self.rekey_waiters.drain(..) {
+            let _ = w.send(Err(broken("upstream pipeline terminated")));
+        }
+        Step::Retire
     }
 
     /// Admit one call: rewrite its xid, register the waiter, transmit.
@@ -526,8 +759,8 @@ impl IoState {
                 .expect("checked above")
                 .reconnect(attempt);
             match dialed {
-                Ok(up) => {
-                    self.install(up);
+                Ok((up, watch)) => {
+                    self.install(up, watch);
                     match self.resend(&replay) {
                         Ok(()) => {
                             let replayed = replay.len() as u64;
@@ -578,8 +811,10 @@ impl IoState {
     }
 
     /// Adopt a fresh upstream, carrying the cumulative handshake count
-    /// (and crypto-time accounting) over to the replacement channel.
-    fn install(&mut self, mut up: Upstream) {
+    /// (and crypto-time accounting) over to the replacement channel and
+    /// routing the new transport's readiness into the existing pool
+    /// token (registration fires immediately if data already arrived).
+    fn install(&mut self, mut up: Upstream, watch: PipeWatch) {
         if let Upstream::Tls(t) = &mut up {
             t.busy_counter = Some(self.stats.busy_counter());
             t.obs = self.stats.obs().cloned();
@@ -588,6 +823,10 @@ impl IoState {
             self.shared.handshakes.store(total, Ordering::Release);
         }
         self.upstream = up;
+        self.watch = watch;
+        if let Some(r) = &self.readiness {
+            self.watch.register(r.clone());
+        }
     }
 
     /// Retransmit every surviving call on the (fresh) upstream. Nothing
@@ -692,12 +931,27 @@ mod tests {
         r
     }
 
+    /// Box a pipe end as a plaintext upstream, keeping its watch.
+    fn plain_upstream(end: sgfs_net::PipeEnd) -> (Upstream, PipeWatch) {
+        let watch = end.watch();
+        (Upstream::Plain(Box::new(end)), watch)
+    }
+
+    fn plain_pipeline(
+        end: sgfs_net::PipeEnd,
+        window: u32,
+        stats: Arc<ProxyStats>,
+    ) -> Pipeline {
+        let (up, watch) = plain_upstream(end);
+        Pipeline::new(up, watch, window, None, stats)
+    }
+
     #[test]
     fn replies_match_calls_across_reordering() {
         let (client_end, server_end) = pipe_pair();
         let _server = echo_server(server_end, 4);
         let stats = ProxyStats::new();
-        let p = Pipeline::new(Upstream::Plain(Box::new(client_end)), 4, None, stats.clone());
+        let p = plain_pipeline(client_end, 4, stats.clone());
 
         let pending: Vec<(u32, PendingReply)> = (0..4u32)
             .map(|i| {
@@ -719,7 +973,7 @@ mod tests {
     fn window_of_one_is_serial() {
         let (client_end, server_end) = pipe_pair();
         let _server = echo_server(server_end, 1);
-        let p = Pipeline::new(Upstream::Plain(Box::new(client_end)), 1, None, ProxyStats::new());
+        let p = plain_pipeline(client_end, 1, ProxyStats::new());
         for i in 0..20u32 {
             let reply = p.call(call_record(i, b"x")).unwrap();
             assert_eq!(&reply[0..4], &i.to_be_bytes());
@@ -730,7 +984,7 @@ mod tests {
     fn colliding_caller_xids_are_disambiguated() {
         let (client_end, server_end) = pipe_pair();
         let _server = echo_server(server_end, 2);
-        let p = Pipeline::new(Upstream::Plain(Box::new(client_end)), 2, None, ProxyStats::new());
+        let p = plain_pipeline(client_end, 2, ProxyStats::new());
         // Two concurrent calls with the SAME caller xid: the wire rewrite
         // must keep them apart.
         let a = p.submit(call_record(7, b"first"));
@@ -748,7 +1002,7 @@ mod tests {
         // an atomic batch admission can satisfy it.
         let _server = echo_server(server_end, 4);
         let stats = ProxyStats::new();
-        let p = Pipeline::new(Upstream::Plain(Box::new(client_end)), 4, None, stats.clone());
+        let p = plain_pipeline(client_end, 4, stats.clone());
         let records = (0..4u32).map(|i| call_record(i, b"batched")).collect();
         let pending = p.submit_batch(records);
         for (i, reply) in pending.into_iter().enumerate() {
@@ -762,7 +1016,7 @@ mod tests {
     fn batch_overflow_parks_behind_the_window() {
         let (client_end, server_end) = pipe_pair();
         let _server = echo_server(server_end, 1);
-        let p = Pipeline::new(Upstream::Plain(Box::new(client_end)), 2, None, ProxyStats::new());
+        let p = plain_pipeline(client_end, 2, ProxyStats::new());
         // 10 calls through a window of 2: overflow tops up as replies
         // complete, in submission order.
         let records = (0..10u32).map(|i| call_record(i, b"over")).collect();
@@ -776,7 +1030,7 @@ mod tests {
     #[test]
     fn upstream_eof_fails_outstanding_calls() {
         let (client_end, server_end) = pipe_pair();
-        let p = Pipeline::new(Upstream::Plain(Box::new(client_end)), 4, None, ProxyStats::new());
+        let p = plain_pipeline(client_end, 4, ProxyStats::new());
         let pending = p.submit(call_record(1, b"doomed"));
         drop(server_end);
         assert!(pending.wait().is_err());
@@ -788,7 +1042,7 @@ mod tests {
     fn plain_rekey_is_noop() {
         let (client_end, server_end) = pipe_pair();
         let _server = echo_server(server_end, 1);
-        let p = Pipeline::new(Upstream::Plain(Box::new(client_end)), 4, None, ProxyStats::new());
+        let p = plain_pipeline(client_end, 4, ProxyStats::new());
         assert!(p.rekey().is_ok());
         assert_eq!(p.handshake_count(), None);
         assert_eq!(&p.call(call_record(9, b"after")).unwrap()[0..4], &9u32.to_be_bytes());
@@ -799,7 +1053,7 @@ mod tests {
         let (client_end, server_end) = pipe_pair();
         let _server = echo_server(server_end, 1);
         let stats = ProxyStats::new();
-        let p = Pipeline::new(Upstream::Plain(Box::new(client_end)), 4, None, stats.clone());
+        let p = plain_pipeline(client_end, 4, stats.clone());
         let payload = vec![0xabu8; 4096];
         for i in 0..32u32 {
             p.call(call_record(i, &payload)).unwrap();
@@ -865,7 +1119,7 @@ mod tests {
             }
             let (client_end, server_end) = pipe_pair();
             echo_server(server_end, 1);
-            Ok(Upstream::Plain(Box::new(client_end)))
+            Ok(plain_upstream(client_end))
         })
     }
 
@@ -883,8 +1137,10 @@ mod tests {
     fn reconnect_replays_idempotent_calls() {
         let (client_end, server_end) = pipe_pair();
         let stats = ProxyStats::new();
+        let (up, watch) = plain_upstream(client_end);
         let p = Pipeline::with_recovery(
-            Upstream::Plain(Box::new(client_end)),
+            up,
+            watch,
             4,
             None,
             stats.clone(),
@@ -907,8 +1163,10 @@ mod tests {
     fn connect_refusals_are_retried_with_backoff() {
         let (client_end, server_end) = pipe_pair();
         let stats = ProxyStats::new();
+        let (up, watch) = plain_upstream(client_end);
         let p = Pipeline::with_recovery(
-            Upstream::Plain(Box::new(client_end)),
+            up,
+            watch,
             4,
             None,
             stats.clone(),
@@ -926,16 +1184,18 @@ mod tests {
     fn non_idempotent_calls_fail_cleanly_on_reconnect() {
         let (client_end, server_end) = pipe_pair();
         let stats = ProxyStats::new();
+        let (up, watch) = plain_upstream(client_end);
         let p = Pipeline::with_recovery(
-            Upstream::Plain(Box::new(client_end)),
+            up,
+            watch,
             4,
             None,
             stats.clone(),
             Some(echo_reconnector(0)),
             quick_retry(),
         );
-        // Batch admission puts both calls in flight atomically before the
-        // I/O thread blocks on a reply.
+        // Batch admission puts both calls in flight atomically before
+        // the pump collects any reply.
         let mut pending =
             p.submit_batch(vec![nfs_record(2, procnum::RENAME), nfs_record(3, procnum::GETATTR)]);
         let getattr = pending.pop().unwrap();
@@ -951,14 +1211,16 @@ mod tests {
     #[test]
     fn reconnect_budget_exhaustion_is_terminal() {
         let (client_end, server_end) = pipe_pair();
+        let (up, watch) = plain_upstream(client_end);
         let p = Pipeline::with_recovery(
-            Upstream::Plain(Box::new(client_end)),
+            up,
+            watch,
             4,
             None,
             ProxyStats::new(),
             // Every dial refused: recovery must give up, not spin.
             Some(Box::new(|_attempt: u32| {
-                Err::<Upstream, _>(io::Error::new(
+                Err::<(Upstream, PipeWatch), _>(io::Error::new(
                     io::ErrorKind::ConnectionRefused,
                     "always refused",
                 ))
@@ -983,8 +1245,10 @@ mod tests {
         let stats = ProxyStats::new();
         let obs = Obs::new();
         stats.set_obs(obs.clone());
+        let (up, watch) = plain_upstream(client_end);
         let p = Pipeline::with_recovery(
-            Upstream::Plain(Box::new(client_end)),
+            up,
+            watch,
             4,
             None,
             stats.clone(),
@@ -1022,8 +1286,10 @@ mod tests {
     fn silent_server_trips_call_deadline() {
         let (client_end, server_end) = pipe_pair();
         // No echo server: the connection is open but never answers.
+        let (up, watch) = plain_upstream(client_end);
         let p = Pipeline::with_recovery(
-            Upstream::Plain(Box::new(client_end)),
+            up,
+            watch,
             4,
             None,
             ProxyStats::new(),
@@ -1036,5 +1302,108 @@ mod tests {
         let err = p.call(nfs_record(6, procnum::GETATTR)).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::TimedOut);
         drop(server_end);
+    }
+
+    // --- event-plane teardown -------------------------------------------
+
+    use sgfs_oncrpc::process_thread_count;
+
+    fn wait_for<F: Fn() -> bool>(what: &str, f: F) {
+        for _ in 0..1000 {
+            if f() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        panic!("timed out waiting for {what}");
+    }
+
+    #[test]
+    fn drop_flushes_stats_and_joins_private_pool() {
+        let before = process_thread_count();
+        let (client_end, server_end) = pipe_pair();
+        let _server = echo_server(server_end, 1);
+        let stats = ProxyStats::new();
+        let p = plain_pipeline(client_end, 4, stats.clone());
+        for i in 0..8u32 {
+            p.call(call_record(i, b"x")).unwrap();
+        }
+        assert_eq!(stats.pipeline_peak(), 1);
+        // Dropping the last handle retires the connection: the depth
+        // gauge is flushed to zero before drop returns, and the private
+        // pool worker joins — no leaked reader thread.
+        drop(p);
+        assert_eq!(stats.pipeline_depth(), 0, "depth gauge flushed before drop returned");
+        if let (Some(b), Some(_)) = (before, process_thread_count()) {
+            wait_for("threads back to baseline", || {
+                process_thread_count().is_some_and(|a| a <= b)
+            });
+        }
+    }
+
+    #[test]
+    fn drop_with_calls_in_flight_fails_them_and_retires() {
+        let (client_end, server_end) = pipe_pair();
+        // Silent server: the reply never comes.
+        let p = plain_pipeline(client_end, 4, ProxyStats::new());
+        let pending = p.submit(call_record(1, b"abandoned"));
+        // Give the pump time to admit the call before abandoning it.
+        std::thread::sleep(Duration::from_millis(20));
+        let start = Instant::now();
+        drop(p);
+        assert!(
+            start.elapsed() < RETIRE_WAIT,
+            "retirement must not wait out the backstop timeout"
+        );
+        // The abandoned call fails instead of hanging.
+        assert!(pending.wait().is_err());
+        drop(server_end);
+    }
+
+    #[test]
+    fn pipelines_share_a_fixed_pool() {
+        let before = process_thread_count();
+        let pool = ClientIoPool::new(2);
+        let mut servers = Vec::new();
+        let pipelines: Vec<Pipeline> = (0..16)
+            .map(|_| {
+                let (client_end, server_end) = pipe_pair();
+                servers.push(echo_server(server_end, 1));
+                let (up, watch) = plain_upstream(client_end);
+                Pipeline::with_recovery_on(
+                    &pool,
+                    up,
+                    watch,
+                    4,
+                    None,
+                    ProxyStats::new(),
+                    None,
+                    RetryPolicy::default(),
+                )
+                .unwrap()
+            })
+            .collect();
+        wait_for("all conns pinned", || pool.active_conns() == 16);
+        // Interleave traffic across every pipeline on the 2 workers.
+        for round in 0..4u32 {
+            let pending: Vec<PendingReply> = pipelines
+                .iter()
+                .map(|p| p.submit(call_record(round, b"pooled")))
+                .collect();
+            for reply in pending {
+                assert_eq!(&reply.wait().unwrap()[4..], b"echo:pooled");
+            }
+        }
+        drop(pipelines);
+        wait_for("all conns retired", || pool.active_conns() == 0);
+        for s in servers {
+            s.join().unwrap();
+        }
+        drop(pool);
+        if let (Some(b), Some(_)) = (before, process_thread_count()) {
+            wait_for("pool threads joined", || {
+                process_thread_count().is_some_and(|a| a <= b)
+            });
+        }
     }
 }

@@ -10,6 +10,7 @@
 //! under the write-verifier protocol anyway).
 
 use crate::proxy::client::Upstream;
+use sgfs_net::PipeWatch;
 use sgfs_nfs3::proc::{procnum, WriteArgs};
 use sgfs_nfs3::types::StableHow;
 use sgfs_nfs3::{NFS_PROGRAM, NFS_VERSION};
@@ -23,19 +24,26 @@ use std::io;
 /// an implementation vary behaviour per attempt (a test injector refusing
 /// the first N connects, for instance). For `Upstream::Tls` the
 /// implementation must re-run the full GTLS handshake — a reconnect is a
-/// new connection, not a resumption.
+/// new connection, not a resumption; with the resumable
+/// [`GtlsHandshake`](sgfs_gtls::GtlsHandshake) machine that handshake is
+/// driven inline on the calling thread, never on a transient one.
+///
+/// Alongside the stream, the reconnector returns the [`PipeWatch`] of the
+/// *raw transport* underneath it, so the event-driven pipeline can route
+/// the replacement channel's readiness into the same I/O-pool token the
+/// dead channel used.
 pub trait Reconnector: Send {
     /// Dial a fresh upstream. `ConnectionRefused` (and other transient
     /// kinds) are retried under the session's `RetryPolicy`; fatal kinds
     /// abort recovery.
-    fn reconnect(&mut self, attempt: u32) -> io::Result<Upstream>;
+    fn reconnect(&mut self, attempt: u32) -> io::Result<(Upstream, PipeWatch)>;
 }
 
 impl<F> Reconnector for F
 where
-    F: FnMut(u32) -> io::Result<Upstream> + Send,
+    F: FnMut(u32) -> io::Result<(Upstream, PipeWatch)> + Send,
 {
-    fn reconnect(&mut self, attempt: u32) -> io::Result<Upstream> {
+    fn reconnect(&mut self, attempt: u32) -> io::Result<(Upstream, PipeWatch)> {
         self(attempt)
     }
 }

@@ -18,9 +18,9 @@ use crate::config::{CacheMode, DurabilityPolicy, HopCost, RetryPolicy, SecurityL
 use crate::proxy::client::{ClientProxy, ClientProxyController, Upstream};
 use crate::proxy::server::ServerProxy;
 use crate::proxy::ProxyError;
-use crate::tunnel::{tunnel_client, tunnel_server_watched};
+use crate::tunnel::{tunnel_start, TunnelGuard};
 use sgfs_crypto::rsa::RsaKeyPair;
-use sgfs_gtls::{GtlsError, GtlsStream};
+use sgfs_gtls::{handshake_pair, GtlsError, GtlsHandshake, GtlsStream};
 use sgfs_net::{pipe_pair, pipe_pair_over_link, Link, LinkSpec, SimClock};
 use sgfs_nfs3::{Fh3, Nfs3Client};
 use sgfs_nfsclient::{MountOptions, NfsMount};
@@ -258,6 +258,11 @@ pub struct SessionParams {
     /// [`DEFAULT_SHARDS`] event loops; pass a shared one to multiplex many
     /// sessions over the same fixed thread pool (the 10k-session path).
     pub shard_server: Option<Arc<ShardServer>>,
+    /// The client-side I/O pool this session's upstream pipeline pins to.
+    /// `None` = the pipeline gets a private single-worker pool; pass a
+    /// shared pool to multiplex many sessions' upstream channels over a
+    /// fixed client thread budget (the client mirror of `shard_server`).
+    pub client_pool: Option<Arc<sgfs_oncrpc::ClientIoPool>>,
 }
 
 /// Shard count of a session's private server core. Two loops exercise the
@@ -284,6 +289,7 @@ impl SessionParams {
             durability: DurabilityPolicy::none(),
             obs: None,
             shard_server: None,
+            client_pool: None,
         }
     }
 
@@ -326,6 +332,10 @@ pub struct Session {
     controller: Option<ClientProxyController>,
     obs: Option<Arc<sgfs_obs::Obs>>,
     shards: Arc<ShardServer>,
+    // Last field on purpose: the guards' drop-join runs after everything
+    // above has been torn down, by which point the proxy/pipeline drops
+    // have closed the tunnel's local pipes and both forwarders exit.
+    tunnel_guards: Vec<TunnelGuard>,
 }
 
 impl Session {
@@ -398,6 +408,7 @@ impl Session {
             controller: None,
             obs: params.obs.clone(),
             shards: shards.clone(),
+            tunnel_guards: Vec::new(),
         };
 
         let mount_opts =
@@ -444,8 +455,10 @@ impl Session {
         let (wire_client, wire_server) = pipe_pair_over_link(link.clone());
         // Readiness must observe the raw wire, before fault injectors or
         // GTLS wrap the stream: arrivals are arrivals regardless of what
-        // decrypts them.
+        // decrypts them. Both directions get a watch — the server side
+        // feeds a shard loop, the client side feeds the client I/O pool.
         let wire_watch = wire_server.watch();
+        let client_wire_watch = wire_client.watch();
 
         // Server-proxy-side plumbing: two in-process loopbacks to nfsd.
         // Synchronous dispatch (no pipe, no thread) keeps the proxy free
@@ -489,54 +502,64 @@ impl Session {
         client_cfg.retry = params.retry;
         client_cfg.durability = params.durability;
         client_cfg.obs = params.obs.clone();
+        client_cfg.client_pool = params.client_pool.clone();
 
         // Establish the inter-proxy channel per configuration.
         enum Downstream {
             Plain(sgfs_net::BoxStream),
             Tls(Box<GtlsStream>),
         }
-        let (client_upstream, server_peer, server_downstream, server_watch): (
+        let (client_upstream, server_peer, server_downstream, server_watch, client_watch): (
             Upstream,
             ValidatedPeer,
             Downstream,
+            sgfs_net::PipeWatch,
             sgfs_net::PipeWatch,
         ) = match params.kind {
             SetupKind::GfsSsh => {
                 let key: [u8; 32] = rand::random();
                 let hop_s = Some((clock.clone(), params.hop_cost));
                 let hop_c = hop_s.clone();
-                let server_end =
-                    std::thread::spawn(move || tunnel_server_watched(wire_server, &key, hop_s));
-                let client_stream = tunnel_client(wire_client, &key, hop_c)?;
-                // The tunnel's forwarder threads drain the wire; the shard
-                // must watch the local plaintext pipe they feed instead.
-                let (server_stream, tunnel_watch) = server_end.join().expect("tunnel thread")?;
+                // Two-phase establishment on this thread: both hellos are
+                // written before either side reads, so no concurrent peer
+                // (and no transient thread) is needed.
+                let client_pend = tunnel_start(wire_client, &key, true, hop_c)?;
+                let server_pend = tunnel_start(wire_server, &key, false, hop_s)?;
+                let (client_stream, client_tunnel_watch, client_guard) = client_pend.finish()?;
+                // The tunnel's forwarder threads drain the wire; the event
+                // loops must watch the local plaintext pipes they feed.
+                let (server_stream, tunnel_watch, server_guard) = server_pend.finish()?;
+                session.tunnel_guards.push(client_guard);
+                session.tunnel_guards.push(server_guard);
                 (
                     Upstream::Plain(client_stream),
                     synthetic_peer(world),
                     Downstream::Plain(server_stream),
                     tunnel_watch,
+                    client_tunnel_watch,
                 )
             }
-            SetupKind::Gfs => {
-                let server_thread =
-                    std::thread::spawn(move || Box::new(wire_server) as sgfs_net::BoxStream);
-                (
-                    Upstream::Plain(Box::new(wire_client)),
-                    synthetic_peer(world),
-                    Downstream::Plain(server_thread.join().expect("plumbing")),
-                    wire_watch,
-                )
-            }
+            SetupKind::Gfs => (
+                Upstream::Plain(Box::new(wire_client)),
+                synthetic_peer(world),
+                Downstream::Plain(Box::new(wire_server)),
+                wire_watch,
+                client_wire_watch,
+            ),
             _ => {
-                // GTLS mutual authentication between the proxies.
+                // GTLS mutual authentication between the proxies: the two
+                // resumable handshake machines are alternated on this
+                // thread until both complete — no handshake thread.
                 let scfg = server_cfg.gtls().expect("secure kinds have a suite");
-                let server_thread = std::thread::spawn(move || {
-                    GtlsStream::server(Box::new(wire_server), scfg)
-                });
                 let ccfg = client_cfg.gtls().expect("secure kinds have a suite");
-                let client_tls = GtlsStream::client(Box::new(wire_client), ccfg)?;
-                let server_tls = server_thread.join().expect("handshake thread")?;
+                let (client_tls, server_tls) = handshake_pair(
+                    GtlsHandshake::client(
+                        Box::new(wire_client),
+                        Some(client_wire_watch.clone()),
+                        ccfg,
+                    ),
+                    GtlsHandshake::server(Box::new(wire_server), Some(wire_watch.clone()), scfg),
+                )?;
                 let peer = server_tls.peer().clone();
 
                 (
@@ -544,6 +567,7 @@ impl Session {
                     peer,
                     Downstream::Tls(Box::new(server_tls)),
                     wire_watch,
+                    client_wire_watch,
                 )
             }
         };
@@ -570,11 +594,12 @@ impl Session {
 
         // Reconnector: when the inter-proxy channel dies with a transient
         // fault, the pipeline re-dials through this closure. A dial lays a
-        // fresh pipe over the same emulated link; a transient thread runs
-        // the server-side GTLS handshake (for secure kinds) and pins the
-        // fresh connection onto the shard core — no persistent acceptor
-        // thread. GfsSsh keeps its single tunnel (no re-keying path), and
-        // the kernel baselines have no proxy to recover.
+        // fresh pipe over the same emulated link, alternates the two
+        // resumable GTLS handshake machines inline on the calling pool
+        // worker (for secure kinds), and pins the fresh connection onto
+        // the shard core — no transient thread, no persistent acceptor.
+        // GfsSsh keeps its single tunnel (no re-keying path), and the
+        // kernel baselines have no proxy to recover.
         let reconnector: Option<Box<dyn crate::proxy::retry::Reconnector>> = match params.kind
         {
             SetupKind::Gfs | SetupKind::Sgfs(_) | SetupKind::Sfs => {
@@ -582,39 +607,40 @@ impl Session {
                 let client_gtls = client_cfg.gtls();
                 let link = link.clone();
                 let dial_shards = shards.clone();
-                Some(Box::new(move |_attempt: u32| -> std::io::Result<Upstream> {
-                    let (c, s) = pipe_pair_over_link(link.clone());
-                    let watch = s.watch();
-                    let sp = sp.clone();
-                    let accept_gtls = server_accept_gtls.clone();
-                    let accept_shards = dial_shards.clone();
-                    // The server handshake must run concurrently with the
-                    // client's; the thread is gone once the session is
-                    // pinned (or the handshake fails — which kills this
-                    // dial only; the client backs off and retries).
-                    std::thread::spawn(move || {
-                        let end: sgfs_net::BoxStream = Box::new(s);
-                        let downstream: sgfs_net::BoxStream = match accept_gtls {
-                            Some(cfg) => match GtlsStream::server(end, cfg) {
-                                Ok(mut t) => {
-                                    t.busy_counter = Some(sp.stats().busy_counter());
-                                    Box::new(t)
-                                }
-                                Err(_) => return,
-                            },
-                            None => end,
-                        };
-                        let _ = accept_shards.add_session(downstream, watch, sp);
-                    });
-                    match client_gtls.clone() {
-                        Some(cfg) => {
-                            let tls = GtlsStream::client(Box::new(c), cfg)
+                Some(Box::new(
+                    move |_attempt: u32| -> std::io::Result<(Upstream, sgfs_net::PipeWatch)> {
+                        let (c, s) = pipe_pair_over_link(link.clone());
+                        let c_watch = c.watch();
+                        let s_watch = s.watch();
+                        let sp = sp.clone();
+                        match (client_gtls.clone(), server_accept_gtls.clone()) {
+                            (Some(ccfg), Some(scfg)) => {
+                                // A handshake failure kills this dial only;
+                                // the client backs off and retries.
+                                let (client_tls, mut server_tls) = handshake_pair(
+                                    GtlsHandshake::client(
+                                        Box::new(c),
+                                        Some(c_watch.clone()),
+                                        ccfg,
+                                    ),
+                                    GtlsHandshake::server(
+                                        Box::new(s),
+                                        Some(s_watch.clone()),
+                                        scfg,
+                                    ),
+                                )
                                 .map_err(std::io::Error::from)?;
-                            Ok(Upstream::Tls(Box::new(tls)))
+                                server_tls.busy_counter = Some(sp.stats().busy_counter());
+                                dial_shards.add_session(Box::new(server_tls), s_watch, sp)?;
+                                Ok((Upstream::Tls(Box::new(client_tls)), c_watch))
+                            }
+                            _ => {
+                                dial_shards.add_session(Box::new(s), s_watch, sp)?;
+                                Ok((Upstream::Plain(Box::new(c)), c_watch))
+                            }
                         }
-                        None => Ok(Upstream::Plain(Box::new(c))),
-                    }
-                }))
+                    },
+                ))
             }
             _ => None,
         };
@@ -623,7 +649,7 @@ impl Session {
         // the read-ahead worker rides the same channel — no second
         // connection, no second handshake.
         let mut client_proxy =
-            ClientProxy::with_reconnector(client_upstream, &client_cfg, reconnector)?;
+            ClientProxy::with_reconnector(client_upstream, client_watch, &client_cfg, reconnector)?;
         client_proxy.set_hop_cost(clock.clone(), params.hop_cost);
         client_proxy.start_readahead();
 

@@ -10,6 +10,14 @@
 //! threads — the "double user-level forwarding" whose cost Figure 4 shows:
 //! every RPC message makes two extra user-level hops with two extra copies
 //! and context switches, plus a second encryption layer.
+//!
+//! Establishment is two-phase ([`tunnel_start`] writes this side's hello,
+//! [`TunnelPending::finish`] reads the peer's), so an in-process pair can
+//! be brought up on one thread: start both sides, then finish both — each
+//! finish finds the peer's hello already in the pipe. The forwarder
+//! threads are owned by a [`TunnelGuard`] that joins them on drop; tie the
+//! guard's lifetime to the session so teardown reclaims the threads
+//! deterministically instead of leaking them.
 
 use crate::config::HopCost;
 use crate::proxy::ProxyError;
@@ -25,129 +33,167 @@ use std::io::{Read, Write};
 /// Tunnel chunk size: how much is read from the local side per frame.
 const CHUNK: usize = 32 * 1024 + 512;
 
-/// Authenticate on the wire and derive per-direction record states.
-///
-/// Both sides exchange `nonce, HMAC(key, role || nonce)`; the MACs prove
-/// knowledge of the session key (the inter-proxy authentication of the
-/// session-key model), and the nonces salt the record keys.
-fn authenticate(
-    wire: &mut dyn sgfs_net::Stream,
+/// Owns a tunnel endpoint's two forwarder threads and joins them on
+/// drop. The forwarders exit when either side of the tunnel closes
+/// (dropping the local plaintext stream cascades the teardown), so the
+/// guard's join terminates once the endpoint's user is gone — keep it
+/// with the session and teardown reclaims the threads deterministically.
+pub struct TunnelGuard {
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl TunnelGuard {
+    /// Wait for both forwarders to exit. Idempotent.
+    pub fn join(&mut self) {
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TunnelGuard {
+    fn drop(&mut self) {
+        self.join();
+    }
+}
+
+/// A tunnel endpoint that has written its own hello but not yet read the
+/// peer's — the pause point that lets one thread establish both ends of
+/// an in-process tunnel (start both, then finish both).
+pub struct TunnelPending {
+    wire: sgfs_net::PipeEnd,
+    key: Vec<u8>,
+    is_client: bool,
+    hop: Option<(Arc<SimClock>, HopCost)>,
+    my_nonce: [u8; 16],
+}
+
+/// Write this side's hello (`nonce, HMAC(key, role || nonce)`) — the MAC
+/// proves knowledge of the session key, the inter-proxy authentication of
+/// the session-key model — and return the endpoint paused before the
+/// peer-hello read.
+pub fn tunnel_start(
+    wire: sgfs_net::PipeEnd,
     key: &[u8],
     is_client: bool,
-) -> Result<(HalfConn, HalfConn), ProxyError> {
+    hop: Option<(Arc<SimClock>, HopCost)>,
+) -> Result<TunnelPending, ProxyError> {
+    let mut wire = wire;
     let my_role: &[u8] = if is_client { b"tunnel-client" } else { b"tunnel-server" };
-    let peer_role: &[u8] = if is_client { b"tunnel-server" } else { b"tunnel-client" };
-
     let my_nonce: [u8; 16] = rand::random();
     let mut msg = my_role.to_vec();
     msg.extend_from_slice(&my_nonce);
     let mac = hmac_sha256(key, &msg);
     let mut hello = my_nonce.to_vec();
     hello.extend_from_slice(&mac);
-    write_frame(wire, CT_DATA, &hello)?;
-
-    let (_, peer_hello) = read_frame(wire)?;
-    if peer_hello.len() != 16 + 32 {
-        return Err(ProxyError::Protocol("bad tunnel hello".into()));
-    }
-    let peer_nonce = &peer_hello[..16];
-    let mut expect = peer_role.to_vec();
-    expect.extend_from_slice(peer_nonce);
-    if !ct_eq(&hmac_sha256(key, &expect), &peer_hello[16..]) {
-        return Err(ProxyError::Unauthorized("tunnel session key mismatch".into()));
-    }
-
-    // Key block: client-write then server-write material.
-    let mut seed = Vec::with_capacity(32);
-    if is_client {
-        seed.extend_from_slice(&my_nonce);
-        seed.extend_from_slice(peer_nonce);
-    } else {
-        seed.extend_from_slice(peer_nonce);
-        seed.extend_from_slice(&my_nonce);
-    }
-    let block = prf_sha256(key, b"ssh tunnel keys", &seed, 2 * (32 + 20));
-    let (c_key, rest) = block.split_at(32);
-    let (c_mac, rest) = rest.split_at(20);
-    let (s_key, s_mac) = rest.split_at(32);
-    let suite = CipherSuite::Aes256CbcSha1;
-    let c2s = HalfConn::new(suite, c_key, c_mac, &[]);
-    let s2c = HalfConn::new(suite, s_key, s_mac, &[]);
-    Ok(if is_client { (c2s, s2c) } else { (s2c, c2s) })
+    write_frame(&mut wire, CT_DATA, &hello)?;
+    Ok(TunnelPending { wire, key: key.to_vec(), is_client, hop, my_nonce })
 }
 
-/// Stand up one tunnel endpoint over `wire`, returning the local
-/// plaintext stream the proxy connects to.
-///
-/// Spawns two forwarder threads (one per direction) that move bytes
-/// between the local pipe and the encrypted wire — the real extra
-/// user-level hop of the SSH model.
-fn endpoint(
-    wire: sgfs_net::PipeEnd,
-    key: &[u8],
-    is_client: bool,
-    hop: Option<(Arc<SimClock>, HopCost)>,
-) -> Result<(BoxStream, sgfs_net::PipeWatch), ProxyError> {
-    let mut wire = wire;
-    let (mut tx_state, mut rx_state) = authenticate(&mut wire, key, is_client)?;
-    let hop_tx = hop.clone();
-    let hop_rx = hop;
+impl TunnelPending {
+    /// Read and verify the peer's hello, derive the per-direction record
+    /// states, and start the two forwarder threads. Returns the local
+    /// plaintext stream the proxy connects to, a readiness watch on it
+    /// (what an event loop must observe — the forwarders, not the loop,
+    /// drain the encrypted wire), and the guard owning the forwarders.
+    pub fn finish(self) -> Result<(BoxStream, sgfs_net::PipeWatch, TunnelGuard), ProxyError> {
+        let TunnelPending { mut wire, key, is_client, hop, my_nonce } = self;
+        let peer_role: &[u8] = if is_client { b"tunnel-server" } else { b"tunnel-client" };
 
-    // Reads and writes happen on separate forwarder threads, so both the
-    // wire and the local pipe are split into independent halves.
-    let (local_for_proxy, local_for_tunnel) = pipe_pair();
-    let (mut local_read, mut local_write) = local_for_tunnel.split();
-    let (mut wire_read, mut wire_write) = wire.split();
-
-    // local → wire (encrypt).
-    std::thread::spawn(move || {
-        let mut rng = rand::thread_rng();
-        let mut buf = vec![0u8; CHUNK];
-        loop {
-            let n = match local_read.read(&mut buf) {
-                Ok(0) | Err(_) => break,
-                Ok(n) => n,
-            };
-            // The extra user-level hop: this forwarder is a separate
-            // process in the paper's SSH model, paying a read syscall from
-            // the local pipe and a write to the wire per message.
-            if let Some((clock, hop)) = &hop_tx {
-                clock.advance(hop.of(n) * 2);
-            }
-            let sealed = tx_state.seal(CT_DATA, &buf[..n], &mut rng);
-            if write_frame(&mut wire_write, CT_DATA, &sealed).is_err() {
-                break;
-            }
+        let (_, peer_hello) = read_frame(&mut wire)?;
+        if peer_hello.len() != 16 + 32 {
+            return Err(ProxyError::Protocol("bad tunnel hello".into()));
         }
-    });
-
-    // wire → local (decrypt).
-    std::thread::spawn(move || {
-        while let Ok((_, body)) = read_frame(&mut wire_read) {
-            let plain = match rx_state.open(CT_DATA, body) {
-                Ok(p) => p,
-                Err(_) => break,
-            };
-            if let Some((clock, hop)) = &hop_rx {
-                clock.advance(hop.of(plain.len()) * 2);
-            }
-            if local_write.write_all(&plain).is_err() {
-                break;
-            }
+        let peer_nonce = &peer_hello[..16];
+        let mut expect = peer_role.to_vec();
+        expect.extend_from_slice(peer_nonce);
+        if !ct_eq(&hmac_sha256(&key, &expect), &peer_hello[16..]) {
+            return Err(ProxyError::Unauthorized("tunnel session key mismatch".into()));
         }
-    });
 
-    let watch = local_for_proxy.watch();
-    Ok((Box::new(local_for_proxy), watch))
+        // Key block: client-write then server-write material.
+        let mut seed = Vec::with_capacity(32);
+        if is_client {
+            seed.extend_from_slice(&my_nonce);
+            seed.extend_from_slice(peer_nonce);
+        } else {
+            seed.extend_from_slice(peer_nonce);
+            seed.extend_from_slice(&my_nonce);
+        }
+        let block = prf_sha256(&key, b"ssh tunnel keys", &seed, 2 * (32 + 20));
+        let (c_key, rest) = block.split_at(32);
+        let (c_mac, rest) = rest.split_at(20);
+        let (s_key, s_mac) = rest.split_at(32);
+        let suite = CipherSuite::Aes256CbcSha1;
+        let c2s = HalfConn::new(suite, c_key, c_mac, &[]);
+        let s2c = HalfConn::new(suite, s_key, s_mac, &[]);
+        let (mut tx_state, mut rx_state) = if is_client { (c2s, s2c) } else { (s2c, c2s) };
+
+        let hop_tx = hop.clone();
+        let hop_rx = hop;
+
+        // Reads and writes happen on separate forwarder threads, so both
+        // the wire and the local pipe are split into independent halves.
+        let (local_for_proxy, local_for_tunnel) = pipe_pair();
+        let (mut local_read, mut local_write) = local_for_tunnel.split();
+        let (mut wire_read, mut wire_write) = wire.split();
+
+        // local → wire (encrypt).
+        let tx_handle = std::thread::spawn(move || {
+            let mut rng = rand::thread_rng();
+            let mut buf = vec![0u8; CHUNK];
+            loop {
+                let n = match local_read.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => n,
+                };
+                // The extra user-level hop: this forwarder is a separate
+                // process in the paper's SSH model, paying a read syscall
+                // from the local pipe and a write to the wire per message.
+                if let Some((clock, hop)) = &hop_tx {
+                    clock.advance(hop.of(n) * 2);
+                }
+                let sealed = tx_state.seal(CT_DATA, &buf[..n], &mut rng);
+                if write_frame(&mut wire_write, CT_DATA, &sealed).is_err() {
+                    break;
+                }
+            }
+        });
+
+        // wire → local (decrypt).
+        let rx_handle = std::thread::spawn(move || {
+            while let Ok((_, body)) = read_frame(&mut wire_read) {
+                let plain = match rx_state.open(CT_DATA, body) {
+                    Ok(p) => p,
+                    Err(_) => break,
+                };
+                if let Some((clock, hop)) = &hop_rx {
+                    clock.advance(hop.of(plain.len()) * 2);
+                }
+                if local_write.write_all(&plain).is_err() {
+                    break;
+                }
+            }
+        });
+
+        let watch = local_for_proxy.watch();
+        Ok((
+            Box::new(local_for_proxy),
+            watch,
+            TunnelGuard { handles: vec![tx_handle, rx_handle] },
+        ))
+    }
 }
 
 /// Client-side tunnel endpoint (the `ssh` process on the compute host).
+/// Blocks for the server's hello; use [`tunnel_start`] when both ends
+/// are established from one thread.
 pub fn tunnel_client(
     wire: sgfs_net::PipeEnd,
     key: &[u8],
     hop: Option<(Arc<SimClock>, HopCost)>,
-) -> Result<BoxStream, ProxyError> {
-    endpoint(wire, key, true, hop).map(|(s, _)| s)
+) -> Result<(BoxStream, TunnelGuard), ProxyError> {
+    tunnel_start(wire, key, true, hop)?.finish().map(|(s, _, g)| (s, g))
 }
 
 /// Server-side tunnel endpoint (the `sshd` on the file-server host).
@@ -155,19 +201,8 @@ pub fn tunnel_server(
     wire: sgfs_net::PipeEnd,
     key: &[u8],
     hop: Option<(Arc<SimClock>, HopCost)>,
-) -> Result<BoxStream, ProxyError> {
-    endpoint(wire, key, false, hop).map(|(s, _)| s)
-}
-
-/// Like [`tunnel_server`] but also returns a readiness watch on the local
-/// plaintext pipe — what the sharded server core must observe, since the
-/// forwarder threads (not the shard) drain the encrypted wire.
-pub fn tunnel_server_watched(
-    wire: sgfs_net::PipeEnd,
-    key: &[u8],
-    hop: Option<(Arc<SimClock>, HopCost)>,
-) -> Result<(BoxStream, sgfs_net::PipeWatch), ProxyError> {
-    endpoint(wire, key, false, hop)
+) -> Result<(BoxStream, TunnelGuard), ProxyError> {
+    tunnel_start(wire, key, false, hop)?.finish().map(|(s, _, g)| (s, g))
 }
 
 #[cfg(test)]
@@ -184,8 +219,8 @@ mod tests {
         let k = key();
         let k2 = k.clone();
         let server = std::thread::spawn(move || tunnel_server(wire_b, &k2, None).unwrap());
-        let mut client_side = tunnel_client(wire_a, &k, None).unwrap();
-        let mut server_side = server.join().unwrap();
+        let (mut client_side, _cg) = tunnel_client(wire_a, &k, None).unwrap();
+        let (mut server_side, _sg) = server.join().unwrap();
 
         client_side.write_all(b"rpc request").unwrap();
         let mut buf = [0u8; 11];
@@ -196,6 +231,36 @@ mod tests {
         let mut buf = [0u8; 9];
         client_side.read_exact(&mut buf).unwrap();
         assert_eq!(&buf, b"rpc reply");
+
+        // Close the endpoints before the guards drop: their drop-join
+        // only terminates once the local pipes are gone.
+        drop(client_side);
+        drop(server_side);
+    }
+
+    #[test]
+    fn two_phase_pair_establishes_on_one_thread() {
+        let (wire_a, wire_b) = pipe_pair();
+        let k = key();
+        // start/start then finish/finish: each finish reads a hello that
+        // is already in the pipe, so no concurrent peer thread is needed.
+        let client_pend = tunnel_start(wire_a, &k, true, None).unwrap();
+        let server_pend = tunnel_start(wire_b, &k, false, None).unwrap();
+        let (mut client_side, _cw, mut cg) = client_pend.finish().unwrap();
+        let (mut server_side, server_watch, mut sg) = server_pend.finish().unwrap();
+
+        client_side.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        server_side.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        assert!(!server_watch.has_input(), "watch drained with the read");
+
+        // Dropping the endpoints cascades teardown; the guards' joins
+        // terminate instead of leaking the forwarders.
+        drop(client_side);
+        drop(server_side);
+        cg.join();
+        sg.join();
     }
 
     #[test]
@@ -240,8 +305,8 @@ mod tests {
         relay(a_read, b_write, Some(captured.clone())); // client → server, recorded
         relay(b_read, a_write, None); // server → client
         let server = std::thread::spawn(move || tunnel_server(wire_b, &k2, None).unwrap());
-        let mut client_side = tunnel_client(wire_a, &k, None).unwrap();
-        let mut server_side = server.join().unwrap();
+        let (mut client_side, _cg) = tunnel_client(wire_a, &k, None).unwrap();
+        let (mut server_side, _sg) = server.join().unwrap();
 
         let secret = b"TOPSECRET-GRID-DATA-TOPSECRET";
         client_side.write_all(secret).unwrap();
@@ -255,6 +320,8 @@ mod tests {
             !wire_bytes.windows(10).any(|w| w == &secret[..10]),
             "plaintext leaked onto the wire"
         );
+        drop(client_side);
+        drop(server_side);
     }
 
     #[test]
@@ -263,8 +330,8 @@ mod tests {
         let k = key();
         let k2 = k.clone();
         let server = std::thread::spawn(move || tunnel_server(wire_b, &k2, None).unwrap());
-        let mut client_side = tunnel_client(wire_a, &k, None).unwrap();
-        let mut server_side = server.join().unwrap();
+        let (mut client_side, _cg) = tunnel_client(wire_a, &k, None).unwrap();
+        let (mut server_side, _sg) = server.join().unwrap();
 
         let data: Vec<u8> = (0..500_000).map(|i| (i % 251) as u8).collect();
         let expected = data.clone();
@@ -275,6 +342,9 @@ mod tests {
         let mut got = vec![0u8; expected.len()];
         server_side.read_exact(&mut got).unwrap();
         assert_eq!(got, expected);
+        // The writer returns (and thereby drops) the client endpoint;
+        // drop the server one too so the guards' drop-joins terminate.
         writer.join().unwrap();
+        drop(server_side);
     }
 }

@@ -156,7 +156,8 @@ fn config_for(dir: PathBuf, crash: Option<Arc<CrashInjector>>) -> SessionConfig 
 fn proxy_to(state: &ServerState, config: &SessionConfig) -> ClientProxy {
     let (end, srv) = pipe_pair();
     byte_server(srv, state.clone());
-    ClientProxy::new(Upstream::Plain(Box::new(end)), config).expect("proxy construction")
+    let watch = end.watch();
+    ClientProxy::new(Upstream::Plain(Box::new(end)), watch, config).expect("proxy construction")
 }
 
 /// One WRITE of the workload script: (file, offset, payload).

@@ -24,7 +24,7 @@ use sgfs::proxy::client::{ClientProxy, Upstream};
 use sgfs::proxy::pipeline::Pipeline;
 use sgfs::session::GridWorld;
 use sgfs::stats::ProxyStats;
-use sgfs_gtls::GtlsStream;
+use sgfs_gtls::{handshake_pair, GtlsHandshake, GtlsStream, HsStatus};
 use sgfs_net::{pipe_pair, BoxStream, FaultInjector, FaultPlan, FaultStream, PipeEnd};
 use sgfs_nfs3::proc::{
     procnum, AccessArgs, AccessRes, CommitRes, GetAttrRes, WriteArgs, WriteRes,
@@ -129,10 +129,13 @@ fn faulted_case(seed: u64, n: usize) {
 
     let (first_end, first_srv) = pipe_pair();
     echo_server(first_srv);
+    // Readiness watches the raw wire beneath the fault layer: arrivals
+    // are arrivals whether or not the injector mangles the read.
+    let first_watch = first_end.watch();
     let first = FaultStream::new(Box::new(first_end), plain_plan(&inj));
 
     let dialer = inj.clone();
-    let reconnect = move |_attempt: u32| -> std::io::Result<Upstream> {
+    let reconnect = move |_attempt: u32| -> std::io::Result<(Upstream, sgfs_net::PipeWatch)> {
         if dialer.refuse_connect() {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::ConnectionRefused,
@@ -141,15 +144,17 @@ fn faulted_case(seed: u64, n: usize) {
         }
         let (end, srv) = pipe_pair();
         echo_server(srv);
-        Ok(Upstream::Plain(Box::new(FaultStream::new(
-            Box::new(end),
-            plain_plan(&dialer),
-        ))))
+        let watch = end.watch();
+        Ok((
+            Upstream::Plain(Box::new(FaultStream::new(Box::new(end), plain_plan(&dialer)))),
+            watch,
+        ))
     };
 
     let stats = ProxyStats::new();
     let pipeline = Pipeline::with_recovery(
         Upstream::Plain(Box::new(first)),
+        first_watch,
         8,
         None,
         stats.clone(),
@@ -308,18 +313,21 @@ fn commit_follows_writes_replayed_across_reconnect() {
     }
 
     let relog = log.clone();
-    let reconnect = move |_attempt: u32| -> std::io::Result<Upstream> {
+    let reconnect = move |_attempt: u32| -> std::io::Result<(Upstream, sgfs_net::PipeWatch)> {
         let (end, srv) = pipe_pair();
         logging_nfs_server(srv, relog.clone());
-        Ok(Upstream::Plain(Box::new(end)))
+        let watch = end.watch();
+        Ok((Upstream::Plain(Box::new(end)), watch))
     };
 
     let mut config = SessionConfig::new(SecurityLevel::None);
     config.cache = CacheMode::MemoryMeta;
     config.window = 8;
     config.retry = quick_retry();
+    let up_watch = upstream_end.watch();
     let proxy = ClientProxy::with_reconnector(
         Upstream::Plain(Box::new(upstream_end)),
+        up_watch,
         &config,
         Some(Box::new(reconnect)),
     )
@@ -427,8 +435,9 @@ fn verifier_change_forces_unstable_write_resend() {
     let mut config = SessionConfig::new(SecurityLevel::None);
     config.cache = CacheMode::MemoryMeta;
     config.window = 8;
-    let proxy =
-        ClientProxy::new(Upstream::Plain(Box::new(upstream_end)), &config).expect("proxy");
+    let up_watch = upstream_end.watch();
+    let proxy = ClientProxy::new(Upstream::Plain(Box::new(upstream_end)), up_watch, &config)
+        .expect("proxy");
     let mut proxy = ingest_writes(proxy, BLOCKS, BLOCK_LEN);
     proxy.flush_all().expect("flush converges once the verifier settles");
 
@@ -493,8 +502,9 @@ fn access_cache_consults_server_for_unchecked_bits() {
 
     let mut config = SessionConfig::new(SecurityLevel::None);
     config.cache = CacheMode::MemoryMeta;
-    let proxy =
-        ClientProxy::new(Upstream::Plain(Box::new(upstream_end)), &config).expect("proxy");
+    let up_watch = upstream_end.watch();
+    let proxy = ClientProxy::new(Upstream::Plain(Box::new(upstream_end)), up_watch, &config)
+        .expect("proxy");
 
     let (mut down, proxy_down) = pipe_pair();
     let (tx, rx) = mpsc::channel();
@@ -614,6 +624,8 @@ fn gtls_mac_detects_corruption_and_reconnect_cures_it() {
     let armed = Arc::new(AtomicBool::new(false));
     let (client_end, server_end) = pipe_pair();
     accept_tx.send(Box::new(server_end)).unwrap();
+    // Watch the raw pipe beneath both the tap and the GTLS layer.
+    let first_watch = client_end.watch();
     let tap = CorruptOnce {
         inner: client_end,
         armed: armed.clone(),
@@ -625,19 +637,21 @@ fn gtls_mac_detects_corruption_and_reconnect_cures_it() {
     armed.store(true, Ordering::SeqCst);
 
     let redial_tx = accept_tx.clone();
-    let reconnect = move |_attempt: u32| -> std::io::Result<Upstream> {
+    let reconnect = move |_attempt: u32| -> std::io::Result<(Upstream, sgfs_net::PipeWatch)> {
         let (c, s) = pipe_pair();
         redial_tx.send(Box::new(s)).map_err(|_| {
             std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "acceptor gone")
         })?;
+        let watch = c.watch();
         let tls = GtlsStream::client(Box::new(c), client_gtls.clone())
             .map_err(std::io::Error::from)?;
-        Ok(Upstream::Tls(Box::new(tls)))
+        Ok((Upstream::Tls(Box::new(tls)), watch))
     };
 
     let stats = ProxyStats::new();
     let pipeline = Pipeline::with_recovery(
         Upstream::Tls(Box::new(first)),
+        first_watch,
         4,
         None,
         stats.clone(),
@@ -721,20 +735,24 @@ fn sharded_faulted_case(seed: u64, n: usize) {
 
     // The faulted session recovers through the same accept → pin path.
     let first = add_faulted_session(&shards, &inj);
+    let first_watch = first.watch();
     let dial_shards = shards.clone();
     let dialer = inj.clone();
-    let reconnect = move |_attempt: u32| -> std::io::Result<Upstream> {
+    let reconnect = move |_attempt: u32| -> std::io::Result<(Upstream, sgfs_net::PipeWatch)> {
         if dialer.refuse_connect() {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::ConnectionRefused,
                 "injected connect refusal",
             ));
         }
-        Ok(Upstream::Plain(Box::new(add_faulted_session(&dial_shards, &dialer))))
+        let end = add_faulted_session(&dial_shards, &dialer);
+        let watch = end.watch();
+        Ok((Upstream::Plain(Box::new(end)), watch))
     };
     let stats = ProxyStats::new();
     let pipeline = Pipeline::with_recovery(
         Upstream::Plain(Box::new(first)),
+        first_watch,
         8,
         None,
         stats.clone(),
@@ -775,4 +793,101 @@ proptest! {
     ) {
         sharded_faulted_case(seed, n);
     }
+}
+
+// ---------------------------------------------------------------------
+// 8. A mid-handshake fault is a value-level dial error on the calling
+//    thread — the resumable machine is simply dropped — and the next
+//    dial recovers the channel.
+// ---------------------------------------------------------------------
+
+#[test]
+fn mid_handshake_fault_fails_dial_cleanly_and_next_dial_recovers() {
+    let world = GridWorld::new();
+    let material = world.material();
+    let mut server_side = SessionConfig::new(SecurityLevel::IntegrityOnly);
+    server_side.credential = Some(material.server.clone());
+    server_side.trust = material.trust.clone();
+    let mut client_side = SessionConfig::new(SecurityLevel::IntegrityOnly);
+    client_side.credential = Some(material.user.clone());
+    client_side.trust = material.trust.clone();
+    let server_gtls = server_side.gtls().expect("suite");
+    let client_gtls = client_side.gtls().expect("suite");
+
+    let shards = sgfs_oncrpc::ShardServer::new(1);
+    let attempts = Arc::new(AtomicU32::new(0));
+    // Server ends of stalled dials, kept alive and silent: the half-open
+    // peer that would wedge a blocking handshake (and whatever thread ran
+    // it) forever.
+    let stalled: Arc<Mutex<Vec<PipeEnd>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let dial_attempts = attempts.clone();
+    let dial_stalled = stalled.clone();
+    let dial_shards = shards.clone();
+    let sg = server_gtls.clone();
+    let cg = client_gtls;
+    let reconnect = move |_a: u32| -> std::io::Result<(Upstream, sgfs_net::PipeWatch)> {
+        let n = dial_attempts.fetch_add(1, Ordering::SeqCst);
+        let (c, s) = pipe_pair();
+        let c_watch = c.watch();
+        if n < 2 {
+            let mut hs = GtlsHandshake::client(Box::new(c), Some(c_watch), cg.clone());
+            if n == 0 {
+                // Fault axis A: the peer dies mid-handshake. The machine
+                // reports it as a plain error on this very thread.
+                drop(s);
+                let err = hs.advance().expect_err("dead peer must fail the handshake");
+                return Err(std::io::Error::new(std::io::ErrorKind::ConnectionRefused, err));
+            }
+            // Fault axis B: the peer stays half-open but silent. The
+            // machine parks at Pending; abandoning the dial is dropping a
+            // value — no thread is left blocked on the dead handshake.
+            dial_stalled.lock().unwrap().push(s);
+            for _ in 0..3 {
+                match hs.advance() {
+                    Ok(HsStatus::Pending) => {}
+                    other => panic!("silent peer must leave the machine pending: {other:?}"),
+                }
+            }
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionRefused,
+                "mid-handshake stall abandoned",
+            ));
+        }
+        // Healthy dial: both machines alternate inline, the fresh server
+        // side pins straight onto the shard core.
+        let s_watch = s.watch();
+        let (client_tls, server_tls) = handshake_pair(
+            GtlsHandshake::client(Box::new(c), Some(c_watch.clone()), cg.clone()),
+            GtlsHandshake::server(Box::new(s), Some(s_watch.clone()), sg.clone()),
+        )
+        .map_err(std::io::Error::from)?;
+        dial_shards
+            .add_session(Box::new(server_tls), s_watch, Arc::new(ShardEcho))
+            .expect("shard accepts the recovered session");
+        Ok((Upstream::Tls(Box::new(client_tls)), c_watch))
+    };
+
+    // The first channel is born dead, so the first call triggers recovery
+    // immediately and walks the dial sequence above.
+    let (dead, gone) = pipe_pair();
+    let dead_watch = dead.watch();
+    drop(gone);
+    let stats = ProxyStats::new();
+    let pipeline = Pipeline::with_recovery(
+        Upstream::Plain(Box::new(dead)),
+        dead_watch,
+        4,
+        None,
+        stats.clone(),
+        Some(Box::new(reconnect)),
+        quick_retry(),
+    );
+
+    let record = nfs_call(0x1, procnum::GETATTR, |enc| Fh3::from_ino(1, 9).encode(enc));
+    let want = transform(&record);
+    let got = pipeline.call(record).expect("reply after two faulted dials");
+    assert_eq!(got, want, "reply identical to the fault-free run");
+    assert_eq!(attempts.load(Ordering::SeqCst), 3, "two faulted dials, then one good one");
+    assert_eq!(stats.reconnects(), 1, "one recovery episode despite the handshake faults");
 }

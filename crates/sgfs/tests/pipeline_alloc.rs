@@ -95,7 +95,9 @@ impl sgfs_oncrpc::RecordService for ShardEcho {
 fn reply_handoff_is_clone_free_at_steady_state() {
     let (client_end, server_end) = pipe_pair();
     frugal_echo_server(server_end);
-    let p = Pipeline::new(Upstream::Plain(Box::new(client_end)), 4, None, ProxyStats::new());
+    let watch = client_end.watch();
+    let p =
+        Pipeline::new(Upstream::Plain(Box::new(client_end)), watch, 4, None, ProxyStats::new());
 
     // Warm-up: settle the I/O thread's reply/scratch high-water marks and
     // the recycled-buffer pool that the reply swap feeds.

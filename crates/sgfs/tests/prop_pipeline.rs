@@ -99,14 +99,18 @@ proptest! {
         // Serial reference: window 1 against a FIFO server.
         let (c1, s1) = pipe_pair();
         permuting_server(s1, n, 1, 0);
-        let serial = Pipeline::new(Upstream::Plain(Box::new(c1)), 1, None, ProxyStats::new());
+        let w1 = c1.watch();
+        let serial =
+            Pipeline::new(Upstream::Plain(Box::new(c1)), w1, 1, None, ProxyStats::new());
         let serial_replies = run_calls(&serial, &payloads);
 
         // Pipelined: the whole batch in flight, replies permuted by seed.
         let (c2, s2) = pipe_pair();
         permuting_server(s2, n, n, seed);
+        let w2 = c2.watch();
         let piped = Pipeline::new(
             Upstream::Plain(Box::new(c2)),
+            w2,
             n as u32,
             None,
             ProxyStats::new(),
@@ -230,8 +234,9 @@ fn commit_ordering_case(blocks: usize, block_len: usize) {
     let mut config = SessionConfig::new(SecurityLevel::None);
     config.cache = CacheMode::MemoryMeta;
     config.window = 8;
-    let proxy =
-        ClientProxy::new(Upstream::Plain(Box::new(upstream_end)), &config).expect("proxy");
+    let watch = upstream_end.watch();
+    let proxy = ClientProxy::new(Upstream::Plain(Box::new(upstream_end)), watch, &config)
+        .expect("proxy");
     let stats = proxy.stats().clone();
 
     // Drive WRITEs through the downstream interface (absorbed into the

@@ -17,24 +17,44 @@
 //!    round-robin, so every shard constantly switches between sessions
 //!    mid-stream.
 
-use sgfs::config::{SecurityLevel, SessionConfig};
+use sgfs::config::{RetryPolicy, SecurityLevel, SessionConfig};
+use sgfs::proxy::client::Upstream;
+use sgfs::proxy::pipeline::Pipeline;
 use sgfs::proxy::server::ServerProxy;
 use sgfs::session::{GridWorld, SessionMaterial, FILE_UID, JOB_UID};
-use sgfs_gtls::GtlsStream;
+use sgfs::stats::ProxyStats;
+use sgfs_gtls::{handshake_pair, GtlsHandshake};
 use sgfs_net::pipe_pair;
 use sgfs_nfs3::types::{Sattr3, StableHow};
 use sgfs_nfs3::{Fh3, Nfs3Client};
 use sgfs_nfsd::{ExportEntry, Exports, NfsServer};
 use sgfs_oncrpc::msg::AuthSysParams;
-use sgfs_oncrpc::{process_thread_count, LoopbackStream, OpaqueAuth, ShardServer};
+use sgfs_oncrpc::{process_thread_count, ClientIoPool, LoopbackStream, OpaqueAuth, ShardServer};
 use sgfs_pki::ValidatedPeer;
 use sgfs_vfs::{UserContext, Vfs};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 const SESSIONS: usize = 64;
 const DRIVERS: usize = 8;
 const SHARDS: usize = 4;
 const ROUNDS: usize = 12;
+
+/// Thread-ceiling tests measure `/proc/self/status` for the whole
+/// process, so they must not overlap; everything else in this binary is
+/// free to run in parallel with them.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// Poll until `cond` holds or ~2 s elapse (thread exits and pool
+/// retirements are asynchronous but fast).
+fn wait_for(mut cond: impl FnMut() -> bool) -> bool {
+    for _ in 0..2000 {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    cond()
+}
 
 /// One deterministic op per (session, round), derived from a tiny PRNG so
 /// the driver and the oracle replay the identical script.
@@ -156,12 +176,17 @@ fn build_session(
     let watch = server_end.watch();
     let client_stream: sgfs_net::BoxStream = if secure {
         let scfg = server_cfg.gtls().unwrap();
-        let handshake = std::thread::spawn(move || GtlsStream::server(Box::new(server_end), scfg));
         let mut ccfg = proxy_config(world, level);
         ccfg.credential = Some(world.user.clone());
         ccfg.expected_peer = Some(world.server.effective_dn().clone());
-        let client_tls = GtlsStream::client(Box::new(client_end), ccfg.gtls().unwrap()).unwrap();
-        let server_tls = handshake.join().unwrap().unwrap();
+        // Both resumable machines alternate on this thread: session setup
+        // spawns no handshake thread at all.
+        let client_watch = client_end.watch();
+        let (client_tls, server_tls) = handshake_pair(
+            GtlsHandshake::client(Box::new(client_end), Some(client_watch), ccfg.gtls().unwrap()),
+            GtlsHandshake::server(Box::new(server_end), Some(watch.clone()), scfg),
+        )
+        .unwrap();
         shards.add_session(Box::new(server_tls), watch, proxy).unwrap();
         Box::new(client_tls)
     } else {
@@ -175,6 +200,7 @@ fn build_session(
 
 #[test]
 fn sixty_four_sessions_one_sharded_server() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let threads_before = process_thread_count();
 
     let world = GridWorld::new().material();
@@ -268,5 +294,130 @@ fn sixty_four_sessions_one_sharded_server() {
     // Still bounded after the drivers are gone.
     if let (Some(before), Some(now)) = (threads_before, process_thread_count()) {
         assert!(now <= before + SHARDS + 2, "thread ceiling after drive (before={before}, now={now})");
+    }
+}
+
+// ---------------------------------------------------------------------
+// The client-plane axis: 256 pipelines on one fixed client I/O pool.
+// ---------------------------------------------------------------------
+
+const PIPELINES: usize = 256;
+const CLIENT_POOL: usize = 2;
+
+/// Record echo with a marker suffix, served from the shard event loops.
+struct PooledEcho;
+
+impl sgfs_oncrpc::RecordService for PooledEcho {
+    fn process_record(&self, record: &[u8]) -> std::io::Result<Vec<u8>> {
+        let mut r = record.to_vec();
+        r.extend_from_slice(b":pooled");
+        Ok(r)
+    }
+}
+
+/// 256 concurrent client pipelines multiplexed onto a 2-worker
+/// [`ClientIoPool`] against a sharded echo server: the client side of the
+/// paper's scaling story. Asserts the client mirror of the server-side
+/// thread ceiling — pipelines cost pool workers, not a reader thread
+/// each — and that teardown returns the process to its exact thread
+/// baseline (the reader-thread leak this PR fixes would strand 256).
+#[test]
+fn two_hundred_fifty_six_pipelines_one_client_pool() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let t0 = process_thread_count();
+
+    let shards = ShardServer::new(SHARDS);
+    let pool = ClientIoPool::new(CLIENT_POOL);
+
+    let mut pipelines: Vec<(usize, Pipeline)> = Vec::new();
+    for i in 0..PIPELINES {
+        let (client_end, server_end) = pipe_pair();
+        let watch = server_end.watch();
+        shards.add_session(Box::new(server_end), watch, Arc::new(PooledEcho)).unwrap();
+        let client_watch = client_end.watch();
+        let p = Pipeline::with_recovery_on(
+            &pool,
+            Upstream::Plain(Box::new(client_end)),
+            client_watch,
+            8,
+            None,
+            ProxyStats::new(),
+            None,
+            RetryPolicy::default(),
+        )
+        .unwrap();
+        pipelines.push((i, p));
+    }
+    assert!(
+        wait_for(|| pool.active_conns() == PIPELINES),
+        "every pipeline pinned to the pool (got {})",
+        pool.active_conns()
+    );
+
+    // Ceiling while everything is live: the shard pool plus the client
+    // pool, never a thread per pipeline.
+    if let (Some(before), Some(now)) = (t0, process_thread_count()) {
+        assert!(
+            now <= before + SHARDS + CLIENT_POOL + 2,
+            "256 pipelines must cost pool workers, not reader threads \
+             (before={before}, now={now}, shards={SHARDS}, pool={CLIENT_POOL})"
+        );
+    }
+
+    // Drive all pipelines concurrently from a bounded driver pool.
+    let mut driver_work: Vec<Vec<(usize, Pipeline)>> = (0..DRIVERS).map(|_| Vec::new()).collect();
+    for (slot, entry) in pipelines.into_iter().enumerate() {
+        driver_work[slot % DRIVERS].push(entry);
+    }
+    let drivers: Vec<_> = driver_work
+        .into_iter()
+        .map(|mine| {
+            std::thread::spawn(move || {
+                for round in 0..4u32 {
+                    // Submit one call per pipeline, then collect: keeps
+                    // DRIVERS × (PIPELINES / DRIVERS) calls in flight
+                    // across the pool at once.
+                    let pending: Vec<_> = mine
+                        .iter()
+                        .map(|(i, p)| {
+                            let mut record = (*i as u32).to_be_bytes().to_vec();
+                            record.extend_from_slice(&round.to_be_bytes());
+                            record.extend_from_slice(b"payload");
+                            (record.clone(), p.submit(record))
+                        })
+                        .collect();
+                    for (record, reply) in pending {
+                        let got = reply.wait().expect("pooled echo reply");
+                        assert_eq!(got.len(), record.len() + 7, "echo shape");
+                        assert!(got.ends_with(b":pooled"), "served by the shard echo");
+                        assert_eq!(&got[..record.len()], &record[..], "xid restored");
+                    }
+                }
+                mine
+            })
+        })
+        .collect();
+    let mut finished = Vec::new();
+    for d in drivers {
+        finished.extend(d.join().unwrap());
+    }
+
+    // Teardown: dropping every handle retires each pipeline's pool slot
+    // (stats flushed, no join leaks) and the thread count returns to the
+    // exact pre-test baseline once the pools themselves are gone.
+    drop(finished);
+    assert!(
+        wait_for(|| pool.active_conns() == 0),
+        "all pipeline slots retired after the last handle dropped"
+    );
+    drop(shards);
+    drop(pool);
+    if let Some(before) = t0 {
+        assert!(
+            wait_for(|| process_thread_count().is_some_and(|now| now <= before)),
+            "thread count must return to baseline after teardown \
+             (before={before}, now={:?})",
+            process_thread_count()
+        );
     }
 }

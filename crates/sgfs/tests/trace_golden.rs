@@ -173,8 +173,9 @@ fn cache_scenario() -> Vec<String> {
     let (config, obs) = traced_config();
     let (upstream_end, srv) = pipe_pair();
     nfs_server(srv);
-    let proxy =
-        ClientProxy::new(Upstream::Plain(Box::new(upstream_end)), &config).expect("proxy");
+    let watch = upstream_end.watch();
+    let proxy = ClientProxy::new(Upstream::Plain(Box::new(upstream_end)), watch, &config)
+        .expect("proxy");
 
     let fh = Fh3::from_ino(1, 42);
     let getattr =
@@ -227,8 +228,9 @@ fn flush_scenario() -> Vec<String> {
     let (config, obs) = traced_config();
     let (upstream_end, srv) = pipe_pair();
     nfs_server(srv);
-    let proxy =
-        ClientProxy::new(Upstream::Plain(Box::new(upstream_end)), &config).expect("proxy");
+    let watch = upstream_end.watch();
+    let proxy = ClientProxy::new(Upstream::Plain(Box::new(upstream_end)), watch, &config)
+        .expect("proxy");
 
     let fh = Fh3::from_ino(1, 42);
     let writes: Vec<Vec<u8>> = (0..BLOCKS)
@@ -326,14 +328,17 @@ fn replay_scenario() -> Vec<String> {
 
     let dials = Arc::new(AtomicU32::new(0));
     let dialed = dials.clone();
-    let reconnect = move |_attempt: u32| -> std::io::Result<Upstream> {
+    let reconnect = move |_attempt: u32| -> std::io::Result<(Upstream, sgfs_net::PipeWatch)> {
         dialed.fetch_add(1, Ordering::SeqCst);
         let (end, srv) = pipe_pair();
         nfs_server(srv);
-        Ok(Upstream::Plain(Box::new(end)))
+        let watch = end.watch();
+        Ok((Upstream::Plain(Box::new(end)), watch))
     };
+    let up_watch = upstream_end.watch();
     let proxy = ClientProxy::with_reconnector(
         Upstream::Plain(Box::new(upstream_end)),
+        up_watch,
         &config,
         Some(Box::new(reconnect)),
     )
@@ -442,8 +447,10 @@ fn recovery_scenario() -> Vec<String> {
         let obs = Obs::new();
         let (upstream_end, srv) = pipe_pair();
         nfs_server(srv);
-        let proxy = ClientProxy::new(Upstream::Plain(Box::new(upstream_end)), &disk_config(&obs))
-            .expect("proxy");
+        let watch = upstream_end.watch();
+        let proxy =
+            ClientProxy::new(Upstream::Plain(Box::new(upstream_end)), watch, &disk_config(&obs))
+                .expect("proxy");
         let writes: Vec<Vec<u8>> = (0..2)
             .map(|i| {
                 nfs_call(0x40 + i as u32, procnum::WRITE, |enc| {
@@ -479,8 +486,10 @@ fn recovery_scenario() -> Vec<String> {
     let obs = Obs::new();
     let (upstream_end, srv) = pipe_pair();
     nfs_server(srv);
-    let mut proxy = ClientProxy::new(Upstream::Plain(Box::new(upstream_end)), &disk_config(&obs))
-        .expect("proxy");
+    let watch = upstream_end.watch();
+    let mut proxy =
+        ClientProxy::new(Upstream::Plain(Box::new(upstream_end)), watch, &disk_config(&obs))
+            .expect("proxy");
     assert_eq!(proxy.stats().recovered(), (1, BLOCK_LEN as u64), "one block survives the tear");
     proxy.flush_all().expect("post-recovery flush");
     drop(proxy);

@@ -46,6 +46,14 @@ run_watchdog 120 store_parity   cargo test -q -p sgfs --test store_parity
 run_watchdog 120 scale_matrix   cargo test -q -p sgfs --test scale_matrix
 run_watchdog 120 spsc_prop      cargo test -q -p sgfs-net --test spsc_prop
 
+# Client event plane: the submission ring and the fixed client I/O pool
+# (a lost wakeup in either wedges a pipeline forever, so both run under
+# the watchdog), then the pipeline property suite that drives records
+# through the pooled reader.
+run_watchdog 120 submit_ring    cargo test -q -p sgfs-net --lib submit::
+run_watchdog 120 client_pool    cargo test -q -p sgfs-oncrpc --lib client_pool::
+run_watchdog 180 prop_pipeline  cargo test -q -p sgfs --test prop_pipeline
+
 # AEAD record layer: RFC/NIST known-answer vectors + PCLMUL-vs-scalar
 # GHASH equivalence proptests, then the negotiation/rekey matrix.
 run_watchdog 120 crypto_kat     cargo test -q -p sgfs-crypto --lib -- ghash:: gcm:: chacha:: poly1305:: chachapoly::
@@ -75,7 +83,9 @@ run_watchdog 120 pipeline_bench ./target/release/pipeline_bench --quick
 
 # Session-scale gate: 1000+ sessions pinned on a 4-shard pool may grow
 # the process by at most shards+4 threads, and a low-load session's p99
-# may degrade at most 2x vs a single-session baseline (writes
-# BENCH_scale.json; exits nonzero past either threshold).
+# may degrade at most 2x vs a single-session baseline; the client-plane
+# phase holds 256 pipelines on a 2-thread pool to pool+shards+4 threads
+# and requires the count to return to baseline after teardown (writes
+# BENCH_scale.json; exits nonzero past any threshold).
 cargo build --release -p sgfs-bench --bin scale_bench
 run_watchdog 120 scale_bench ./target/release/scale_bench --quick
