@@ -102,10 +102,19 @@ pub enum Hop {
     /// A shard's event loop picked the session out of its handoff inbox
     /// and pinned it (xid = session id, aux = shard index).
     ShardHandoff = 20,
+    /// A striped READ was served by one member of the session's upstream
+    /// stripe set (aux = member index).
+    StripeRead = 21,
+    /// One replica's WRITE batch of a replicated flush round was
+    /// confirmed under its write verifier (aux = member index).
+    ReplicaWrite = 22,
+    /// A stripe-set member was marked down and traffic re-routed to the
+    /// survivors (aux = member index).
+    ReplicaFailover = 23,
 }
 
 /// Every hop, for iteration and snapshot ordering.
-pub const ALL_HOPS: [Hop; 21] = [
+pub const ALL_HOPS: [Hop; 24] = [
     Hop::CacheHit,
     Hop::CacheMiss,
     Hop::Seal,
@@ -127,6 +136,9 @@ pub const ALL_HOPS: [Hop; 21] = [
     Hop::RecordOpen,
     Hop::ShardAccept,
     Hop::ShardHandoff,
+    Hop::StripeRead,
+    Hop::ReplicaWrite,
+    Hop::ReplicaFailover,
 ];
 
 impl Hop {
@@ -154,6 +166,9 @@ impl Hop {
             Hop::RecordOpen => "record_open",
             Hop::ShardAccept => "shard_accept",
             Hop::ShardHandoff => "shard_handoff",
+            Hop::StripeRead => "stripe_read",
+            Hop::ReplicaWrite => "replica_write",
+            Hop::ReplicaFailover => "replica_failover",
         }
     }
 

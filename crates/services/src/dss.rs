@@ -127,6 +127,8 @@ impl Dss {
                 fine_grained_acl,
                 rtt_micros,
                 delegated_credential,
+                stripe_width,
+                replicas,
             } => {
                 // Authorization: the caller must hold a grant.
                 if self.grant_for(&filesystem, caller).is_none() {
@@ -144,6 +146,8 @@ impl Dss {
                     user_credential: delegated_credential,
                     gridmap_text,
                     accounts,
+                    stripe_width,
+                    replicas,
                 };
                 match self.instruct_fss(&establish) {
                     Ok(FssResponse::Established { id: fss_id }) => {

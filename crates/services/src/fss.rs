@@ -41,6 +41,12 @@ pub enum FssRequest {
         gridmap_text: String,
         /// account → (uid, gid).
         accounts: Vec<(String, u32, u32)>,
+        /// Place the session across this many upstream file hosts.
+        /// `None` — omitted by older DSS builds — or `Some(1)` is the
+        /// classic single-server session.
+        stripe_width: Option<u32>,
+        /// Replicas per block, clamped to the width. `None` = 1.
+        replicas: Option<u32>,
     },
     /// Tear a session down (flushes write-back).
     Destroy {
@@ -178,6 +184,8 @@ impl Fss {
                 user_credential,
                 gridmap_text,
                 accounts,
+                stripe_width,
+                replicas,
             } => {
                 let Some(cred_bytes) = unhex(&user_credential) else {
                     return FssResponse::Error("bad credential hex".into());
@@ -216,12 +224,23 @@ impl Fss {
                         rand::random::<u64>()
                     )));
                 }
-                params.vfs = Some(
-                    self.filesystems
-                        .entry(filesystem)
-                        .or_insert_with(|| std::sync::Arc::new(sgfs_vfs::Vfs::new()))
-                        .clone(),
-                );
+                let stripe_width = stripe_width.unwrap_or(1);
+                if stripe_width > 1 {
+                    // A striped session owns its replica set: each member
+                    // is a fresh, structurally identical file host, so it
+                    // cannot attach to a shared by-name filesystem.
+                    params.stripe = Some(sgfs::config::StripePolicy::replicated(
+                        stripe_width,
+                        replicas.unwrap_or(1).max(1),
+                    ));
+                } else {
+                    params.vfs = Some(
+                        self.filesystems
+                            .entry(filesystem)
+                            .or_insert_with(|| std::sync::Arc::new(sgfs_vfs::Vfs::new()))
+                            .clone(),
+                    );
+                }
                 // Every FSS-managed session gets its own observability
                 // domain, so `Query` can monitor it over the wire.
                 let obs = sgfs_obs::Obs::new();

@@ -31,6 +31,13 @@ pub enum DssRequest {
         /// Serialized delegated proxy credential (hex) the services use
         /// to establish the session on the user's behalf.
         delegated_credential: String,
+        /// Place the session across this many FSS upstreams (file blocks
+        /// stripe across them by block index). `None` — omitted by older
+        /// clients — or `Some(1)` is the classic single-server session.
+        stripe_width: Option<u32>,
+        /// Replicate each block to this many of the stripe members
+        /// (clamped to the width). `None` = 1.
+        replicas: Option<u32>,
     },
     /// Destroy a session, flushing its write-back cache.
     DestroySession {
@@ -133,6 +140,8 @@ mod tests {
                 fine_grained_acl: false,
                 rtt_micros: 40_000,
                 delegated_credential: "abcd".into(),
+                stripe_width: Some(4),
+                replicas: Some(2),
             },
             DssRequest::DestroySession { session_id: 7 },
             DssRequest::GrantAccess {
@@ -146,6 +155,23 @@ mod tests {
             let json = serde_json::to_string(&r).unwrap();
             let back: DssRequest = serde_json::from_str(&json).unwrap();
             assert_eq!(serde_json::to_string(&back).unwrap(), json);
+        }
+    }
+
+    #[test]
+    fn create_session_without_placement_defaults_to_single_server() {
+        // Requests serialized before the placement knobs existed must
+        // still deserialize — as classic single-server sessions.
+        let json = r#"{"CreateSession":{"filesystem":"GFS","security":"Strong",
+            "disk_cache":true,"fine_grained_acl":false,"rtt_micros":300,
+            "delegated_credential":"abcd"}}"#;
+        let req: DssRequest = serde_json::from_str(json).unwrap();
+        match req {
+            DssRequest::CreateSession { stripe_width, replicas, .. } => {
+                assert_eq!(stripe_width, None);
+                assert_eq!(replicas, None);
+            }
+            other => panic!("wrong variant: {other:?}"),
         }
     }
 

@@ -62,6 +62,8 @@ fn create_session_request(plane: &Plane) -> DssRequest {
         fine_grained_acl: false,
         rtt_micros: 300,
         delegated_credential: Dss::encode_credential(&delegated),
+        stripe_width: None,
+        replicas: None,
     }
 }
 
@@ -109,6 +111,36 @@ fn full_session_lifecycle_through_services() {
     }
     match call(&mut p, &user_cred, &DssRequest::ListSessions) {
         DssResponse::Sessions(list) => assert!(list.is_empty()),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn striped_session_through_services() {
+    let mut p = plane();
+    let user_cred = p.world.user.clone();
+    let delegated = p.world.user.issue_proxy(3600, 1, &mut rand::thread_rng());
+    let req = DssRequest::CreateSession {
+        filesystem: "GFS".into(),
+        security: SecurityChoice::Medium,
+        disk_cache: false,
+        fine_grained_acl: false,
+        rtt_micros: 300,
+        delegated_credential: Dss::encode_credential(&delegated),
+        stripe_width: Some(2),
+        replicas: Some(2),
+    };
+    let DssResponse::SessionCreated { session_id } = call(&mut p, &user_cred, &req) else {
+        panic!("striped create failed");
+    };
+    // I/O works across the stripe set like any session.
+    {
+        let mount = p.dss.session_mount(session_id).unwrap();
+        mount.write_file("/striped.txt", b"placed across two upstreams").unwrap();
+        assert_eq!(mount.read_file("/striped.txt").unwrap(), b"placed across two upstreams");
+    }
+    match call(&mut p, &user_cred, &DssRequest::DestroySession { session_id }) {
+        DssResponse::SessionDestroyed { .. } => {}
         other => panic!("{other:?}"),
     }
 }
@@ -181,6 +213,8 @@ fn unauthorized_dn_cannot_create_sessions() {
         fine_grained_acl: false,
         rtt_micros: 300,
         delegated_credential: Dss::encode_credential(&delegated),
+        stripe_width: None,
+        replicas: None,
     };
     match call(&mut p, &mallory, &req) {
         DssResponse::Error(e) => assert!(e.contains("not authorized"), "{e}"),
@@ -220,6 +254,8 @@ fn sharing_via_grant_updates_generated_gridmap() {
         fine_grained_acl: false,
         rtt_micros: 300,
         delegated_credential: Dss::encode_credential(&delegated),
+        stripe_width: None,
+        replicas: None,
     };
     let DssResponse::SessionCreated { session_id } = call(&mut p, &bob, &req) else {
         panic!("bob should have access after the grant");
@@ -246,6 +282,8 @@ fn sharing_via_grant_updates_generated_gridmap() {
         fine_grained_acl: false,
         rtt_micros: 300,
         delegated_credential: Dss::encode_credential(&delegated),
+        stripe_width: None,
+        replicas: None,
     };
     match call(&mut p, &bob, &req) {
         DssResponse::Error(_) => {}
@@ -286,6 +324,8 @@ fn acl_management_through_services() {
         fine_grained_acl: true,
         rtt_micros: 300,
         delegated_credential: Dss::encode_credential(&delegated),
+        stripe_width: None,
+        replicas: None,
     };
     let DssResponse::SessionCreated { session_id } = call(&mut p, &user_cred, &req) else {
         panic!("create failed");

@@ -125,6 +125,37 @@ impl DurabilityPolicy {
     }
 }
 
+/// Multi-server placement of one session's data plane.
+///
+/// The DSS hands the client a placement across `width` FSS upstreams:
+/// file blocks (of `block_size` bytes) are striped across the members by
+/// block index, and each block is written to `replicas` distinct members
+/// before it may be marked clean. `width == 1` degenerates to the
+/// single-server session. See DESIGN.md §16 for the stripe map and the
+/// replica write/failover protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripePolicy {
+    /// Number of upstream members the session spans.
+    pub width: u32,
+    /// Distinct members each block is replicated to (clamped to `width`;
+    /// 1 = striping without redundancy).
+    pub replicas: u32,
+    /// Stripe unit: the file-block size the map distributes.
+    pub block_size: u32,
+}
+
+impl StripePolicy {
+    /// Striping across `width` members without redundancy.
+    pub fn striped(width: u32) -> Self {
+        Self { width, replicas: 1, block_size: 32 * 1024 }
+    }
+
+    /// Striping with `replicas`-way block replication.
+    pub fn replicated(width: u32, replicas: u32) -> Self {
+        Self { width, replicas, block_size: 32 * 1024 }
+    }
+}
+
 /// Upstream fault-recovery policy for the client proxy's pipeline.
 ///
 /// When the secure channel to the server proxy fails with a transient
@@ -206,6 +237,9 @@ pub struct SessionConfig {
     /// Shared client I/O pool the session's upstream pipeline is pinned
     /// to; `None` gives the pipeline a private single-worker pool.
     pub client_pool: Option<std::sync::Arc<sgfs_oncrpc::ClientIoPool>>,
+    /// Client side: multi-server placement (stripe width, replica count,
+    /// stripe unit). `None` = the classic single-upstream session.
+    pub stripe: Option<StripePolicy>,
 }
 
 impl SessionConfig {
@@ -228,6 +262,7 @@ impl SessionConfig {
             crash: None,
             obs: None,
             client_pool: None,
+            stripe: None,
         }
     }
 

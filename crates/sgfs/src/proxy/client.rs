@@ -26,6 +26,7 @@
 use crate::config::{CacheMode, HopCost, SessionConfig};
 use crate::proxy::blockstore::{BlockStore, DiskStore, MemStore};
 use crate::proxy::pipeline::Pipeline;
+use crate::proxy::stripe::{StripeMap, StripeSet};
 use crate::stats::ProxyStats;
 use parking_lot::Mutex;
 use sgfs_gtls::GtlsStream;
@@ -36,7 +37,7 @@ use sgfs_oncrpc::record::{read_record, write_record};
 use sgfs_oncrpc::{AcceptStat, CallHeader, OpaqueAuth, ReplyHeader};
 use sgfs_net::{BoxStream, CrashInjector, CrashPoint};
 use sgfs_xdr::{XdrDecode, XdrDecoder, XdrEncode, XdrEncoder};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::mpsc;
 use std::sync::Arc;
 
@@ -60,6 +61,18 @@ impl Upstream {
 
 /// Prefetched blocks shared with the read-ahead worker.
 type PrefetchMap = Arc<Mutex<HashMap<(Fh3, u64), Vec<u8>>>>;
+
+/// Blocks a prefetch has been queued or sent for but that have not landed
+/// yet. Without this guard every foreground read re-enqueues the whole
+/// read-ahead horizon and the worker keeps re-fetching in-flight blocks,
+/// wasting the pipeline window on duplicates.
+type PrefetchInflight = Arc<Mutex<HashSet<(Fh3, u64)>>>;
+
+/// One stripe-set member as handed to [`ClientProxy::with_stripe`]: the
+/// established upstream channel, the watch over its raw transport, and an
+/// optional reconnector for per-member failover.
+pub type StripeUpstream =
+    (Upstream, sgfs_net::PipeWatch, Option<Box<dyn crate::proxy::retry::Reconnector>>);
 
 struct MetaCache {
     attrs: HashMap<Fh3, Fattr3>,
@@ -114,6 +127,7 @@ pub struct ClientProxy {
     write_verf: u64,
     readahead: u32,
     prefetched: PrefetchMap,
+    prefetch_inflight: PrefetchInflight,
     prefetch_tx: Option<mpsc::Sender<PrefetchReq>>,
     /// Set by a controller to request key renegotiation between requests.
     rekey_requested: Arc<std::sync::atomic::AtomicBool>,
@@ -124,6 +138,36 @@ pub struct ClientProxy {
     forwarded: HashMap<u32, u64>,
     /// Kill-point injector for the crash harness (None in production).
     crash: Option<Arc<CrashInjector>>,
+    /// Multi-server placement: the stripe set spanning every upstream
+    /// member (member 0 is also `pipeline`). `None` = single upstream.
+    stripe: Option<StripeSet>,
+    /// Per-member blocks a down member missed while out of the write
+    /// set; [`resync_member`](Self::resync_member) replays them from the
+    /// store before the member rejoins.
+    missed: Vec<HashSet<(Fh3, u64)>>,
+    /// Per-member reconnectors, shared with the member pipelines, so a
+    /// re-sync can dial a rejoined host afresh after the old pipeline
+    /// exhausted its reconnect budget and went terminal.
+    redial: Vec<Option<SharedReconnector>>,
+    /// The client I/O pool member pipelines multiplex onto (needed to
+    /// rebuild a member channel at re-sync).
+    pool: Option<Arc<sgfs_oncrpc::ClientIoPool>>,
+    /// Pipeline parameters retained for member-channel rebuilds.
+    window: u32,
+    rekey_every: Option<u64>,
+    retry: crate::config::RetryPolicy,
+}
+
+/// A reconnector both a member pipeline and the proxy's re-sync path can
+/// dial through.
+type SharedReconnector = Arc<Mutex<Box<dyn crate::proxy::retry::Reconnector>>>;
+
+/// Adapt a shared reconnector into the owned form a pipeline takes.
+fn dial_via(shared: &SharedReconnector) -> Box<dyn crate::proxy::retry::Reconnector> {
+    let shared = shared.clone();
+    Box::new(move |attempt: u32| {
+        shared.lock().reconnect(attempt)
+    })
 }
 
 struct PrefetchReq {
@@ -169,6 +213,24 @@ impl ClientProxy {
         config: &SessionConfig,
         reconnector: Option<Box<dyn crate::proxy::retry::Reconnector>>,
     ) -> std::io::Result<Self> {
+        Self::with_stripe(vec![(upstream, watch, reconnector)], config)
+    }
+
+    /// Build a proxy placed across several upstream members per
+    /// `config.stripe`: file blocks stripe across the members by block
+    /// index, dirty blocks replicate to every mapped member, and each
+    /// member fails over independently through its own reconnector.
+    ///
+    /// With a single upstream (and no stripe policy) this degenerates to
+    /// the classic session. Every member's reader is multiplexed onto
+    /// one client I/O pool — `config.client_pool` if set, otherwise one
+    /// private single-worker pool shared by all members — so a wider
+    /// stripe adds **zero** reader threads.
+    pub fn with_stripe(
+        upstreams: Vec<StripeUpstream>,
+        config: &SessionConfig,
+    ) -> std::io::Result<Self> {
+        assert!(!upstreams.is_empty(), "a session needs at least one upstream");
         let stats = ProxyStats::new();
         if let Some(obs) = &config.obs {
             stats.set_obs(obs.clone());
@@ -194,40 +256,77 @@ impl ClientProxy {
                 (Some(Box::new(store)), true)
             }
         };
-        let mut upstream = upstream;
-        if let Upstream::Tls(t) = &mut upstream {
-            // Attribute record crypto to this proxy's CPU account before
-            // the channel moves onto the client I/O pool. The stream's
-            // own auto-rekey stays off: a transparent mid-window
-            // renegotiation would interleave handshake records with
-            // in-flight DATA replies, so the pipeline tracks the
-            // rekey-every threshold itself and rekeys at quiesce points.
-            t.busy_counter = Some(stats.busy_counter());
-            t.obs = stats.obs().cloned();
-        }
-        let pipeline = match &config.client_pool {
-            Some(pool) => Pipeline::with_recovery_on(
-                pool,
-                upstream,
-                watch,
-                config.window,
-                config.rekey_every_records,
-                stats.clone(),
-                reconnector,
-                config.retry,
-            )?,
-            None => Pipeline::with_recovery(
-                upstream,
-                watch,
-                config.window,
-                config.rekey_every_records,
-                stats.clone(),
-                reconnector,
-                config.retry,
-            ),
+        let striped = upstreams.len() > 1;
+        let pool = match (&config.client_pool, striped) {
+            (Some(pool), _) => Some(pool.clone()),
+            (None, true) => Some(sgfs_oncrpc::ClientIoPool::new(1)),
+            (None, false) => None,
         };
+        let mut pipelines = Vec::with_capacity(upstreams.len());
+        let mut redial = Vec::with_capacity(upstreams.len());
+        for (mut upstream, watch, reconnector) in upstreams {
+            // Keep a handle on the reconnector: the pipeline dials
+            // through it for transient blips, and `resync_member` dials
+            // through it again when a rejoined host needs a fresh
+            // channel after the pipeline's budget ran out.
+            let shared = reconnector.map(|r| Arc::new(Mutex::new(r)) as SharedReconnector);
+            let reconnector = shared.as_ref().map(dial_via);
+            redial.push(shared);
+            if let Upstream::Tls(t) = &mut upstream {
+                // Attribute record crypto to this proxy's CPU account before
+                // the channel moves onto the client I/O pool. The stream's
+                // own auto-rekey stays off: a transparent mid-window
+                // renegotiation would interleave handshake records with
+                // in-flight DATA replies, so the pipeline tracks the
+                // rekey-every threshold itself and rekeys at quiesce points.
+                t.busy_counter = Some(stats.busy_counter());
+                t.obs = stats.obs().cloned();
+            }
+            let pipeline = match &pool {
+                Some(pool) => Pipeline::with_recovery_on(
+                    pool,
+                    upstream,
+                    watch,
+                    config.window,
+                    config.rekey_every_records,
+                    stats.clone(),
+                    reconnector,
+                    config.retry,
+                )?,
+                None => Pipeline::with_recovery(
+                    upstream,
+                    watch,
+                    config.window,
+                    config.rekey_every_records,
+                    stats.clone(),
+                    reconnector,
+                    config.retry,
+                ),
+            };
+            pipelines.push(pipeline);
+        }
+        let stripe = if striped {
+            let policy = config.stripe.ok_or_else(|| {
+                std::io::Error::other("multiple upstreams require a stripe policy")
+            })?;
+            let map = StripeMap::new(policy);
+            if map.width() as usize != pipelines.len() {
+                return Err(std::io::Error::other(format!(
+                    "stripe width {} != upstream count {}",
+                    map.width(),
+                    pipelines.len()
+                )));
+            }
+            Some(StripeSet::new(map, pipelines.clone()))
+        } else {
+            None
+        };
+        let missed = vec![HashSet::new(); pipelines.len()];
+        let window = config.window;
+        let rekey_every = config.rekey_every_records;
+        let retry = config.retry;
         Ok(Self {
-            pipeline,
+            pipeline: pipelines.swap_remove(0),
             store,
             meta_enabled,
             meta: MetaCache::new(),
@@ -238,13 +337,32 @@ impl ClientProxy {
             write_verf: rand::random(),
             readahead: config.readahead,
             prefetched: Arc::new(Mutex::new(HashMap::new())),
+            prefetch_inflight: Arc::new(Mutex::new(HashSet::new())),
             prefetch_tx: None,
             rekey_requested: Arc::new(std::sync::atomic::AtomicBool::new(false)),
             clock: None,
             hop: HopCost::free(),
             forwarded: HashMap::new(),
             crash: config.crash.clone(),
+            stripe,
+            missed,
+            redial,
+            pool,
+            window,
+            rekey_every,
+            retry,
         })
+    }
+
+    /// The stripe set, when this session spans several upstreams.
+    pub fn stripe(&self) -> Option<&StripeSet> {
+        self.stripe.as_ref()
+    }
+
+    /// Blocks member `m` missed while out of the write set (pending
+    /// re-sync).
+    pub fn missed_blocks(&self, m: usize) -> usize {
+        self.missed.get(m).map(|s| s.len()).unwrap_or(0)
     }
 
     /// Upstream-forwarded call counts per NFS procedure.
@@ -295,22 +413,87 @@ impl ClientProxy {
         }
         let (tx, rx) = mpsc::channel::<PrefetchReq>();
         let map = self.prefetched.clone();
-        let pipeline = self.pipeline.clone();
-        std::thread::spawn(move || {
-            let mut xid = 0x7800_0000u32;
-            for req in rx {
-                if map.lock().contains_key(&(req.fh.clone(), req.offset)) {
-                    continue;
+        let inflight = self.prefetch_inflight.clone();
+        if let Some(set) = self.stripe.clone() {
+            // Striped sessions: one worker thread (never one per
+            // upstream) that drains the queue, submits each READ
+            // split-phase into its mapped member's pipeline, and only
+            // then waits — so one round of read-ahead fans out across
+            // every server of the stripe in parallel.
+            let stats = self.stats.clone();
+            std::thread::spawn(move || {
+                let mut xid = 0x7800_0000u32;
+                while let Ok(first) = rx.recv() {
+                    let mut reqs = vec![first];
+                    while reqs.len() < 32 {
+                        match rx.try_recv() {
+                            Ok(r) => reqs.push(r),
+                            Err(_) => break,
+                        }
+                    }
+                    let mut pending = Vec::new();
+                    for req in reqs {
+                        let key = (req.fh.clone(), req.offset);
+                        if map.lock().contains_key(&key) {
+                            inflight.lock().remove(&key);
+                            continue;
+                        }
+                        let live = set.live_members_of_block(set.map().block_of(req.offset));
+                        let Some(&m) = live.first() else {
+                            inflight.lock().remove(&key);
+                            continue;
+                        };
+                        xid = xid.wrapping_add(1);
+                        // Clamp at the stripe-block boundary: past it the
+                        // member serves its holes, not the file.
+                        let bs = set.map().block_size() as u64;
+                        let count =
+                            (req.count as u64).min((req.offset / bs + 1) * bs - req.offset);
+                        let args = ReadArgs {
+                            file: req.fh.clone(),
+                            offset: req.offset,
+                            count: count as u32,
+                        };
+                        let record = encode_call(xid, procnum::READ, &req.cred, &args);
+                        pending.push((key, m, set.member(m).submit(record)));
+                    }
+                    for (key, m, reply) in pending {
+                        match reply.wait() {
+                            Ok(reply) => {
+                                if let Some(body) = success_body(&reply) {
+                                    if let Ok(res) = ReadRes::from_xdr_bytes(body) {
+                                        map.lock().insert(key.clone(), res.data);
+                                    }
+                                }
+                            }
+                            Err(_) => fail_member_via(&stats, &set, m),
+                        }
+                        inflight.lock().remove(&key);
+                    }
                 }
-                xid = xid.wrapping_add(1);
-                let args = ReadArgs { file: req.fh.clone(), offset: req.offset, count: req.count };
-                let res: Result<ReadRes, ()> =
-                    call_via(&pipeline, xid, procnum::READ, &req.cred, &args);
-                if let Ok(res) = res {
-                    map.lock().insert((req.fh, req.offset), res.data);
+            });
+        } else {
+            let pipeline = self.pipeline.clone();
+            std::thread::spawn(move || {
+                let mut xid = 0x7800_0000u32;
+                for req in rx {
+                    let key = (req.fh.clone(), req.offset);
+                    if map.lock().contains_key(&key) {
+                        inflight.lock().remove(&key);
+                        continue;
+                    }
+                    xid = xid.wrapping_add(1);
+                    let args =
+                        ReadArgs { file: req.fh.clone(), offset: req.offset, count: req.count };
+                    let res: Result<ReadRes, ()> =
+                        call_via(&pipeline, xid, procnum::READ, &req.cred, &args);
+                    if let Ok(res) = res {
+                        map.lock().insert(key.clone(), res.data);
+                    }
+                    inflight.lock().remove(&key);
                 }
-            }
-        });
+            });
+        }
         self.prefetch_tx = Some(tx);
     }
 
@@ -411,10 +594,14 @@ impl ClientProxy {
                     if let Some((fh, attr)) = self.meta.lookups.get(&key) {
                         self.meta.hits += 1;
                         trace_cache(&self.stats, true, header.xid, header.proc);
+                        // The tuple's attr is a snapshot from lookup time;
+                        // the live attr entry tracks absorbed writes (size,
+                        // mtime) and must win when present.
+                        let live = self.meta.attrs.get(fh).cloned();
                         let res = LookupRes {
                             status: NfsStat3::Ok,
                             object: Some(fh.clone()),
-                            obj_attr: attr.clone(),
+                            obj_attr: live.or_else(|| attr.clone()),
                             dir_attr: None,
                         };
                         return Ok(encode_reply(header.xid, &res));
@@ -663,7 +850,7 @@ impl ClientProxy {
         if let Some(body) = success_body(&reply) {
             if let Ok(res) = ReadRes::from_xdr_bytes(body) {
                 if let Some(attr) = &res.attr {
-                    self.meta.attrs.insert(a.file.clone(), attr.clone());
+                    self.note_attr(&a.file, attr.clone());
                 }
                 self.put_clean((a.file.clone(), a.offset), &res.data)?;
             }
@@ -698,8 +885,12 @@ impl ClientProxy {
                 .as_ref()
                 .map(|s| s.meta(&(a.file.clone(), offset)).is_some())
                 .unwrap_or(false);
-            if cached || self.prefetched.lock().contains_key(&(a.file.clone(), offset)) {
+            let key = (a.file.clone(), offset);
+            if cached || self.prefetched.lock().contains_key(&key) {
                 continue;
+            }
+            if !self.prefetch_inflight.lock().insert(key) {
+                continue; // already queued or on the wire
             }
             let _ = tx.send(PrefetchReq {
                 fh: a.file.clone(),
@@ -728,11 +919,31 @@ impl ClientProxy {
             }
         }
         let t_blk = std::time::Instant::now();
-        let put = self
-            .store
-            .as_mut()
-            .expect("checked")
-            .put((a.file.clone(), a.offset), &a.data, true);
+        // In a striped session the cache key *is* the flush routing key:
+        // one wsize-sized WRITE can span several stripe blocks, each
+        // mapped to a different replica set, so it must be absorbed as
+        // stripe-block-aligned extents or the flush would send the whole
+        // extent to the first block's members only.
+        let stripe_bs = self.stripe.as_ref().map(|s| s.map().block_size() as u64);
+        let store = self.store.as_mut().expect("checked");
+        let put = match stripe_bs {
+            Some(bs) => {
+                let mut res = Ok(());
+                let mut off = a.offset;
+                let mut data = &a.data[..];
+                while !data.is_empty() {
+                    let take = ((bs - off % bs) as usize).min(data.len());
+                    res = store.put((a.file.clone(), off), &data[..take], true);
+                    if res.is_err() {
+                        break;
+                    }
+                    off += take as u64;
+                    data = &data[take..];
+                }
+                res
+            }
+            None => store.put((a.file.clone(), a.offset), &a.data, true),
+        };
         if let Err(e) = put {
             if sgfs_net::crash::is_crash(&e) {
                 // The acknowledgement below is the durability promise the
@@ -784,7 +995,7 @@ impl ClientProxy {
         for _ in 0..MAX_VERIFIER_RETRIES {
             match self.flush_file_once(fh)? {
                 FlushOutcome::Committed => return Ok(()),
-                FlushOutcome::VerifierChanged => continue,
+                FlushOutcome::VerifierChanged | FlushOutcome::Retry => continue,
             }
         }
         Err(std::io::Error::other(
@@ -797,6 +1008,9 @@ impl ClientProxy {
     /// blocks are also re-marked dirty so a later retry re-sends them —
     /// no block is left clean without a COMMIT covering it.
     fn flush_file_once(&mut self, fh: &Fh3) -> std::io::Result<FlushOutcome> {
+        if let Some(set) = self.stripe.clone() {
+            return self.flush_file_once_striped(&set, fh);
+        }
         let dirty = match &self.store {
             Some(s) => s.dirty_blocks_of(fh),
             None => return Ok(FlushOutcome::Committed),
@@ -891,6 +1105,232 @@ impl ClientProxy {
         Ok(FlushOutcome::Committed)
     }
 
+    /// One replicated WRITE-batch + per-member COMMIT round across the
+    /// stripe set.
+    ///
+    /// Every dirty block's WRITE is encoded once per live mapped member
+    /// and every member's batch enters its pipeline window before any
+    /// reply is awaited, so the replicas of a flush proceed in parallel.
+    /// A block goes clean only when at least one replica confirmed its
+    /// WRITE *and* that member's COMMIT verifier matched — members that
+    /// die mid-flush are failed over, their blocks are recorded in the
+    /// missed set for re-sync, and the flush completes at reduced
+    /// redundancy as long as one replica per block survives.
+    fn flush_file_once_striped(
+        &mut self,
+        set: &StripeSet,
+        fh: &Fh3,
+    ) -> std::io::Result<FlushOutcome> {
+        let dirty = match &self.store {
+            Some(s) => s.dirty_blocks_of(fh),
+            None => return Ok(FlushOutcome::Committed),
+        };
+        if dirty.is_empty() {
+            return Ok(FlushOutcome::Committed);
+        }
+        if let Some(obs) = self.stats.obs() {
+            obs.emit(sgfs_obs::Hop::FlushRound, 0, procnum::COMMIT, dirty.len() as u64);
+        }
+        let width = set.width();
+        // Per-member WRITE batches, one pass over the dirty set.
+        let mut offsets_of: Vec<Vec<u64>> = vec![Vec::new(); width];
+        let mut records_of: Vec<Vec<Vec<u8>>> = vec![Vec::new(); width];
+        for &offset in &dirty {
+            let data = self
+                .store
+                .as_mut()
+                .and_then(|s| s.get(&(fh.clone(), offset)))
+                .unwrap_or_default();
+            let members = set.map().members_of_offset(offset);
+            if !members.iter().any(|&m| set.is_up(m)) {
+                self.redirty(fh, &dirty);
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::NotConnected,
+                    "every replica of a dirty block is down",
+                ));
+            }
+            for m in members {
+                if set.is_up(m) {
+                    let args = WriteArgs {
+                        file: fh.clone(),
+                        offset,
+                        stable: StableHow::Unstable,
+                        data: data.clone(),
+                    };
+                    self.next_xid = self.next_xid.wrapping_add(1);
+                    offsets_of[m].push(offset);
+                    records_of[m].push(encode_call(
+                        self.next_xid,
+                        procnum::WRITE,
+                        &self.client_cred,
+                        &args,
+                    ));
+                } else {
+                    self.missed[m].insert((fh.clone(), offset));
+                }
+            }
+        }
+        // Fan out: every member's batch is submitted before any reply is
+        // awaited.
+        let mut pending = Vec::new();
+        for (m, records) in records_of.into_iter().enumerate() {
+            if records.is_empty() {
+                continue;
+            }
+            let replies = set.member(m).submit_batch(records);
+            pending.push((m, replies));
+        }
+        let mut confirmed: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut member_verf: Vec<Option<u64>> = vec![None; width];
+        let mut verifier_changed = false;
+        for (m, replies) in pending {
+            let mut dead = false;
+            for (offset, reply) in offsets_of[m].iter().zip(replies) {
+                if dead {
+                    self.missed[m].insert((fh.clone(), *offset));
+                    continue;
+                }
+                match collect_write_reply(reply) {
+                    Ok(verf) => {
+                        if *member_verf[m].get_or_insert(verf) != verf {
+                            verifier_changed = true;
+                        }
+                        confirmed.entry(*offset).or_default().push(m);
+                    }
+                    Err(_) => {
+                        // Member died mid-flush: degrade and keep going
+                        // on the survivors.
+                        dead = true;
+                        member_verf[m] = None;
+                        self.fail_member(set, m);
+                        self.missed[m].insert((fh.clone(), *offset));
+                    }
+                }
+            }
+        }
+        // Blocks confirmed by at least one replica go clean; the rest
+        // stay dirty for the next round.
+        for (&offset, members) in &confirmed {
+            if members.is_empty() {
+                continue;
+            }
+            let cleaned = match &mut self.store {
+                Some(store) => store.set_clean(&(fh.clone(), offset)),
+                None => Ok(()),
+            };
+            if let Err(e) = cleaned {
+                self.redirty(fh, &dirty);
+                return Err(e);
+            }
+        }
+        if let Err(e) = self.hit_crash(CrashPoint::FlushBeforeCommit) {
+            self.redirty(fh, &dirty);
+            return Err(e);
+        }
+        // One COMMIT per member that confirmed writes; each replica's
+        // verifier contract is enforced independently. A member holds
+        // only its mapped blocks, so its own file size undershoots the
+        // file whenever it lacks the final block — after its COMMIT
+        // confirms, mirror the client-visible size so *any* member can
+        // serve GETATTR/LOOKUP for the file.
+        let mut commit_after: Option<Fattr3> = None;
+        let file_size = self.meta.attrs.get(fh).map(|a| a.size);
+        for m in 0..width {
+            let Some(write_verf) = member_verf[m] else { continue };
+            self.next_xid = self.next_xid.wrapping_add(1);
+            let commit = CommitArgs { file: fh.clone(), offset: 0, count: 0 };
+            let res: Result<CommitRes, ()> = call_via(
+                &set.member(m),
+                self.next_xid,
+                procnum::COMMIT,
+                &self.client_cred,
+                &commit,
+            );
+            let committed = match res {
+                Ok(res) if res.status == NfsStat3::Ok => {
+                    if res.verf != write_verf {
+                        verifier_changed = true;
+                    }
+                    if commit_after.is_none() {
+                        commit_after = res.wcc.after;
+                    }
+                    self.mirror_size(set, m, fh, file_size)
+                }
+                _ => false,
+            };
+            if committed {
+                self.stats.add_replica_write();
+                if let Some(obs) = self.stats.obs() {
+                    obs.emit(sgfs_obs::Hop::ReplicaWrite, 0, procnum::COMMIT, m as u64);
+                }
+            } else {
+                // The member's WRITEs landed but its COMMIT (or the size
+                // mirror behind it) did not: they are not stable there.
+                // Fail the member over and strike it from every block it
+                // confirmed.
+                self.fail_member(set, m);
+                for offset in &offsets_of[m] {
+                    self.missed[m].insert((fh.clone(), *offset));
+                    if let Some(members) = confirmed.get_mut(offset) {
+                        members.retain(|&c| c != m);
+                    }
+                }
+            }
+        }
+        if verifier_changed {
+            self.redirty(fh, &dirty);
+            return Ok(FlushOutcome::VerifierChanged);
+        }
+        // A block whose every confirming replica fell over must be
+        // re-sent to the survivors of its stripe.
+        let uncovered: Vec<u64> = dirty
+            .iter()
+            .copied()
+            .filter(|o| confirmed.get(o).is_none_or(|v| v.is_empty()))
+            .collect();
+        if !uncovered.is_empty() {
+            self.redirty(fh, &uncovered);
+            return Ok(FlushOutcome::Retry);
+        }
+        self.hit_crash(CrashPoint::FlushAfterCommit)?;
+        if let Some(store) = &mut self.store {
+            store.commit_file(fh)?;
+        }
+        if let Some(mut a) = commit_after {
+            // The wcc attr came from one member's COMMIT, which ran
+            // before the size mirror: never let a partial replica size
+            // shrink the fabricated attr the client has already seen.
+            if let Some(prev) = self.meta.attrs.get(fh) {
+                a.size = a.size.max(prev.size);
+            }
+            self.meta.attrs.insert(fh.clone(), a);
+        }
+        Ok(FlushOutcome::Committed)
+    }
+
+    /// Mirror the file's client-visible size to member `m` (best-effort
+    /// SETATTR after its COMMIT confirmed). Returns `false` when the
+    /// member died or rejected the call — the caller fails it over, since
+    /// a member with a stale size cannot serve a consistent view.
+    fn mirror_size(&mut self, set: &StripeSet, m: usize, fh: &Fh3, size: Option<u64>) -> bool {
+        let Some(size) = size else { return true };
+        self.next_xid = self.next_xid.wrapping_add(1);
+        let sa = SetAttrArgs {
+            object: fh.clone(),
+            new_attributes: Sattr3 { size: Some(size), ..Default::default() },
+        };
+        matches!(
+            call_via::<WccRes>(
+                &set.member(m),
+                self.next_xid,
+                procnum::SETATTR,
+                &self.client_cred,
+                &sa,
+            ),
+            Ok(r) if r.status == NfsStat3::Ok
+        )
+    }
+
     fn hit_crash(&self, point: CrashPoint) -> std::io::Result<()> {
         match &self.crash {
             Some(c) => c.hit(point),
@@ -952,6 +1392,9 @@ impl ClientProxy {
     /// Forward a raw record upstream and return the raw reply, snooping
     /// cacheable results.
     fn forward(&mut self, record: &[u8], proc: u32, args: &[u8]) -> std::io::Result<Vec<u8>> {
+        if let Some(set) = self.stripe.clone() {
+            return self.forward_striped(&set, record, proc, args);
+        }
         *self.forwarded.entry(proc).or_insert(0) += 1;
         self.stats.add_up(record.len());
         // The upstream round trip is mostly *waiting*; exclude its wall
@@ -967,12 +1410,391 @@ impl ClientProxy {
         Ok(reply)
     }
 
+    /// Route one forwarded call across the stripe set. READs go to a
+    /// mapped member of their block (failing over past down members);
+    /// namespace mutations and COMMIT are mirrored to every live member
+    /// so replica state stays structurally identical (file handles are
+    /// derived from the op sequence, which every member sees in the same
+    /// order); everything else rides the first live member.
+    fn forward_striped(
+        &mut self,
+        set: &StripeSet,
+        record: &[u8],
+        proc: u32,
+        args: &[u8],
+    ) -> std::io::Result<Vec<u8>> {
+        *self.forwarded.entry(proc).or_insert(0) += 1;
+        match proc {
+            procnum::READ => {
+                if let Ok(a) = ReadArgs::from_xdr_bytes(args) {
+                    return self.striped_read(set, record, a.offset, args);
+                }
+                self.forward_first_live(set, record, proc, args)
+            }
+            procnum::WRITE => {
+                // Write-through fallback (no store, or the spool
+                // degraded): one WRITE can span several stripe blocks, so
+                // it must reach every member mapped to *any* covered
+                // block (each receives the whole extent; reads still
+                // route per block).
+                if let Ok(a) = WriteArgs::from_xdr_bytes(args) {
+                    let map = set.map();
+                    let end = a.offset + (a.data.len() as u64).max(1) - 1;
+                    let mut members: Vec<usize> = Vec::new();
+                    for b in map.block_of(a.offset)..=map.block_of(end) {
+                        for m in map.members_of_block(b) {
+                            if !members.contains(&m) {
+                                members.push(m);
+                            }
+                        }
+                    }
+                    return self.mirror_to(set, &members, record, proc, args);
+                }
+                self.forward_first_live(set, record, proc, args)
+            }
+            procnum::SETATTR
+            | procnum::CREATE
+            | procnum::MKDIR
+            | procnum::SYMLINK
+            | procnum::MKNOD
+            | procnum::REMOVE
+            | procnum::RMDIR
+            | procnum::RENAME
+            | procnum::LINK
+            | procnum::COMMIT => {
+                let all: Vec<usize> = (0..set.width()).collect();
+                self.mirror_to(set, &all, record, proc, args)
+            }
+            procnum::GETATTR => {
+                if Fh3::from_xdr_bytes(args).is_ok() {
+                    return self.striped_getattr(set, record, args);
+                }
+                self.forward_first_live(set, record, proc, args)
+            }
+            _ => self.forward_first_live(set, record, proc, args),
+        }
+    }
+
+    /// GETATTR across the stripe set: any single member undershoots the
+    /// file size whenever it lacks the final block, so ask every live
+    /// member and serve the largest size observed.
+    fn striped_getattr(
+        &mut self,
+        set: &StripeSet,
+        record: &[u8],
+        args: &[u8],
+    ) -> std::io::Result<Vec<u8>> {
+        let mut best: Option<(u64, Vec<u8>)> = None;
+        for m in 0..set.width() {
+            if !set.is_up(m) {
+                continue;
+            }
+            let Ok(reply) = self.call_member(set, m, record) else { continue };
+            let size = success_body(&reply)
+                .and_then(|b| GetAttrRes::from_xdr_bytes(b).ok())
+                .and_then(|r| r.attr.map(|a| a.size));
+            match (&best, size) {
+                (None, _) => best = Some((size.unwrap_or(0), reply)),
+                (Some((s, _)), Some(ns)) if ns > *s => best = Some((ns, reply)),
+                _ => {}
+            }
+        }
+        let Some((_, reply)) = best else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::NotConnected,
+                "every stripe-set member is down",
+            ));
+        };
+        if self.meta_enabled {
+            self.snoop_meta(procnum::GETATTR, args, &reply);
+        }
+        Ok(reply)
+    }
+
+    /// Serve a READ from the first live member of its block's replica
+    /// set, failing over past members that die on the way.
+    fn striped_read(
+        &mut self,
+        set: &StripeSet,
+        record: &[u8],
+        offset: u64,
+        args: &[u8],
+    ) -> std::io::Result<Vec<u8>> {
+        for m in set.map().members_of_offset(offset) {
+            if !set.is_up(m) {
+                continue;
+            }
+            match self.call_member(set, m, record) {
+                Ok(reply) => {
+                    if let Some(obs) = self.stats.obs() {
+                        obs.emit(
+                            sgfs_obs::Hop::StripeRead,
+                            sgfs_obs::peek_xid(record),
+                            procnum::READ,
+                            m as u64,
+                        );
+                    }
+                    let reply = clamp_striped_read(set, offset, reply);
+                    if self.meta_enabled {
+                        self.snoop_meta(procnum::READ, args, &reply);
+                    }
+                    return Ok(reply);
+                }
+                Err(_) => continue, // call_member marked the member down
+            }
+        }
+        Err(std::io::Error::new(
+            std::io::ErrorKind::NotConnected,
+            "every replica of the block is down",
+        ))
+    }
+
+    /// Forward to the lowest-index live member, walking down the set as
+    /// members fail.
+    fn forward_first_live(
+        &mut self,
+        set: &StripeSet,
+        record: &[u8],
+        proc: u32,
+        args: &[u8],
+    ) -> std::io::Result<Vec<u8>> {
+        loop {
+            let Some(m) = set.first_live() else {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::NotConnected,
+                    "every stripe-set member is down",
+                ));
+            };
+            match self.call_member(set, m, record) {
+                Ok(reply) => {
+                    if self.meta_enabled {
+                        self.snoop_meta(proc, args, &reply);
+                    }
+                    return Ok(reply);
+                }
+                Err(_) => continue, // member marked down; next survivor
+            }
+        }
+    }
+
+    /// Mirror one call to every live member of `members` (submitting all
+    /// before waiting on any), replying from the lowest-index survivor.
+    fn mirror_to(
+        &mut self,
+        set: &StripeSet,
+        members: &[usize],
+        record: &[u8],
+        proc: u32,
+        args: &[u8],
+    ) -> std::io::Result<Vec<u8>> {
+        let mut pending = Vec::new();
+        for &m in members {
+            if set.is_up(m) {
+                self.stats.add_up(record.len());
+                pending.push((m, set.member(m).submit(record.to_vec())));
+            }
+        }
+        if pending.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::NotConnected,
+                "every targeted stripe-set member is down",
+            ));
+        }
+        let t_io = std::time::Instant::now();
+        let mut first: Option<Vec<u8>> = None;
+        for (m, reply) in pending {
+            match reply.wait() {
+                Ok(reply) => {
+                    self.stats.add_down(reply.len());
+                    if first.is_none() {
+                        first = Some(reply);
+                    }
+                }
+                Err(_) => self.fail_member(set, m),
+            }
+        }
+        self.stats.exclude(t_io.elapsed());
+        let Some(reply) = first else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::NotConnected,
+                "every targeted stripe-set member died mid-call",
+            ));
+        };
+        if self.meta_enabled {
+            self.snoop_meta(proc, args, &reply);
+        }
+        Ok(reply)
+    }
+
+    /// One accounted call on one member; a terminal error fails the
+    /// member over.
+    fn call_member(
+        &mut self,
+        set: &StripeSet,
+        m: usize,
+        record: &[u8],
+    ) -> std::io::Result<Vec<u8>> {
+        self.stats.add_up(record.len());
+        let t_io = std::time::Instant::now();
+        let reply = set.member(m).call(record.to_vec());
+        self.stats.exclude(t_io.elapsed());
+        match reply {
+            Ok(reply) => {
+                self.stats.add_down(reply.len());
+                Ok(reply)
+            }
+            Err(e) => {
+                self.fail_member(set, m);
+                Err(e)
+            }
+        }
+    }
+
+    /// Take a member out of the set after a terminal failure: count the
+    /// failover, refresh the `degraded` gauge, emit the event — exactly
+    /// once per down transition, even racing the read-ahead worker.
+    fn fail_member(&self, set: &StripeSet, m: usize) {
+        fail_member_via(&self.stats, set, m);
+    }
+
+    /// Dial a rejoined host afresh and install the new channel in the
+    /// stripe set. A member usually goes down because its pipeline spent
+    /// its entire reconnect budget against a dead host and turned
+    /// terminal; the rejoin path therefore cannot reuse the old channel.
+    /// Without a reconnector the existing channel is all there is — the
+    /// replay below decides whether it still works.
+    fn revive_member(&mut self, m: usize, set: &StripeSet) -> std::io::Result<()> {
+        let Some(redial) = self.redial.get(m).cloned().flatten() else {
+            return Ok(());
+        };
+        let (upstream, watch) = redial.lock().reconnect(0)?;
+        let pipeline = match &self.pool {
+            Some(pool) => Pipeline::with_recovery_on(
+                pool,
+                upstream,
+                watch,
+                self.window,
+                self.rekey_every,
+                self.stats.clone(),
+                Some(dial_via(&redial)),
+                self.retry,
+            )?,
+            None => Pipeline::with_recovery(
+                upstream,
+                watch,
+                self.window,
+                self.rekey_every,
+                self.stats.clone(),
+                Some(dial_via(&redial)),
+                self.retry,
+            ),
+        };
+        set.replace_member(m, pipeline);
+        if m == 0 {
+            // `self.pipeline` aliases member 0 (rekey and handshake
+            // accounting route through it); keep it on the live channel.
+            self.pipeline = set.member(0);
+        }
+        Ok(())
+    }
+
+    /// Re-sync a rejoining member and return it to the read/write set:
+    /// every block it missed while down is replayed from the local store
+    /// (UNSTABLE WRITE, then one COMMIT per file under the verifier
+    /// contract) before the member serves reads or counts toward
+    /// replication again. On error the member stays down and the missed
+    /// set is kept — re-sync is idempotent and can simply run again.
+    pub fn resync_member(&mut self, m: usize) -> std::io::Result<()> {
+        let Some(set) = self.stripe.clone() else { return Ok(()) };
+        if !set.is_up(m) {
+            self.revive_member(m, &set)?;
+        }
+        let mut missed: Vec<(Fh3, u64)> = self.missed[m].iter().cloned().collect();
+        missed.sort();
+        let mut files: Vec<Fh3> = missed.iter().map(|(f, _)| f.clone()).collect();
+        files.dedup();
+        let mut pending = Vec::new();
+        for (fh, offset) in &missed {
+            // A missing block means the file was dropped (deleted) or
+            // evicted after a covering COMMIT — nothing to replay.
+            let Some(data) = self.store.as_mut().and_then(|s| s.get(&(fh.clone(), *offset)))
+            else {
+                continue;
+            };
+            let args = WriteArgs {
+                file: fh.clone(),
+                offset: *offset,
+                stable: StableHow::Unstable,
+                data,
+            };
+            self.next_xid = self.next_xid.wrapping_add(1);
+            let record =
+                encode_call(self.next_xid, procnum::WRITE, &self.client_cred, &args);
+            pending.push(set.member(m).submit(record));
+        }
+        let mut verf: Option<u64> = None;
+        for reply in pending {
+            let v = collect_write_reply(reply)?;
+            if *verf.get_or_insert(v) != v {
+                return Err(std::io::Error::other(
+                    "replica write verifier changed during re-sync",
+                ));
+            }
+        }
+        for fh in files {
+            self.next_xid = self.next_xid.wrapping_add(1);
+            let commit = CommitArgs { file: fh, offset: 0, count: 0 };
+            let res: CommitRes = call_via(
+                &set.member(m),
+                self.next_xid,
+                procnum::COMMIT,
+                &self.client_cred,
+                &commit,
+            )
+            .map_err(|_| std::io::Error::other("re-sync COMMIT failed"))?;
+            if res.status != NfsStat3::Ok {
+                return Err(std::io::Error::other(format!(
+                    "re-sync COMMIT failed: {:?}",
+                    res.status
+                )));
+            }
+            if verf.is_some_and(|v| v != res.verf) {
+                return Err(std::io::Error::other(
+                    "replica rebooted mid-re-sync (verifier changed)",
+                ));
+            }
+        }
+        self.missed[m].clear();
+        set.mark_up(m);
+        self.stats.set_degraded(set.down_count());
+        self.stats.add_replica_write();
+        if let Some(obs) = self.stats.obs() {
+            obs.emit(sgfs_obs::Hop::ReplicaWrite, 0, sgfs_obs::NO_PROC, m as u64);
+        }
+        Ok(())
+    }
+
     /// Whether we hold unflushed data for `fh` (server attrs are stale).
     fn is_dirty(&self, fh: &Fh3) -> bool {
         self.store
             .as_ref()
             .map(|s| !s.dirty_blocks_of(fh).is_empty())
             .unwrap_or(false)
+    }
+
+    /// Record a passively-observed attr (GETATTR/LOOKUP/ACCESS/READ
+    /// replies). In a striped session a single member's attr undershoots
+    /// the file size whenever that member lacks the final block, so
+    /// passive observations may only *grow* the cached size; an explicit
+    /// client SETATTR (truncation) updates the cache directly instead.
+    fn note_attr(&mut self, fh: &Fh3, mut attr: Fattr3) -> Fattr3 {
+        if self.stripe.is_some() {
+            if let Some(prev) = self.meta.attrs.get(fh) {
+                attr.size = attr.size.max(prev.size);
+            }
+        }
+        self.meta.attrs.insert(fh.clone(), attr.clone());
+        attr
     }
 
     fn snoop_meta(&mut self, proc: u32, args: &[u8], reply: &[u8]) {
@@ -984,7 +1806,7 @@ impl ClientProxy {
                 {
                     if let Some(a) = res.attr {
                         if !self.is_dirty(&fh) {
-                            self.meta.attrs.insert(fh, a);
+                            self.note_attr(&fh, a);
                         }
                     }
                 }
@@ -1001,7 +1823,7 @@ impl ClientProxy {
                     entry.1 = (entry.1 & !a.access) | res.access;
                     entry.0 |= a.access;
                     if let Some(attr) = res.obj_attr {
-                        self.meta.attrs.insert(a.object, attr);
+                        self.note_attr(&a.object, attr);
                     }
                 }
             }
@@ -1015,10 +1837,8 @@ impl ClientProxy {
                             let ours = self.meta.attrs.get(&fh).cloned();
                             self.meta.lookups.insert((a.dir, a.name), (fh, ours));
                         } else {
-                            if let Some(attr) = &res.obj_attr {
-                                self.meta.attrs.insert(fh.clone(), attr.clone());
-                            }
-                            self.meta.lookups.insert((a.dir, a.name), (fh, res.obj_attr));
+                            let noted = res.obj_attr.map(|attr| self.note_attr(&fh, attr));
+                            self.meta.lookups.insert((a.dir, a.name), (fh, noted));
                         }
                     }
                 }
@@ -1027,13 +1847,34 @@ impl ClientProxy {
         }
     }
 
-    /// A proxy-initiated upstream call (flushes, attr fetches).
+    /// A proxy-initiated upstream call (flushes, attr fetches). Striped
+    /// sessions route it to the first live member, walking down the set
+    /// as members fail.
     fn call_upstream<T: XdrDecode>(
         &mut self,
         proc: u32,
         args: &dyn XdrEncode,
     ) -> Result<T, String> {
         self.next_xid = self.next_xid.wrapping_add(1);
+        if let Some(set) = self.stripe.clone() {
+            let record = encode_call(self.next_xid, proc, &self.client_cred, args);
+            loop {
+                let Some(m) = set.first_live() else {
+                    return Err(format!(
+                        "upstream call proc {proc} failed: every member is down"
+                    ));
+                };
+                match self.call_member(&set, m, &record) {
+                    Ok(reply) => {
+                        let body = success_body(&reply)
+                            .ok_or_else(|| format!("upstream call proc {proc} failed"))?;
+                        return T::from_xdr_bytes(body)
+                            .map_err(|_| format!("upstream call proc {proc} failed"));
+                    }
+                    Err(_) => continue,
+                }
+            }
+        }
         call_via(&self.pipeline, self.next_xid, proc, &self.client_cred, args)
             .map_err(|_| format!("upstream call proc {proc} failed"))
     }
@@ -1046,6 +1887,23 @@ enum FlushOutcome {
     /// The server's verifier changed (reboot): blocks re-dirtied, flush
     /// must run again.
     VerifierChanged,
+    /// Replicated flush: a member fell over mid-round and some blocks
+    /// lost every confirming replica — those were re-dirtied and the
+    /// flush must run again against the survivors.
+    Retry,
+}
+
+/// Shared failover bookkeeping (main loop and read-ahead worker): mark
+/// the member down and, on the transition only, count the failover,
+/// refresh the `degraded` gauge and emit the trace event.
+fn fail_member_via(stats: &ProxyStats, set: &StripeSet, m: usize) {
+    if set.mark_down(m) {
+        stats.add_failover();
+        stats.set_degraded(set.down_count());
+        if let Some(obs) = stats.obs() {
+            obs.emit(sgfs_obs::Hop::ReplicaFailover, 0, sgfs_obs::NO_PROC, m as u64);
+        }
+    }
 }
 
 /// Await one write-back WRITE reply and extract its write verifier.
@@ -1077,6 +1935,25 @@ fn encode_call(xid: u32, proc: u32, cred: &OpaqueAuth, args: &dyn XdrEncode) -> 
 }
 
 /// Issue one call through the pipeline and decode the successful result.
+/// A striped member stores only its mapped blocks: a READ crossing the
+/// stripe-block boundary would be served past the member's own block from
+/// its holes (zeros). Truncate the reply at the boundary — a short read
+/// is legal NFS, and the client's next READ routes to the right member.
+fn clamp_striped_read(set: &StripeSet, offset: u64, reply: Vec<u8>) -> Vec<u8> {
+    let bs = set.map().block_size() as u64;
+    let keep = ((offset / bs + 1) * bs - offset) as usize;
+    let Some(body) = success_body(&reply) else { return reply };
+    let Ok(mut res) = ReadRes::from_xdr_bytes(body) else { return reply };
+    if res.data.len() <= keep {
+        return reply;
+    }
+    res.data.truncate(keep);
+    res.count = keep as u32;
+    res.eof = false;
+    let xid = u32::from_be_bytes([reply[0], reply[1], reply[2], reply[3]]);
+    encode_reply(xid, &res)
+}
+
 fn call_via<T: XdrDecode>(
     pipeline: &Pipeline,
     xid: u32,

@@ -6,11 +6,13 @@ pub mod journal;
 pub mod pipeline;
 pub mod retry;
 pub mod server;
+pub mod stripe;
 
 pub use client::ClientProxy;
 pub use pipeline::Pipeline;
 pub use retry::Reconnector;
 pub use server::ServerProxy;
+pub use stripe::{StripeMap, StripeSet};
 
 /// Proxy-layer errors.
 #[derive(Debug)]

@@ -263,6 +263,12 @@ pub struct SessionParams {
     /// shared pool to multiplex many sessions' upstream channels over a
     /// fixed client thread budget (the client mirror of `shard_server`).
     pub client_pool: Option<Arc<sgfs_oncrpc::ClientIoPool>>,
+    /// Multi-server placement: stripe the session's file blocks across
+    /// `width` FSS upstreams and replicate each block to `replicas` of
+    /// them. `None` or width 1 = the classic single-upstream session.
+    /// Striping requires a proxied stack (gfs / sgfs / sfs): the kernel
+    /// baselines and the ssh tunnel have a single wire by construction.
+    pub stripe: Option<crate::config::StripePolicy>,
 }
 
 /// Shard count of a session's private server core. Two loops exercise the
@@ -290,6 +296,7 @@ impl SessionParams {
             obs: None,
             shard_server: None,
             client_pool: None,
+            stripe: None,
         }
     }
 
@@ -326,6 +333,7 @@ pub struct Session {
     clock: Arc<SimClock>,
     link: Arc<Link>,
     server: Arc<NfsServer>,
+    replica_servers: Vec<Arc<NfsServer>>,
     client_proxy_rx: Option<mpsc::Receiver<(ClientProxy, std::io::Result<()>)>>,
     client_stats: Option<Arc<crate::stats::ProxyStats>>,
     server_proxy: Option<Arc<ServerProxy>>,
@@ -402,6 +410,7 @@ impl Session {
             clock: clock.clone(),
             link: link.clone(),
             server: server.clone(),
+            replica_servers: Vec::new(),
             client_proxy_rx: None,
             client_stats: None,
             server_proxy: None,
@@ -491,9 +500,15 @@ impl Session {
         });
         client_cfg.expected_peer = Some(world.server.effective_dn().clone());
         client_cfg.rekey_every_records = params.rekey_every;
+        let striped = params.stripe.is_some_and(|p| p.width > 1);
         client_cfg.cache = match (&params.kind, &params.disk_cache_dir) {
             (SetupKind::Sfs, _) => CacheMode::MemoryMeta,
             (_, Some(dir)) => CacheMode::Disk { dir: dir.clone() },
+            // A striped member holds only its mapped blocks, so no single
+            // upstream can answer a whole-file GETATTR: the session-local
+            // write-back cache is the size authority for striped
+            // placements.
+            (_, None) if striped => CacheMode::MemoryMeta,
             (_, None) => CacheMode::None,
         };
         client_cfg.readahead = params
@@ -503,6 +518,193 @@ impl Session {
         client_cfg.durability = params.durability;
         client_cfg.obs = params.obs.clone();
         client_cfg.client_pool = params.client_pool.clone();
+
+        // --- striped placement: one full server stack per member, one
+        // client proxy across all of them. Each member is its own file
+        // host: a fresh backing store that receives the identical
+        // mirrored metadata op sequence, so handles and directory
+        // structure stay byte-identical across the stripe set and any
+        // member can serve any metadata call.
+        let stripe_width = params.stripe.map(|p| p.width.max(1)).unwrap_or(1) as usize;
+        if stripe_width > 1 {
+            if !matches!(params.kind, SetupKind::Gfs | SetupKind::Sgfs(_) | SetupKind::Sfs) {
+                return Err(SessionError::Proxy(ProxyError::Protocol(
+                    "striping requires a proxied gfs/sgfs/sfs stack".into(),
+                )));
+            }
+            if params.vfs.is_some() {
+                // A caller-provided (already populated) vfs would make
+                // member 0 structurally different from the fresh members.
+                return Err(SessionError::Proxy(ProxyError::Protocol(
+                    "a striped session cannot share a caller-provided vfs".into(),
+                )));
+            }
+            client_cfg.stripe = params.stripe;
+            let server_accept_gtls = server_cfg.gtls();
+            let client_gtls = client_cfg.gtls();
+            let mut upstreams: Vec<crate::proxy::client::StripeUpstream> =
+                Vec::with_capacity(stripe_width);
+            for m in 0..stripe_width {
+                // Member 0 reuses the host assembled at the top of this
+                // function; the others get fresh, structurally identical
+                // hosts of their own.
+                let (m_server, m_root) = if m == 0 {
+                    (server.clone(), root_fh.clone())
+                } else {
+                    let vfs = Arc::new(Vfs::new());
+                    vfs.mkdir_p("/GFS", 0o755, &root_ctx).expect("export tree");
+                    let attr = vfs.resolve("/GFS", &root_ctx).expect("just created");
+                    vfs.setattr(
+                        attr.ino,
+                        &sgfs_vfs::SetAttrs {
+                            uid: Some(FILE_UID),
+                            gid: Some(FILE_UID),
+                            ..Default::default()
+                        },
+                        &root_ctx,
+                    )
+                    .expect("chown export");
+                    let mut exports = Exports::new();
+                    exports.add(ExportEntry::localhost("/GFS"));
+                    let s = NfsServer::new_no_squash(vfs, exports);
+                    let r = s.mount("/GFS", "localhost").ok_or_else(|| {
+                        SessionError::Mount("/GFS not exported to localhost".into())
+                    })?;
+                    (s, r)
+                };
+                if m_root != root_fh {
+                    return Err(SessionError::Mount(
+                        "replica export handles diverge across the stripe set".into(),
+                    ));
+                }
+                let (wire_c, wire_s) = pipe_pair_over_link(link.clone());
+                let s_watch = wire_s.watch();
+                let c_watch = wire_c.watch();
+                let forward =
+                    Box::new(LoopbackStream::new(m_server.clone())) as sgfs_net::BoxStream;
+                let mut acl = Nfs3Client::new(Box::new(LoopbackStream::new(m_server.clone())));
+                acl.set_cred(OpaqueAuth::sys(&AuthSysParams::new("file-host", 0, 0)));
+                let (m_upstream, m_proxy): (Upstream, Arc<ServerProxy>) =
+                    match (client_gtls.clone(), server_accept_gtls.clone()) {
+                        (Some(ccfg), Some(scfg)) => {
+                            let (client_tls, mut server_tls) = handshake_pair(
+                                GtlsHandshake::client(
+                                    Box::new(wire_c),
+                                    Some(c_watch.clone()),
+                                    ccfg,
+                                ),
+                                GtlsHandshake::server(
+                                    Box::new(wire_s),
+                                    Some(s_watch.clone()),
+                                    scfg,
+                                ),
+                            )?;
+                            let peer = server_tls.peer().clone();
+                            let proxy = ServerProxy::new(
+                                server_cfg.clone(),
+                                &peer,
+                                forward,
+                                acl,
+                                m_root,
+                            )?;
+                            server_tls.busy_counter = Some(proxy.stats().busy_counter());
+                            shards.add_session(
+                                Box::new(server_tls),
+                                s_watch.clone(),
+                                proxy.clone(),
+                            )?;
+                            (Upstream::Tls(Box::new(client_tls)), proxy)
+                        }
+                        _ => {
+                            let proxy = ServerProxy::new(
+                                server_cfg.clone(),
+                                &synthetic_peer(world),
+                                forward,
+                                acl,
+                                m_root,
+                            )?;
+                            shards.add_session(
+                                Box::new(wire_s),
+                                s_watch.clone(),
+                                proxy.clone(),
+                            )?;
+                            (Upstream::Plain(Box::new(wire_c)), proxy)
+                        }
+                    };
+                m_proxy.set_hop_cost(clock.clone(), params.hop_cost);
+                // Per-member fault recovery: the member re-dials its own
+                // host through its own reconnector (PR 2 machinery, one
+                // instance per upstream).
+                let sp = m_proxy.clone();
+                let ccfg_r = client_gtls.clone();
+                let scfg_r = server_accept_gtls.clone();
+                let dial_link = link.clone();
+                let dial_shards = shards.clone();
+                let reconnector: Option<Box<dyn crate::proxy::retry::Reconnector>> =
+                    Some(Box::new(
+                        move |_attempt: u32| -> std::io::Result<(
+                            Upstream,
+                            sgfs_net::PipeWatch,
+                        )> {
+                            let (c, s) = pipe_pair_over_link(dial_link.clone());
+                            let c_watch = c.watch();
+                            let s_watch = s.watch();
+                            let sp = sp.clone();
+                            match (ccfg_r.clone(), scfg_r.clone()) {
+                                (Some(ccfg), Some(scfg)) => {
+                                    let (client_tls, mut server_tls) = handshake_pair(
+                                        GtlsHandshake::client(
+                                            Box::new(c),
+                                            Some(c_watch.clone()),
+                                            ccfg,
+                                        ),
+                                        GtlsHandshake::server(
+                                            Box::new(s),
+                                            Some(s_watch.clone()),
+                                            scfg,
+                                        ),
+                                    )
+                                    .map_err(std::io::Error::from)?;
+                                    server_tls.busy_counter =
+                                        Some(sp.stats().busy_counter());
+                                    dial_shards.add_session(
+                                        Box::new(server_tls),
+                                        s_watch,
+                                        sp,
+                                    )?;
+                                    Ok((Upstream::Tls(Box::new(client_tls)), c_watch))
+                                }
+                                _ => {
+                                    dial_shards.add_session(Box::new(s), s_watch, sp)?;
+                                    Ok((Upstream::Plain(Box::new(c)), c_watch))
+                                }
+                            }
+                        },
+                    ));
+                if m == 0 {
+                    session.server_proxy = Some(m_proxy);
+                }
+                session.replica_servers.push(m_server);
+                upstreams.push((m_upstream, c_watch, reconnector));
+            }
+
+            let mut client_proxy = ClientProxy::with_stripe(upstreams, &client_cfg)?;
+            client_proxy.set_hop_cost(clock.clone(), params.hop_cost);
+            client_proxy.start_readahead();
+            session.controller = Some(client_proxy.controller());
+            session.client_stats = Some(client_proxy.stats().clone());
+            let (mount_end, proxy_end) = pipe_pair();
+            let (tx, rx) = mpsc::channel();
+            std::thread::spawn(move || {
+                let result = client_proxy.run(Box::new(proxy_end));
+                let _ = tx.send(result);
+            });
+            session.client_proxy_rx = Some(rx);
+            let mut nfs = Nfs3Client::new(Box::new(mount_end));
+            nfs.set_cred(job_cred);
+            session.mount = NfsMount::new(nfs, root_fh, mount_opts);
+            return Ok(session);
+        }
 
         // Establish the inter-proxy channel per configuration.
         enum Downstream {
@@ -693,9 +895,16 @@ impl Session {
         &self.server
     }
 
-    /// The server-side proxy, when this configuration has one.
+    /// The server-side proxy, when this configuration has one. For a
+    /// striped session this is member 0's proxy.
     pub fn server_proxy(&self) -> Option<&Arc<ServerProxy>> {
         self.server_proxy.as_ref()
+    }
+
+    /// The per-member kernel servers of a striped session, in member
+    /// order (empty when the session has a single upstream).
+    pub fn replica_servers(&self) -> &[Arc<NfsServer>] {
+        &self.replica_servers
     }
 
     /// The sharded server core this session's server-side connections run

@@ -83,6 +83,14 @@ pub struct ProxyStats {
     /// (after the teardown flush — non-zero means the flush failed and
     /// the journal is the only copy).
     dirty_at_shutdown: AtomicU64,
+    /// Gauge: stripe-set members currently marked down (0 = full
+    /// redundancy; writes proceed at reduced redundancy while non-zero).
+    degraded: AtomicU64,
+    /// Replica WRITE batches confirmed under a write verifier (one per
+    /// member per replicated flush round).
+    replica_writes: AtomicU64,
+    /// Stripe-set members failed over (marked down, traffic re-routed).
+    failovers: AtomicU64,
     /// (sample_time, cumulative_busy) pairs for utilization series.
     samples: Mutex<Vec<(Duration, Duration)>>,
     /// The observability domain this proxy emits trace events and latency
@@ -278,6 +286,36 @@ impl ProxyStats {
         self.dirty_at_shutdown.load(Ordering::Relaxed)
     }
 
+    /// Record the number of stripe-set members currently down.
+    pub fn set_degraded(&self, members_down: u64) {
+        self.degraded.store(members_down, Ordering::Relaxed);
+    }
+
+    /// Stripe-set members currently marked down (gauge).
+    pub fn degraded(&self) -> u64 {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// One replica's WRITE batch was confirmed under its write verifier.
+    pub fn add_replica_write(&self) {
+        self.replica_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Replica WRITE batches confirmed.
+    pub fn replica_writes(&self) -> u64 {
+        self.replica_writes.load(Ordering::Relaxed)
+    }
+
+    /// One stripe-set member was failed over to the survivors.
+    pub fn add_failover(&self) {
+        self.failovers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Stripe-set members failed over so far.
+    pub fn failovers(&self) -> u64 {
+        self.failovers.load(Ordering::Relaxed)
+    }
+
     /// Cumulative busy time.
     pub fn busy(&self) -> Duration {
         Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed))
@@ -388,6 +426,20 @@ mod tests {
         assert_eq!(s.dirty_at_shutdown(), 64);
         s.set_dirty_at_shutdown(0);
         assert_eq!(s.dirty_at_shutdown(), 0, "gauge, not counter");
+    }
+
+    #[test]
+    fn replica_counters() {
+        let s = ProxyStats::new();
+        s.add_replica_write();
+        s.add_replica_write();
+        s.add_failover();
+        s.set_degraded(1);
+        assert_eq!(s.replica_writes(), 2);
+        assert_eq!(s.failovers(), 1);
+        assert_eq!(s.degraded(), 1);
+        s.set_degraded(0);
+        assert_eq!(s.degraded(), 0, "gauge, not counter");
     }
 
     #[test]

@@ -17,9 +17,14 @@
 //!    and cured by a reconnect + handshake (plain transports cannot see
 //!    corruption — TCP checksums are the only line of defense there, so
 //!    the plain-transport matrix excludes the corruption fault).
+//! 7. In a striped session, any seeded fault schedule on one upstream
+//!    member leaves traffic on the other members unperturbed: every read
+//!    still returns fault-free bytes (recovered in place or failed over
+//!    to the block's surviving replica), and no healthy member is ever
+//!    re-dialed or marked down.
 
 use proptest::prelude::*;
-use sgfs::config::{CacheMode, RetryPolicy, SecurityLevel, SessionConfig};
+use sgfs::config::{CacheMode, RetryPolicy, SecurityLevel, SessionConfig, StripePolicy};
 use sgfs::proxy::client::{ClientProxy, Upstream};
 use sgfs::proxy::pipeline::Pipeline;
 use sgfs::session::GridWorld;
@@ -27,7 +32,8 @@ use sgfs::stats::ProxyStats;
 use sgfs_gtls::{handshake_pair, GtlsHandshake, GtlsStream, HsStatus};
 use sgfs_net::{pipe_pair, BoxStream, FaultInjector, FaultPlan, FaultStream, PipeEnd};
 use sgfs_nfs3::proc::{
-    procnum, AccessArgs, AccessRes, CommitRes, GetAttrRes, WriteArgs, WriteRes,
+    procnum, AccessArgs, AccessRes, CommitRes, GetAttrRes, ReadArgs, ReadRes, WriteArgs,
+    WriteRes,
 };
 use sgfs_nfs3::types::*;
 use sgfs_nfs3::{NFS_PROGRAM, NFS_VERSION};
@@ -890,4 +896,169 @@ fn mid_handshake_fault_fails_dial_cleanly_and_next_dial_recovers() {
     assert_eq!(got, want, "reply identical to the fault-free run");
     assert_eq!(attempts.load(Ordering::SeqCst), 3, "two faulted dials, then one good one");
     assert_eq!(stats.reconnects(), 1, "one recovery episode despite the handshake faults");
+}
+
+// ---------------------------------------------------------------------
+// 9. The multi-upstream axis: a fault schedule on one stripe member is
+//    that member's problem alone.
+// ---------------------------------------------------------------------
+
+/// Byte-checkable content replica for the striped axis: READ returns a
+/// deterministic function of the offset, so a reply is verifiable no
+/// matter which replica (or which connection generation) served it.
+/// `dials` counts connection generations onto this member's content.
+fn stripe_content_server(mut end: PipeEnd, dials: Arc<AtomicU32>) {
+    dials.fetch_add(1, Ordering::SeqCst);
+    std::thread::spawn(move || loop {
+        let record = match read_record(&mut end) {
+            Ok(Some(r)) => r,
+            _ => return,
+        };
+        let mut dec = XdrDecoder::new(&record);
+        let header = CallHeader::decode(&mut dec).expect("call header");
+        let reply = match header.proc {
+            procnum::READ => {
+                let args =
+                    ReadArgs::from_xdr_bytes(&record[dec.position()..]).expect("read args");
+                let data = stripe_block_content(args.offset, args.count as usize);
+                reply_bytes(
+                    header.xid,
+                    &ReadRes {
+                        status: NfsStat3::Ok,
+                        attr: Some(base_attr(1 << 20)),
+                        count: data.len() as u32,
+                        eof: false,
+                        data,
+                    },
+                )
+            }
+            other => panic!("unexpected proc {other} at a stripe member"),
+        };
+        if write_record(&mut end, &reply).is_err() {
+            return;
+        }
+    });
+}
+
+/// The deterministic block content every replica agrees on.
+fn stripe_block_content(offset: u64, count: usize) -> Vec<u8> {
+    vec![(offset / 512) as u8 ^ 0x5A; count]
+}
+
+/// One striped case: width 3, 2 replicas per block, one member under a
+/// seeded fault schedule (mid-record EOFs, partial writes, refusals,
+/// latency — every plaintext fault), the other two clean and, pointedly,
+/// with **no reconnector**: if the victim's faults perturbed a neighbor
+/// in any way that tore its connection, that neighbor would die
+/// terminally and the case would fail loudly.
+fn striped_faulted_case(seed: u64, victim: usize, blocks: u64) {
+    let inj = FaultInjector::new(seed, 4);
+    let dials: Vec<Arc<AtomicU32>> = (0..3).map(|_| Arc::new(AtomicU32::new(0))).collect();
+
+    let mut config = SessionConfig::new(SecurityLevel::None);
+    config.cache = CacheMode::None; // forward everything: each READ hits the stripe
+    config.window = 8;
+    config.retry = quick_retry();
+    config.stripe = Some(StripePolicy { width: 3, replicas: 2, block_size: 512 });
+
+    let mut upstreams = Vec::new();
+    for (m, dial) in dials.iter().enumerate() {
+        let (end, srv) = pipe_pair();
+        stripe_content_server(srv, dial.clone());
+        let watch = end.watch();
+        if m == victim {
+            let first = FaultStream::new(Box::new(end), plain_plan(&inj));
+            let dialer = inj.clone();
+            let redial_count = dial.clone();
+            let reconnect =
+                move |_attempt: u32| -> std::io::Result<(Upstream, sgfs_net::PipeWatch)> {
+                    if dialer.refuse_connect() {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::ConnectionRefused,
+                            "injected connect refusal",
+                        ));
+                    }
+                    let (end, srv) = pipe_pair();
+                    stripe_content_server(srv, redial_count.clone());
+                    let watch = end.watch();
+                    Ok((
+                        Upstream::Plain(Box::new(FaultStream::new(
+                            Box::new(end),
+                            plain_plan(&dialer),
+                        ))),
+                        watch,
+                    ))
+                };
+            upstreams.push((
+                Upstream::Plain(Box::new(first)) as Upstream,
+                watch,
+                Some(Box::new(reconnect) as Box<dyn sgfs::proxy::retry::Reconnector>),
+            ));
+        } else {
+            upstreams.push((Upstream::Plain(Box::new(end)) as Upstream, watch, None));
+        }
+    }
+    let proxy = ClientProxy::with_stripe(upstreams, &config).expect("striped proxy");
+    let stats = proxy.stats().clone();
+    let set = proxy.stripe().expect("stripe set").clone();
+
+    // Drive one READ per block through the proxy's downstream interface.
+    let (mut down, proxy_down) = pipe_pair();
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(proxy.run(Box::new(proxy_down)));
+    });
+    let fh = Fh3::from_ino(1, 42);
+    for b in 0..blocks {
+        let record = nfs_call(0x500 + b as u32, procnum::READ, |enc| {
+            ReadArgs { file: fh.clone(), offset: b * 512, count: 512 }.encode(enc)
+        });
+        write_record(&mut down, &record).unwrap();
+        let reply = read_record(&mut down).unwrap().expect("reply record");
+        let mut dec = XdrDecoder::new(&reply);
+        let _ = ReplyHeader::decode(&mut dec).expect("reply header");
+        let res = ReadRes::from_xdr_bytes(&reply[dec.position()..]).expect("read res");
+        // Property 2 of the striped axis: every reply carries fault-free
+        // bytes, whether the victim recovered in place or the read failed
+        // over to the block's surviving replica.
+        prop_assert_eq!(res.status, NfsStat3::Ok, "block {} read failed", b);
+        prop_assert_eq!(
+            &res.data,
+            &stripe_block_content(b * 512, 512),
+            "block {} diverged from the fault-free content",
+            b
+        );
+    }
+    drop(down);
+    let (_proxy, run_result) = rx.recv().expect("proxy thread");
+    run_result.expect("proxy loop");
+
+    // The healthy members were never perturbed: still in the set, never
+    // re-dialed (their dial count is the initial connection only).
+    for (m, dial) in dials.iter().enumerate() {
+        if m == victim {
+            continue;
+        }
+        prop_assert!(set.is_up(m), "healthy member {} left the set (seed {})", m, seed);
+        prop_assert_eq!(dial.load(Ordering::SeqCst), 1, "healthy member {} was re-dialed", m);
+    }
+    // The victim either recovered in place or failed over — never more
+    // than one member down, and a failover is counted exactly once.
+    prop_assert!(stats.degraded() <= 1, "more than the victim went down");
+    prop_assert!(stats.failovers() <= 1, "failover counted more than once");
+    if !set.is_up(victim) {
+        prop_assert_eq!(stats.failovers(), 1, "down victim without a counted failover");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn striped_member_faults_leave_neighbors_unperturbed(
+        seed: u64,
+        victim in 0usize..3,
+        blocks in 4u64..16,
+    ) {
+        striped_faulted_case(seed, victim, blocks);
+    }
 }

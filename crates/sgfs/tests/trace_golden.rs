@@ -14,7 +14,9 @@ use sgfs::config::{CacheMode, DurabilityPolicy, RetryPolicy, SecurityLevel, Sess
 use sgfs::proxy::client::{ClientProxy, Upstream};
 use sgfs::proxy::journal::JOURNAL_FILE;
 use sgfs_net::{pipe_pair, PipeEnd};
-use sgfs_nfs3::proc::{procnum, CommitRes, GetAttrRes, WriteArgs, WriteRes};
+use sgfs_nfs3::proc::{
+    procnum, CommitRes, GetAttrRes, ReadArgs, ReadRes, WccRes, WriteArgs, WriteRes,
+};
 use sgfs_nfs3::types::*;
 use sgfs_nfs3::{NFS_PROGRAM, NFS_VERSION};
 use sgfs_obs::{Hop, Obs, TraceEvent};
@@ -682,6 +684,174 @@ fn shard_scenario() -> Vec<String> {
 #[test]
 fn golden_shard_accept_handoff_sequence() {
     let runs: Vec<Vec<String>> = (0..3).map(|_| shard_scenario()).collect();
+    assert_eq!(runs[0], runs[1], "run 2 diverged from run 1");
+    assert_eq!(runs[1], runs[2], "run 3 diverged from run 2");
+}
+
+// ---------------------------------------------------------------------
+// 7. Striped session: replicated flush, striped reads, failover — every
+//    hop tagged with the upstream member that served it.
+// ---------------------------------------------------------------------
+
+/// A striped member's responder: the full mock-NFS surface plus READ
+/// with deterministic content, dying (no reply, wire closed) on its
+/// `die_on_read`-th READ when set.
+fn striped_member_server(mut end: PipeEnd, mut die_on_read: Option<u32>) {
+    std::thread::spawn(move || loop {
+        let record = match read_record(&mut end) {
+            Ok(Some(r)) => r,
+            _ => return,
+        };
+        let mut dec = XdrDecoder::new(&record);
+        let header = CallHeader::decode(&mut dec).expect("call header");
+        let reply = match header.proc {
+            procnum::GETATTR => reply_bytes(
+                header.xid,
+                &GetAttrRes { status: NfsStat3::Ok, attr: Some(base_attr(1 << 20)) },
+            ),
+            procnum::WRITE => {
+                let args =
+                    WriteArgs::from_xdr_bytes(&record[dec.position()..]).expect("write args");
+                reply_bytes(
+                    header.xid,
+                    &WriteRes {
+                        status: NfsStat3::Ok,
+                        wcc: WccData { before: None, after: Some(base_attr(args.offset)) },
+                        count: args.data.len() as u32,
+                        committed: StableHow::Unstable,
+                        verf: 7,
+                    },
+                )
+            }
+            procnum::COMMIT => reply_bytes(
+                header.xid,
+                &CommitRes {
+                    status: NfsStat3::Ok,
+                    wcc: WccData { before: None, after: Some(base_attr(0)) },
+                    verf: 7,
+                },
+            ),
+            // Post-COMMIT size mirror from the striped flush.
+            procnum::SETATTR => reply_bytes(
+                header.xid,
+                &WccRes {
+                    status: NfsStat3::Ok,
+                    wcc: WccData { before: None, after: Some(base_attr(0)) },
+                },
+            ),
+            procnum::READ => {
+                if let Some(n) = &mut die_on_read {
+                    *n -= 1;
+                    if *n == 0 {
+                        return; // the seeded death: request dropped, wire closed
+                    }
+                }
+                let args =
+                    ReadArgs::from_xdr_bytes(&record[dec.position()..]).expect("read args");
+                reply_bytes(
+                    header.xid,
+                    &ReadRes {
+                        status: NfsStat3::Ok,
+                        attr: Some(base_attr(1 << 20)),
+                        count: args.count,
+                        eof: false,
+                        data: vec![(args.offset / 512) as u8; args.count as usize],
+                    },
+                )
+            }
+            other => panic!("unexpected proc {other}"),
+        };
+        if write_record(&mut end, &reply).is_err() {
+            return;
+        }
+    });
+}
+
+/// The per-member projection of the striped hops: which member served
+/// each striped read, which members confirmed each replicated flush,
+/// which member failed over.
+fn striped_golden(events: &[TraceEvent]) -> Vec<String> {
+    events
+        .iter()
+        .filter(|e| {
+            matches!(e.hop, Hop::StripeRead | Hop::ReplicaWrite | Hop::ReplicaFailover)
+        })
+        .map(|e| format!("{}:m{}", e.hop.as_str(), e.aux))
+        .collect()
+}
+
+fn striped_scenario() -> Vec<String> {
+    let (mut config, obs) = traced_config();
+    config.stripe =
+        Some(sgfs::config::StripePolicy { width: 3, replicas: 2, block_size: 512 });
+    // Member 2's death is scripted below; reads fail over to survivors.
+    let mut upstreams = Vec::new();
+    for m in 0..3u32 {
+        let (end, srv) = pipe_pair();
+        // Member 1 dies on its second READ (its first serves the striped
+        // read of block 5; the second — block 8 — is dropped mid-air).
+        striped_member_server(srv, if m == 1 { Some(2) } else { None });
+        let watch = end.watch();
+        upstreams.push((Upstream::Plain(Box::new(end)) as Upstream, watch, None));
+    }
+    let proxy = ClientProxy::with_stripe(upstreams, &config).expect("striped proxy");
+
+    let fh = Fh3::from_ino(1, 42);
+    // Replicated flush: three dirty blocks fan out to their mapped
+    // member pairs; each member's batch is confirmed by its own COMMIT.
+    let writes: Vec<Vec<u8>> = (0..3u64)
+        .map(|b| {
+            nfs_call(0x20 + b as u32, procnum::WRITE, |enc| {
+                WriteArgs {
+                    file: fh.clone(),
+                    offset: b * 512,
+                    stable: StableHow::Unstable,
+                    data: vec![b as u8; 512],
+                }
+                .encode(enc)
+            })
+        })
+        .collect();
+    let mut proxy = drive(proxy, &writes);
+    proxy.flush_file(&fh).expect("replicated flush");
+
+    // Striped reads of uncached blocks: each lands on its block's
+    // primary (blocks 3, 4, 5 → members 0, 2, 1), then block 8's primary
+    // (member 1) dies mid-read and the block fails over to member 2.
+    let reads: Vec<Vec<u8>> = [3u64, 4, 5, 8]
+        .iter()
+        .map(|&b| {
+            nfs_call(0x40 + b as u32, procnum::READ, |enc| {
+                ReadArgs { file: fh.clone(), offset: b * 512, count: 512 }.encode(enc)
+            })
+        })
+        .collect();
+    let proxy = drive(proxy, &reads);
+    drop(proxy);
+
+    let (events, dropped) = obs.events();
+    assert_eq!(dropped, 0);
+    let g = striped_golden(&events);
+    assert_eq!(
+        g,
+        [
+            "replica_write:m0",
+            "replica_write:m1",
+            "replica_write:m2",
+            "stripe_read:m0",
+            "stripe_read:m2",
+            "stripe_read:m1",
+            "replica_failover:m1",
+            "stripe_read:m2",
+        ],
+        "golden striped sequence changed"
+    );
+    g
+}
+
+#[test]
+fn golden_striped_failover_sequence() {
+    let runs: Vec<Vec<String>> = (0..3).map(|_| striped_scenario()).collect();
     assert_eq!(runs[0], runs[1], "run 2 diverged from run 1");
     assert_eq!(runs[1], runs[2], "run 3 diverged from run 2");
 }

@@ -69,6 +69,8 @@ fn main() {
             disk_cache: false,
             fine_grained_acl: true,
             rtt_micros: 300,
+            stripe_width: None,
+            replicas: None,
             delegated_credential: Dss::encode_credential(&delegated),
         },
     );
@@ -96,6 +98,8 @@ fn main() {
             disk_cache: false,
             fine_grained_acl: false,
             rtt_micros: 300,
+            stripe_width: None,
+            replicas: None,
             delegated_credential: Dss::encode_credential(&mproxy),
         },
     );
@@ -130,6 +134,8 @@ fn main() {
             disk_cache: false,
             fine_grained_acl: false,
             rtt_micros: 300,
+            stripe_width: None,
+            replicas: None,
             delegated_credential: Dss::encode_credential(&bproxy),
         },
     );

@@ -283,6 +283,8 @@ fn services_build_wan_sessions_with_disk_cache() {
         disk_cache: true,
         fine_grained_acl: false,
         rtt_micros: 40_000,
+        stripe_width: None,
+        replicas: None,
         delegated_credential: Dss::encode_credential(&delegated),
     };
     let env = Envelope::sign(&world.user, &req).unwrap();
