@@ -27,6 +27,9 @@ struct Channel {
 #[derive(Default)]
 struct ChannelState {
     queue: VecDeque<Msg>,
+    /// Payload bytes currently queued (maintained on push/pop so the
+    /// admission layer can sample a session's wire backlog in O(1)).
+    queued_bytes: usize,
     closed: bool,
 }
 
@@ -45,6 +48,7 @@ impl Channel {
             if st.closed {
                 return Err(io::Error::new(io::ErrorKind::BrokenPipe, "pipe closed"));
             }
+            st.queued_bytes += msg.data.len();
             st.queue.push_back(msg);
             self.cond.notify_one();
         }
@@ -57,6 +61,7 @@ impl Channel {
         let mut st = self.state.lock();
         loop {
             if let Some(m) = st.queue.pop_front() {
+                st.queued_bytes -= m.data.len();
                 return Some(m);
             }
             if st.closed {
@@ -120,6 +125,20 @@ impl PipeWatch {
     /// Has the sending side closed (EOF pending once drained)?
     pub fn is_closed(&self) -> bool {
         self.channel.state.lock().closed
+    }
+
+    /// Payload bytes currently queued and unconsumed on this channel.
+    ///
+    /// This is the receiver-side backlog the admission layer samples: a
+    /// session that keeps submitting while its records sit unread shows
+    /// up here, byte-accurate, without walking the queue.
+    pub fn queued_bytes(&self) -> usize {
+        self.channel.state.lock().queued_bytes
+    }
+
+    /// Unconsumed whole messages (records) queued on this channel.
+    pub fn queued_msgs(&self) -> usize {
+        self.channel.state.lock().queue.len()
     }
 }
 

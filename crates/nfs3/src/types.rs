@@ -46,6 +46,10 @@ pub enum NfsStat3 {
     NotSupp = 10004,
     /// Server fault.
     ServerFault = 10006,
+    /// Server temporarily out of resources: the call was *not* executed
+    /// and the client should back off and retry it verbatim (RFC 1813
+    /// NFS3ERR_JUKEBOX). This is the admission-control overflow signal.
+    Jukebox = 10008,
 }
 
 impl NfsStat3 {
@@ -70,6 +74,7 @@ impl NfsStat3 {
             70 => NfsStat3::Stale,
             10004 => NfsStat3::NotSupp,
             10006 => NfsStat3::ServerFault,
+            10008 => NfsStat3::Jukebox,
             other => return Err(XdrError::InvalidEnum { what: "nfsstat3", value: other }),
         })
     }

@@ -136,6 +136,11 @@ impl Hist {
     pub fn percentiles(&self) -> (u64, u64, u64) {
         (self.quantile(0.50), self.quantile(0.95), self.quantile(0.99))
     }
+
+    /// 99.9th percentile estimate in nanoseconds — the SLO-gate tail.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
 }
 
 impl std::fmt::Debug for Hist {

@@ -111,10 +111,20 @@ pub enum Hop {
     /// A stripe-set member was marked down and traffic re-routed to the
     /// survivors (aux = member index).
     ReplicaFailover = 23,
+    /// Admission control shed a record: the server replied
+    /// NFS3ERR_JUKEBOX without executing the call (aux = the session's
+    /// sampled backlog in bytes at the moment of the shed).
+    Shed = 24,
+    /// A shard crossed its overload hysteresis boundary (aux = 1 on
+    /// entering overload, 0 on leaving; xid = shard index).
+    Overload = 25,
+    /// The client received a JUKEBOX reply and is backing off before
+    /// retrying the identical record (aux = backoff in nanoseconds).
+    JukeboxRetry = 26,
 }
 
 /// Every hop, for iteration and snapshot ordering.
-pub const ALL_HOPS: [Hop; 24] = [
+pub const ALL_HOPS: [Hop; 27] = [
     Hop::CacheHit,
     Hop::CacheMiss,
     Hop::Seal,
@@ -139,6 +149,9 @@ pub const ALL_HOPS: [Hop; 24] = [
     Hop::StripeRead,
     Hop::ReplicaWrite,
     Hop::ReplicaFailover,
+    Hop::Shed,
+    Hop::Overload,
+    Hop::JukeboxRetry,
 ];
 
 impl Hop {
@@ -169,6 +182,9 @@ impl Hop {
             Hop::StripeRead => "stripe_read",
             Hop::ReplicaWrite => "replica_write",
             Hop::ReplicaFailover => "replica_failover",
+            Hop::Shed => "shed",
+            Hop::Overload => "overload",
+            Hop::JukeboxRetry => "jukebox_retry",
         }
     }
 

@@ -21,6 +21,8 @@ pub struct LatencySummary {
     pub p95_micros: f64,
     /// 99th percentile estimate.
     pub p99_micros: f64,
+    /// 99.9th percentile estimate.
+    pub p999_micros: f64,
     /// Largest sample (exact).
     pub max_micros: f64,
 }
@@ -37,6 +39,7 @@ impl LatencySummary {
             p50_micros: us(p50),
             p95_micros: us(p95),
             p99_micros: us(p99),
+            p999_micros: us(h.p999()),
             max_micros: us(h.max()),
         }
     }

@@ -62,7 +62,21 @@ struct WorkerHandle {
     tx: Mutex<SpscSender<Box<dyn PoolConn>>>,
     poller: Arc<Poller>,
     active: Arc<AtomicUsize>,
+    /// Cleared by the worker on *any* exit — orderly shutdown or an
+    /// unwinding panic in a connection's `pump` — so pinners never spin
+    /// on an inbox nobody will ever drain again.
+    alive: Arc<AtomicBool>,
     join: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Drop guard that clears the worker's liveness flag even when the
+/// worker thread unwinds out of `worker_loop`.
+struct AliveGuard(Arc<AtomicBool>);
+
+impl Drop for AliveGuard {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::Release);
+    }
 }
 
 /// A fixed pool of client I/O event loops.
@@ -81,13 +95,18 @@ impl ClientIoPool {
                 let (tx, rx) = spsc_channel::<Box<dyn PoolConn>>(INBOX_CAPACITY);
                 let poller = Arc::new(Poller::new());
                 let active = Arc::new(AtomicUsize::new(0));
+                let alive = Arc::new(AtomicBool::new(true));
                 let loop_poller = poller.clone();
                 let loop_active = active.clone();
+                let loop_alive = AliveGuard(alive.clone());
                 let join = std::thread::Builder::new()
                     .name(format!("sgfs-client-io-{index}"))
-                    .spawn(move || worker_loop(loop_poller, rx, loop_active))
+                    .spawn(move || {
+                        let _alive = loop_alive;
+                        worker_loop(loop_poller, rx, loop_active)
+                    })
                     .expect("spawn client I/O worker");
-                WorkerHandle { tx: Mutex::new(tx), poller, active, join: Some(join) }
+                WorkerHandle { tx: Mutex::new(tx), poller, active, alive, join: Some(join) }
             })
             .collect();
         Arc::new(Self { workers, next_id: AtomicU64::new(0), shutdown: AtomicBool::new(false) })
@@ -112,6 +131,12 @@ impl ClientIoPool {
         let worker = &self.workers[(id % self.workers.len() as u64) as usize];
         let mut conn = conn;
         loop {
+            // A worker that exited early (e.g. a connection's `pump`
+            // panicked) will never drain its ring: fail fast instead of
+            // spinning on the handoff forever.
+            if !worker.alive.load(Ordering::Acquire) {
+                return Err(io::Error::other("client I/O worker exited; connection not pinned"));
+            }
             let pushed = worker.tx.lock().push(conn);
             match pushed {
                 Ok(()) => break,
@@ -293,6 +318,48 @@ mod tests {
         drop(tx);
         wait_for("retire", || retired.load(Ordering::Acquire));
         wait_for("unpin", || pool.active_conns() == 0);
+    }
+
+    /// A conn whose pump panics on first wakeup, killing its worker —
+    /// the failure mode that used to wedge `add_conn` forever.
+    struct PanicOnPump {
+        rx: SubmitReceiver<u64>,
+    }
+
+    impl PoolConn for PanicOnPump {
+        fn attach(&mut self, readiness: Readiness) {
+            self.rx.register(readiness);
+        }
+        fn pump(&mut self) -> ConnPump {
+            panic!("poisoned pump");
+        }
+    }
+
+    #[test]
+    fn add_conn_fails_fast_after_worker_death() {
+        let pool = ClientIoPool::new(1);
+        let (tx, rx) = submit_ring(4);
+        pool.add_conn(Box::new(PanicOnPump { rx })).unwrap();
+        tx.push(1).unwrap(); // wake the worker; its pump panics; it dies
+        // Pre-fix this loop never terminated: once the dead worker's ring
+        // filled, add_conn spun on a handoff nobody would ever drain.
+        // Post-fix the liveness flag turns the spin into a fast error.
+        let mut failed = false;
+        for _ in 0..2000 {
+            let (tx2, rx2) = submit_ring(4);
+            let pinned = pool.add_conn(Box::new(Doubler {
+                rx: rx2,
+                out: Arc::new(Mutex::new(Vec::new())),
+                retired: Arc::new(AtomicBool::new(false)),
+            }));
+            drop(tx2);
+            if pinned.is_err() {
+                failed = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(failed, "add_conn kept claiming success against a dead worker");
     }
 
     #[test]

@@ -38,7 +38,10 @@ pub use error::RpcError;
 pub use loopback::LoopbackStream;
 pub use msg::{AcceptStat, AuthFlavor, AuthSysParams, CallHeader, OpaqueAuth, ReplyHeader};
 pub use server::{serve_connection, spawn_connection, RpcService};
-pub use shard::{process_thread_count, RecordService, RpcRecordService, ShardServer, ShardStats};
+pub use shard::{
+    process_thread_count, AdmissionPolicy, RecordService, RpcRecordService, ShardServer,
+    ShardStats,
+};
 
 /// The fixed RPC protocol version this crate speaks.
 pub const RPC_VERSION: u32 = 2;

@@ -27,12 +27,13 @@
 use crate::record::{read_record_into, write_record_with};
 use crate::server::{process_record, RpcService};
 use sgfs_net::{spsc_channel, BoxStream, PipeWatch, Poller, Popped, SpscReceiver, SpscSender, Token};
-use sgfs_obs::{Hop, Obs, NO_PROC};
+use sgfs_obs::{peek_proc, peek_xid, Hop, Obs, NO_PROC};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A per-record request processor — the unit of work a shard drives.
 ///
@@ -44,6 +45,18 @@ use std::sync::Arc;
 pub trait RecordService: Send + Sync {
     /// Consume one request record, produce one reply record.
     fn process_record(&self, record: &[u8]) -> io::Result<Vec<u8>>;
+
+    /// Produce a cheap "try again later" reply for `record` *without*
+    /// executing it, or `None` if this service cannot shed (the shard
+    /// then processes the record normally). Admission control calls this
+    /// when a session is over its backlog cap or the shard is inside its
+    /// overload band; NFS services answer with `NFS3ERR_JUKEBOX`, whose
+    /// contract — the call was not executed — makes a verbatim client
+    /// retry safe even for non-idempotent procedures.
+    fn shed_record(&self, record: &[u8]) -> Option<Vec<u8>> {
+        let _ = record;
+        None
+    }
 }
 
 /// Adapter exposing any [`RpcService`] as a [`RecordService`].
@@ -66,13 +79,79 @@ struct NewSession {
 /// Token 0 is every shard's handoff inbox; sessions start at 1.
 const INBOX: Token = 0;
 
-/// Per-wakeup record budget for one session, so a chatty session cannot
-/// starve its shard neighbors; leftover input re-arms the token.
+/// Default per-visit record budget for one session (see
+/// [`AdmissionPolicy::max_pump`]).
 const MAX_PUMP: usize = 32;
 
 /// Capacity of each shard's handoff ring. Accepts briefly spin when a
 /// burst outruns the shard; the ring never drops.
 const INBOX_CAPACITY: usize = 256;
+
+/// Admission, backpressure, and fair-scheduling knobs for one shard.
+///
+/// Scheduling is deficit round robin: every backlogged session sits in
+/// the shard's run queue and receives `quantum` bytes of service credit
+/// per visit; a session whose requests exhaust its deficit goes to the
+/// back of the queue, so one hot session cannot starve its neighbors no
+/// matter how deep its backlog is.
+///
+/// Admission is two-level with hysteresis. A session whose sampled wire
+/// backlog exceeds `session_backlog_cap` has its *newly drained* records
+/// shed (answered via [`RecordService::shed_record`] without execution)
+/// until it falls back under the cap. Independently, when the sum of all
+/// sessions' sampled backlogs crosses `shard_backlog_budget` the shard
+/// enters an overload band that *tightens* the per-session cap to a
+/// quarter: backlogged sessions — the ones actually holding the bytes —
+/// are shed much harder, while a well-behaved closed-loop session (whose
+/// wire backlog is near zero) keeps being served. Shedding from the
+/// culprits, not the bystanders, is what lets the fairness SLO hold: a
+/// flood cannot convert its own backlog into its neighbors' latency.
+/// The band exits once the aggregate drains below *half* the budget
+/// (the hysteresis exit, so the gauge does not flap at the boundary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionPolicy {
+    /// Per-session sampled-backlog cap in bytes; above it the session's
+    /// drained records are shed instead of executed.
+    pub session_backlog_cap: usize,
+    /// Aggregate per-shard backlog budget in bytes; above it the shard
+    /// enters the overload band (exit at half).
+    pub shard_backlog_budget: usize,
+    /// DRR service credit in bytes added to a session's deficit per run-
+    /// queue visit (accumulates to at most twice this).
+    pub quantum: usize,
+    /// Hard per-visit record-count bound (guards the tiny-record case
+    /// where a byte quantum admits thousands of requests in one visit).
+    pub max_pump: usize,
+}
+
+impl Default for AdmissionPolicy {
+    /// Generous defaults: a well-behaved windowed client (the pipeline
+    /// caps its in-flight bytes) never trips these.
+    fn default() -> Self {
+        Self {
+            session_backlog_cap: 256 * 1024,
+            shard_backlog_budget: 4 * 1024 * 1024,
+            quantum: 64 * 1024,
+            max_pump: MAX_PUMP,
+        }
+    }
+}
+
+/// Per-shard counters and gauges, shared between the shard thread and
+/// the accept-side stats reader (all relaxed: monotonic counters plus
+/// advisory gauges, no cross-field consistency promised).
+#[derive(Default)]
+struct ShardGauges {
+    active: AtomicUsize,
+    served: AtomicU64,
+    shed: AtomicU64,
+    /// Sum of the shard's per-session sampled wire backlogs, bytes.
+    backlog: AtomicUsize,
+    /// High-water mark of `backlog`.
+    backlog_hwm: AtomicUsize,
+    /// Inside the overload hysteresis band right now?
+    overloaded: AtomicBool,
+}
 
 struct ShardHandle {
     /// Producer side of the handoff ring. The mutex serializes concurrent
@@ -80,8 +159,7 @@ struct ShardHandle {
     /// the shard thread stays lock-free.
     tx: Mutex<SpscSender<NewSession>>,
     poller: Arc<Poller>,
-    active: Arc<AtomicUsize>,
-    served: Arc<AtomicU64>,
+    gauges: Arc<ShardGauges>,
     join: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -96,6 +174,15 @@ pub struct ShardStats {
     pub active: usize,
     /// Request records served across all shards.
     pub served: u64,
+    /// Records shed by admission control (replied without execution).
+    pub shed: u64,
+    /// Shards currently inside the overload hysteresis band.
+    pub overloaded: usize,
+    /// Aggregate sampled wire backlog across all shards, bytes.
+    pub backlog: usize,
+    /// Largest aggregate backlog any single shard has sampled, bytes —
+    /// the bounded-memory witness the overload tests gate on.
+    pub backlog_hwm: usize,
 }
 
 /// The sharded server: a fixed set of event-loop threads plus the
@@ -117,30 +204,28 @@ impl ShardServer {
     /// Start `shards` event loops emitting [`Hop::ShardAccept`] /
     /// [`Hop::ShardHandoff`] into `obs`.
     pub fn with_obs(shards: usize, obs: Arc<Obs>) -> Arc<Self> {
+        Self::with_admission(shards, obs, AdmissionPolicy::default())
+    }
+
+    /// Start `shards` event loops under an explicit [`AdmissionPolicy`]
+    /// (the overload tests shrink the caps to force shedding).
+    pub fn with_admission(shards: usize, obs: Arc<Obs>, policy: AdmissionPolicy) -> Arc<Self> {
         let shards = shards.max(1);
         let handles = (0..shards)
             .map(|index| {
                 let (tx, rx) = spsc_channel::<NewSession>(INBOX_CAPACITY);
                 let poller = Arc::new(Poller::new());
-                let active = Arc::new(AtomicUsize::new(0));
-                let served = Arc::new(AtomicU64::new(0));
+                let gauges = Arc::new(ShardGauges::default());
                 let loop_poller = poller.clone();
-                let loop_active = active.clone();
-                let loop_served = served.clone();
+                let loop_gauges = gauges.clone();
                 let loop_obs = obs.clone();
                 let join = std::thread::Builder::new()
                     .name(format!("sgfs-shard-{index}"))
                     .spawn(move || {
-                        shard_loop(index, loop_poller, rx, loop_active, loop_served, loop_obs)
+                        shard_loop(index, loop_poller, rx, loop_gauges, loop_obs, policy)
                     })
                     .expect("spawn shard thread");
-                ShardHandle {
-                    tx: Mutex::new(tx),
-                    poller,
-                    active,
-                    served,
-                    join: Some(join),
-                }
+                ShardHandle { tx: Mutex::new(tx), poller, gauges, join: Some(join) }
             })
             .collect();
         Arc::new(Self {
@@ -202,11 +287,21 @@ impl ShardServer {
 
     /// Aggregate counters.
     pub fn stats(&self) -> ShardStats {
+        let g = |f: &dyn Fn(&ShardGauges) -> usize| self.shards.iter().map(|s| f(&s.gauges)).sum();
         ShardStats {
             shards: self.shards.len(),
             accepted: self.accepted.load(Ordering::Relaxed),
-            active: self.shards.iter().map(|s| s.active.load(Ordering::Relaxed)).sum(),
-            served: self.shards.iter().map(|s| s.served.load(Ordering::Relaxed)).sum(),
+            active: g(&|g| g.active.load(Ordering::Relaxed)),
+            served: self.shards.iter().map(|s| s.gauges.served.load(Ordering::Relaxed)).sum(),
+            shed: self.shards.iter().map(|s| s.gauges.shed.load(Ordering::Relaxed)).sum(),
+            overloaded: g(&|g| g.overloaded.load(Ordering::Relaxed) as usize),
+            backlog: g(&|g| g.backlog.load(Ordering::Relaxed)),
+            backlog_hwm: self
+                .shards
+                .iter()
+                .map(|s| s.gauges.backlog_hwm.load(Ordering::Relaxed))
+                .max()
+                .unwrap_or(0),
         }
     }
 
@@ -243,11 +338,17 @@ struct PinnedSession {
     stream: BoxStream,
     watch: PipeWatch,
     service: Arc<dyn RecordService>,
+    /// DRR service credit in bytes; replenished per run-queue visit.
+    deficit: usize,
+    /// Last sampled wire backlog (bytes), mirrored into the shard total.
+    backlog: usize,
+    /// Already sitting in the run queue (dedup for readiness storms).
+    queued: bool,
 }
 
 /// What one pump pass decided about a session.
 enum Pump {
-    /// Budget spent with input left: re-arm the token.
+    /// Budget spent with input left: revisit after the neighbors.
     Rearm,
     /// Nothing more to do until the next arrival.
     Idle,
@@ -255,25 +356,47 @@ enum Pump {
     Gone,
 }
 
+/// Re-sample one session's wire backlog and fold the delta into the
+/// shard aggregate (so the total stays O(1) per visit, not O(sessions)).
+fn resample_backlog(session: &mut PinnedSession, gauges: &ShardGauges) {
+    let now = session.watch.queued_bytes();
+    let old = std::mem::replace(&mut session.backlog, now);
+    if now >= old {
+        let total = gauges.backlog.fetch_add(now - old, Ordering::Relaxed) + (now - old);
+        gauges.backlog_hwm.fetch_max(total, Ordering::Relaxed);
+    } else {
+        gauges.backlog.fetch_sub(old - now, Ordering::Relaxed);
+    }
+}
+
 fn shard_loop(
     shard_index: usize,
     poller: Arc<Poller>,
     inbox: SpscReceiver<NewSession>,
-    active: Arc<AtomicUsize>,
-    served: Arc<AtomicU64>,
+    gauges: Arc<ShardGauges>,
     obs: Arc<Obs>,
+    policy: AdmissionPolicy,
 ) {
     let mut sessions: HashMap<Token, PinnedSession> = HashMap::new();
     let mut next_token: Token = INBOX + 1;
     let mut ready: Vec<Token> = Vec::new();
+    // Deficit-round-robin run queue: the backlogged sessions, in visit
+    // order. A session is enqueued by readiness and revisited until its
+    // input drains; between visits every neighbor gets its turn.
+    let mut run: VecDeque<Token> = VecDeque::new();
     // Per-shard scratch: one request buffer, one write-assembly buffer,
     // shared by every session the shard owns — zero-alloc at steady state.
     let mut record: Vec<u8> = Vec::new();
     let mut scratch: Vec<u8> = Vec::new();
     let mut closed = false;
+    let mut overloaded = false;
 
     loop {
-        poller.wait(None, &mut ready);
+        // With backlogged sessions the poll is non-blocking, so new
+        // arrivals and the accept inbox are still noticed every visit —
+        // sustained overload cannot starve the INBOX.
+        let timeout = if run.is_empty() { None } else { Some(Duration::ZERO) };
+        poller.wait(timeout, &mut ready);
         for &token in &ready {
             if token == INBOX {
                 loop {
@@ -288,13 +411,16 @@ fn shard_loop(
                                 NO_PROC,
                                 shard_index as u64,
                             );
-                            active.fetch_add(1, Ordering::Relaxed);
+                            gauges.active.fetch_add(1, Ordering::Relaxed);
                             sessions.insert(
                                 token,
                                 PinnedSession {
                                     stream: new.stream,
                                     watch: new.watch,
                                     service: new.service,
+                                    deficit: 0,
+                                    backlog: 0,
+                                    queued: false,
                                 },
                             );
                         }
@@ -307,21 +433,52 @@ fn shard_loop(
                 }
                 continue;
             }
-            let Some(session) = sessions.get_mut(&token) else {
-                continue; // stale readiness for an unpinned session
-            };
-            match pump_session(session, &mut record, &mut scratch, &served) {
-                Pump::Idle => {}
-                Pump::Rearm => poller.wake(token),
-                Pump::Gone => {
-                    sessions.remove(&token);
-                    active.fetch_sub(1, Ordering::Relaxed);
+            if let Some(session) = sessions.get_mut(&token) {
+                if !session.queued {
+                    session.queued = true;
+                    run.push_back(token);
                 }
             }
         }
         if closed {
             // Pinned sessions drop here; their peers observe EOF.
             return;
+        }
+        // One DRR visit per loop iteration: pop the head, top up its
+        // deficit, pump within budget, and requeue it behind every
+        // waiting neighbor if input remains.
+        let Some(token) = run.pop_front() else { continue };
+        let Some(session) = sessions.get_mut(&token) else { continue };
+        session.queued = false;
+        resample_backlog(session, &gauges);
+        if !overloaded && gauges.backlog.load(Ordering::Relaxed) > policy.shard_backlog_budget {
+            overloaded = true;
+            gauges.overloaded.store(true, Ordering::Relaxed);
+            obs.emit(Hop::Overload, shard_index as u32, NO_PROC, 1);
+        }
+        session.deficit = (session.deficit + policy.quantum).min(2 * policy.quantum);
+        match pump_session(session, &mut record, &mut scratch, &gauges, &obs, &policy, overloaded)
+        {
+            Pump::Idle => {
+                session.deficit = 0;
+                resample_backlog(session, &gauges);
+            }
+            Pump::Rearm => {
+                resample_backlog(session, &gauges);
+                session.queued = true;
+                run.push_back(token);
+            }
+            Pump::Gone => {
+                let stale = session.backlog;
+                sessions.remove(&token);
+                gauges.active.fetch_sub(1, Ordering::Relaxed);
+                gauges.backlog.fetch_sub(stale, Ordering::Relaxed);
+            }
+        }
+        if overloaded && gauges.backlog.load(Ordering::Relaxed) < policy.shard_backlog_budget / 2 {
+            overloaded = false;
+            gauges.overloaded.store(false, Ordering::Relaxed);
+            obs.emit(Hop::Overload, shard_index as u32, NO_PROC, 0);
         }
     }
 }
@@ -330,21 +487,55 @@ fn pump_session(
     session: &mut PinnedSession,
     record: &mut Vec<u8>,
     scratch: &mut Vec<u8>,
-    served: &AtomicU64,
+    gauges: &ShardGauges,
+    obs: &Obs,
+    policy: &AdmissionPolicy,
+    overloaded: bool,
 ) -> Pump {
-    for _ in 0..MAX_PUMP {
+    for _ in 0..policy.max_pump {
+        if session.deficit == 0 {
+            break; // DRR budget spent; yield to the neighbors.
+        }
         if session.watch.has_input() {
             // Message-atomic writer invariant (module docs): the record
             // whose first bytes are queued cannot stall us indefinitely.
             match read_record_into(&mut session.stream, record) {
                 Ok(true) => {
+                    session.deficit = session.deficit.saturating_sub(record.len().max(1));
+                    // Admission: a session over its cap has this record
+                    // shed (answered without execution) — the client's
+                    // JUKEBOX retry re-sends it once the backlog drains.
+                    // In the overload band the cap tightens to a quarter,
+                    // which sheds the sessions holding the backlog while
+                    // closed-loop bystanders keep being served.
+                    let backlog = session.watch.queued_bytes();
+                    let cap = if overloaded {
+                        policy.session_backlog_cap / 4
+                    } else {
+                        policy.session_backlog_cap
+                    };
+                    if backlog > cap {
+                        if let Some(reply) = session.service.shed_record(record) {
+                            gauges.shed.fetch_add(1, Ordering::Relaxed);
+                            obs.emit(
+                                Hop::Shed,
+                                peek_xid(record),
+                                peek_proc(record),
+                                backlog as u64,
+                            );
+                            if write_record_with(&mut session.stream, &reply, scratch).is_err() {
+                                return Pump::Gone;
+                            }
+                            continue;
+                        }
+                    }
                     let reply = match session.service.process_record(record) {
                         Ok(r) => r,
                         Err(_) => return Pump::Gone,
                     };
                     // Count before the reply leaves: a peer that has seen
                     // the reply must also see it counted.
-                    served.fetch_add(1, Ordering::Relaxed);
+                    gauges.served.fetch_add(1, Ordering::Relaxed);
                     if write_record_with(&mut session.stream, &reply, scratch).is_err() {
                         return Pump::Gone;
                     }

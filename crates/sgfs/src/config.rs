@@ -178,6 +178,13 @@ pub struct RetryPolicy {
     /// rather than blocking forever on a silent server. `None` = wait
     /// indefinitely.
     pub call_deadline: Option<std::time::Duration>,
+    /// JUKEBOX retries allowed per call before the reply is passed
+    /// through to the caller as-is. A JUKEBOX reply means the server did
+    /// *not* execute the call, so the retry re-sends the identical
+    /// record — safe even for non-idempotent procedures. Backoff between
+    /// attempts is `backoff_base` doubled per attempt, capped at
+    /// `backoff_cap`.
+    pub jukebox_retries: u32,
 }
 
 impl Default for RetryPolicy {
@@ -188,6 +195,7 @@ impl Default for RetryPolicy {
             backoff_base: std::time::Duration::from_millis(10),
             backoff_cap: std::time::Duration::from_millis(640),
             call_deadline: Some(std::time::Duration::from_secs(30)),
+            jukebox_retries: 32,
         }
     }
 }

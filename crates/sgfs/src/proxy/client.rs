@@ -129,6 +129,8 @@ pub struct ClientProxy {
     prefetched: PrefetchMap,
     prefetch_inflight: PrefetchInflight,
     prefetch_tx: Option<mpsc::Sender<PrefetchReq>>,
+    /// AIMD read-ahead horizon, shrunk under server JUKEBOX pushback.
+    prefetch_gov: Arc<PrefetchGovernor>,
     /// Set by a controller to request key renegotiation between requests.
     rekey_requested: Arc<std::sync::atomic::AtomicBool>,
     /// Virtual per-hop forwarding cost, charged to the testbed clock.
@@ -175,6 +177,61 @@ struct PrefetchReq {
     offset: u64,
     count: u32,
     cred: OpaqueAuth,
+}
+
+/// AIMD governor of the read-ahead horizon, shared between the demand
+/// path (which decides how far ahead to queue) and the read-ahead worker
+/// (which sees the server's admission verdicts). A JUKEBOX'd prefetch
+/// halves the horizon — speculative traffic is the first load an
+/// overloaded server wants gone, and shrinking it is the client's half of
+/// the backpressure contract — while a run of clean prefetches creeps the
+/// horizon back up to the configured depth, one block per
+/// [`CLEAN_RUN`](Self::CLEAN_RUN) successes.
+struct PrefetchGovernor {
+    horizon: std::sync::atomic::AtomicU32,
+    /// Configured read-ahead depth: the additive-increase ceiling.
+    cap: u32,
+    /// Clean prefetches since the last pushback.
+    clean: std::sync::atomic::AtomicU32,
+}
+
+impl PrefetchGovernor {
+    /// Clean prefetches required to re-grow the horizon by one block.
+    const CLEAN_RUN: u32 = 16;
+
+    fn new(cap: u32) -> Arc<Self> {
+        Arc::new(Self {
+            horizon: std::sync::atomic::AtomicU32::new(cap),
+            cap,
+            clean: std::sync::atomic::AtomicU32::new(0),
+        })
+    }
+
+    /// Blocks of read-ahead the demand path may currently queue.
+    fn current(&self) -> u32 {
+        self.horizon.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Multiplicative decrease: the server shed a prefetch READ.
+    fn on_jukebox(&self) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.clean.store(0, Relaxed);
+        let h = self.horizon.load(Relaxed);
+        self.horizon.store((h / 2).max(1), Relaxed);
+    }
+
+    /// Additive increase after a sustained clean run.
+    fn on_clean(&self) {
+        use std::sync::atomic::Ordering::Relaxed;
+        if self.clean.fetch_add(1, Relaxed) + 1 < Self::CLEAN_RUN {
+            return;
+        }
+        self.clean.store(0, Relaxed);
+        let h = self.horizon.load(Relaxed);
+        if h < self.cap {
+            self.horizon.store(h + 1, Relaxed);
+        }
+    }
 }
 
 /// External handle for dynamic reconfiguration of a live proxy.
@@ -339,6 +396,7 @@ impl ClientProxy {
             prefetched: Arc::new(Mutex::new(HashMap::new())),
             prefetch_inflight: Arc::new(Mutex::new(HashSet::new())),
             prefetch_tx: None,
+            prefetch_gov: PrefetchGovernor::new(config.readahead),
             rekey_requested: Arc::new(std::sync::atomic::AtomicBool::new(false)),
             clock: None,
             hop: HopCost::free(),
@@ -386,6 +444,12 @@ impl ClientProxy {
         (self.meta.hits, self.meta.misses)
     }
 
+    /// Current AIMD read-ahead horizon in blocks (≤ the configured
+    /// depth; shrinks under server JUKEBOX pushback).
+    pub fn prefetch_horizon(&self) -> u32 {
+        self.prefetch_gov.current().min(self.readahead)
+    }
+
     /// A controller for dynamic reconfiguration of the running proxy.
     pub fn controller(&self) -> ClientProxyController {
         ClientProxyController { rekey_requested: self.rekey_requested.clone() }
@@ -414,6 +478,7 @@ impl ClientProxy {
         let (tx, rx) = mpsc::channel::<PrefetchReq>();
         let map = self.prefetched.clone();
         let inflight = self.prefetch_inflight.clone();
+        let gov = self.prefetch_gov.clone();
         if let Some(set) = self.stripe.clone() {
             // Striped sessions: one worker thread (never one per
             // upstream) that drains the queue, submits each READ
@@ -460,9 +525,22 @@ impl ClientProxy {
                     for (key, m, reply) in pending {
                         match reply.wait() {
                             Ok(reply) => {
+                                // Cache only confirmed data. A shed
+                                // (JUKEBOX) prefetch is simply dropped —
+                                // speculative work is never retried, it
+                                // shrinks the horizon instead; the demand
+                                // path re-fetches the block if it is
+                                // actually needed.
                                 if let Some(body) = success_body(&reply) {
                                     if let Ok(res) = ReadRes::from_xdr_bytes(body) {
-                                        map.lock().insert(key.clone(), res.data);
+                                        match res.status {
+                                            NfsStat3::Ok => {
+                                                gov.on_clean();
+                                                map.lock().insert(key.clone(), res.data);
+                                            }
+                                            NfsStat3::Jukebox => gov.on_jukebox(),
+                                            _ => {}
+                                        }
                                     }
                                 }
                             }
@@ -487,8 +565,18 @@ impl ClientProxy {
                         ReadArgs { file: req.fh.clone(), offset: req.offset, count: req.count };
                     let res: Result<ReadRes, ()> =
                         call_via(&pipeline, xid, procnum::READ, &req.cred, &args);
+                    // As in the striped worker: cache confirmed data only,
+                    // drop shed prefetches and shrink the horizon instead
+                    // of retrying speculative work.
                     if let Ok(res) = res {
-                        map.lock().insert(key.clone(), res.data);
+                        match res.status {
+                            NfsStat3::Ok => {
+                                gov.on_clean();
+                                map.lock().insert(key.clone(), res.data);
+                            }
+                            NfsStat3::Jukebox => gov.on_jukebox(),
+                            _ => {}
+                        }
                     }
                     inflight.lock().remove(&key);
                 }
@@ -878,7 +966,11 @@ impl ClientProxy {
             return;
         }
         let Some(tx) = &self.prefetch_tx else { return };
-        for i in 1..=self.readahead as u64 {
+        // The horizon is the AIMD-governed slice of the configured depth:
+        // full under clear skies, halved each time the server sheds a
+        // prefetch, growing back one block per clean run.
+        let horizon = self.prefetch_gov.current().min(self.readahead);
+        for i in 1..=horizon as u64 {
             let offset = a.offset + i * a.count as u64;
             let cached = self
                 .store
@@ -1041,12 +1133,17 @@ impl ClientProxy {
             offsets.push(offset);
         }
         // One atomic batch: up to a window of WRITEs goes out before the
-        // pipeline waits on any reply.
-        let pending = self.pipeline.submit_batch(records);
+        // pipeline waits on any reply. The records are kept: a WRITE the
+        // server sheds at admission (JUKEBOX — never executed) is re-sent
+        // verbatim under backoff rather than failing the whole flush.
+        let pending = self.pipeline.submit_batch(records.clone());
         let mut server_verf: Option<u64> = None;
         let mut verifier_changed = false;
-        for (offset, reply) in offsets.iter().zip(pending) {
-            let verf = match collect_write_reply(reply) {
+        for ((offset, record), reply) in offsets.iter().zip(records.iter()).zip(pending) {
+            let settled = reply.wait().and_then(|r| {
+                settle_jukebox(&self.pipeline, &self.stats, &self.retry, record, r)
+            });
+            let verf = match settled.and_then(|r| parse_write_verf(&r)) {
                 Ok(v) => v,
                 Err(e) => {
                     self.redirty(fh, &offsets);
@@ -1401,7 +1498,7 @@ impl ClientProxy {
         // time from the busy accounting (the GTLS layer re-adds the real
         // crypto time through the shared busy counter).
         let t_io = std::time::Instant::now();
-        let reply = self.pipeline.call(record.to_vec())?;
+        let reply = call_jukebox_patient(&self.pipeline, &self.stats, &self.retry, record)?;
         self.stats.exclude(t_io.elapsed());
         self.stats.add_down(reply.len());
         if self.meta_enabled {
@@ -1603,7 +1700,13 @@ impl ClientProxy {
         let t_io = std::time::Instant::now();
         let mut first: Option<Vec<u8>> = None;
         for (m, reply) in pending {
-            match reply.wait() {
+            // A shed call never executed on that member, so it is settled
+            // (re-sent verbatim under backoff) against the same member —
+            // the replicas that accepted the call are unaffected.
+            let reply = reply.wait().and_then(|r| {
+                settle_jukebox(&set.member(m), &self.stats, &self.retry, record, r)
+            });
+            match reply {
                 Ok(reply) => {
                     self.stats.add_down(reply.len());
                     if first.is_none() {
@@ -1636,7 +1739,7 @@ impl ClientProxy {
     ) -> std::io::Result<Vec<u8>> {
         self.stats.add_up(record.len());
         let t_io = std::time::Instant::now();
-        let reply = set.member(m).call(record.to_vec());
+        let reply = call_jukebox_patient(&set.member(m), &self.stats, &self.retry, record);
         self.stats.exclude(t_io.elapsed());
         match reply {
             Ok(reply) => {
@@ -1713,6 +1816,7 @@ impl ClientProxy {
         missed.sort();
         let mut files: Vec<Fh3> = missed.iter().map(|(f, _)| f.clone()).collect();
         files.dedup();
+        let probe_needed = files.is_empty();
         let mut pending = Vec::new();
         for (fh, offset) in &missed {
             // A missing block means the file was dropped (deleted) or
@@ -1763,6 +1867,24 @@ impl ClientProxy {
                     "replica rebooted mid-re-sync (verifier changed)",
                 ));
             }
+        }
+        if probe_needed {
+            // Nothing was replayed, so no traffic proved the revived
+            // channel end-to-end. Without this probe a rejoin with an
+            // empty missed set would mark the member up — and drop the
+            // `degraded` gauge to zero — on pure faith in a channel that
+            // may be as dead as the one it replaced. Any decodable reply
+            // counts: the probe tests the transport, not the file.
+            self.next_xid = self.next_xid.wrapping_add(1);
+            let probe = Fh3::from_ino(0, 0);
+            let _: GetAttrRes = call_via(
+                &set.member(m),
+                self.next_xid,
+                procnum::GETATTR,
+                &self.client_cred,
+                &probe,
+            )
+            .map_err(|_| std::io::Error::other("re-sync probe failed: member stays down"))?;
         }
         self.missed[m].clear();
         set.mark_up(m);
@@ -1875,8 +1997,12 @@ impl ClientProxy {
                 }
             }
         }
-        call_via(&self.pipeline, self.next_xid, proc, &self.client_cred, args)
-            .map_err(|_| format!("upstream call proc {proc} failed"))
+        let record = encode_call(self.next_xid, proc, &self.client_cred, args);
+        let reply = call_jukebox_patient(&self.pipeline, &self.stats, &self.retry, &record)
+            .map_err(|_| format!("upstream call proc {proc} failed"))?;
+        let body =
+            success_body(&reply).ok_or_else(|| format!("upstream call proc {proc} failed"))?;
+        T::from_xdr_bytes(body).map_err(|_| format!("upstream call proc {proc} failed"))
     }
 }
 
@@ -1908,8 +2034,12 @@ fn fail_member_via(stats: &ProxyStats, set: &StripeSet, m: usize) {
 
 /// Await one write-back WRITE reply and extract its write verifier.
 fn collect_write_reply(reply: crate::proxy::pipeline::PendingReply) -> std::io::Result<u64> {
-    let reply = reply.wait()?;
-    let res = success_body(&reply)
+    parse_write_verf(&reply.wait()?)
+}
+
+/// Extract the write verifier from a raw WRITE reply record.
+fn parse_write_verf(reply: &[u8]) -> std::io::Result<u64> {
+    let res = success_body(reply)
         .and_then(|b| WriteRes::from_xdr_bytes(b).ok())
         .ok_or_else(|| std::io::Error::other("write-back reply malformed"))?;
     if res.status != NfsStat3::Ok {
@@ -1965,6 +2095,55 @@ fn call_via<T: XdrDecode>(
     let reply = pipeline.call(record).map_err(|_| ())?;
     let body = success_body(&reply).ok_or(())?;
     T::from_xdr_bytes(body).map_err(|_| ())
+}
+
+/// One round trip that rides out admission-control pushback: while the
+/// server answers `NFS3ERR_JUKEBOX`, re-send the call verbatim under
+/// capped exponential backoff. JUKEBOX means the call was *not* executed
+/// (it was shed before dispatch), so the verbatim retry is safe even for
+/// procedures [`replayable`](crate::proxy::retry::replayable) refuses —
+/// this is a different axis from transport-loss replay, where execution
+/// is unknown. Once `retry.jukebox_retries` is spent the pushback reply
+/// is handed to the caller: JUKEBOX is a legal NFSv3 status the kernel
+/// client also understands.
+fn call_jukebox_patient(
+    pipeline: &Pipeline,
+    stats: &ProxyStats,
+    retry: &crate::config::RetryPolicy,
+    record: &[u8],
+) -> std::io::Result<Vec<u8>> {
+    let reply = pipeline.call(record.to_vec())?;
+    settle_jukebox(pipeline, stats, retry, record, reply)
+}
+
+/// The retry half of [`call_jukebox_patient`], for split-phase callers
+/// that already hold the first reply.
+fn settle_jukebox(
+    pipeline: &Pipeline,
+    stats: &ProxyStats,
+    retry: &crate::config::RetryPolicy,
+    record: &[u8],
+    mut reply: Vec<u8>,
+) -> std::io::Result<Vec<u8>> {
+    let mut backoff = retry.backoff_base;
+    for _ in 0..retry.jukebox_retries {
+        if !crate::proxy::retry::is_jukebox_reply(&reply) {
+            return Ok(reply);
+        }
+        stats.add_jukebox_retry();
+        if let Some(obs) = stats.obs() {
+            obs.emit(
+                sgfs_obs::Hop::JukeboxRetry,
+                sgfs_obs::peek_xid(record),
+                sgfs_obs::peek_proc(record),
+                backoff.as_nanos() as u64,
+            );
+        }
+        std::thread::sleep(backoff);
+        backoff = (backoff * 2).min(retry.backoff_cap);
+        reply = pipeline.call(record.to_vec())?;
+    }
+    Ok(reply)
 }
 
 /// Emit a cache hit/miss trace event into the proxy's observability

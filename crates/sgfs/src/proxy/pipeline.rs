@@ -1130,6 +1130,7 @@ mod tests {
             backoff_base: Duration::from_millis(1),
             backoff_cap: Duration::from_millis(4),
             call_deadline: Some(Duration::from_secs(10)),
+            ..RetryPolicy::default()
         }
     }
 

@@ -12,9 +12,9 @@
 use crate::proxy::client::Upstream;
 use sgfs_net::PipeWatch;
 use sgfs_nfs3::proc::{procnum, WriteArgs};
-use sgfs_nfs3::types::StableHow;
+use sgfs_nfs3::types::{NfsStat3, StableHow};
 use sgfs_nfs3::{NFS_PROGRAM, NFS_VERSION};
-use sgfs_oncrpc::CallHeader;
+use sgfs_oncrpc::{AcceptStat, CallHeader, ReplyHeader};
 use sgfs_xdr::{XdrDecode, XdrDecoder};
 use std::io;
 
@@ -82,6 +82,28 @@ pub fn replayable(record: &[u8]) -> bool {
         ),
         _ => false,
     }
+}
+
+/// Whether an accepted NFS reply carries `NFS3ERR_JUKEBOX` as its status.
+///
+/// JUKEBOX is a different retry axis from [`replayable`]: a lost reply
+/// leaves the client unsure whether the call executed, so only idempotent
+/// calls may be retransmitted — but JUKEBOX is the server *telling* the
+/// client the call was never executed (it was shed at admission before
+/// dispatch). A jukeboxed call is therefore safe to re-send verbatim,
+/// non-idempotent procedures included; the caller should back off first,
+/// since the status means the server is deliberately pushing load away.
+///
+/// Every NFSv3 result struct leads with its `nfsstat3`, so the check is
+/// uniform: an RPC-accepted, RPC-successful reply whose first result word
+/// is 10008. NULL replies have an empty body and never match.
+pub fn is_jukebox_reply(reply: &[u8]) -> bool {
+    let mut dec = XdrDecoder::new(reply);
+    let Ok(ReplyHeader::Accepted { stat: AcceptStat::Success, .. }) = ReplyHeader::decode(&mut dec)
+    else {
+        return false;
+    };
+    matches!(NfsStat3::decode(&mut dec), Ok(NfsStat3::Jukebox))
 }
 
 #[cfg(test)]
@@ -160,6 +182,29 @@ mod tests {
         assert!(replayable(&write_record(StableHow::Unstable)));
         assert!(!replayable(&write_record(StableHow::DataSync)));
         assert!(!replayable(&write_record(StableHow::FileSync)));
+    }
+
+    fn reply_with_status(status: NfsStat3) -> Vec<u8> {
+        let mut enc = XdrEncoder::with_capacity(64);
+        ReplyHeader::success(9).encode(&mut enc);
+        status.encode(&mut enc);
+        enc.into_bytes()
+    }
+
+    #[test]
+    fn jukebox_replies_are_detected() {
+        assert!(is_jukebox_reply(&reply_with_status(NfsStat3::Jukebox)));
+        assert!(!is_jukebox_reply(&reply_with_status(NfsStat3::Ok)));
+        assert!(!is_jukebox_reply(&reply_with_status(NfsStat3::Acces)));
+    }
+
+    #[test]
+    fn bodyless_or_garbled_replies_are_not_jukebox() {
+        // NULL replies carry no result body at all.
+        let null_reply = ReplyHeader::success(9).to_xdr_bytes();
+        assert!(!is_jukebox_reply(&null_reply));
+        assert!(!is_jukebox_reply(b"not an rpc reply"));
+        assert!(!is_jukebox_reply(&[]));
     }
 
     #[test]

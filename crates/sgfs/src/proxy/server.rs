@@ -406,8 +406,96 @@ impl ServerProxy {
 /// The sharded server core drives the proxy one record at a time.
 impl sgfs_oncrpc::shard::RecordService for ServerProxy {
     fn process_record(&self, record: &[u8]) -> std::io::Result<Vec<u8>> {
+        // A record reaching execution means admission reopened for this
+        // session: the overload gauge tracks the *latest* verdict, so
+        // observers (the signed Query op included) see pushback end.
+        self.stats.set_overloaded(false);
         self.process_one(record)
     }
+
+    /// Admission-control shed: answer `NFS3ERR_JUKEBOX` *without*
+    /// executing the call. The kernel-server never sees the request, no
+    /// state changes, and the status contract tells the client its
+    /// verbatim retry is safe — even for CREATE/RENAME-class procedures.
+    /// Records we cannot shape a JUKEBOX reply for (NULL, non-NFS
+    /// programs, garbage) return `None` and are processed normally.
+    fn shed_record(&self, record: &[u8]) -> Option<Vec<u8>> {
+        let mut dec = XdrDecoder::new(record);
+        let header = CallHeader::decode(&mut dec).ok()?;
+        if header.prog != NFS_PROGRAM || header.vers != NFS_VERSION {
+            return None;
+        }
+        let reply = jukebox_nfs(header.xid, header.proc)?;
+        self.stats.add_shed();
+        self.stats.set_overloaded(true);
+        Some(reply)
+    }
+}
+
+/// An NFS-level JUKEBOX ("try again later") reply shaped correctly for
+/// each procedure, or `None` for procedures without a status field
+/// (NULL, the FS-info probes, and anything unknown — those are never
+/// shed, the shard executes them instead). Public so alternative
+/// [`RecordService`](sgfs_oncrpc::RecordService) implementations (test
+/// backends included) can answer admission pushback with the same wire
+/// bytes the production proxy produces.
+pub fn jukebox_nfs(xid: u32, proc: u32) -> Option<Vec<u8>> {
+    let status = NfsStat3::Jukebox;
+    Some(match proc {
+        procnum::GETATTR => encode_reply(xid, &GetAttrRes { status, attr: None }),
+        procnum::SETATTR | procnum::WRITE | procnum::REMOVE | procnum::RMDIR => {
+            // WRITE's OK-only fields (count/committed/verf) are absent on
+            // an error arm, so WccRes is the wire shape for all four.
+            encode_reply(xid, &WccRes { status, wcc: WccData::default() })
+        }
+        procnum::LOOKUP => encode_reply(
+            xid,
+            &LookupRes { status, object: None, obj_attr: None, dir_attr: None },
+        ),
+        procnum::ACCESS => encode_reply(xid, &AccessRes { status, obj_attr: None, access: 0 }),
+        procnum::READLINK => {
+            encode_reply(xid, &ReadlinkRes { status, attr: None, path: String::new() })
+        }
+        procnum::READ => encode_reply(
+            xid,
+            &ReadRes { status, attr: None, count: 0, eof: false, data: Vec::new() },
+        ),
+        procnum::CREATE | procnum::MKDIR | procnum::SYMLINK => encode_reply(
+            xid,
+            &CreateRes { status, obj: None, obj_attr: None, dir_wcc: WccData::default() },
+        ),
+        procnum::RENAME => encode_reply(
+            xid,
+            &RenameRes { status, from_wcc: WccData::default(), to_wcc: WccData::default() },
+        ),
+        procnum::LINK => {
+            encode_reply(xid, &LinkRes { status, attr: None, dir_wcc: WccData::default() })
+        }
+        procnum::READDIR => encode_reply(
+            xid,
+            &ReaddirRes {
+                status,
+                dir_attr: None,
+                cookieverf: 0,
+                entries: Vec::new(),
+                eof: false,
+            },
+        ),
+        procnum::READDIRPLUS => encode_reply(
+            xid,
+            &ReaddirPlusRes {
+                status,
+                dir_attr: None,
+                cookieverf: 0,
+                entries: Vec::new(),
+                eof: false,
+            },
+        ),
+        procnum::COMMIT => {
+            encode_reply(xid, &CommitRes { status, wcc: WccData::default(), verf: 0 })
+        }
+        _ => return None,
+    })
 }
 
 /// Does this call name an ACL file? `Some(true)` = yes (deny),

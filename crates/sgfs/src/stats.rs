@@ -91,6 +91,15 @@ pub struct ProxyStats {
     replica_writes: AtomicU64,
     /// Stripe-set members failed over (marked down, traffic re-routed).
     failovers: AtomicU64,
+    /// Records shed by admission control (replied JUKEBOX, not executed).
+    shed: AtomicU64,
+    /// Gauge: 1 while this proxy's shard is inside the overload
+    /// hysteresis band (sheds newest work), 0 once it drains below the
+    /// exit threshold.
+    overloaded: AtomicU64,
+    /// JUKEBOX replies the client side absorbed by backing off and
+    /// retrying the identical record.
+    jukebox_retries: AtomicU64,
     /// (sample_time, cumulative_busy) pairs for utilization series.
     samples: Mutex<Vec<(Duration, Duration)>>,
     /// The observability domain this proxy emits trace events and latency
@@ -314,6 +323,37 @@ impl ProxyStats {
     /// Stripe-set members failed over so far.
     pub fn failovers(&self) -> u64 {
         self.failovers.load(Ordering::Relaxed)
+    }
+
+    /// One record was shed: the server replied JUKEBOX without
+    /// executing the call.
+    pub fn add_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records shed by admission control so far.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Set the overload gauge (1 = inside the hysteresis band).
+    pub fn set_overloaded(&self, on: bool) {
+        self.overloaded.store(on as u64, Ordering::Relaxed);
+    }
+
+    /// Current overload gauge.
+    pub fn overloaded(&self) -> u64 {
+        self.overloaded.load(Ordering::Relaxed)
+    }
+
+    /// One JUKEBOX reply absorbed client-side (backoff + verbatim retry).
+    pub fn add_jukebox_retry(&self) {
+        self.jukebox_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// JUKEBOX retries performed by the client side so far.
+    pub fn jukebox_retries(&self) -> u64 {
+        self.jukebox_retries.load(Ordering::Relaxed)
     }
 
     /// Cumulative busy time.

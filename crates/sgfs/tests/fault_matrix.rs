@@ -22,6 +22,13 @@
 //!    still returns fault-free bytes (recovered in place or failed over
 //!    to the block's surviving replica), and no healthy member is ever
 //!    re-dialed or marked down.
+//! 8. A mid-handshake fault surfaces as a value-level dial error and the
+//!    next dial recovers the channel.
+//! 9. (See 7 — the striped axis, run as a property over seeds.)
+//! 10. Under sustained JUKEBOX pushback (server-side admission control)
+//!     the client retries the same call verbatim with capped backoff,
+//!     never duplicates a non-idempotent call, and completes the moment
+//!     admission reopens.
 
 use proptest::prelude::*;
 use sgfs::config::{CacheMode, RetryPolicy, SecurityLevel, SessionConfig, StripePolicy};
@@ -101,6 +108,7 @@ fn quick_retry() -> RetryPolicy {
         backoff_base: Duration::from_millis(1),
         backoff_cap: Duration::from_millis(4),
         call_deadline: Some(Duration::from_secs(20)),
+        ..RetryPolicy::default()
     }
 }
 
@@ -1061,4 +1069,132 @@ proptest! {
     ) {
         striped_faulted_case(seed, victim, blocks);
     }
+}
+
+// ---------------------------------------------------------------------
+// 10. The overload axis: a client facing sustained JUKEBOX pushback
+//     retries the exact same call under capped backoff, never
+//     duplicates it, and completes once admission reopens.
+// ---------------------------------------------------------------------
+
+/// An upstream that sheds the first `sheds` arrivals of every call with
+/// the production JUKEBOX reply (via [`sgfs::proxy::server::jukebox_nfs`],
+/// the same bytes a real overloaded shard emits), then executes. Every
+/// arriving record is logged verbatim; CREATE executions are counted.
+fn pushback_nfs_server(
+    mut end: PipeEnd,
+    sheds: u32,
+    log: Arc<Mutex<Vec<Vec<u8>>>>,
+    executed: Arc<AtomicU32>,
+) {
+    std::thread::spawn(move || {
+        let mut seen = 0u32;
+        loop {
+            let record = match read_record(&mut end) {
+                Ok(Some(r)) => r,
+                _ => return,
+            };
+            let mut dec = XdrDecoder::new(&record);
+            let header = CallHeader::decode(&mut dec).expect("call header");
+            log.lock().unwrap().push(record.clone());
+            seen += 1;
+            let reply = if seen <= sheds {
+                sgfs::proxy::server::jukebox_nfs(header.xid, header.proc)
+                    .expect("CREATE is shed-able")
+            } else {
+                match header.proc {
+                    procnum::CREATE => {
+                        executed.fetch_add(1, Ordering::SeqCst);
+                        reply_bytes(
+                            header.xid,
+                            &sgfs_nfs3::proc::CreateRes {
+                                status: NfsStat3::Ok,
+                                obj: Some(Fh3::from_ino(1, 4242)),
+                                obj_attr: Some(base_attr(0)),
+                                dir_wcc: WccData { before: None, after: None },
+                            },
+                        )
+                    }
+                    other => panic!("unexpected proc {other} at the pushback server"),
+                }
+            };
+            if write_record(&mut end, &reply).is_err() {
+                return;
+            }
+        }
+    });
+}
+
+#[test]
+fn sustained_jukebox_retries_capped_backoff_without_duplicating_creates() {
+    const SHEDS: u32 = 10;
+    let log: Arc<Mutex<Vec<Vec<u8>>>> = Arc::new(Mutex::new(Vec::new()));
+    let executed = Arc::new(AtomicU32::new(0));
+
+    let (upstream_end, srv) = pipe_pair();
+    pushback_nfs_server(srv, SHEDS, log.clone(), executed.clone());
+
+    let mut config = SessionConfig::new(SecurityLevel::None);
+    config.cache = CacheMode::None; // forward verbatim: the wire shows the app's call
+    config.retry = RetryPolicy {
+        backoff_base: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(4),
+        jukebox_retries: 32,
+        ..RetryPolicy::default()
+    };
+    let up_watch = upstream_end.watch();
+    let proxy = ClientProxy::new(Upstream::Plain(Box::new(upstream_end)), up_watch, &config)
+        .expect("proxy");
+    let stats = proxy.stats().clone();
+
+    let (mut down, proxy_down) = pipe_pair();
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(proxy.run(Box::new(proxy_down)));
+    });
+
+    // One non-idempotent call; the server answers JUKEBOX ten times.
+    let record = nfs_call(0x9000_0001, procnum::CREATE, |enc| {
+        sgfs_nfs3::proc::CreateArgs {
+            where_: DirOpArgs3 { dir: Fh3::from_ino(1, 2), name: "pushback".into() },
+            how: sgfs_nfs3::proc::CreateMode::Unchecked(Sattr3::default()),
+        }
+        .encode(enc)
+    });
+    let t0 = std::time::Instant::now();
+    write_record(&mut down, &record).expect("downstream write");
+    let reply = read_record(&mut down).expect("downstream read").expect("reply");
+    let elapsed = t0.elapsed();
+    drop(down);
+    let (_proxy, run_result) = rx.recv().expect("proxy thread");
+    run_result.expect("proxy loop");
+
+    // Completion: the reply is the executed CREATE, not a passed-through
+    // JUKEBOX.
+    let mut dec = XdrDecoder::new(&reply);
+    let _ = ReplyHeader::decode(&mut dec).expect("reply header");
+    let res = sgfs_nfs3::proc::CreateRes::from_xdr_bytes(&reply[dec.position()..])
+        .expect("create res");
+    assert_eq!(res.status, NfsStat3::Ok, "the call completed once admission reopened");
+    assert_eq!(res.obj, Some(Fh3::from_ino(1, 4242)));
+
+    // Never duplicated: the server saw exactly sheds + 1 arrivals, every
+    // one byte-identical to the original call past the xid (the pipeline
+    // rewrites xids to private wire xids by design — pipeline.rs module
+    // docs — but header, cred, and args pass through untouched). JUKEBOX
+    // means the server never executed the shed arrivals, which is what
+    // makes the verbatim re-send safe for a non-idempotent CREATE.
+    let log = log.lock().unwrap();
+    assert_eq!(log.len() as u32, SHEDS + 1, "one arrival per shed plus the admitted one");
+    for (i, arrival) in log.iter().enumerate() {
+        assert_eq!(&arrival[4..], &record[4..], "arrival {i} is the verbatim original call");
+    }
+    assert_eq!(executed.load(Ordering::SeqCst), 1, "CREATE executed exactly once");
+    assert_eq!(stats.jukebox_retries(), SHEDS as u64, "every shed counted as a retry");
+
+    // Capped backoff: ten retries at base 1 ms doubling to a 4 ms cap
+    // sleep at least 1+2+4+4+... = 39 ms; uncapped doubling would sleep
+    // over a second. The window between proves the cap held.
+    assert!(elapsed >= Duration::from_millis(39), "backoff was real: {elapsed:?}");
+    assert!(elapsed < Duration::from_millis(500), "backoff was capped: {elapsed:?}");
 }

@@ -203,6 +203,7 @@ fn striped_config() -> SessionConfig {
         backoff_base: Duration::from_millis(1),
         backoff_cap: Duration::from_millis(2),
         call_deadline: Some(Duration::from_secs(20)),
+        ..RetryPolicy::default()
     };
     config
 }
@@ -632,4 +633,102 @@ fn stripe_width_adds_zero_client_reader_threads() {
         "striped read-ahead uses one worker, never one per member"
     );
     drop(proxy);
+}
+
+/// Regression for the rejoin/degraded-gauge contract. A member marked
+/// down by a READ failover has an *empty* missed set — there is nothing
+/// to replay, so no re-sync traffic would prove the revived channel on
+/// its own. `resync_member` must probe the transport before returning
+/// the member to the set and resetting `degraded`:
+///
+/// * while the host refuses dials, re-sync fails and `degraded` stays 1;
+/// * when a dial "succeeds" onto a dead wire (the bug this pins down:
+///   the old reset path marked the member up and zeroed the gauge on
+///   pure faith in the fresh channel), the probe fails, re-sync errors,
+///   and `degraded` stays 1;
+/// * once the host is truly back, re-sync succeeds and `degraded` drops
+///   to 0 with the member in the read/write set.
+#[test]
+fn empty_missed_set_rejoin_probes_the_channel_before_resetting_degraded() {
+    const BLOCKS: u64 = 8;
+    let victim = 1usize;
+    let map = StripeMap::new(policy());
+    let states: Vec<ServerState> = (0..WIDTH).map(|_| Arc::default()).collect();
+    for b in 0..BLOCKS {
+        let data = vec![0xD0 + b as u8; BLOCK];
+        for m in map.members_of_block(b) {
+            states[m].lock().unwrap().insert((fh1(), b * BLOCK as u64), data.clone());
+        }
+    }
+    let mut kills = vec![Kill::never(); WIDTH as usize];
+    kills[victim] = Kill::after(Some(procnum::READ), 1);
+
+    // Dial behavior ladder: 0 = refuse, 1 = dead wire, 2 = healthy.
+    let host_mode = Arc::new(AtomicU64::new(0));
+    let dial_mode = host_mode.clone();
+    let dial_state = states[victim].clone();
+    let mut reconnectors: Vec<Reconnector> = (0..WIDTH).map(|_| None).collect();
+    reconnectors[victim] = Some(Box::new(
+        move |_attempt: u32| -> std::io::Result<(Upstream, sgfs_net::PipeWatch)> {
+            match dial_mode.load(Ordering::Acquire) {
+                0 => Err(std::io::Error::other("host refuses")),
+                1 => {
+                    // The dial layer connects but nothing is listening:
+                    // the server end drops straight away.
+                    let (end, srv) = pipe_pair();
+                    drop(srv);
+                    let watch = end.watch();
+                    Ok((Upstream::Plain(Box::new(end)), watch))
+                }
+                _ => {
+                    let (end, srv) = pipe_pair();
+                    byte_server(srv, dial_state.clone(), Kill::never());
+                    let watch = end.watch();
+                    Ok((Upstream::Plain(Box::new(end)), watch))
+                }
+            }
+        },
+    ));
+    let mut config = striped_config();
+    config.retry.max_reconnects = 4;
+    let proxy = striped_proxy(&states, &kills, reconnectors, &config);
+
+    // The victim dies on its first READ; the block fails over to its
+    // replica and the member is marked down — with nothing to replay.
+    let mut driver = Driver::start(proxy);
+    for b in 0..BLOCKS {
+        let data = driver.read(&fh1(), b * BLOCK as u64);
+        assert_eq!(data, vec![0xD0 + b as u8; BLOCK], "block {b} via the survivors");
+    }
+    let mut proxy = driver.finish();
+    assert_eq!(proxy.stats().degraded(), 1, "victim marked down");
+    assert_eq!(proxy.missed_blocks(victim), 0, "a read-only outage misses no writes");
+
+    // Rung 0: the host refuses dials — re-sync must fail closed.
+    assert!(proxy.resync_member(victim).is_err(), "re-sync with the host down");
+    assert_eq!(proxy.stats().degraded(), 1, "degraded survives a refused dial");
+    assert!(!proxy.stripe().unwrap().is_up(victim));
+
+    // Rung 1: the dial connects to a dead wire. Nothing is replayed
+    // (empty missed set), so only the probe stands between this zombie
+    // channel and a false rejoin.
+    host_mode.store(1, Ordering::Release);
+    assert!(proxy.resync_member(victim).is_err(), "probe must fail on a dead wire");
+    assert_eq!(proxy.stats().degraded(), 1, "degraded survives a dead-wire dial");
+    assert!(!proxy.stripe().unwrap().is_up(victim));
+
+    // Rung 2: the host is really back; the probe proves the channel and
+    // the gauge resets.
+    host_mode.store(2, Ordering::Release);
+    proxy.resync_member(victim).expect("re-sync over the healthy channel");
+    assert_eq!(proxy.stats().degraded(), 0, "fully re-synced stripe reports degraded == 0");
+    assert!(proxy.stripe().unwrap().is_up(victim));
+
+    // And the rejoined member serves its share of reads again.
+    let mut driver = Driver::start(proxy);
+    for b in 0..BLOCKS {
+        let data = driver.read(&fh1(), b * BLOCK as u64);
+        assert_eq!(data, vec![0xD0 + b as u8; BLOCK], "block {b} after the rejoin");
+    }
+    drop(driver.finish());
 }

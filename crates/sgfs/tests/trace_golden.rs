@@ -74,6 +74,7 @@ fn quick_retry() -> RetryPolicy {
         backoff_base: Duration::from_millis(1),
         backoff_cap: Duration::from_millis(4),
         call_deadline: Some(Duration::from_secs(20)),
+        ..RetryPolicy::default()
     }
 }
 

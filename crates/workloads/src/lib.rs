@@ -13,6 +13,11 @@
 //! * [`seismic`] — the four-phase SPEC HPC96 Seismic pipeline
 //!   (generation / stacking / time migration / depth migration, §6.3.2).
 //!
+//! [`traffic`] is the odd one out: not a paper workload but the
+//! open-loop, heavy-tailed arrival generator the overload-control
+//! experiments use for offered load that does not bend to the server's
+//! service rate.
+//!
 //! All workloads are deterministic under a seed, and return per-phase
 //! durations in *simulated* time.
 
@@ -20,6 +25,7 @@ pub mod iozone;
 pub mod mab;
 pub mod postmark;
 pub mod seismic;
+pub mod traffic;
 
 use std::time::Duration;
 

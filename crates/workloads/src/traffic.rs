@@ -1,0 +1,259 @@
+//! Virtual-clock open-loop traffic generation for overload experiments.
+//!
+//! The overload and SLO harnesses need *offered load* that does not bend
+//! to the server's service rate: a closed loop (issue, wait, issue) can
+//! never overload anything, because every slow reply throttles the very
+//! client that would have piled on. This module therefore generates
+//! **open-loop** arrival schedules on a virtual clock: each client stream
+//! draws exponential think times and heavy-tailed burst sizes from a
+//! seeded [`Prng`], the streams are merged into one time-ordered
+//! schedule, and the driver issues each burst when its virtual deadline
+//! arrives regardless of how many earlier calls are still in flight.
+//!
+//! Everything is deterministic under the seed — two runs of the same
+//! config produce byte-identical schedules, which is what lets the
+//! overload matrix compare a loaded run against its unloaded oracle
+//! operation by operation.
+
+use crate::Prng;
+use std::time::Duration;
+
+/// What one arrival asks of the file system. Offsets are in blocks so
+/// the driver can scale them to any stripe/block geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficOp {
+    /// Read one block at `block`.
+    Read {
+        /// Block index within the client's file.
+        block: u64,
+    },
+    /// Write one block at `block` (the driver picks the payload).
+    Write {
+        /// Block index within the client's file.
+        block: u64,
+    },
+    /// A metadata probe (GETATTR-class; cheap, latency-sensitive).
+    Getattr,
+}
+
+/// One scheduled arrival: at virtual time `at`, client `client` issues
+/// `op` as part of a burst of `burst` back-to-back operations.
+#[derive(Debug, Clone, Copy)]
+pub struct Arrival {
+    /// Virtual time since the schedule epoch.
+    pub at: Duration,
+    /// Client stream this arrival belongs to (`0..clients`).
+    pub client: usize,
+    /// The operation.
+    pub op: TrafficOp,
+}
+
+/// Shape of one traffic schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficConfig {
+    /// Concurrent open-loop client streams.
+    pub clients: usize,
+    /// Mean think time between bursts *per client* (exponential).
+    pub mean_gap: Duration,
+    /// Bounded-Pareto burst sizing: minimum operations per burst.
+    pub burst_min: u32,
+    /// Bounded-Pareto burst sizing: maximum operations per burst.
+    pub burst_max: u32,
+    /// Pareto tail index; smaller = heavier tail (1.1–1.5 is the classic
+    /// self-similar file-traffic regime).
+    pub alpha: f64,
+    /// Fraction of operations that are reads, in `[0, 1]`; the rest are
+    /// writes except for `getattr_every`.
+    pub read_fraction: f64,
+    /// Every n-th operation of a stream is a metadata probe instead
+    /// (0 = never) — the latency-sensitive "neighbor" traffic the SLO
+    /// gates watch.
+    pub getattr_every: u32,
+    /// Blocks per client file; block indices wrap within this.
+    pub file_blocks: u64,
+    /// Virtual span to fill with arrivals.
+    pub span: Duration,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        Self {
+            clients: 8,
+            mean_gap: Duration::from_millis(10),
+            burst_min: 1,
+            burst_max: 64,
+            alpha: 1.3,
+            read_fraction: 0.7,
+            getattr_every: 8,
+            file_blocks: 64,
+            span: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Draw a uniform in `(0, 1]` — open at zero so `ln` is always finite.
+fn unit(prng: &mut Prng) -> f64 {
+    ((prng.next_u64() >> 11) + 1) as f64 / (1u64 << 53) as f64
+}
+
+/// Exponential think time with the given mean.
+fn exp_gap(prng: &mut Prng, mean: Duration) -> Duration {
+    Duration::from_nanos((-(mean.as_nanos() as f64) * unit(prng).ln()) as u64)
+}
+
+/// Bounded Pareto burst size in `[min, max]`: heavy-tailed, so most
+/// bursts are small but a few span the whole bound — the arrival pattern
+/// that actually exercises admission control.
+fn pareto_burst(prng: &mut Prng, min: u32, max: u32, alpha: f64) -> u32 {
+    if min >= max {
+        return min.max(1);
+    }
+    let raw = min.max(1) as f64 / unit(prng).powf(1.0 / alpha);
+    (raw as u32).clamp(min.max(1), max)
+}
+
+/// Generate the full schedule: every client's bursts over `config.span`,
+/// merged into one list ordered by arrival time.
+pub fn schedule(config: &TrafficConfig, seed: u64) -> Vec<Arrival> {
+    let mut all = Vec::new();
+    for client in 0..config.clients {
+        // One independent stream per client: distinct sub-seed, so adding
+        // a client never perturbs the others' schedules.
+        let mut prng = Prng::new(seed ^ (client as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let mut now = exp_gap(&mut prng, config.mean_gap);
+        let mut ops = 0u64;
+        // Sequential cursor: bursts walk the file, the classic mixed
+        // sequential-within-burst / random-across-bursts pattern.
+        let mut cursor = prng.next_u64() % config.file_blocks.max(1);
+        while now < config.span {
+            let burst = pareto_burst(&mut prng, config.burst_min, config.burst_max, config.alpha);
+            for _ in 0..burst {
+                ops += 1;
+                let op = if config.getattr_every != 0
+                    && ops.is_multiple_of(config.getattr_every as u64)
+                {
+                    TrafficOp::Getattr
+                } else if unit(&mut prng) < config.read_fraction {
+                    TrafficOp::Read { block: cursor }
+                } else {
+                    TrafficOp::Write { block: cursor }
+                };
+                all.push(Arrival { at: now, client, op });
+                cursor = (cursor + 1) % config.file_blocks.max(1);
+            }
+            // Occasionally jump the cursor: cross-burst randomness.
+            if unit(&mut prng) < 0.25 {
+                cursor = prng.next_u64() % config.file_blocks.max(1);
+            }
+            now += exp_gap(&mut prng, config.mean_gap);
+        }
+    }
+    all.sort_by_key(|a| a.at);
+    all
+}
+
+/// Scale a schedule's offered load by compressing every arrival time by
+/// `factor` (2.0 = twice the load in the same span) — how the SLO bench
+/// turns one calibrated schedule into its 4× overload phase without
+/// changing the operation mix.
+pub fn compress(arrivals: &mut [Arrival], factor: f64) {
+    assert!(factor > 0.0);
+    for a in arrivals.iter_mut() {
+        a.at = Duration::from_nanos((a.at.as_nanos() as f64 / factor) as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> TrafficConfig {
+        TrafficConfig {
+            clients: 4,
+            mean_gap: Duration::from_micros(200),
+            span: Duration::from_millis(20),
+            ..TrafficConfig::default()
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_ordered() {
+        let a = schedule(&small(), 42);
+        let b = schedule(&small(), 42);
+        assert_eq!(a.len(), b.len());
+        assert!(!a.is_empty());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.at, y.at);
+            assert_eq!(x.client, y.client);
+            assert_eq!(x.op, y.op);
+        }
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at), "sorted by arrival");
+        let c = schedule(&small(), 43);
+        assert_ne!(a.len(), c.len(), "seed changes the schedule");
+    }
+
+    #[test]
+    fn adding_a_client_leaves_existing_streams_alone() {
+        let four = schedule(&small(), 7);
+        let five = schedule(&TrafficConfig { clients: 5, ..small() }, 7);
+        let four_of_five: Vec<_> = five.iter().filter(|a| a.client < 4).collect();
+        assert_eq!(four.len(), four_of_five.len());
+        for (x, y) in four.iter().zip(four_of_five) {
+            assert_eq!(x.at, y.at);
+            assert_eq!(x.op, y.op);
+        }
+    }
+
+    #[test]
+    fn bursts_are_heavy_tailed_but_bounded() {
+        let mut prng = Prng::new(11);
+        let mut max_seen = 0;
+        let mut small_count = 0;
+        for _ in 0..10_000 {
+            let b = pareto_burst(&mut prng, 1, 64, 1.3);
+            assert!((1..=64).contains(&b));
+            max_seen = max_seen.max(b);
+            if b <= 4 {
+                small_count += 1;
+            }
+        }
+        assert_eq!(max_seen, 64, "the tail reaches the bound");
+        assert!(small_count > 5_000, "most bursts stay small: {small_count}");
+    }
+
+    #[test]
+    fn ops_wrap_within_the_file() {
+        for a in schedule(&small(), 3) {
+            match a.op {
+                TrafficOp::Read { block } | TrafficOp::Write { block } => {
+                    assert!(block < small().file_blocks)
+                }
+                TrafficOp::Getattr => {}
+            }
+        }
+    }
+
+    #[test]
+    fn compress_scales_arrival_times() {
+        let mut sched = schedule(&small(), 5);
+        let last = sched.last().unwrap().at;
+        compress(&mut sched, 4.0);
+        let compressed_last = sched.last().unwrap().at;
+        assert!(compressed_last <= last / 4 + Duration::from_nanos(1));
+        assert!(sched.windows(2).all(|w| w[0].at <= w[1].at), "order preserved");
+    }
+
+    #[test]
+    fn thousands_of_clients_generate_promptly() {
+        let config = TrafficConfig {
+            clients: 2000,
+            mean_gap: Duration::from_millis(5),
+            span: Duration::from_millis(25),
+            ..TrafficConfig::default()
+        };
+        let sched = schedule(&config, 99);
+        assert!(sched.len() > 2000, "every stream contributes: {}", sched.len());
+        let distinct: std::collections::HashSet<_> = sched.iter().map(|a| a.client).collect();
+        assert!(distinct.len() > 1500, "most clients appear: {}", distinct.len());
+    }
+}

@@ -52,6 +52,14 @@ run_watchdog 120 replica_matrix cargo test -q -p sgfs --test replica_matrix
 run_watchdog 120 scale_matrix   cargo test -q -p sgfs --test scale_matrix
 run_watchdog 120 spsc_prop      cargo test -q -p sgfs-net --test spsc_prop
 
+# Overload control: sustained open-loop overload must keep the sampled
+# backlog bounded and answer every request exactly once (executed or
+# JUKEBOX), a flooding neighbor must not double a well-behaved session's
+# p99, shed calls must complete byte-identical via verbatim retry, and
+# JUKEBOX'd prefetches must shrink the AIMD read-ahead horizon. A broken
+# admission loop shows up as a hang, hence the watchdog.
+run_watchdog 180 overload_matrix cargo test -q -p sgfs --test overload_matrix
+
 # Client event plane: the submission ring and the fixed client I/O pool
 # (a lost wakeup in either wedges a pipeline forever, so both run under
 # the watchdog), then the pipeline property suite that drives records
@@ -104,3 +112,12 @@ run_watchdog 120 scale_bench ./target/release/scale_bench --quick
 # any threshold).
 cargo build --release -p sgfs-bench --bin stripe_bench
 run_watchdog 120 stripe_bench ./target/release/stripe_bench --quick
+
+# Tail-latency SLO gate: a probe session's per-procedure p99 under a 4x
+# heavy-tailed open-loop storm may exceed 3x its idle baseline by at
+# most a few DRR cycles, the sampled backlog high-water mark must stay
+# within budget + burst slack, every storm record must be answered, and
+# the shard must drain out of its overload band afterwards (writes
+# BENCH_slo.json; exits nonzero past any threshold).
+cargo build --release -p sgfs-bench --bin slo_bench
+run_watchdog 300 slo_bench ./target/release/slo_bench --quick
